@@ -1,0 +1,591 @@
+(* Benchmark harness: regenerates the paper's quantitative claims.
+
+   "Optimizing Queries on Files" (Consens & Milo, SIGMOD 1994) reports
+   no numbered result tables; its evaluation is the set of performance
+   claims the sections argue.  Each experiment below regenerates one
+   claim as a table: the workload, the competing strategies, and the
+   measured series.  EXPERIMENTS.md records claim-vs-measured.
+
+   Absolute numbers depend on this substrate (a from-scratch OCaml
+   engine); the shapes — who wins, how the gap scales — are the
+   reproduction target.
+
+   Run with: dune exec bench/main.exe *)
+
+let say fmt = Format.printf fmt
+
+let heading id claim =
+  say "@.========================================================@.";
+  say "%s — %s@." id claim;
+  say "========================================================@."
+
+(* Wall-clock milliseconds of [f], best of [repeat]. *)
+let time_ms ?(repeat = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let or_die = function Ok x -> x | Error e -> failwith e
+
+(* Corpus and source caches so repeated experiments share setup work. *)
+let bibtex_cache : (int, Pat.Text.t) Hashtbl.t = Hashtbl.create 8
+
+let bibtex_text n =
+  match Hashtbl.find_opt bibtex_cache n with
+  | Some t -> t
+  | None ->
+      let t =
+        Pat.Text.of_string
+          (Workload.Bibtex_gen.generate (Workload.Bibtex_gen.with_size n))
+      in
+      Hashtbl.add bibtex_cache n t;
+      t
+
+let source_cache : (int * string, Oqf.Execute.source) Hashtbl.t =
+  Hashtbl.create 8
+
+let bibtex_source ?index n =
+  let view = Fschema.Bibtex_schema.view in
+  let index =
+    match index with
+    | Some i -> i
+    | None -> Fschema.Grammar.indexable view.Fschema.View.grammar
+  in
+  let key = (n, String.concat "," index) in
+  match Hashtbl.find_opt source_cache key with
+  | Some s -> s
+  | None ->
+      let s = or_die (Oqf.Execute.make_source view (bibtex_text n) ~index) in
+      Hashtbl.add source_cache key s;
+      s
+
+let q_chang =
+  Odb.Query_parser.parse_exn
+    {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|}
+
+(* ------------------------------------------------------------------ *)
+(* E1 — §3.2 / Theorem 3.6: the optimized inclusion expression beats
+   the naive translation. *)
+
+let e1 () =
+  heading "E1" "optimized vs naive inclusion expression (§3.2, Thm 3.6)";
+  say "query: %s@." (Odb.Query.to_string q_chang);
+  say "index-phase evaluation only (the phase the optimizer targets)@.";
+  say "%8s | %26s | %26s | %8s@." "refs" "naive (ms, region cmps)"
+    "optimized (ms, region cmps)" "speedup";
+  let exprs_for src =
+    let plan = or_die (Oqf.Compile.compile src.Oqf.Execute.env q_chang) in
+    match plan.Oqf.Plan.var_plans with
+    | [ { Oqf.Plan.candidates = Oqf.Plan.Expr e; _ } ] ->
+        (e, Ralg.Optimizer.optimize src.Oqf.Execute.query_rig e)
+    | _ -> failwith "unexpected plan shape"
+  in
+  List.iter
+    (fun n ->
+      let src = bibtex_source n in
+      let naive_e, opt_e = exprs_for src in
+      let eval e () =
+        let before = Stdx.Stats.global.region_comparisons in
+        let r = Ralg.Eval.eval src.Oqf.Execute.instance e in
+        (r, Stdx.Stats.global.region_comparisons - before)
+      in
+      let (naive_set, naive_cmps), naive_ms = time_ms ~repeat:5 (eval naive_e) in
+      let (opt_set, opt_cmps), opt_ms = time_ms ~repeat:5 (eval opt_e) in
+      assert (Pat.Region_set.equal naive_set opt_set);
+      say "%8d | %14.3f %11d | %14.3f %11d | %7.2fx@." n naive_ms naive_cmps
+        opt_ms opt_cmps (naive_ms /. opt_ms))
+    [ 100; 400; 1600; 6400 ];
+  let naive_e, opt_e = exprs_for (bibtex_source 100) in
+  say "naive expression:     %a@." Ralg.Expr.pp naive_e;
+  say "optimized expression: %a@." Ralg.Expr.pp opt_e
+
+(* ------------------------------------------------------------------ *)
+(* E2 — §1/§5.1: index evaluation vs the standard database
+   implementation (full parse + load + evaluate). *)
+
+let e2 () =
+  heading "E2" "indexed evaluation vs standard database implementation (§5.1)";
+  let selective =
+    Odb.Query_parser.parse_exn
+      (Printf.sprintf
+         {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "%s"|}
+         (Workload.Vocab.last_name 60))
+  in
+  List.iter
+    (fun (label, q) ->
+      say "@.%s: %s@." label (Odb.Query.to_string q);
+      say "%8s | %8s | %26s | %26s | %8s@." "refs" "file KB"
+        "indexed (ms, answers, B)" "database (ms, parsed B)" "speedup";
+      List.iter
+        (fun n ->
+          let text = bibtex_text n in
+          let src = bibtex_source n in
+          let idx_r, idx_ms =
+            time_ms (fun () -> or_die (Oqf.Execute.run src q))
+          in
+          let (base_rows, base_stats), base_ms =
+            time_ms ~repeat:1 (fun () ->
+                or_die
+                  (Oqf.Execute.run_baseline Fschema.Bibtex_schema.view text q))
+          in
+          assert (List.length base_rows = idx_r.Oqf.Execute.answers_count);
+          say "%8d | %8d | %9.2f %5d %10d | %15.2f %10d | %7.1fx@." n
+            (Pat.Text.length text / 1024)
+            idx_ms idx_r.Oqf.Execute.answers_count
+            idx_r.Oqf.Execute.stats.bytes_parsed base_ms
+            base_stats.Stdx.Stats.bytes_parsed (base_ms /. idx_ms))
+        [ 50; 200; 800; 3200 ])
+    [
+      ("selective query (rare author)", selective);
+      ("unselective query (most frequent author)", q_chang);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E3 — §6: partial indexing computes a candidate superset, then
+   parses only the candidates. *)
+
+let e3 () =
+  heading "E3" "partial indexing: candidates vs answers (§6, Fig. 3)";
+  let n = 800 in
+  say "query: %s  (corpus: %d refs, %d KB)@." (Odb.Query.to_string q_chang) n
+    (Pat.Text.length (bibtex_text n) / 1024);
+  say "%-44s | %6s | %6s | %7s | %9s | %8s@." "index set" "names" "cands"
+    "answers" "parsed B" "time ms";
+  List.iter
+    (fun (label, index) ->
+      let src = bibtex_source ?index n in
+      let r, ms = time_ms ~repeat:5 (fun () -> or_die (Oqf.Execute.run src q_chang)) in
+      say "%-44s | %6d | %6d | %7d | %9d | %8.2f@." label
+        (List.length r.Oqf.Execute.plan.Oqf.Plan.index_names)
+        r.Oqf.Execute.candidates_count r.Oqf.Execute.answers_count
+        r.Oqf.Execute.stats.bytes_parsed ms)
+    [
+      ("full indexing", None);
+      ( "{Reference, Authors, Name, Last_Name}",
+        Some [ "Reference"; "Authors"; "Name"; "Last_Name" ] );
+      ( "{Reference, Key, Last_Name}  (paper Fig. 3)",
+        Some [ "Reference"; "Key"; "Last_Name" ] );
+      ("{Reference}", Some [ "Reference" ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E4 — §7: the trade-off between the amount of indexing and the work
+   at query time. *)
+
+let e4 () =
+  heading "E4" "efficiency vs amount of indexing (§7)";
+  let n = 800 in
+  let view = Fschema.Bibtex_schema.view in
+  let advised = or_die (Oqf.Advisor.required_indices view q_chang) in
+  say "query: %s@." (Odb.Query.to_string q_chang);
+  say "advisor's sufficient set: {%s}@." (String.concat ", " advised);
+  say "%-44s | %9s | %6s | %9s | %8s | %5s@." "index set" "regions" "cands"
+    "parsed B" "time ms" "exact";
+  List.iter
+    (fun (label, index) ->
+      let src = bibtex_source ?index n in
+      let r, ms = time_ms ~repeat:5 (fun () -> or_die (Oqf.Execute.run src q_chang)) in
+      say "%-44s | %9d | %6d | %9d | %8.2f | %5b@." label
+        (Pat.Instance.total_regions src.Oqf.Execute.instance)
+        r.Oqf.Execute.candidates_count r.Oqf.Execute.stats.bytes_parsed ms
+        r.Oqf.Execute.plan.Oqf.Plan.exact)
+    [
+      ("{Reference}", Some [ "Reference" ]);
+      ("{Reference, Last_Name}", Some [ "Reference"; "Last_Name" ]);
+      ("advisor set (exactness threshold)", Some advised);
+      ("advisor + Name, Editors", Some (advised @ [ "Name"; "Editors" ]));
+      ("full indexing", None);
+    ];
+  (* §7's final refinement: index only the last names that reside in an
+     Authors region.  Two indexed names answer the query exactly with a
+     hand-written simple-inclusion expression. *)
+  let scoped =
+    or_die
+      (Fschema.View.index_file_specs view (bibtex_text n)
+         ~specs:
+           [
+             Fschema.View.Plain "Reference";
+             Fschema.View.Scoped
+               {
+                 name = "Last_Name";
+                 within = "Authors";
+                 alias = "Author_Last_Name";
+               };
+           ])
+  in
+  let run_scoped () =
+    let before = Stdx.Stats.snapshot Stdx.Stats.global in
+    let wi = Pat.Instance.word_index scoped in
+    let hits =
+      Pat.Region_set.including
+        (Pat.Instance.find scoped "Reference")
+        (Pat.Word_index.select_exact wi "Chang"
+           (Pat.Instance.find scoped "Author_Last_Name"))
+    in
+    (* materialise the answers like the other rows do *)
+    Pat.Region_set.iter
+      (fun (r : Pat.Region.t) ->
+        match
+          Fschema.Parser_engine.parse_at Fschema.Bibtex_schema.grammar
+            (bibtex_text n) ~symbol:"Reference" ~start:r.start ~stop:r.stop
+        with
+        | Ok _ -> ()
+        | Error _ -> failwith "scoped candidate does not parse")
+      hits;
+    let after = Stdx.Stats.snapshot Stdx.Stats.global in
+    (hits, Stdx.Stats.diff ~before ~after)
+  in
+  let (hits, st), ms = time_ms ~repeat:5 run_scoped in
+  say "%-44s | %9d | %6d | %9d | %8.2f | %5b@."
+    "scoped {Reference, Last_Name within Authors}"
+    (Pat.Instance.total_regions scoped)
+    (Pat.Region_set.cardinal hits)
+    st.Stdx.Stats.bytes_parsed ms true
+
+(* ------------------------------------------------------------------ *)
+(* E5 — §5.3: path expressions with variables are cheaper on region
+   indices than by enumeration or OODB-style traversal. *)
+
+let e5 () =
+  heading "E5" "path variables *X: inclusion vs enumeration (§5.3)";
+  let n = 800 in
+  let src = bibtex_source n in
+  let text = bibtex_text n in
+  let q_star =
+    Odb.Query_parser.parse_exn
+      {|SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"|}
+  in
+  let q_enum =
+    Odb.Query_parser.parse_exn
+      {|SELECT r FROM References r
+        WHERE r.Authors.Name.Last_Name = "Chang"
+           OR r.Editors.Name.Last_Name = "Chang"|}
+  in
+  let star_r, star_ms =
+    time_ms (fun () -> or_die (Oqf.Execute.run src q_star))
+  in
+  let enum_r, enum_ms =
+    time_ms (fun () -> or_die (Oqf.Execute.run src q_enum))
+  in
+  let (base_rows, _), base_ms =
+    time_ms ~repeat:1 (fun () ->
+        or_die (Oqf.Execute.run_baseline Fschema.Bibtex_schema.view text q_star))
+  in
+  assert (star_r.Oqf.Execute.rows = enum_r.Oqf.Execute.rows);
+  assert (List.length base_rows = star_r.Oqf.Execute.answers_count);
+  say "%-34s | %8s | %8s | %10s@." "strategy" "answers" "time ms" "index ops";
+  say "%-34s | %8d | %8.2f | %10d@." "*X as single inclusion"
+    star_r.Oqf.Execute.answers_count star_ms star_r.Oqf.Execute.stats.index_ops;
+  say "%-34s | %8d | %8.2f | %10d@." "enumerated paths (union)"
+    enum_r.Oqf.Execute.answers_count enum_ms enum_r.Oqf.Execute.stats.index_ops;
+  say "%-34s | %8d | %8.2f | %10s@." "OODB traversal (baseline)"
+    (List.length base_rows) base_ms "-";
+  List.iter
+    (fun (v, e) -> say "evaluated (%s): %a@." v Ralg.Expr.pp e)
+    star_r.Oqf.Execute.evaluated
+
+(* ------------------------------------------------------------------ *)
+(* E6 — §5.2: index-assisted select–project–join. *)
+
+let e6 () =
+  heading "E6" "index-assisted join (§5.2)";
+  let q_join =
+    Odb.Query_parser.parse_exn
+      {|SELECT r.Key FROM References r, References s
+        WHERE r.Editors.Name.Last_Name = s.Authors.Name.Last_Name
+        AND r.Year = "1982"|}
+  in
+  say "query: editors of 1982 books who author elsewhere (self-join)@.";
+  say "%8s | %27s | %27s | %20s@." "refs" "assisted (ms, cands, B)"
+    "unassisted (ms, cands, B)" "database (ms, B)";
+  List.iter
+    (fun n ->
+      let src = bibtex_source n in
+      let text = bibtex_text n in
+      let a_r, a_ms = time_ms (fun () -> or_die (Oqf.Execute.run src q_join)) in
+      let u_r, u_ms =
+        time_ms (fun () ->
+            or_die (Oqf.Execute.run ~join_assist:false src q_join))
+      in
+      let (b_rows, b_stats), b_ms =
+        time_ms ~repeat:1 (fun () ->
+            or_die
+              (Oqf.Execute.run_baseline Fschema.Bibtex_schema.view text q_join))
+      in
+      assert (a_r.Oqf.Execute.rows = u_r.Oqf.Execute.rows);
+      assert (List.length b_rows = a_r.Oqf.Execute.answers_count);
+      say "%8d | %9.2f %5d %10d | %9.2f %5d %10d | %9.2f %9d@." n a_ms
+        a_r.Oqf.Execute.candidates_count a_r.Oqf.Execute.stats.bytes_parsed u_ms
+        u_r.Oqf.Execute.candidates_count u_r.Oqf.Execute.stats.bytes_parsed b_ms
+        b_stats.Stdx.Stats.bytes_parsed)
+    [ 200; 800 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — §5.3: transitive closure as one inclusion test on self-nested
+   regions. *)
+
+let e7 () =
+  heading "E7" "closure over self-nested sections (§5.3)";
+  let q =
+    Odb.Query_parser.parse_exn
+      {|SELECT s.Heading FROM Sections s WHERE s.*X.Para CONTAINS "index"|}
+  in
+  say
+    "query: headings of sections transitively containing the word (any \
+     depth); the region plan is index-only@.";
+  say "%6s | %8s | %8s | %18s | %18s@." "depth" "sections" "answers"
+    "regions (ms)" "database (ms)";
+  List.iter
+    (fun depth ->
+      let text =
+        Pat.Text.of_string
+          (Workload.Sgml_gen.generate
+             {
+               (Workload.Sgml_gen.with_depth depth) with
+               top_sections = 8;
+               fanout = 3;
+             })
+      in
+      let src =
+        or_die (Oqf.Execute.make_source_full Fschema.Sgml_schema.view text)
+      in
+      let r, r_ms = time_ms (fun () -> or_die (Oqf.Execute.run src q)) in
+      let (b_rows, _), b_ms =
+        time_ms ~repeat:1 (fun () ->
+            or_die (Oqf.Execute.run_baseline Fschema.Sgml_schema.view text q))
+      in
+      assert (List.length b_rows = r.Oqf.Execute.answers_count);
+      let sections =
+        Pat.Region_set.cardinal
+          (Pat.Instance.find src.Oqf.Execute.instance "Section")
+      in
+      say "%6d | %8d | %8d | %18.2f | %18.2f@." depth sections
+        r.Oqf.Execute.answers_count r_ms b_ms)
+    [ 3; 5; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — §3.1: direct inclusion is significantly more expensive than
+   simple inclusion, and the cost grows with nesting depth. *)
+
+let e8 () =
+  heading "E8" "cost of direct inclusion vs simple inclusion (§3.1)";
+  say "operands: Section vs Para region sets of growing nesting depth@.";
+  say "%6s | %8s | %16s | %16s | %14s@." "depth" "regions" "> (ms, cmps)"
+    ">d (ms, cmps)" "layered >d ms";
+  List.iter
+    (fun depth ->
+      let text =
+        Pat.Text.of_string
+          (Workload.Sgml_gen.generate
+             {
+               (Workload.Sgml_gen.with_depth depth) with
+               top_sections = 6;
+               fanout = 3;
+             })
+      in
+      let inst =
+        or_die
+          (Fschema.View.index_file Fschema.Sgml_schema.view text
+             ~keep:(Fschema.Grammar.indexable Fschema.Sgml_schema.grammar))
+      in
+      let sections = Pat.Instance.find inst "Section" in
+      let paras = Pat.Instance.find inst "Para" in
+      let ctx = Pat.Instance.universe inst in
+      let cmps f =
+        let before = Stdx.Stats.global.region_comparisons in
+        let r = f () in
+        (r, Stdx.Stats.global.region_comparisons - before)
+      in
+      let (simple, simple_cmps), simple_ms =
+        time_ms (fun () ->
+            cmps (fun () -> Pat.Region_set.including sections paras))
+      in
+      let (direct, direct_cmps), direct_ms =
+        time_ms (fun () ->
+            cmps (fun () ->
+                Pat.Region_set.directly_including ~context:ctx sections paras))
+      in
+      let layered, layered_ms =
+        time_ms (fun () ->
+            Ralg.Eval.direct_including_layered ~context:ctx sections paras)
+      in
+      assert (Pat.Region_set.equal direct layered);
+      assert (Pat.Region_set.subset direct simple);
+      say "%6d | %8d | %9.2f %6d | %9.2f %6d | %14.2f@." depth
+        (Pat.Region_set.cardinal ctx)
+        simple_ms simple_cmps direct_ms direct_cmps layered_ms)
+    [ 2; 4; 6; 8; 10 ];
+  (* Worst case: one wide region over n points, each shadowed by a
+     tight wrapper placed at the very end of its blocking window —
+     deciding "nothing strictly in between" then scans quadratically,
+     while simple inclusion stays near-linear. *)
+  say "@.worst case: wide region over n late-blocked points@.";
+  say "%8s | %16s | %16s@." "n" "> (ms, cmps)" ">d (ms, cmps)";
+  List.iter
+    (fun n ->
+      let windows = Pat.Region_set.of_pairs [ (0, (3 * n) + 3) ] in
+      let points =
+        Pat.Region_set.of_pairs (List.init n (fun i -> ((3 * i) + 1, (3 * i) + 2)))
+      in
+      let wrappers =
+        Pat.Region_set.of_pairs (List.init n (fun i -> (3 * i, (3 * i) + 3)))
+      in
+      let ctx =
+        Pat.Region_set.union windows (Pat.Region_set.union points wrappers)
+      in
+      let cmps f =
+        let before = Stdx.Stats.global.region_comparisons in
+        let r = f () in
+        (r, Stdx.Stats.global.region_comparisons - before)
+      in
+      let (_, simple_cmps), simple_ms =
+        time_ms (fun () ->
+            cmps (fun () -> Pat.Region_set.including windows points))
+      in
+      let (_, direct_cmps), direct_ms =
+        time_ms (fun () ->
+            cmps (fun () ->
+                Pat.Region_set.directly_including ~context:ctx windows points))
+      in
+      say "%8d | %9.2f %6d | %9.2f %6d@." n simple_ms simple_cmps direct_ms
+        direct_cmps)
+    [ 250; 500; 1000; 2000 ]
+
+(* ------------------------------------------------------------------ *)
+(* B1 — index construction cost.  Not a paper claim (the paper assumes
+   indexing "is a service given by the underlying text indexing
+   system"); reported for operational context: how much one-time work
+   the query-time savings cost. *)
+
+let b1 () =
+  heading "B1" "index construction cost (context; not a paper claim)";
+  say "%8s | %8s | %12s | %14s | %12s@." "refs" "file KB" "parse ms"
+    "suffix arr ms" "regions";
+  List.iter
+    (fun n ->
+      let text = bibtex_text n in
+      let (tree, inst), parse_ms =
+        time_ms ~repeat:1 (fun () ->
+            match
+              Fschema.Parser_engine.parse Fschema.Bibtex_schema.grammar text
+            with
+            | Ok tree ->
+                ( tree,
+                  Fschema.Builder.instance_of_tree text tree
+                    ~keep:
+                      (Fschema.Grammar.indexable Fschema.Bibtex_schema.grammar)
+                )
+            | Error _ -> failwith "generator output must parse")
+      in
+      ignore tree;
+      let _, sa_ms =
+        time_ms ~repeat:1 (fun () -> Pat.Word_index.build text)
+      in
+      say "%8d | %8d | %12.2f | %14.2f | %12d@." n
+        (Pat.Text.length text / 1024)
+        parse_ms sa_ms
+        (Pat.Instance.total_regions inst))
+    [ 200; 800; 3200 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let src200 = bibtex_source 200 in
+  let src61 = bibtex_source ~index:[ "Reference"; "Key"; "Last_Name" ] 200 in
+  let q_star =
+    Odb.Query_parser.parse_exn
+      {|SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"|}
+  in
+  let q_join =
+    Odb.Query_parser.parse_exn
+      {|SELECT r.Key FROM References r, References s
+        WHERE r.Editors.Name.Last_Name = s.Authors.Name.Last_Name
+        AND r.Year = "1982"|}
+  in
+  let sgml_text =
+    Pat.Text.of_string
+      (Workload.Sgml_gen.generate (Workload.Sgml_gen.with_depth 5))
+  in
+  let sgml_src =
+    or_die (Oqf.Execute.make_source_full Fschema.Sgml_schema.view sgml_text)
+  in
+  let q_closure =
+    Odb.Query_parser.parse_exn
+      {|SELECT s FROM Sections s WHERE s.*X.Para CONTAINS "index"|}
+  in
+  let sections = Pat.Instance.find sgml_src.Oqf.Execute.instance "Section" in
+  let paras = Pat.Instance.find sgml_src.Oqf.Execute.instance "Para" in
+  let ctx = Pat.Instance.universe sgml_src.Oqf.Execute.instance in
+  [
+    Test.make ~name:"e1_naive_expression"
+      (Staged.stage (fun () ->
+           or_die (Oqf.Execute.run ~optimize:false src200 q_chang)));
+    Test.make ~name:"e1_optimized_expression"
+      (Staged.stage (fun () -> or_die (Oqf.Execute.run src200 q_chang)));
+    Test.make ~name:"e2_database_baseline"
+      (Staged.stage (fun () ->
+           or_die
+             (Oqf.Execute.run_baseline Fschema.Bibtex_schema.view
+                (bibtex_text 200) q_chang)));
+    Test.make ~name:"e3_partial_index_query"
+      (Staged.stage (fun () -> or_die (Oqf.Execute.run src61 q_chang)));
+    Test.make ~name:"e4_advisor"
+      (Staged.stage (fun () ->
+           or_die
+             (Oqf.Advisor.required_indices Fschema.Bibtex_schema.view q_chang)));
+    Test.make ~name:"e5_star_path"
+      (Staged.stage (fun () -> or_die (Oqf.Execute.run src200 q_star)));
+    Test.make ~name:"e6_assisted_join"
+      (Staged.stage (fun () -> or_die (Oqf.Execute.run src200 q_join)));
+    Test.make ~name:"e7_closure_query"
+      (Staged.stage (fun () -> or_die (Oqf.Execute.run sgml_src q_closure)));
+    Test.make ~name:"e8_simple_inclusion"
+      (Staged.stage (fun () -> Pat.Region_set.including sections paras));
+    Test.make ~name:"e8_direct_inclusion"
+      (Staged.stage (fun () ->
+           Pat.Region_set.directly_including ~context:ctx sections paras));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  heading "Bechamel" "per-experiment micro-benchmarks (ns/run, OLS)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let m = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Instance.monotonic_clock m in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> say "%-32s %14.0f ns/run@." (Test.Elt.name elt) t
+          | _ -> say "%-32s (no estimate)@." (Test.Elt.name elt))
+        (Test.elements test))
+    (bechamel_tests ())
+
+let () =
+  say "Reproduction benches for 'Optimizing Queries on Files' (SIGMOD 1994)@.";
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  b1 ();
+  run_bechamel ();
+  say "@.done.@."

@@ -1,0 +1,359 @@
+(* oqf — optimizing queries on files.
+
+   A command-line front end to the library: generate synthetic corpora,
+   build (and persist) indices, run and explain queries, and ask the
+   advisor which indices a workload needs. *)
+
+open Cmdliner
+
+let schemas =
+  [
+    ("bibtex", Fschema.Bibtex_schema.view);
+    ("log", Fschema.Log_schema.view);
+    ("sgml", Fschema.Sgml_schema.view);
+    ("mbox", Fschema.Mbox_schema.view);
+  ]
+
+let view_of_schema name =
+  match List.assoc_opt name schemas with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "unknown schema %s (expected %s)" name
+           (String.concat "|" (List.map fst schemas)))
+
+let schema_arg =
+  let doc = "Structuring schema: bibtex, log, sgml or mbox." in
+  Arg.(required & opt (some string) None & info [ "s"; "schema" ] ~doc)
+
+let file_arg =
+  let doc = "The data file to operate on." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let index_names_arg =
+  let doc =
+    "Comma-separated region names to index (default: every non-terminal)."
+  in
+  Arg.(value & opt (some string) None & info [ "index" ] ~doc)
+
+let split_names = function
+  | None -> None
+  | Some s ->
+      Some
+        (List.filter
+           (fun x -> x <> "")
+           (String.split_on_char ',' s))
+
+let or_die = function
+  | Ok x -> x
+  | Error e ->
+      prerr_endline ("oqf: " ^ e);
+      exit 1
+
+let resolve_index view names =
+  match names with
+  | Some names -> names
+  | None -> Fschema.Grammar.indexable view.Fschema.View.grammar
+
+(* --- generate ------------------------------------------------------ *)
+
+let generate_cmd =
+  let kind =
+    let doc = "Corpus kind: bibtex, log, sgml or mbox." in
+    Arg.(required & opt (some string) None & info [ "k"; "kind" ] ~doc)
+  in
+  let size =
+    let doc = "Corpus size (references / entries / nesting depth)." in
+    Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc)
+  in
+  let seed =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+  in
+  let out =
+    let doc = "Output path (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let run kind size seed out =
+    let contents =
+      match kind with
+      | "bibtex" ->
+          Workload.Bibtex_gen.generate
+            { (Workload.Bibtex_gen.with_size size) with seed }
+      | "log" ->
+          Workload.Log_gen.generate
+            { (Workload.Log_gen.with_size size) with seed }
+      | "sgml" ->
+          Workload.Sgml_gen.generate
+            { (Workload.Sgml_gen.with_depth size) with seed }
+      | "mbox" ->
+          Workload.Mbox_gen.generate
+            { (Workload.Mbox_gen.with_size size) with seed }
+      | k -> or_die (Error ("unknown corpus kind " ^ k))
+    in
+    match out with
+    | None -> print_string contents
+    | Some path ->
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %d bytes to %s\n" (String.length contents) path
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic corpus.")
+    Term.(const run $ kind $ size $ seed $ out)
+
+(* --- index --------------------------------------------------------- *)
+
+let index_cmd =
+  let out =
+    let doc = "Where to write the index." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  let run schema file names out =
+    let view = or_die (view_of_schema schema) in
+    let text = Pat.Text.of_file file in
+    let keep = resolve_index view (split_names names) in
+    let instance = or_die (Fschema.View.index_file view text ~keep) in
+    Pat.Index_store.save ~path:out instance;
+    Printf.printf "indexed %s: %d region names, %d regions, saved to %s\n"
+      file
+      (List.length (Pat.Instance.names instance))
+      (Pat.Instance.total_regions instance)
+      out
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:"Parse a file once and persist its word and region indices.")
+    Term.(const run $ schema_arg $ file_arg $ index_names_arg $ out)
+
+(* --- query --------------------------------------------------------- *)
+
+let query_arg =
+  let doc = "The query, e.g. 'SELECT r FROM References r WHERE …'." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let query_cmd =
+  let no_optimize =
+    let doc = "Evaluate the naive translation without optimization." in
+    Arg.(value & flag & info [ "no-optimize" ] ~doc)
+  in
+  let load =
+    let doc =
+      "Load a persisted index (built with the index subcommand) instead of \
+       re-indexing the file; FILE is then ignored."
+    in
+    Arg.(value & opt (some file) None & info [ "load" ] ~doc)
+  in
+  let baseline =
+    let doc =
+      "Ignore indices: parse the whole file and evaluate in the database \
+       (the standard implementation)."
+    in
+    Arg.(value & flag & info [ "baseline" ] ~doc)
+  in
+  let run schema file names q_text no_optimize load baseline =
+    let view = or_die (view_of_schema schema) in
+    let text =
+      match load with
+      | Some path -> Pat.Instance.text (Pat.Index_store.load ~path)
+      | None -> Pat.Text.of_file file
+    in
+    let q =
+      match Odb.Query_parser.parse q_text with
+      | Ok q -> q
+      | Error e ->
+          or_die (Error (Format.asprintf "%a" Odb.Query_parser.pp_error e))
+    in
+    if baseline then begin
+      let rows, stats = or_die (Oqf.Execute.run_baseline view text q) in
+      List.iter
+        (fun row ->
+          print_endline
+            (String.concat " | " (List.map Odb.Value.to_display_string row)))
+        rows;
+      Format.printf "-- %d rows; %a@." (List.length rows) Stdx.Stats.pp stats
+    end
+    else begin
+      let src =
+        match load with
+        | Some path ->
+            Oqf.Execute.source_of_instance view (Pat.Index_store.load ~path)
+        | None ->
+            let index = resolve_index view (split_names names) in
+            or_die (Oqf.Execute.make_source view text ~index)
+      in
+      let r = or_die (Oqf.Execute.run ~optimize:(not no_optimize) src q) in
+      List.iter
+        (fun row ->
+          print_endline
+            (String.concat " | " (List.map Odb.Value.to_display_string row)))
+        r.Oqf.Execute.rows;
+      Format.printf "-- %d rows (%d candidates%s); %a@."
+        r.Oqf.Execute.answers_count r.Oqf.Execute.candidates_count
+        (if r.Oqf.Execute.plan.Oqf.Plan.exact then ", exact plan" else "")
+        Stdx.Stats.pp r.Oqf.Execute.stats
+    end
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a query against a file.")
+    Term.(
+      const run $ schema_arg $ file_arg $ index_names_arg $ query_arg
+      $ no_optimize $ load $ baseline)
+
+(* --- explain ------------------------------------------------------- *)
+
+let explain_cmd =
+  (* explain is static analysis: the file argument is accepted for a
+     uniform command shape but its contents are not read *)
+  let run schema _file names q_text =
+    let view = or_die (view_of_schema schema) in
+    let q =
+      match Odb.Query_parser.parse q_text with
+      | Ok q -> q
+      | Error e ->
+          or_die (Error (Format.asprintf "%a" Odb.Query_parser.pp_error e))
+    in
+    let index = resolve_index view (split_names names) in
+    print_string (or_die (Oqf.Advisor.explain view ~index q))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the plan, the optimized region expressions and costs.")
+    Term.(const run $ schema_arg $ file_arg $ index_names_arg $ query_arg)
+
+(* --- tree ---------------------------------------------------------- *)
+
+let tree_cmd =
+  let run schema file names =
+    let view = or_die (view_of_schema schema) in
+    let text = Pat.Text.of_file file in
+    match Fschema.Parser_engine.parse view.Fschema.View.grammar text with
+    | Error e ->
+        or_die (Error (Format.asprintf "%a" Fschema.Parser_engine.pp_error e))
+    | Ok tree ->
+        let keep = split_names names in
+        Format.printf "%a" (Fschema.Parse_tree.pp ?keep) tree
+  in
+  Cmd.v
+    (Cmd.info "tree"
+       ~doc:
+         "Print a file's parse tree; with --index, only the indexed names \
+          (the view of the paper's Figures 2 and 3).")
+    Term.(const run $ schema_arg $ file_arg $ index_names_arg)
+
+(* --- schema -------------------------------------------------------- *)
+
+let schema_cmd =
+  let dot =
+    let doc = "Emit the region inclusion graph in GraphViz DOT format." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let run schema dot =
+    let view = or_die (view_of_schema schema) in
+    let rig = Fschema.Rig_of_grammar.full view.Fschema.View.grammar in
+    if dot then print_string (Ralg.Rig.to_dot rig)
+    else begin
+      Format.printf "%a@." Fschema.Grammar.pp view.Fschema.View.grammar;
+      Format.printf "@.derived database types (§4.1):@.";
+      print_string (Fschema.Schema_types.to_string view);
+      Format.printf "@.region inclusion graph:@.%a@." Ralg.Rig.pp rig
+    end
+  in
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:
+         "Print a structuring schema: grammar, derived database types and \
+          the region inclusion graph (optionally as GraphViz DOT).")
+    Term.(const run $ schema_arg $ dot)
+
+(* --- rexpr --------------------------------------------------------- *)
+
+let rexpr_cmd =
+  let expr_arg =
+    let doc = "A region expression, e.g. 'Reference > sigma[\"Chang\"](Last_Name)'." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR" ~doc)
+  in
+  let show_text =
+    let doc = "Print the text of each resulting region." in
+    Arg.(value & flag & info [ "text" ] ~doc)
+  in
+  let run schema file names expr_text show_text =
+    let view = or_die (view_of_schema schema) in
+    let text = Pat.Text.of_file file in
+    let expr =
+      match Ralg.Expr_parser.parse expr_text with
+      | Ok e -> e
+      | Error e ->
+          or_die (Error (Format.asprintf "%a" Ralg.Expr_parser.pp_error e))
+    in
+    let keep = resolve_index view (split_names names) in
+    let instance = or_die (Fschema.View.index_file view text ~keep) in
+    let rig = Fschema.Rig_of_grammar.for_index view.Fschema.View.grammar ~keep in
+    if Ralg.Trivial.check rig expr then
+      print_endline "(trivially empty under the schema's RIG)"
+    else begin
+      let optimized = Ralg.Optimizer.optimize rig expr in
+      if not (Ralg.Expr.equal optimized expr) then
+        Format.printf "optimized: %a@." Ralg.Expr.pp optimized;
+      let result = Ralg.Eval.eval instance optimized in
+      Pat.Region_set.iter
+        (fun r ->
+          if show_text then
+            Format.printf "%a %S@." Pat.Region.pp r (Pat.Region.text text r)
+          else Format.printf "%a@." Pat.Region.pp r)
+        result;
+      Format.printf "-- %d regions@." (Pat.Region_set.cardinal result)
+    end
+  in
+  Cmd.v
+    (Cmd.info "rexpr"
+       ~doc:"Evaluate a raw region-algebra expression against a file.")
+    Term.(
+      const run $ schema_arg $ file_arg $ index_names_arg $ expr_arg
+      $ show_text)
+
+(* --- advise -------------------------------------------------------- *)
+
+let advise_cmd =
+  let queries =
+    let doc = "Queries of the workload." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let run schema queries =
+    let view = or_die (view_of_schema schema) in
+    let module Sset = Set.Make (String) in
+    let names =
+      List.fold_left
+        (fun acc q_text ->
+          let q =
+            match Odb.Query_parser.parse q_text with
+            | Ok q -> q
+            | Error e ->
+                or_die
+                  (Error (Format.asprintf "%a" Odb.Query_parser.pp_error e))
+          in
+          let names = or_die (Oqf.Advisor.required_indices view q) in
+          Sset.union acc (Sset.of_list names))
+        Sset.empty queries
+    in
+    Printf.printf "index these region names for exact evaluation:\n  %s\n"
+      (String.concat ", " (Sset.elements names))
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Compute a sufficient index set for a query workload (§7).")
+    Term.(const run $ schema_arg $ queries)
+
+let () =
+  let info =
+    Cmd.info "oqf" ~version:"1.0.0"
+      ~doc:"Optimizing queries on files: database queries over indexed text."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; index_cmd; query_cmd; explain_cmd; advise_cmd;
+            schema_cmd; rexpr_cmd; tree_cmd;
+          ]))

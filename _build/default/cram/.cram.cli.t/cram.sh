@@ -1,0 +1,9 @@
+  $ ../bin/oqf_cli.exe generate -k bibtex -n 4 --seed 7 -o refs.bib
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib 'SELECT r.Key FROM References r WHERE r.Year STARTS WITH "19"' 2>/dev/null | head -5
+  $ ../bin/oqf_cli.exe explain -s bibtex refs.bib --index Reference,Key,Last_Name 'SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"' | grep -E "naive|optimized:"
+  $ ../bin/oqf_cli.exe advise -s bibtex 'SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"'
+  $ ../bin/oqf_cli.exe rexpr -s bibtex refs.bib 'Reference > Authors > sigma["Chang"](Last_Name)' | tail -1
+  $ ../bin/oqf_cli.exe index -s bibtex refs.bib -o refs.idx | sed 's/ saved.*//'
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --load refs.idx 'SELECT r.Key FROM References r' 2>/dev/null | head -2
+  $ ../bin/oqf_cli.exe schema -s log | grep -A1 "derived database"
+  $ ../bin/oqf_cli.exe tree -s bibtex refs.bib --index Reference,Key,Last_Name | head -4

@@ -1,0 +1,1 @@
+examples/bibliography_search.ml: Format Fschema List Odb Oqf Pat Printf String Workload

@@ -1,0 +1,1 @@
+examples/document_outline.ml: Format Fschema List Odb Oqf Pat Ralg Workload

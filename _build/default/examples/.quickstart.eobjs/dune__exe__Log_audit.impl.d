@@ -1,0 +1,1 @@
+examples/log_audit.ml: Format Fschema List Odb Oqf Pat Workload

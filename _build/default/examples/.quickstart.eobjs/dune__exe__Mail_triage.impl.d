@@ -1,0 +1,1 @@
+examples/mail_triage.ml: Format Fschema Odb Oqf Pat Printf Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Fschema List Odb Oqf Pat Ralg Stdx

@@ -1,0 +1,1 @@
+lib/fschema/bibtex_schema.ml: Grammar View

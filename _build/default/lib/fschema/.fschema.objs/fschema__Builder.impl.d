@@ -1,0 +1,1 @@
+lib/fschema/builder.ml: List Odb Parse_tree Pat String

@@ -1,0 +1,1 @@
+lib/fschema/builder.mli: Odb Parse_tree Pat

@@ -1,0 +1,1 @@
+lib/fschema/grammar.ml: Format List Map String

@@ -1,0 +1,1 @@
+lib/fschema/grammar.mli: Format

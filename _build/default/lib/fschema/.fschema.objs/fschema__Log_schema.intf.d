@@ -1,0 +1,1 @@
+lib/fschema/log_schema.mli: Grammar View

@@ -1,0 +1,1 @@
+lib/fschema/mbox_schema.mli: Grammar View

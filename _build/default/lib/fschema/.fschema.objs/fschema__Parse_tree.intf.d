@@ -1,0 +1,1 @@
+lib/fschema/parse_tree.mli: Format Pat

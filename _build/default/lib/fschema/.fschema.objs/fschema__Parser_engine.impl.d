@@ -1,0 +1,1 @@
+lib/fschema/parser_engine.ml: Format Grammar List Parse_tree Pat Printf Stdx String

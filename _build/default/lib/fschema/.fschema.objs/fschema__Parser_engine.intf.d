@@ -1,0 +1,1 @@
+lib/fschema/parser_engine.mli: Format Grammar Parse_tree Pat

@@ -1,0 +1,1 @@
+lib/fschema/rig_of_grammar.ml: Grammar List Ralg

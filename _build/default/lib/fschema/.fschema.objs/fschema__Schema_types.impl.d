@@ -1,0 +1,1 @@
+lib/fschema/schema_types.ml: Format Grammar List View

@@ -1,0 +1,1 @@
+lib/fschema/schema_types.mli: Format Grammar View

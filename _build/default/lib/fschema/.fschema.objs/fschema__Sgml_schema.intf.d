@@ -1,0 +1,1 @@
+lib/fschema/sgml_schema.mli: Grammar View

@@ -1,0 +1,1 @@
+lib/fschema/view.ml: Builder Grammar List Odb Parser_engine Pat Printf

@@ -1,0 +1,1 @@
+lib/fschema/view.mli: Grammar Odb Pat

@@ -1,0 +1,90 @@
+open Grammar
+
+(* Field bodies are brace-delimited so that every field region strictly
+   contains its contents (see the span discipline in {!Grammar}). *)
+let braced inner = Seq ([ Lit "{" ] @ inner @ [ Lit "}" ])
+
+let rules =
+  [
+    { lhs = "Ref_set"; rhs = Seq [ Lit "%% bibliography"; Star { nonterm = "Reference"; separator = None } ] };
+    {
+      lhs = "Reference";
+      rhs =
+        Seq
+          [
+            Lit "@INCOLLECTION{";
+            Nonterm "Key";
+            Lit ","; Lit "AUTHOR"; Lit "=";
+            Nonterm "Authors";
+            Lit ","; Lit "TITLE"; Lit "=";
+            Nonterm "Title";
+            Lit ","; Lit "YEAR"; Lit "=";
+            Nonterm "Year";
+            Lit ","; Lit "EDITOR"; Lit "=";
+            Nonterm "Editors";
+            Lit ","; Lit "KEYWORDS"; Lit "=";
+            Nonterm "Keywords";
+            Lit ","; Lit "CITES"; Lit "=";
+            Nonterm "Cites";
+            Lit ","; Lit "ABSTRACT"; Lit "=";
+            Nonterm "Abstract";
+            Lit "}";
+          ];
+    };
+    { lhs = "Key"; rhs = Token (Until [ ',' ]) };
+    {
+      lhs = "Authors";
+      rhs = braced [ Star { nonterm = "Name"; separator = Some "and" } ];
+    };
+    {
+      lhs = "Editors";
+      rhs = braced [ Star { nonterm = "Name"; separator = Some "and" } ];
+    };
+    { lhs = "Name"; rhs = Seq [ Nonterm "First_Name"; Nonterm "Last_Name" ] };
+    { lhs = "First_Name"; rhs = Token Word };
+    { lhs = "Last_Name"; rhs = Token Word };
+    (* Title and Year wrap an indexable value carrier so that equality
+       selections can use the exact-extent σ (the carrier's region text
+       is precisely the field's value) *)
+    { lhs = "Title"; rhs = braced [ Nonterm "Title_value" ] };
+    { lhs = "Title_value"; rhs = Token (Until [ '}' ]) };
+    { lhs = "Year"; rhs = braced [ Nonterm "Year_value" ] };
+    { lhs = "Year_value"; rhs = Token Word };
+    {
+      lhs = "Keywords";
+      rhs = braced [ Star { nonterm = "Keyword"; separator = Some ";" } ];
+    };
+    { lhs = "Keyword"; rhs = Token (Until [ ';'; '}' ]) };
+    {
+      lhs = "Cites";
+      rhs = braced [ Star { nonterm = "Cite"; separator = Some ";" } ];
+    };
+    { lhs = "Cite"; rhs = Token (Until [ ';'; '}' ]) };
+    { lhs = "Abstract"; rhs = braced [ Nonterm "Abstract_value" ] };
+    { lhs = "Abstract_value"; rhs = Token (Until [ '}' ]) };
+  ]
+
+let grammar = create_exn ~root:"Ref_set" rules
+let view = View.make ~grammar ~classes:[ ("References", "Reference") ]
+
+let field_names =
+  [ "Key"; "Authors"; "Title"; "Year"; "Editors"; "Keywords"; "Cites"; "Abstract" ]
+
+let sample =
+  {|%% bibliography
+@INCOLLECTION{Cor182a, AUTHOR = {Gene Corliss and Yves Chang},
+  TITLE = {Solving Ordinary Differential Equations Using Taylor Series},
+  YEAR = {1982},
+  EDITOR = {Andreas Griewank},
+  KEYWORDS = {point algorithm; Taylor series; radius of convergence},
+  CITES = {Aber88a; Gupt85a},
+  ABSTRACT = {A Fortran pre-processor uses automatic differentiation to
+    write a Fortran program to solve the system.}}
+@INCOLLECTION{Mil94, AUTHOR = {Tova Milo},
+  TITLE = {Optimizing Queries on Files},
+  YEAR = {1994},
+  EDITOR = {Yves Chang},
+  KEYWORDS = {text indexing; query optimization},
+  CITES = {Cor182a},
+  ABSTRACT = {Region indices answer database queries on files.}}
+|}

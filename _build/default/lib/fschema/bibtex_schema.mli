@@ -1,0 +1,29 @@
+(** The BibTeX structuring schema of the paper's running example.
+
+    A (simplified, fixed field order) BibTeX entry:
+
+    {v
+    @INCOLLECTION{Cor182a,
+      AUTHOR = {Gene Corliss and Yves Chang},
+      TITLE = {Solving Ordinary Differential Equations},
+      YEAR = {1982},
+      EDITOR = {Andreas Griewank},
+      KEYWORDS = {point algorithm; Taylor series},
+      CITES = {Aber88a; Gupt85a},
+      ABSTRACT = {A Fortran pre-processor uses automatic
+                  differentiation.}}
+    v}
+
+    The database image of a file is a set of [Reference] objects with
+    attributes [Key], [Authors] (a set of [Name]s, each with
+    [First_Name]/[Last_Name]), [Title], [Year], [Editors], [Keywords],
+    [Cites] and [Abstract], exposed as the class ["References"]. *)
+
+val grammar : Grammar.t
+val view : View.t
+
+val field_names : string list
+(** The attribute non-terminals of a [Reference], in file order. *)
+
+val sample : string
+(** A two-entry file used by tests and the quickstart example. *)

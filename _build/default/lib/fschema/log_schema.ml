@@ -1,0 +1,39 @@
+open Grammar
+
+let rules =
+  [
+    {
+      lhs = "Log";
+      rhs = Seq [ Lit "== log =="; Star { nonterm = "Entry"; separator = None } ];
+    };
+    {
+      lhs = "Entry";
+      rhs =
+        Seq
+          [
+            Lit "[";
+            Nonterm "Timestamp";
+            Lit "]";
+            Lit "level=";
+            Nonterm "Level";
+            Lit "service=";
+            Nonterm "Service";
+            Lit "msg=";
+            Nonterm "Message";
+          ];
+    };
+    { lhs = "Timestamp"; rhs = Token (Until [ ']' ]) };
+    { lhs = "Level"; rhs = Token Word };
+    { lhs = "Service"; rhs = Token Word };
+    { lhs = "Message"; rhs = Seq [ Lit "\""; Tok (Until [ '"' ]); Lit "\"" ] };
+  ]
+
+let grammar = create_exn ~root:"Log" rules
+let view = View.make ~grammar ~classes:[ ("Entries", "Entry") ]
+
+let sample =
+  {|== log ==
+[2026-07-04 12:00:01] level=ERROR service=auth msg="failed login for bob"
+[2026-07-04 12:00:05] level=INFO service=web msg="GET /index"
+[2026-07-04 12:00:09] level=ERROR service=web msg="timeout talking to auth"
+|}

@@ -1,0 +1,16 @@
+(** Structuring schema for structured server logs — one of the
+    semi-structured file kinds the paper's introduction motivates
+    ("log files").
+
+    {v
+    == log ==
+    [2026-07-04 12:00:01] level=ERROR service=auth msg="failed login for bob"
+    [2026-07-04 12:00:05] level=INFO service=web msg="GET /index"
+    v}
+
+    Each entry surfaces as an object of class ["Entries"] with
+    attributes [Timestamp], [Level], [Service] and [Message]. *)
+
+val grammar : Grammar.t
+val view : View.t
+val sample : string

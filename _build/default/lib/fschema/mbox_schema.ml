@@ -1,0 +1,61 @@
+open Grammar
+
+let braced inner = Seq ([ Lit "{" ] @ inner @ [ Lit "}" ])
+
+let rules =
+  [
+    {
+      lhs = "Mbox";
+      rhs = Seq [ Lit "== mbox =="; Star { nonterm = "Message"; separator = None } ];
+    };
+    {
+      lhs = "Message";
+      rhs =
+        Seq
+          [
+            Lit "<msg>";
+            Lit "FROM:";
+            Nonterm "Sender";
+            Lit "TO:";
+            Nonterm "Recipients";
+            Lit "SUBJECT:";
+            Nonterm "Subject";
+            Lit "DATE:";
+            Nonterm "Date";
+            Lit "BODY:";
+            Nonterm "Body";
+            Lit "</msg>";
+          ];
+    };
+    { lhs = "Sender"; rhs = Token (Until [ '\n' ]) };
+    {
+      lhs = "Recipients";
+      rhs = braced [ Star { nonterm = "Recipient"; separator = Some ";" } ];
+    };
+    { lhs = "Recipient"; rhs = Token (Until [ ';'; '}' ]) };
+    { lhs = "Subject"; rhs = braced [ Nonterm "Subject_value" ] };
+    { lhs = "Subject_value"; rhs = Token (Until [ '}' ]) };
+    { lhs = "Date"; rhs = braced [ Nonterm "Date_value" ] };
+    { lhs = "Date_value"; rhs = Token (Until [ '}' ]) };
+    { lhs = "Body"; rhs = braced [ Nonterm "Body_value" ] };
+    { lhs = "Body_value"; rhs = Token (Until [ '}' ]) };
+  ]
+
+let grammar = create_exn ~root:"Mbox" rules
+let view = View.make ~grammar ~classes:[ ("Messages", "Message") ]
+
+let sample =
+  {|== mbox ==
+<msg> FROM: chang@uni.edu
+TO: {milo@csri.edu; tompa@uw.ca}
+SUBJECT: {re: indexing plan}
+DATE: {2026-06-12}
+BODY: {the region index answers it without scanning}
+</msg>
+<msg> FROM: milo@csri.edu
+TO: {chang@uni.edu}
+SUBJECT: {structuring schemas}
+DATE: {2026-06-13}
+BODY: {the grammar derives the inclusion graph}
+</msg>
+|}

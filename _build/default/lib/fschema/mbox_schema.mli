@@ -1,0 +1,21 @@
+(** Structuring schema for a mailbox file — e-mail is on the paper's
+    §1 list of semi-structured file kinds.
+
+    {v
+    == mbox ==
+    <msg> FROM: chang@uni.edu
+    TO: {milo@csri.edu; tompa@uw.ca}
+    SUBJECT: {re: indexing plan}
+    DATE: {2026-06-12}
+    BODY: {the region index answers it}
+    </msg>
+    v}
+
+    Messages surface as the class ["Messages"] with attributes
+    [Sender], [Recipients] (a set of [Recipient]), [Subject], [Date]
+    and [Body].  Subject, date and body wrap indexable value carriers
+    so equality selections compile exactly. *)
+
+val grammar : Grammar.t
+val view : View.t
+val sample : string

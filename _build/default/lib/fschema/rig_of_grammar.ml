@@ -1,0 +1,21 @@
+let full g =
+  let names = Grammar.nonterminals g in
+  let edges =
+    List.concat_map
+      (fun lhs ->
+        List.concat_map
+          (function
+            | Grammar.Token _ -> []
+            | Grammar.Seq items ->
+                List.filter_map
+                  (function
+                    | Grammar.Nonterm n -> Some (lhs, n)
+                    | Grammar.Star { nonterm; _ } -> Some (lhs, nonterm)
+                    | Grammar.Lit _ | Grammar.Tok _ -> None)
+                  items)
+          (Grammar.rules_of g lhs))
+      names
+  in
+  Ralg.Rig.create ~names ~edges:(List.sort_uniq compare edges)
+
+let for_index g ~keep = Ralg.Rig.partial (full g) ~keep

@@ -1,0 +1,15 @@
+(** Deriving the region inclusion graph from a grammar (§4.2, §6.1).
+
+    For full indexing: nodes are the non-terminals and [(A, B)] is an
+    edge iff [B] occurs (directly or under a star) on the right-hand
+    side of a rule for [A].  For a partial index the derived graph has
+    an edge where the full graph has a walk whose interior avoids the
+    indexed set. *)
+
+val full : Grammar.t -> Ralg.Rig.t
+(** The RIG over all non-terminals (including the root, which helps
+    answering path queries that start at the root even though the root
+    itself is not indexed). *)
+
+val for_index : Grammar.t -> keep:string list -> Ralg.Rig.t
+(** The RIG of the partial index [keep]. *)

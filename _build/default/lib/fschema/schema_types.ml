@@ -1,0 +1,62 @@
+type ty =
+  | Str_ty
+  | Named of string
+  | Set_ty of ty
+  | Tuple_ty of (string * ty) list
+  | Union_ty of ty list
+
+let ty_of_rhs = function
+  | Grammar.Token _ -> Str_ty
+  | Grammar.Seq items -> begin
+      let named =
+        List.filter_map
+          (function
+            | Grammar.Lit _ -> None
+            | Grammar.Nonterm n -> Some (n, Named n)
+            | Grammar.Star { nonterm; _ } -> Some (nonterm, Set_ty (Named nonterm))
+            | Grammar.Tok _ -> Some ("text", Str_ty))
+          items
+      in
+      match named with [ (_, ty) ] -> ty | fields -> Tuple_ty fields
+    end
+
+let of_grammar g =
+  List.map
+    (fun n ->
+      let ty =
+        match List.map ty_of_rhs (Grammar.rules_of g n) with
+        | [] -> Str_ty
+        | [ ty ] -> ty
+        | alts -> Union_ty alts
+      in
+      (n, ty))
+    (Grammar.nonterminals g)
+
+let rec pp_ty ppf = function
+  | Str_ty -> Format.pp_print_string ppf "string"
+  | Named n -> Format.pp_print_string ppf n
+  | Set_ty t -> Format.fprintf ppf "set(%a)" pp_ty t
+  | Tuple_ty fields ->
+      Format.fprintf ppf "tuple(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (fun ppf (k, t) -> Format.fprintf ppf "%s : %a" k pp_ty t))
+        fields
+  | Union_ty alts ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+        pp_ty ppf alts
+
+let pp_declarations view ppf () =
+  let g = view.View.grammar in
+  List.iter
+    (fun (name, ty) ->
+      let keyword =
+        match View.nonterm_class view name with
+        | Some _ -> "Class"
+        | None -> "Type"
+      in
+      Format.fprintf ppf "@[<hov 2>%s %s =@ %a@]@." keyword name pp_ty ty)
+    (of_grammar g)
+
+let to_string view = Format.asprintf "%a" (pp_declarations view) ()

@@ -1,0 +1,50 @@
+open Grammar
+
+let rules =
+  [
+    {
+      lhs = "Doc";
+      rhs =
+        Seq
+          [
+            Lit "<doc>";
+            Star { nonterm = "Section"; separator = None };
+            Lit "</doc>";
+          ];
+    };
+    {
+      lhs = "Section";
+      rhs =
+        Seq
+          [
+            Lit "<sec>";
+            Nonterm "Heading";
+            Star { nonterm = "Para"; separator = None };
+            Star { nonterm = "Section"; separator = None };
+            Lit "</sec>";
+          ];
+    };
+    (* Heading wraps an indexable value carrier (cf. Year_value in the
+       BibTeX schema) so heading projections can run index-only *)
+    {
+      lhs = "Heading";
+      rhs = Seq [ Lit "<h>"; Nonterm "Heading_text"; Lit "</h>" ];
+    };
+    { lhs = "Heading_text"; rhs = Token (Until [ '<' ]) };
+    { lhs = "Para"; rhs = Seq [ Lit "<p>"; Tok (Until [ '<' ]); Lit "</p>" ] };
+  ]
+
+let grammar = create_exn ~root:"Doc" rules
+let view = View.make ~grammar ~classes:[ ("Sections", "Section") ]
+
+let sample =
+  {|<doc>
+<sec> <h>introduction</h> <p>files hold data</p>
+  <sec> <h>background</h> <p>indexing with PAT arrays</p> </sec>
+  <sec> <h>motivation</h> <p>queries on files</p>
+    <sec> <h>deep example</h> <p>nested sections stress closure</p> </sec>
+  </sec>
+</sec>
+<sec> <h>conclusion</h> <p>regions win</p> </sec>
+</doc>
+|}

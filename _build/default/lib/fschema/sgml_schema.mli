@@ -1,0 +1,20 @@
+(** Structuring schema for SGML-like nested documents.
+
+    Sections nest inside sections without bound, so the derived RIG is
+    cyclic ([Section → Section]) — the self-nested case the paper uses
+    for path regular expressions and transitive closure (§5.3).
+
+    {v
+    <doc>
+    <sec> <h>intro</h> <p>text…</p>
+      <sec> <h>background</h> <p>more…</p> </sec>
+    </sec>
+    </doc>
+    v}
+
+    Sections surface as the class ["Sections"] with attributes
+    [Heading], [Para] (set) and [Section] (set of subsections). *)
+
+val grammar : Grammar.t
+val view : View.t
+val sample : string

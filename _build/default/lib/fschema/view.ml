@@ -1,0 +1,54 @@
+type t = { grammar : Grammar.t; classes : (string * string) list }
+
+let make ~grammar ~classes =
+  List.iter
+    (fun (cls, nonterm) ->
+      if not (List.mem nonterm (Grammar.nonterminals grammar)) then
+        invalid_arg
+          (Printf.sprintf "View.make: class %s maps to unknown non-terminal %s"
+             cls nonterm))
+    classes;
+  { grammar; classes }
+
+let class_nonterm t cls = List.assoc_opt cls t.classes
+
+let nonterm_class t nonterm =
+  List.find_map
+    (fun (cls, n) -> if n = nonterm then Some cls else None)
+    t.classes
+
+let load_file t text =
+  match Parser_engine.parse t.grammar text with
+  | Error e -> Error (Parser_engine.describe_error text e)
+  | Ok tree ->
+      let db = Odb.Database.create () in
+      Builder.load text tree ~class_of:(nonterm_class t) db;
+      Ok db
+
+let index_file t text ~keep =
+  match Parser_engine.parse t.grammar text with
+  | Error e -> Error (Parser_engine.describe_error text e)
+  | Ok tree -> Ok (Builder.instance_of_tree text tree ~keep)
+
+type index_spec =
+  | Plain of string
+  | Scoped of { name : string; within : string; alias : string }
+
+let index_file_specs t text ~specs =
+  match Parser_engine.parse t.grammar text with
+  | Error e -> Error (Parser_engine.describe_error text e)
+  | Ok tree ->
+      let plain =
+        List.filter_map (function Plain n -> Some n | Scoped _ -> None) specs
+      in
+      let base = Builder.instance_of_tree text tree ~keep:plain in
+      Ok
+        (List.fold_left
+           (fun inst spec ->
+             match spec with
+             | Plain _ -> inst
+             | Scoped { name; within; alias } ->
+                 Pat.Instance.add inst alias
+                   (Pat.Region_set.of_list
+                      (Builder.scoped_regions tree ~name ~within)))
+           base specs)

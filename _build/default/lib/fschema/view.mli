@@ -1,0 +1,43 @@
+(** A database view over files: grammar plus class mapping.
+
+    The structuring schema declares which non-terminals surface as
+    class extents ("every BibTeX file is represented as a set of
+    reference objects"). *)
+
+type t = {
+  grammar : Grammar.t;
+  classes : (string * string) list;
+      (** (class name, element non-terminal), e.g.
+          [("References", "Reference")] *)
+}
+
+val make : grammar:Grammar.t -> classes:(string * string) list -> t
+(** Validates that every class element is a grammar non-terminal. *)
+
+val class_nonterm : t -> string -> string option
+(** The non-terminal whose occurrences populate a class. *)
+
+val nonterm_class : t -> string -> string option
+(** Inverse mapping. *)
+
+val load_file : t -> Pat.Text.t -> (Odb.Database.t, string) result
+(** Parse the whole text and load every class extent — the standard
+    full-parse pipeline the paper's optimizations avoid. *)
+
+val index_file :
+  t -> Pat.Text.t -> keep:string list -> (Pat.Instance.t, string) result
+(** Parse the whole text once (index construction is allowed to scan)
+    and build the region indices for the names in [keep]. *)
+
+type index_spec =
+  | Plain of string  (** every region of the non-terminal *)
+  | Scoped of { name : string; within : string; alias : string }
+      (** §7's selective indexing: only regions of [name] below an
+          occurrence of [within], registered under [alias] *)
+
+val index_file_specs :
+  t -> Pat.Text.t -> specs:index_spec list -> (Pat.Instance.t, string) result
+(** Like {!index_file} but supporting scoped entries.  Scoped indices
+    are for hand-written region expressions (the query compiler plans
+    only with plain names); they trade completeness for index size
+    exactly as §7 describes. *)

@@ -1,0 +1,1 @@
+lib/odb/database.ml: Hashtbl List Stdx String Value

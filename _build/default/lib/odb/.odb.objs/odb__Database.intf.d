@@ -1,0 +1,1 @@
+lib/odb/database.mli: Value

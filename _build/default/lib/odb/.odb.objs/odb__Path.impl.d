@@ -1,0 +1,1 @@
+lib/odb/path.ml: Format List String Value

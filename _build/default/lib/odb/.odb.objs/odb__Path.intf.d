@@ -1,0 +1,1 @@
+lib/odb/path.mli: Format Value

@@ -1,0 +1,1 @@
+lib/odb/query.ml: Format List Path String

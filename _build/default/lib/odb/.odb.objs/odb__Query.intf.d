@@ -1,0 +1,1 @@
+lib/odb/query.mli: Format Path

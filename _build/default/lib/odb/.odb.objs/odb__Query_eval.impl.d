@@ -1,0 +1,1 @@
+lib/odb/query_eval.ml: Database List Path Query String Value

@@ -1,0 +1,1 @@
+lib/odb/query_eval.mli: Database Query Value

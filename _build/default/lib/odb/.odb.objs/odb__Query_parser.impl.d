@@ -1,0 +1,1 @@
+lib/odb/query_parser.ml: Buffer Format List Path Printf Query String

@@ -1,0 +1,1 @@
+lib/odb/query_parser.mli: Format Query

@@ -1,0 +1,1 @@
+lib/odb/value.ml: Format List String

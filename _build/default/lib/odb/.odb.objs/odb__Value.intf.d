@@ -1,0 +1,1 @@
+lib/odb/value.mli: Format

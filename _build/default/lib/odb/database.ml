@@ -1,0 +1,26 @@
+type t = (string, Value.t list ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let insert t ~class_name v =
+  Stdx.Stats.global.objects_built <- Stdx.Stats.global.objects_built + 1;
+  match Hashtbl.find_opt t class_name with
+  | Some cell -> cell := v :: !cell
+  | None -> Hashtbl.replace t class_name (ref [ v ])
+
+let insert_all t ~class_name vs = List.iter (fun v -> insert t ~class_name v) vs
+
+let extent t class_name =
+  match Hashtbl.find_opt t class_name with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let classes t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let cardinal t class_name = List.length (extent t class_name)
+
+let total_objects t =
+  Hashtbl.fold (fun _ cell acc -> acc + List.length !cell) t 0
+
+let clear t = Hashtbl.reset t

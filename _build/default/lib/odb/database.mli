@@ -1,0 +1,21 @@
+(** Class extents: the in-memory object store.
+
+    Plays the role of the O2 system in the paper's prototype — the
+    target into which parsed file regions are loaded, and the engine
+    that evaluates the residual (join/filter) part of queries. *)
+
+type t
+
+val create : unit -> t
+val insert : t -> class_name:string -> Value.t -> unit
+(** Appends to the extent and counts one object built in
+    {!Stdx.Stats.global}. *)
+
+val insert_all : t -> class_name:string -> Value.t list -> unit
+val extent : t -> string -> Value.t list
+(** Empty for unknown classes. *)
+
+val classes : t -> string list
+val cardinal : t -> string -> int
+val total_objects : t -> int
+val clear : t -> unit

@@ -1,0 +1,83 @@
+type rooted_path = { var : string; path : Path.t }
+
+type pred =
+  | True
+  | Eq_const of rooted_path * string
+  | Eq_paths of rooted_path * rooted_path
+  | Contains of rooted_path * string
+  | Starts_with of rooted_path * string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t = {
+  select : rooted_path list;
+  from_ : (string * string) list;
+  where : pred;
+}
+
+let var v = { var = v; path = [] }
+let rooted v parts = { var = v; path = Path.of_strings parts }
+
+let rec pred_vars = function
+  | True -> []
+  | Eq_const (rp, _) | Contains (rp, _) | Starts_with (rp, _) -> [ rp.var ]
+  | Eq_paths (a, b) -> [ a.var; b.var ]
+  | And (a, b) | Or (a, b) -> pred_vars a @ pred_vars b
+  | Not p -> pred_vars p
+
+let free_variables q =
+  List.sort_uniq String.compare
+    (List.map (fun rp -> rp.var) q.select @ pred_vars q.where)
+
+let validate q =
+  if q.select = [] then Error "SELECT list is empty"
+  else if q.from_ = [] then Error "FROM list is empty"
+  else begin
+    let bound = List.map snd q.from_ in
+    let dup =
+      List.exists
+        (fun v -> List.length (List.filter (String.equal v) bound) > 1)
+        bound
+    in
+    if dup then Error "duplicate variable in FROM"
+    else begin
+      match
+        List.find_opt (fun v -> not (List.mem v bound)) (free_variables q)
+      with
+      | Some v -> Error ("unbound variable: " ^ v)
+      | None -> Ok ()
+    end
+  end
+
+let pp_rooted ppf rp =
+  if rp.path = [] then Format.pp_print_string ppf rp.var
+  else Format.fprintf ppf "%s.%s" rp.var (Path.to_string rp.path)
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "TRUE"
+  | Eq_const (rp, w) -> Format.fprintf ppf "%a = %S" pp_rooted rp w
+  | Eq_paths (a, b) -> Format.fprintf ppf "%a = %a" pp_rooted a pp_rooted b
+  | Contains (rp, w) -> Format.fprintf ppf "%a CONTAINS %S" pp_rooted rp w
+  | Starts_with (rp, w) ->
+      Format.fprintf ppf "%a STARTS WITH %S" pp_rooted rp w
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_pred a pp_pred b
+  | Not p -> Format.fprintf ppf "(NOT %a)" pp_pred p
+
+let pp ppf q =
+  Format.fprintf ppf "SELECT %a FROM %a%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_rooted)
+    q.select
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (cls, v) -> Format.fprintf ppf "%s %s" cls v))
+    q.from_
+    (fun ppf -> function
+      | True -> ()
+      | w -> Format.fprintf ppf " WHERE %a" pp_pred w)
+    q.where
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,243 @@
+type error = { position : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "query parse error at %d: %s" e.position e.message
+
+exception Err of error
+
+let fail position message = raise (Err { position; message })
+
+type token =
+  | Kselect
+  | Kfrom
+  | Kwhere
+  | Kand
+  | Kor
+  | Knot
+  | Kcontains
+  | Kstarts
+  | Kwith
+  | Tword of string  (* identifier or *X component *)
+  | Tstring of string
+  | Tdot
+  | Tcomma
+  | Teq
+  | Tlparen
+  | Trparen
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let keyword_of s =
+  match String.uppercase_ascii s with
+  | "SELECT" -> Some Kselect
+  | "FROM" -> Some Kfrom
+  | "WHERE" -> Some Kwhere
+  | "AND" -> Some Kand
+  | "OR" -> Some Kor
+  | "NOT" -> Some Knot
+  | "CONTAINS" -> Some Kcontains
+  | "STARTS" -> Some Kstarts
+  | "WITH" -> Some Kwith
+  | _ -> None
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let push t p = out := (t, p) :: !out in
+  while !i < n do
+    let c = s.[!i] and pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '.' then (push Tdot pos; incr i)
+    else if c = ',' then (push Tcomma pos; incr i)
+    else if c = '=' then (push Teq pos; incr i)
+    else if c = '(' then (push Tlparen pos; incr i)
+    else if c = ')' then (push Trparen pos; incr i)
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if s.[!i] = '"' then closed := true
+        else if s.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf s.[!i + 1];
+          incr i
+        end
+        else Buffer.add_char buf s.[!i];
+        incr i
+      done;
+      if not !closed then fail pos "unterminated string";
+      push (Tstring (Buffer.contents buf)) pos
+    end
+    else if c = '*' then begin
+      (* a *X path component *)
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      if !j = !i + 1 then fail pos "expected a variable name after '*'";
+      push (Tword (String.sub s !i (!j - !i))) pos;
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      (* a trailing '+' belongs to the path component: "Section+" *)
+      if !j < n && s.[!j] = '+' then incr j;
+      let w = String.sub s !i (!j - !i) in
+      (match keyword_of w with
+      | Some k -> push k pos
+      | None -> push (Tword w) pos);
+      i := !j
+    end
+    else fail pos (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !out
+
+type state = { mutable toks : (token * int) list; len : int }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect st tok what =
+  match peek st with
+  | Some (t, _) when t = tok -> advance st
+  | Some (_, pos) -> fail pos ("expected " ^ what)
+  | None -> fail st.len ("expected " ^ what ^ " but query ended")
+
+let expect_word st what =
+  match peek st with
+  | Some (Tword w, _) ->
+      advance st;
+      w
+  | Some (_, pos) -> fail pos ("expected " ^ what)
+  | None -> fail st.len ("expected " ^ what ^ " but query ended")
+
+(* item := VAR ("." component)* *)
+let parse_item st =
+  let v = expect_word st "a variable" in
+  let rec components acc =
+    match peek st with
+    | Some (Tdot, _) ->
+        advance st;
+        components (expect_word st "a path component" :: acc)
+    | _ -> List.rev acc
+  in
+  let parts = components [] in
+  { Query.var = v; path = Path.of_strings parts }
+
+let rec parse_pred st =
+  let left = parse_conj st in
+  match peek st with
+  | Some (Kor, _) ->
+      advance st;
+      Query.Or (left, parse_pred st)
+  | _ -> left
+
+and parse_conj st =
+  let left = parse_unit st in
+  match peek st with
+  | Some (Kand, _) ->
+      advance st;
+      Query.And (left, parse_conj st)
+  | _ -> left
+
+and parse_unit st =
+  match peek st with
+  | Some (Knot, _) ->
+      advance st;
+      Query.Not (parse_unit st)
+  | Some (Tlparen, _) ->
+      advance st;
+      let p = parse_pred st in
+      expect st Trparen "')'";
+      p
+  | _ -> begin
+      let lhs = parse_item st in
+      match peek st with
+      | Some (Teq, _) -> begin
+          advance st;
+          match peek st with
+          | Some (Tstring w, _) ->
+              advance st;
+              Query.Eq_const (lhs, w)
+          | _ -> Query.Eq_paths (lhs, parse_item st)
+        end
+      | Some (Kcontains, _) -> begin
+          advance st;
+          match peek st with
+          | Some (Tstring w, _) ->
+              advance st;
+              Query.Contains (lhs, w)
+          | Some (_, pos) -> fail pos "expected a string after CONTAINS"
+          | None -> fail st.len "expected a string after CONTAINS"
+        end
+      | Some (Kstarts, _) -> begin
+          advance st;
+          expect st Kwith "WITH";
+          match peek st with
+          | Some (Tstring w, _) ->
+              advance st;
+              Query.Starts_with (lhs, w)
+          | Some (_, pos) -> fail pos "expected a string after STARTS WITH"
+          | None -> fail st.len "expected a string after STARTS WITH"
+        end
+      | Some (_, pos) -> fail pos "expected '=', CONTAINS or STARTS WITH"
+      | None -> fail st.len "predicate ended unexpectedly"
+    end
+
+let parse_query st =
+  expect st Kselect "SELECT";
+  let rec items acc =
+    let it = parse_item st in
+    match peek st with
+    | Some (Tcomma, _) ->
+        advance st;
+        items (it :: acc)
+    | _ -> List.rev (it :: acc)
+  in
+  let select = items [] in
+  expect st Kfrom "FROM";
+  let rec bindings acc =
+    let cls = expect_word st "a class name" in
+    let v = expect_word st "a variable name" in
+    match peek st with
+    | Some (Tcomma, _) ->
+        advance st;
+        bindings ((cls, v) :: acc)
+    | _ -> List.rev ((cls, v) :: acc)
+  in
+  let from_ = bindings [] in
+  let where =
+    match peek st with
+    | Some (Kwhere, _) ->
+        advance st;
+        parse_pred st
+    | _ -> Query.True
+  in
+  (match peek st with
+  | Some (_, pos) -> fail pos "trailing input"
+  | None -> ());
+  { Query.select; from_; where }
+
+let parse s =
+  match
+    let st = { toks = tokenize s; len = String.length s } in
+    let q = parse_query st in
+    match Query.validate q with
+    | Ok () -> q
+    | Error msg -> fail 0 msg
+  with
+  | q -> Ok q
+  | exception Err e -> Error e
+
+let parse_exn s =
+  match parse s with
+  | Ok q -> q
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)

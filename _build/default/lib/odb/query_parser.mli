@@ -1,0 +1,22 @@
+(** Textual syntax for queries.
+
+    {v
+    query ::= SELECT item ("," item)* FROM binding ("," binding)*
+              [WHERE pred]
+    item  ::= VAR ("." component)*
+    binding ::= CLASS VAR
+    pred  ::= conj (OR conj)*
+    conj  ::= unit (AND unit)*
+    unit  ::= NOT unit | "(" pred ")" | item "=" (STRING | item)
+            | item CONTAINS STRING
+    v}
+
+    Keywords are case-insensitive; path components use [*X] for the
+    any-sequence variable and [X1], [X2], … for single-step
+    variables. *)
+
+type error = { position : int; message : string }
+
+val parse : string -> (Query.t, error) result
+val parse_exn : string -> Query.t
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/oqf/advisor.ml: Buffer Compile Format Fschema List Plan Ralg Set String

@@ -1,0 +1,1 @@
+lib/oqf/advisor.mli: Fschema Odb

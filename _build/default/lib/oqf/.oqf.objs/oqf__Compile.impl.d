@@ -1,0 +1,1 @@
+lib/oqf/compile.ml: Exactness Fschema Hashtbl List Odb Option Plan Ralg String

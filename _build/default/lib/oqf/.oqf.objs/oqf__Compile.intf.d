@@ -1,0 +1,1 @@
+lib/oqf/compile.mli: Fschema Odb Plan Ralg

@@ -1,0 +1,1 @@
+lib/oqf/corpus.ml: Execute Fschema List Odb Printf Stdx

@@ -1,0 +1,1 @@
+lib/oqf/corpus.mli: Execute Fschema Odb Pat Stdx

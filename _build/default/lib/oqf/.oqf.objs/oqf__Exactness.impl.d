@@ -1,0 +1,1 @@
+lib/oqf/exactness.ml: Ralg

@@ -1,0 +1,1 @@
+lib/oqf/exactness.mli: Ralg

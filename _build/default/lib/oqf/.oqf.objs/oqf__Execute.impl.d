@@ -1,0 +1,1 @@
+lib/oqf/execute.ml: Compile Format Fschema List Odb Pat Plan Ralg Set Stdx String

@@ -1,0 +1,1 @@
+lib/oqf/execute.mli: Compile Fschema Odb Pat Plan Ralg Stdx

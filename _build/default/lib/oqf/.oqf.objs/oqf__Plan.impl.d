@@ -1,0 +1,1 @@
+lib/oqf/plan.ml: Format List Odb Ralg String

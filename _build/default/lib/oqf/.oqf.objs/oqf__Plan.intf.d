@@ -1,0 +1,1 @@
+lib/oqf/plan.mli: Format Odb Ralg

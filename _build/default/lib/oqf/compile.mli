@@ -1,0 +1,53 @@
+(** Translating database queries into region expressions (§5, §6.1).
+
+    For each FROM variable the WHERE clause is compiled into a region
+    expression over the indexed names: a path
+    [r.A1.A2…An = "w"] becomes the inclusion chain
+    [R ⊃d A1 ⊃d … ⊃d σw(An)] restricted to the indexed names, [*X]
+    variables become simple inclusion [⊃], fixed-length variables
+    become depth-constrained inclusion, and boolean connectives map to
+    [∪ ∩ −].  Each construct tracks whether it is {e exact} (§6.3) or a
+    candidate superset (§6.2).
+
+    Selections are placed according to how a non-terminal's text
+    relates to its value: an equality against an {e atomic} carrier
+    (a token rule, following pass-through wrappers) compiles to the
+    exact-extent selection [σ]; anything else falls back to a
+    containment selection, marked inexact. *)
+
+type env = {
+  view : Fschema.View.t;
+  full_rig : Ralg.Rig.t;
+  index_names : string list;
+}
+
+val env : Fschema.View.t -> index:string list -> env
+(** [index] lists the region names available at query time. *)
+
+val value_carrier : env -> string -> string
+(** Follow single-child pass-through rules ([Year → "{" Year_value "}"])
+    to the non-terminal whose value the name denotes. *)
+
+val is_atomic : env -> string -> bool
+(** Every rule of the name is a token rule: its region text {e is} its
+    value. *)
+
+val word_containment_exact : env -> string -> string -> bool
+(** [word_containment_exact env name w]: every literal reachable in the
+    name's sub-grammar is safe for the query word [w] (does not contain
+    it as a word and has non-word edge characters), so containment of
+    [w] over the region coincides with containment over the value's
+    nested strings. *)
+
+val compile : env -> Odb.Query.t -> (Plan.t, string) result
+(** Build the plan.  Fails on validation errors (unknown class, unbound
+    variable). *)
+
+val indexed_path_attrs : env -> root:string -> Odb.Path.t -> string list option
+(** For a concrete path (no [*X]/[Xi] variables), the indexed region
+    names it traverses, extended to the value carrier of its final
+    attribute when that carrier is indexed and atomic.  [None] when the
+    path has variables, is provably impossible, ends below the indexed
+    names, or its final carrier's text is not its value.  Used by the
+    §5.2 join assist, which needs to read path values straight from
+    region texts. *)

@@ -1,0 +1,44 @@
+type t = { sources : (string * Execute.source) list }
+
+let make view files ~index =
+  let rec go acc = function
+    | [] -> Ok { sources = List.rev acc }
+    | (name, text) :: rest -> begin
+        match Execute.make_source view text ~index with
+        | Ok src -> go ((name, src) :: acc) rest
+        | Error e -> Error (Printf.sprintf "%s: %s" name e)
+      end
+  in
+  go [] files
+
+let make_full view files =
+  make view files
+    ~index:(Fschema.Grammar.indexable view.Fschema.View.grammar)
+
+let files t = List.map fst t.sources
+let source t name = List.assoc_opt name t.sources
+
+type outcome = {
+  rows : (string * Odb.Query_eval.row) list;
+  per_file : (string * Execute.outcome) list;
+  stats : Stdx.Stats.t;
+}
+
+let run ?optimize t q =
+  let rec go rows per_file stats = function
+    | [] ->
+        Ok { rows = List.rev rows; per_file = List.rev per_file; stats }
+    | (name, src) :: rest -> begin
+        match Execute.run ?optimize src q with
+        | Error e -> Error (Printf.sprintf "%s: %s" name e)
+        | Ok r ->
+            Stdx.Stats.add stats r.Execute.stats;
+            go
+              (List.rev_append
+                 (List.map (fun row -> (name, row)) r.Execute.rows)
+                 rows)
+              ((name, r) :: per_file)
+              stats rest
+      end
+  in
+  go [] [] (Stdx.Stats.create ()) t.sources

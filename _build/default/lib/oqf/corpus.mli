@@ -1,0 +1,38 @@
+(** Querying a collection of files.
+
+    The paper's motivation is the {e file system}: "a multitude of
+    bibliographic files … each one of the members of a research group
+    keeps several such files" (§2).  A corpus holds one indexed source
+    per file and evaluates a query against every file, merging the
+    answers — the index work stays proportional to the matches, never
+    to the number or size of files.
+
+    Join queries bind their variables within one file at a time (each
+    file is one database view); cross-file joins would require a shared
+    load and are out of the paper's scope. *)
+
+type t
+
+val make :
+  Fschema.View.t ->
+  (string * Pat.Text.t) list ->
+  index:string list ->
+  (t, string) result
+(** Index each named file.  Fails on the first file that does not parse
+    under the view's grammar, naming it. *)
+
+val make_full :
+  Fschema.View.t -> (string * Pat.Text.t) list -> (t, string) result
+(** Full indexing for every file. *)
+
+val files : t -> string list
+val source : t -> string -> Execute.source option
+
+type outcome = {
+  rows : (string * Odb.Query_eval.row) list;
+      (** each answer row tagged with the file it came from *)
+  per_file : (string * Execute.outcome) list;
+  stats : Stdx.Stats.t;  (** summed query-time work *)
+}
+
+val run : ?optimize:bool -> t -> Odb.Query.t -> (outcome, string) result

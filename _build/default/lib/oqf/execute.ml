@@ -1,0 +1,359 @@
+type source = {
+  view : Fschema.View.t;
+  text : Pat.Text.t;
+  instance : Pat.Instance.t;
+  env : Compile.env;
+  query_rig : Ralg.Rig.t;
+}
+
+let make_source view text ~index =
+  match Fschema.View.index_file view text ~keep:index with
+  | Error e -> Error e
+  | Ok instance ->
+      let env = Compile.env view ~index in
+      Ok
+        {
+          view;
+          text;
+          instance;
+          env;
+          query_rig = Ralg.Rig.partial env.Compile.full_rig ~keep:index;
+        }
+
+let make_source_full view text =
+  make_source view text
+    ~index:(Fschema.Grammar.indexable view.Fschema.View.grammar)
+
+let source_of_instance view instance =
+  let index = Pat.Instance.names instance in
+  let env = Compile.env view ~index in
+  {
+    view;
+    text = Pat.Instance.text instance;
+    instance;
+    env;
+    query_rig = Ralg.Rig.partial env.Compile.full_rig ~keep:index;
+  }
+
+type outcome = {
+  rows : Odb.Query_eval.row list;
+  plan : Plan.t;
+  evaluated : (string * Ralg.Expr.t) list;
+  candidates_count : int;
+  answers_count : int;
+  join_assisted : bool;
+  stats : Stdx.Stats.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* §5.2 join assist.
+
+   For a top-level conjunct [v1.p1 = v2.p2], use the region index to
+   project the regions of both paths out of the current candidate
+   sets, read their texts, intersect the two string sets, and climb
+   back from the matching regions to shrink both candidate sets.  The
+   result is still a superset of the true answers (the intersection of
+   supersets contains the intersection of the true value sets), so the
+   phase-2 re-filter stays correct. *)
+
+module Join_assist = struct
+  module Sset = Set.Make (String)
+
+  let conjuncts pred =
+    let rec go acc = function
+      | Odb.Query.And (a, b) -> go (go acc a) b
+      | p -> p :: acc
+    in
+    go [] pred
+
+  (* Final-attribute regions of [path] within [cands], by descending
+     the indexed attribute chain with strict ⊂d (strictness matters for
+     self-nested names; elsewhere it coincides with ⊂d). *)
+  let project src ~attrs ~cands =
+    let context = Pat.Instance.universe src.instance in
+    List.fold_left
+      (fun acc attr ->
+        Pat.Region_set.directly_included_strict ~context
+          (Pat.Instance.find src.instance attr)
+          acc)
+      cands attrs
+
+  (* Climb from matching final regions back to candidate roots with
+     strict ⊃d. *)
+  let climb src ~attrs ~cands ~finals =
+    let context = Pat.Instance.universe src.instance in
+    match List.rev attrs with
+    | [] -> cands
+    | _final :: above ->
+        (* [finals] are already regions of the last attribute *)
+        let inner =
+          List.fold_left
+            (fun acc attr ->
+              Pat.Region_set.directly_including_strict ~context
+                (Pat.Instance.find src.instance attr)
+                acc)
+            finals above
+        in
+        Pat.Region_set.directly_including_strict ~context cands inner
+
+  let side_info src bindings (rp : Odb.Query.rooted_path) =
+    match List.assoc_opt rp.Odb.Query.var bindings with
+    | Some (vp, `Regions cands) -> begin
+        match
+          Compile.indexed_path_attrs src.env ~root:vp.Plan.root
+            rp.Odb.Query.path
+        with
+        | Some attrs -> Some (rp.Odb.Query.var, attrs, cands)
+        | None -> None
+      end
+    | _ -> None
+
+  (* Returns refined (var, region set) pairs for the conjunct, if the
+     assist applies. *)
+  let refine src bindings a b =
+    match (side_info src bindings a, side_info src bindings b) with
+    | Some (va, attrs_a, cands_a), Some (vb, attrs_b, cands_b) ->
+        let finals_a = project src ~attrs:attrs_a ~cands:cands_a in
+        let finals_b = project src ~attrs:attrs_b ~cands:cands_b in
+        let texts regions =
+          List.map
+            (fun r -> (Pat.Region.text src.text r, r))
+            (Pat.Region_set.to_list regions)
+        in
+        let ta = texts finals_a and tb = texts finals_b in
+        let words l = Sset.of_list (List.map fst l) in
+        let matched = Sset.inter (words ta) (words tb) in
+        let keep l =
+          Pat.Region_set.of_list
+            (List.filter_map
+               (fun (w, r) -> if Sset.mem w matched then Some r else None)
+               l)
+        in
+        let refined_a =
+          climb src ~attrs:attrs_a ~cands:cands_a ~finals:(keep ta)
+        in
+        let refined_b =
+          climb src ~attrs:attrs_b ~cands:cands_b ~finals:(keep tb)
+        in
+        Some [ (va, refined_a); (vb, refined_b) ]
+    | _ -> None
+
+  (* Apply every applicable Eq_paths conjunct. *)
+  let apply src (q : Odb.Query.t) bindings =
+    let assisted = ref false in
+    let bindings = ref bindings in
+    List.iter
+      (function
+        | Odb.Query.Eq_paths (a, b) when a.Odb.Query.var <> b.Odb.Query.var
+          -> begin
+            match refine src !bindings a b with
+            | Some updates ->
+                assisted := true;
+                bindings :=
+                  List.map
+                    (fun (var, (vp, c)) ->
+                      match List.assoc_opt var updates with
+                      | Some rs when c <> `Full_scan -> (var, (vp, `Regions rs))
+                      | _ -> (var, (vp, c)))
+                    !bindings
+            | None -> ()
+          end
+        | _ -> ())
+      (conjuncts q.Odb.Query.where);
+    (!bindings, !assisted)
+end
+
+(* §6.2's query pushing, object-construction side: the conjuncts of the
+   WHERE clause that mention only one variable can be tested on each
+   candidate object as soon as it is parsed, so objects that fail them
+   are never loaded into the scratch database. *)
+let single_var_filter (q : Odb.Query.t) var =
+  let conjuncts = Join_assist.conjuncts q.Odb.Query.where in
+  let mine =
+    List.filter
+      (fun p ->
+        match Odb.Query.pred_vars p with
+        | [] -> false
+        | vars -> List.for_all (String.equal var) vars)
+      conjuncts
+  in
+  match mine with
+  | [] -> fun _ -> true
+  | preds ->
+      fun v ->
+        List.for_all (fun p -> Odb.Query_eval.matches [ (var, v) ] p) preds
+
+(* Parse one candidate region as an occurrence of [symbol]. *)
+let materialize_region src ~symbol (r : Pat.Region.t) =
+  match
+    Fschema.Parser_engine.parse_at src.view.Fschema.View.grammar src.text
+      ~symbol ~start:r.start ~stop:r.stop
+  with
+  | Ok tree -> Ok (Fschema.Builder.value_of_tree src.text tree)
+  | Error e ->
+      Error
+        (Format.asprintf "candidate region %a of %s does not parse: %a"
+           Pat.Region.pp r symbol Fschema.Parser_engine.pp_error e)
+
+let run ?(optimize = true) ?(join_assist = true) src (q : Odb.Query.t) =
+  let before = Stdx.Stats.snapshot Stdx.Stats.global in
+  match Compile.compile src.env q with
+  | Error e -> Error e
+  | Ok plan -> begin
+      let maybe_optimize e =
+        if optimize then Ralg.Optimizer.optimize src.query_rig e else e
+      in
+      let exception Fail of string in
+      try
+        (* phase 1: candidate regions per variable *)
+        let evaluated = ref [] in
+        let candidates =
+          List.map
+            (fun (vp : Plan.var_plan) ->
+              match vp.Plan.candidates with
+              | Plan.Empty -> (vp, `Regions Pat.Region_set.empty)
+              | Plan.All -> (vp, `Full_scan)
+              | Plan.Expr e ->
+                  let e =
+                    if Ralg.Trivial.check src.query_rig e then begin
+                      evaluated := (vp.Plan.var, e) :: !evaluated;
+                      None
+                    end
+                    else begin
+                      let e = maybe_optimize e in
+                      evaluated := (vp.Plan.var, e) :: !evaluated;
+                      Some e
+                    end
+                  in
+                  let regions =
+                    match e with
+                    | None -> Pat.Region_set.empty
+                    | Some e -> Ralg.Eval.eval_shared src.instance e
+                  in
+                  (vp, `Regions regions))
+            plan.Plan.var_plans
+        in
+        (* §5.2 index-assisted join refinement *)
+        let candidates, join_assisted =
+          if not join_assist then (candidates, false)
+          else begin
+            let bindings =
+              List.map
+                (fun ((vp : Plan.var_plan), c) -> (vp.Plan.var, (vp, c)))
+                candidates
+            in
+            let bindings, assisted = Join_assist.apply src q bindings in
+            (List.map snd bindings, assisted)
+          end
+        in
+        let candidates_count =
+          List.fold_left
+            (fun acc (_, c) ->
+              match c with
+              | `Regions rs -> acc + Pat.Region_set.cardinal rs
+              | `Full_scan -> acc)
+            0 candidates
+        in
+        (* index-only projection fast path *)
+        let all_projections =
+          plan.Plan.select_plans <> []
+          && List.for_all
+               (function Plan.Project_regions _ -> true | _ -> false)
+               plan.Plan.select_plans
+          && List.length plan.Plan.select_plans = 1
+        in
+        let rows =
+          if plan.Plan.exact && all_projections then begin
+            match plan.Plan.select_plans with
+            | [ Plan.Project_regions e ] ->
+                let e = maybe_optimize e in
+                evaluated := ("<select>", e) :: !evaluated;
+                let regions = Ralg.Eval.eval_shared src.instance e in
+                List.sort_uniq (List.compare Odb.Value.compare)
+                  (List.map
+                     (fun r -> [ Odb.Value.Str (Pat.Region.text src.text r) ])
+                     (Pat.Region_set.to_list regions))
+            | _ -> assert false
+          end
+          else begin
+            (* phase 2: materialise candidates into a scratch database,
+               pushing single-variable conjuncts into the load (§6.2).
+               Each variable gets its own scratch extent: two variables
+               over the same class have different candidate sets, and
+               sharing one extent would cross-contaminate them. *)
+            let scratch_class (vp : Plan.var_plan) =
+              vp.Plan.class_name ^ "/" ^ vp.Plan.var
+            in
+            let db = Odb.Database.create () in
+            List.iter
+              (fun ((vp : Plan.var_plan), c) ->
+                let keep =
+                  if plan.Plan.exact then fun _ -> true
+                  else single_var_filter q vp.Plan.var
+                in
+                match c with
+                | `Regions rs ->
+                    Pat.Region_set.iter
+                      (fun r ->
+                        match
+                          materialize_region src ~symbol:vp.Plan.root r
+                        with
+                        | Ok v ->
+                            if keep v then
+                              Odb.Database.insert db
+                                ~class_name:(scratch_class vp) v
+                        | Error e -> raise (Fail e))
+                      rs
+                | `Full_scan -> begin
+                    (* no index support: parse the whole file *)
+                    match Fschema.View.load_file src.view src.text with
+                    | Ok full ->
+                        Odb.Database.insert_all db
+                          ~class_name:(scratch_class vp)
+                          (Odb.Database.extent full vp.Plan.class_name)
+                    | Error e -> raise (Fail e)
+                  end)
+              candidates;
+            let residual_query =
+              {
+                q with
+                Odb.Query.from_ =
+                  List.map
+                    (fun (_, v) ->
+                      let vp =
+                        List.find
+                          (fun ((vp : Plan.var_plan), _) -> vp.Plan.var = v)
+                          candidates
+                        |> fst
+                      in
+                      (scratch_class vp, v))
+                    q.Odb.Query.from_;
+                where =
+                  (if plan.Plan.exact then Odb.Query.True else q.Odb.Query.where);
+              }
+            in
+            Odb.Query_eval.eval db residual_query
+          end
+        in
+        let after = Stdx.Stats.snapshot Stdx.Stats.global in
+        Ok
+          {
+            rows;
+            plan;
+            evaluated = List.rev !evaluated;
+            candidates_count;
+            answers_count = List.length rows;
+            join_assisted;
+            stats = Stdx.Stats.diff ~before ~after;
+          }
+      with Fail e -> Error e
+    end
+
+let run_baseline view text q =
+  let before = Stdx.Stats.snapshot Stdx.Stats.global in
+  match Fschema.View.load_file view text with
+  | Error e -> Error e
+  | Ok db ->
+      let rows = Odb.Query_eval.eval db q in
+      let after = Stdx.Stats.snapshot Stdx.Stats.global in
+      Ok (rows, Stdx.Stats.diff ~before ~after)

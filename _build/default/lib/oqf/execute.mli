@@ -1,0 +1,61 @@
+(** Two-phase query execution (§5.1 steps (i)–(iv), §6.2).
+
+    Phase 1 evaluates the (optimized) candidate expressions on the
+    indexing engine.  Phase 2 materialises candidate regions by parsing
+    just those byte ranges and — unless the plan is exact — re-filters
+    them with the database evaluator.  Index-only projections skip
+    parsing entirely. *)
+
+type source = {
+  view : Fschema.View.t;
+  text : Pat.Text.t;
+  instance : Pat.Instance.t;
+  env : Compile.env;
+  query_rig : Ralg.Rig.t;  (** the RIG of the indexed names, used by the
+                               optimizer *)
+}
+
+val make_source :
+  Fschema.View.t -> Pat.Text.t -> index:string list -> (source, string) result
+(** Parse the text once (index construction may scan) and build the
+    word and region indices for [index]. *)
+
+val make_source_full : Fschema.View.t -> Pat.Text.t -> (source, string) result
+(** Index every non-root non-terminal. *)
+
+val source_of_instance : Fschema.View.t -> Pat.Instance.t -> source
+(** Build a source from an already-constructed (e.g. persisted and
+    reloaded) instance; the index names are the instance's region
+    names. *)
+
+type outcome = {
+  rows : Odb.Query_eval.row list;
+  plan : Plan.t;
+  evaluated : (string * Ralg.Expr.t) list;
+      (** per variable, the expression actually evaluated (after
+          optimization if enabled) *)
+  candidates_count : int;  (** candidate regions across variables *)
+  answers_count : int;
+  join_assisted : bool;
+      (** a §5.2 join refinement ran: path regions were projected, their
+          texts joined, and the candidate sets shrunk before parsing *)
+  stats : Stdx.Stats.t;  (** query-time work only *)
+}
+
+val run :
+  ?optimize:bool ->
+  ?join_assist:bool ->
+  source ->
+  Odb.Query.t ->
+  (outcome, string) result
+(** [optimize] defaults to [true]; pass [false] to execute the naive
+    translation (benchmark E1).  [join_assist] defaults to [true]; pass
+    [false] to skip the §5.2 join refinement (benchmark E6). *)
+
+val run_baseline :
+  Fschema.View.t ->
+  Pat.Text.t ->
+  Odb.Query.t ->
+  (Odb.Query_eval.row list * Stdx.Stats.t, string) result
+(** The standard database implementation: parse the whole file, load
+    every extent, evaluate in the database.  No indices. *)

@@ -1,0 +1,1 @@
+lib/pat/index_store.ml: Fun Instance List Marshal Region Region_set String Text

@@ -1,0 +1,1 @@
+lib/pat/index_store.mli: Instance

@@ -1,0 +1,1 @@
+lib/pat/instance.ml: List Map Region Region_set String Text Word_index

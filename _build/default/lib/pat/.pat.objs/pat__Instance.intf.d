@@ -1,0 +1,1 @@
+lib/pat/instance.mli: Region_set Text Word_index

@@ -1,0 +1,1 @@
+lib/pat/region.ml: Format Int Printf Text

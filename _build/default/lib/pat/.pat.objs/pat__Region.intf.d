@@ -1,0 +1,1 @@
+lib/pat/region.mli: Format Text

@@ -1,0 +1,1 @@
+lib/pat/region_scanner.ml: Array Int List Region Region_set Stdx String Text

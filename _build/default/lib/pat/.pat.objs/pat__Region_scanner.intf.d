@@ -1,0 +1,1 @@
+lib/pat/region_scanner.mli: Region_set Text

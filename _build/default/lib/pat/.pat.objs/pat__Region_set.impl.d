@@ -1,0 +1,1 @@
+lib/pat/region_set.ml: Array Format Int List Region Stdx

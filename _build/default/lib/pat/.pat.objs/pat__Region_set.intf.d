@@ -1,0 +1,1 @@
+lib/pat/region_set.mli: Format Region

@@ -1,0 +1,1 @@
+lib/pat/suffix_array.ml: Array Char List Stdx String Text Tokenizer

@@ -1,0 +1,1 @@
+lib/pat/suffix_array.mli: Text

@@ -1,0 +1,1 @@
+lib/pat/text.ml: Fun Stdx String

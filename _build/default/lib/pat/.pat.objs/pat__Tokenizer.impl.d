@@ -1,0 +1,1 @@
+lib/pat/tokenizer.ml: Array Text

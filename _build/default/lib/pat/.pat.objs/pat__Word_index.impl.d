@@ -1,0 +1,1 @@
+lib/pat/word_index.ml: Array Int Region Region_set Stdx String Suffix_array Text

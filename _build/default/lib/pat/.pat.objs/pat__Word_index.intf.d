@@ -1,0 +1,1 @@
+lib/pat/word_index.mli: Region_set Text

@@ -1,0 +1,38 @@
+let magic = "OQF-INDEX-1"
+
+type payload = { contents : string; bindings : (string * (int * int) list) list }
+
+let save ~path instance =
+  let bindings =
+    List.map
+      (fun name ->
+        let set = Instance.find instance name in
+        ( name,
+          List.map
+            (fun (r : Region.t) -> (r.start, r.stop))
+            (Region_set.to_list set) ))
+      (Instance.names instance)
+  in
+  let payload =
+    { contents = Text.unsafe_contents (Instance.text instance); bindings }
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc payload [])
+
+let load ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith ("Index_store.load: bad magic in " ^ path);
+      let payload : payload = Marshal.from_channel ic in
+      let text = Text.of_string payload.contents in
+      Instance.create text
+        (List.map
+           (fun (name, pairs) -> (name, Region_set.of_pairs pairs))
+           payload.bindings))

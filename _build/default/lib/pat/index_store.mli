@@ -1,0 +1,14 @@
+(** Index persistence.
+
+    Saves a built instance (text, named region sets) to disk and loads
+    it back, so the CLI can separate the indexing phase from the query
+    phase like the PAT system does.  The word index (suffix array) is
+    rebuilt on load — it is cheaper to rebuild than to store and its
+    construction is deterministic. *)
+
+val save : path:string -> Instance.t -> unit
+(** Write the instance to [path].  Overwrites. *)
+
+val load : path:string -> Instance.t
+(** Read an instance back.  Raises [Failure] if the file is not a saved
+    index. *)

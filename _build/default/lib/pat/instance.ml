@@ -1,0 +1,86 @@
+module Smap = Map.Make (String)
+
+type t = {
+  text : Text.t;
+  word_index : Word_index.t;
+  regions : Region_set.t Smap.t;
+  mutable universe_cache : Region_set.t option;
+}
+
+let create text bindings =
+  let regions =
+    List.fold_left
+      (fun acc (name, set) ->
+        if Smap.mem name acc then
+          invalid_arg ("Instance.create: duplicate region name " ^ name)
+        else Smap.add name set acc)
+      Smap.empty bindings
+  in
+  { text; word_index = Word_index.build text; regions; universe_cache = None }
+
+let text t = t.text
+let word_index t = t.word_index
+let names t = List.map fst (Smap.bindings t.regions)
+let find t name = Smap.find name t.regions
+let find_opt t name = Smap.find_opt name t.regions
+let mem t name = Smap.mem name t.regions
+
+let universe t =
+  match t.universe_cache with
+  | Some u -> u
+  | None ->
+      let u =
+        Smap.fold
+          (fun _ set acc -> Region_set.union acc set)
+          t.regions Region_set.empty
+      in
+      t.universe_cache <- Some u;
+      u
+
+let restrict t keep =
+  let keep_set = List.fold_left (fun m k -> Smap.add k () m) Smap.empty keep in
+  {
+    t with
+    regions = Smap.filter (fun name _ -> Smap.mem name keep_set) t.regions;
+    universe_cache = None;
+  }
+
+let add t name set =
+  { t with regions = Smap.add name set t.regions; universe_cache = None }
+
+let total_regions t =
+  Smap.fold (fun _ set acc -> acc + Region_set.cardinal set) t.regions 0
+
+let satisfies_rig t ~edges =
+  let u = universe t in
+  let edge_mem a b = List.exists (fun (x, y) -> x = a && y = b) edges in
+  let bindings = Smap.bindings t.regions in
+  let violation = ref None in
+  List.iter
+    (fun (ni, ri) ->
+      List.iter
+        (fun (nj, rj) ->
+          if !violation = None then
+            Region_set.iter
+              (fun r ->
+                Region_set.iter
+                  (fun s ->
+                    if
+                      !violation = None
+                      && Region.strictly_includes r s
+                      && (not (edge_mem ni nj))
+                      &&
+                      (* no indexed region strictly between *)
+                      not
+                        (Region_set.fold
+                           (fun acc u_reg ->
+                             acc
+                             || Region.strictly_includes r u_reg
+                                && Region.strictly_includes u_reg s)
+                           false u)
+                    then violation := Some (ni, nj))
+                  rj)
+              ri)
+        bindings)
+    bindings;
+  !violation

@@ -1,0 +1,46 @@
+(** Region-index instances.
+
+    A {e region index} is a set of region names; an {e instance} maps
+    each name to a set of regions in one text (paper, Definition of the
+    region algebra, §3.1).  The instance also carries the word index and
+    the {e universe} — the union of all indexed regions — which is the
+    context against which direct inclusion is decided. *)
+
+type t
+
+val create : Text.t -> (string * Region_set.t) list -> t
+(** Build an instance over a text; the word index is built eagerly.
+    Raises [Invalid_argument] on duplicate names. *)
+
+val text : t -> Text.t
+val word_index : t -> Word_index.t
+
+val names : t -> string list
+(** Indexed region names, sorted. *)
+
+val find : t -> string -> Region_set.t
+(** Instance of a region name.  Raises [Not_found] for unknown names. *)
+
+val find_opt : t -> string -> Region_set.t option
+val mem : t -> string -> bool
+
+val universe : t -> Region_set.t
+(** Union of all indexed region sets (cached). *)
+
+val restrict : t -> string list -> t
+(** Keep only the given names (partial indexing); the word index is
+    shared.  Unknown names are ignored. *)
+
+val add : t -> string -> Region_set.t -> t
+(** Add (or replace) one named region set. *)
+
+val total_regions : t -> int
+(** Sum of cardinals over all names — the "amount of indexing". *)
+
+val satisfies_rig :
+  t -> edges:(string * string) list -> (string * string) option
+(** Check Definition 3.1: for every pair of indexed regions [r ∈ Ri],
+    [s ∈ Rj] such that [r] directly includes [s] (w.r.t. the universe),
+    the edge [(Ri, Rj)] must be listed.  Returns a violating name pair,
+    or [None] when the instance satisfies the graph.  Quadratic; meant
+    for tests. *)

@@ -1,0 +1,21 @@
+type t = { start : int; stop : int }
+
+let make ~start ~stop =
+  if start < 0 || stop < start then
+    invalid_arg
+      (Printf.sprintf "Region.make: invalid interval [%d,%d)" start stop);
+  { start; stop }
+
+let length r = r.stop - r.start
+
+let compare a b =
+  let c = Int.compare a.start b.start in
+  if c <> 0 then c else Int.compare b.stop a.stop
+
+let equal a b = a.start = b.start && a.stop = b.stop
+let includes r s = r.start <= s.start && s.stop <= r.stop
+let strictly_includes r s = includes r s && not (equal r s)
+let contains_point r p = r.start <= p && p < r.stop
+let overlaps a b = a.start < b.stop && b.start < a.stop
+let text txt r = Text.scan_sub txt ~pos:r.start ~len:(length r)
+let pp ppf r = Format.fprintf ppf "[%d,%d)" r.start r.stop

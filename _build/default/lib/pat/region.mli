@@ -1,0 +1,42 @@
+(** Text regions.
+
+    A region is a contiguous substring of the indexed text, given by a
+    half-open byte interval [\[start, stop)].  Following the paper, a
+    region [r] {e includes} a region [s] when the endpoints of [s] lie
+    within those of [r]; inclusion is non-strict, so every region
+    includes itself. *)
+
+type t = { start : int; stop : int }
+
+val make : start:int -> stop:int -> t
+(** Requires [0 <= start <= stop]. *)
+
+val length : t -> int
+(** [stop - start]. *)
+
+val compare : t -> t -> int
+(** Total order: by [start] ascending, then by [stop] {e descending}, so
+    that in a sorted sequence an enclosing region precedes the regions
+    it contains that share its start. *)
+
+val equal : t -> t -> bool
+
+val includes : t -> t -> bool
+(** [includes r s] — the endpoints of [s] are within those of [r]
+    (non-strict: [includes r r] holds). *)
+
+val strictly_includes : t -> t -> bool
+(** [includes r s && not (equal r s)]. *)
+
+val contains_point : t -> int -> bool
+(** Whether a byte offset lies inside the region ([start <= p < stop];
+    for empty regions, never). *)
+
+val overlaps : t -> t -> bool
+(** Non-empty intersection of the two intervals. *)
+
+val text : Text.t -> t -> string
+(** Content of the region, counted as scanned bytes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["[start,stop)"]. *)

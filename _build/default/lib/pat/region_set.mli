@@ -1,0 +1,110 @@
+(** Sets of regions and the operators of the region algebra.
+
+    A set is a strictly increasing array of regions under
+    {!Region.compare}.  The operators implement §3.1 of the paper:
+    set-theoretic [∪ ∩ −], inclusion [⊃]/[⊂], {e direct} inclusion
+    [⊃d]/[⊂d] relative to the full set of indexed regions, innermost
+    [ι] and outermost [ω], and the word selections [σ].
+
+    Inclusion joins run in O((|R| + |S|) log) using range-min/max
+    tables; direct inclusion additionally scans the indexed regions that
+    may lie between the two operands, which is what makes it
+    "significantly more expensive than the simple inclusion operation"
+    (paper, §3.1). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val of_list : Region.t list -> t
+(** Sort and deduplicate. *)
+
+val of_pairs : (int * int) list -> t
+(** Convenience: build from [(start, stop)] pairs. *)
+
+val to_list : t -> Region.t list
+val to_array : t -> Region.t array
+(** The returned array must not be mutated. *)
+
+val mem : t -> Region.t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val iter : (Region.t -> unit) -> t -> unit
+val fold : ('a -> Region.t -> 'a) -> 'a -> t -> 'a
+val filter : (Region.t -> bool) -> t -> t
+val choose : t -> Region.t option
+(** Some arbitrary element (the least), or [None]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val including : t -> t -> t
+(** [including r s] is [r ⊃ s]: the regions of [r] that include some
+    region of [s] (non-strict). *)
+
+val included : t -> t -> t
+(** [included r s] is [r ⊂ s]: the regions of [r] that are included in
+    some region of [s] (non-strict). *)
+
+val including_strict : t -> t -> t
+(** Like {!including} but the witness must be strictly smaller. *)
+
+val included_strict : t -> t -> t
+(** Like {!included} but the witness must be strictly larger. *)
+
+val directly_including_strict : context:t -> t -> t -> t
+(** Like {!directly_including} but the witness must be strictly
+    smaller.  Needed when both operands can hold the same regions
+    (self-nested names): a region does not directly include itself. *)
+
+val directly_included_strict : context:t -> t -> t -> t
+(** Strict variant of {!directly_included}. *)
+
+val directly_including : context:t -> t -> t -> t
+(** [directly_including ~context r s] is [r ⊃d s]: regions of [r]
+    including some [s]-region with no region of [context] strictly
+    between them ([r ⊋ u ⊋ s]).  [context] is the union of {e all}
+    indexed region instances, per the paper's definition. *)
+
+val directly_included : context:t -> t -> t -> t
+(** [directly_included ~context r s] is [r ⊂d s] (symmetric). *)
+
+val innermost : t -> t
+(** [ι]: elements that include no other element of the set. *)
+
+val outermost : t -> t
+(** [ω]: elements included in no other element of the set. *)
+
+val containing_match : t -> positions:int array -> len:int -> t
+(** [σ_w] (containment form): regions containing at least one occurrence
+    of a word of length [len] at one of the sorted [positions]. *)
+
+val matching_exact : t -> positions:int array -> len:int -> t
+(** [σ_w] (exact form): regions whose extent is precisely one occurrence
+    [\[p, p+len)]. *)
+
+val matching_prefix : t -> positions:int array -> len:int -> t
+(** Prefix selection: regions whose extent begins at one of the
+    positions and is at least [len] long (the positions are where the
+    prefix occurs). *)
+
+val containing_at_least : t -> positions:int array -> len:int -> count:int -> t
+(** Frequency search: regions containing at least [count] of the
+    occurrences. *)
+
+val occurrences_within : t -> positions:int array -> len:int -> Region.t -> int
+(** Number of the occurrences lying inside one region. *)
+
+val count_strictly_between : context:t -> outer:Region.t -> inner:Region.t -> int
+(** Number of context regions [u] with [outer ⊋ u ⊋ inner]; used for
+    fixed-length path variables (§5.3). *)
+
+val including_at_depth : context:t -> depth:int -> t -> t -> t
+(** [including_at_depth ~context ~depth r s]: regions of [r] that
+    include some [s]-region with exactly [depth] context regions
+    strictly between them. *)
+
+val pp : Format.formatter -> t -> unit

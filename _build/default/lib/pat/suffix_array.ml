@@ -1,0 +1,112 @@
+type t = { text : Text.t; order : int array (* word starts in suffix order *) }
+
+(* Sistrings are ordered by their first [prefix_cap] bytes only.  Two
+   sistrings agreeing on that long a prefix may appear in either order,
+   which is invisible to any pattern search of length <= prefix_cap:
+   binary search only ever compares pattern-length prefixes.  The cap
+   bounds construction at O(w log w · prefix_cap) even on pathological
+   texts (megabytes of repeated characters); longer patterns are
+   handled in {!find} by a filtering pass. *)
+let prefix_cap = 1024
+
+(* Compare the suffixes beginning at [i] and [j] byte-wise, up to the
+   cap. *)
+let compare_suffixes s i j =
+  if i = j then 0
+  else begin
+    let n = String.length s in
+    let limit = prefix_cap in
+    let rec go i j steps =
+      if steps >= limit then 0
+      else if i >= n then if j >= n then 0 else -1
+      else if j >= n then 1
+      else
+        let c = Char.compare s.[i] s.[j] in
+        if c <> 0 then c else go (i + 1) (j + 1) (steps + 1)
+    in
+    go i j 0
+  end
+
+let build text =
+  let order = Tokenizer.word_starts text in
+  let s = Text.unsafe_contents text in
+  Array.sort (compare_suffixes s) order;
+  { text; order }
+
+let size t = Array.length t.order
+
+(* -1 when the suffix at [pos] is smaller than every string with prefix
+   [pattern], 0 when [pattern] is a prefix of the suffix, 1 otherwise. *)
+let compare_prefix s pos pattern =
+  let n = String.length s and m = String.length pattern in
+  let rec go k =
+    if k >= m then 0
+    else if pos + k >= n then -1
+    else
+      let c = Char.compare s.[pos + k] pattern.[k] in
+      if c <> 0 then c else go (k + 1)
+  in
+  go 0
+
+let bounds t pattern =
+  let s = Text.unsafe_contents t.text in
+  let n = Array.length t.order in
+  let rec lower lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if compare_prefix s t.order.(mid) pattern < 0 then lower (mid + 1) hi
+      else lower lo mid
+  in
+  let rec upper lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if compare_prefix s t.order.(mid) pattern <= 0 then upper (mid + 1) hi
+      else upper lo mid
+  in
+  let lo = lower 0 n in
+  let hi = upper lo n in
+  (lo, hi)
+
+(* Occurrence test for the (rare) patterns longer than the sort cap. *)
+let occurs_at s pos pattern =
+  let m = String.length pattern in
+  pos + m <= String.length s && String.sub s pos m = pattern
+
+let find t pattern =
+  Stdx.Stats.global.word_lookups <- Stdx.Stats.global.word_lookups + 1;
+  let out =
+    if String.length pattern <= prefix_cap then begin
+      let lo, hi = bounds t pattern in
+      Array.sub t.order lo (hi - lo)
+    end
+    else begin
+      (* search by the capped prefix, then filter the survivors *)
+      let s = Text.unsafe_contents t.text in
+      let lo, hi = bounds t (String.sub pattern 0 prefix_cap) in
+      Array.of_list
+        (List.filter
+           (fun p -> occurs_at s p pattern)
+           (Array.to_list (Array.sub t.order lo (hi - lo))))
+    end
+  in
+  Array.sort compare out;
+  out
+
+let find_word t pattern =
+  let positions = find t pattern in
+  let m = String.length pattern in
+  if m = 0 || not (Tokenizer.is_word_char pattern.[m - 1]) then positions
+  else
+    Stdx.Sorted_array.filter
+      (fun p -> Tokenizer.is_word_end t.text (p + m))
+      positions
+
+let count t pattern =
+  if String.length pattern <= prefix_cap then begin
+    Stdx.Stats.global.word_lookups <- Stdx.Stats.global.word_lookups + 1;
+    let lo, hi = bounds t pattern in
+    hi - lo
+  end
+  else Array.length (find t pattern)

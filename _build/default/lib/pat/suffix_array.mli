@@ -1,0 +1,34 @@
+(** The PAT array: a suffix array over word-start positions.
+
+    Gonnet's PAT structure is a lexicographically sorted array of the
+    sistrings (suffixes) beginning at each word start.  Any string that
+    occurs in the text starting at a word boundary can be located with
+    two binary searches, independent of file size. *)
+
+type t
+
+val build : Text.t -> t
+(** Sort all word-start suffixes of the text by their first 1024 bytes.
+    O(w log w) comparisons for w word starts, each bounded by the cap,
+    so construction stays near-linear even on pathological repetitive
+    texts.  Searches remain exact for patterns of any length (longer
+    patterns filter within the capped-prefix range). *)
+
+val size : t -> int
+(** Number of indexed sistrings (= number of word starts). *)
+
+val find : t -> string -> int array
+(** [find t pattern] returns every position [p] (sorted increasing) such
+    that [pattern] occurs in the text at [p] and [p] is a word start.
+    The empty pattern matches every word start.  Records one word lookup
+    in {!Stdx.Stats.global}. *)
+
+val find_word : t -> string -> int array
+(** Like {!find} but additionally requires the match to end at a token
+    boundary, so that searching for ["Chang"] does not return positions
+    of ["Changed"].  Multi-token patterns (["G. F. Corliss"]) are
+    supported: only the final token's boundary is checked. *)
+
+val count : t -> string -> int
+(** Number of occurrences of the pattern at word starts, without
+    materialising positions. *)

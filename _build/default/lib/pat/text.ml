@@ -1,0 +1,21 @@
+type t = { contents : string }
+
+let of_string contents = { contents }
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      { contents = really_input_string ic n })
+
+let length t = String.length t.contents
+let get t i = t.contents.[i]
+let sub t ~pos ~len = String.sub t.contents pos len
+
+let scan_sub t ~pos ~len =
+  Stdx.Stats.global.bytes_scanned <- Stdx.Stats.global.bytes_scanned + len;
+  String.sub t.contents pos len
+
+let unsafe_contents t = t.contents

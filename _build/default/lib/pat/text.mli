@@ -1,0 +1,35 @@
+(** The indexed text.
+
+    A [Text.t] wraps the raw bytes of one file (or a concatenation of
+    files).  Every read of raw content outside the index layer goes
+    through {!sub} or {!scan_sub}, which lets the instrumentation
+    distinguish index-driven work from file scanning — the quantity the
+    paper's optimizations are designed to minimise. *)
+
+type t
+
+val of_string : string -> t
+(** Wrap an in-memory string.  The string must not be mutated
+    afterwards. *)
+
+val of_file : string -> t
+(** Read a whole file from disk. *)
+
+val length : t -> int
+(** Number of bytes. *)
+
+val get : t -> int -> char
+(** Byte at an offset.  Does not count as scanning (single-byte probes
+    are index bookkeeping). *)
+
+val sub : t -> pos:int -> len:int -> string
+(** Extract [len] bytes at [pos] {e without} recording scan work.  Used
+    by the index-construction phase, which is allowed to read the whole
+    file once. *)
+
+val scan_sub : t -> pos:int -> len:int -> string
+(** Extract bytes {e and} record them as scanned in
+    {!Stdx.Stats.global}.  Query-time code must use this. *)
+
+val unsafe_contents : t -> string
+(** The underlying string (for the suffix-array builder only). *)

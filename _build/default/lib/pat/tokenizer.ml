@@ -1,0 +1,30 @@
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let is_word_start text pos =
+  pos >= 0
+  && pos < Text.length text
+  && is_word_char (Text.get text pos)
+  && (pos = 0 || not (is_word_char (Text.get text (pos - 1))))
+
+let is_word_end text pos =
+  pos = Text.length text
+  || (pos >= 0 && pos < Text.length text && not (is_word_char (Text.get text pos)))
+
+let word_starts text =
+  let n = Text.length text in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if is_word_start text i then out := i :: !out
+  done;
+  Array.of_list !out
+
+let word_at text pos =
+  if not (is_word_start text pos) then None
+  else begin
+    let n = Text.length text in
+    let rec stop i =
+      if i < n && is_word_char (Text.get text i) then stop (i + 1) else i
+    in
+    Some (Text.sub text ~pos ~len:(stop pos - pos))
+  end

@@ -1,0 +1,44 @@
+(** The word index: match-point lookup over the PAT array.
+
+    Combines the suffix array with the word-selection operators of the
+    region algebra, "implemented by combined usage of the word and
+    region indices" (paper §3.1). *)
+
+type t
+
+val build : Text.t -> t
+(** Index every word start of the text. *)
+
+val text : t -> Text.t
+
+val match_points : t -> string -> int array
+(** Sorted positions where the string occurs starting at a word
+    boundary and ending at a token boundary. *)
+
+val occurrence_count : t -> string -> int
+(** Number of word-start occurrences of the string (prefix semantics,
+    no end-boundary check). *)
+
+val select_containing : t -> string -> Region_set.t -> Region_set.t
+(** [σ_w] (containment): the regions containing an occurrence of [w]. *)
+
+val select_exact : t -> string -> Region_set.t -> Region_set.t
+(** [σ_w] (exact): the regions whose extent is exactly an occurrence of
+    [w] — "a Last_Name region that is the word Chang". *)
+
+val prefix_points : t -> string -> int array
+(** Sorted word-start positions where the string occurs as a prefix of
+    the following text (no end-boundary check). *)
+
+val select_prefix : t -> string -> Region_set.t -> Region_set.t
+(** Prefix search: regions whose extent begins with an occurrence of
+    the string ("Key regions starting with Ref00"). *)
+
+val select_min_count : t -> string -> count:int -> Region_set.t -> Region_set.t
+(** Frequency search: regions containing at least [count] occurrences
+    of the word. *)
+
+val select_proximity :
+  t -> string -> string -> window:int -> Region_set.t -> Region_set.t
+(** Proximity search: regions containing an occurrence of each word
+    whose start positions lie within [window] bytes of each other. *)

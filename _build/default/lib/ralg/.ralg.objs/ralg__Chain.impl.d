@@ -1,0 +1,1 @@
+lib/ralg/chain.ml: Expr List

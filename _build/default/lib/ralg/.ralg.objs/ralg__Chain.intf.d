@@ -1,0 +1,1 @@
+lib/ralg/chain.mli: Expr

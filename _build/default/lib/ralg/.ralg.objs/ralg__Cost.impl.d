@@ -1,0 +1,1 @@
+lib/ralg/cost.ml: Expr Float Format List Pat

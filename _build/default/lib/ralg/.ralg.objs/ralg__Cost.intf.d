@@ -1,0 +1,1 @@
+lib/ralg/cost.mli: Expr Format Pat

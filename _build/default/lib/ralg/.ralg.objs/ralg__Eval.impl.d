@@ -1,0 +1,1 @@
+lib/ralg/eval.ml: Expr Hashtbl Pat

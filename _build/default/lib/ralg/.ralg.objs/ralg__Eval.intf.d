@@ -1,0 +1,1 @@
+lib/ralg/eval.mli: Expr Pat

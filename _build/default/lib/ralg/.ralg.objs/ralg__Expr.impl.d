@@ -1,0 +1,1 @@
+lib/ralg/expr.ml: Format List String

@@ -1,0 +1,1 @@
+lib/ralg/expr.mli: Format

@@ -1,0 +1,1 @@
+lib/ralg/expr_parser.ml: Buffer Expr Format List Printf String

@@ -1,0 +1,1 @@
+lib/ralg/expr_parser.mli: Expr Format

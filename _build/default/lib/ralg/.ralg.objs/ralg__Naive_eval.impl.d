@@ -1,0 +1,1 @@
+lib/ralg/naive_eval.ml: Array Eval Expr Fun List Pat String

@@ -1,0 +1,1 @@
+lib/ralg/naive_eval.mli: Expr Pat

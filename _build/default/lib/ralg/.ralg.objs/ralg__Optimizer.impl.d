@@ -1,0 +1,1 @@
+lib/ralg/optimizer.ml: Array Chain Expr Rig

@@ -1,0 +1,1 @@
+lib/ralg/optimizer.mli: Chain Expr Rig

@@ -1,0 +1,1 @@
+lib/ralg/rig.ml: Buffer Format Hashtbl List Map Printf Set String

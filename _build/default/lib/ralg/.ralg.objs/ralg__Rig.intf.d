@@ -1,0 +1,1 @@
+lib/ralg/rig.mli: Format

@@ -1,0 +1,1 @@
+lib/ralg/trivial.ml: Chain Expr List Rig

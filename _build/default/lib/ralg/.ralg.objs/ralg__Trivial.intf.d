@@ -1,0 +1,1 @@
+lib/ralg/trivial.mli: Chain Expr Rig

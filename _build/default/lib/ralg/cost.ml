@@ -1,0 +1,93 @@
+type t = {
+  simple_ops : int;
+  direct_ops : int;
+  set_ops : int;
+  selections : int;
+  weighted : float;
+}
+
+let zero =
+  { simple_ops = 0; direct_ops = 0; set_ops = 0; selections = 0; weighted = 0. }
+
+let log2 x = if x < 2.0 then 1.0 else log x /. log 2.0
+
+(* Returns (cost-so-far, estimated result cardinality). *)
+let rec walk ~card ~universe acc expr =
+  match expr with
+  | Expr.Name n -> (acc, float_of_int (card n))
+  | Expr.Select (_, e) ->
+      let acc, c = walk ~card ~universe acc e in
+      ( {
+          acc with
+          selections = acc.selections + 1;
+          weighted = acc.weighted +. (c *. log2 universe);
+        },
+        (* a word selection is typically highly selective *)
+        Float.max 1.0 (c /. 10.0) )
+  | Expr.Innermost e | Expr.Outermost e ->
+      let acc, c = walk ~card ~universe acc e in
+      ( { acc with set_ops = acc.set_ops + 1; weighted = acc.weighted +. (c *. log2 c) },
+        c )
+  | Expr.Setop (_, a, b) ->
+      let acc, ca = walk ~card ~universe acc a in
+      let acc, cb = walk ~card ~universe acc b in
+      ( { acc with set_ops = acc.set_ops + 1; weighted = acc.weighted +. ca +. cb },
+        ca +. cb )
+  | Expr.Chain (a, op, b) | Expr.Chain_strict (a, op, b) -> begin
+      let acc, ca = walk ~card ~universe acc a in
+      let acc, cb = walk ~card ~universe acc b in
+      let join = (ca +. cb) *. log2 (Float.max ca cb) in
+      match op with
+      | Expr.Including | Expr.Included ->
+          ( {
+              acc with
+              simple_ops = acc.simple_ops + 1;
+              weighted = acc.weighted +. join;
+            },
+            ca /. 2.0 )
+      | Expr.Directly_including | Expr.Directly_included ->
+          (* each candidate pair probes the universe window *)
+          let probe = ca *. Float.max 1.0 (universe /. Float.max 1.0 ca) in
+          ( {
+              acc with
+              direct_ops = acc.direct_ops + 1;
+              weighted = acc.weighted +. join +. probe;
+            },
+            ca /. 2.0 )
+    end
+  | Expr.At_depth (_, a, b) ->
+      let acc, ca = walk ~card ~universe acc a in
+      let acc, cb = walk ~card ~universe acc b in
+      let probe = ca *. universe in
+      ( {
+          acc with
+          direct_ops = acc.direct_ops + 1;
+          weighted = acc.weighted +. ((ca +. cb) *. log2 (Float.max ca cb)) +. probe;
+        },
+        ca /. 2.0 )
+
+let estimate ?(card = fun _ -> 1000) ?universe expr =
+  let universe =
+    match universe with
+    | Some u -> float_of_int u
+    | None ->
+        float_of_int
+          (List.fold_left (fun acc n -> acc + card n) 0 (Expr.names expr))
+  in
+  let universe = Float.max 1.0 universe in
+  fst (walk ~card ~universe zero expr)
+
+let of_instance inst expr =
+  let card n =
+    match Pat.Instance.find_opt inst n with
+    | Some set -> Pat.Region_set.cardinal set
+    | None -> 0
+  in
+  estimate ~card ~universe:(Pat.Instance.total_regions inst) expr
+
+let compare_weighted a b = Float.compare a.weighted b.weighted
+
+let pp ppf t =
+  Format.fprintf ppf
+    "simple=%d direct=%d set=%d sel=%d weighted=%.1f" t.simple_ops
+    t.direct_ops t.set_ops t.selections t.weighted

@@ -1,0 +1,27 @@
+(** Heuristic cost model for region expressions.
+
+    Used by the planner's [explain] output to show why the optimized
+    expression is preferred.  Cardinalities come from the instance when
+    one is available, otherwise from a uniform default.  The weights
+    reflect the implementation: simple inclusion joins are
+    merge-with-range-query (log factor); direct inclusion additionally
+    probes the indexed-region universe per candidate pair. *)
+
+type t = {
+  simple_ops : int;  (** [⊃]/[⊂] applications *)
+  direct_ops : int;  (** [⊃d]/[⊂d] applications *)
+  set_ops : int;
+  selections : int;
+  weighted : float;  (** scalar estimate, lower is better *)
+}
+
+val estimate : ?card:(string -> int) -> ?universe:int -> Expr.t -> t
+(** [card name] estimates the cardinality of a region name (default
+    1000); [universe] the total indexed-region count (default the sum
+    over mentioned names). *)
+
+val of_instance : Pat.Instance.t -> Expr.t -> t
+(** Estimate with true cardinalities from an instance. *)
+
+val compare_weighted : t -> t -> int
+val pp : Format.formatter -> t -> unit

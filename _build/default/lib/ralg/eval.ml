@@ -1,0 +1,137 @@
+exception Unknown_region of string
+
+module Rs = Pat.Region_set
+
+let rec eval inst expr =
+  match expr with
+  | Expr.Name n -> begin
+      match Pat.Instance.find_opt inst n with
+      | Some set -> set
+      | None -> raise (Unknown_region n)
+    end
+  | Expr.Select (Expr.Contains_word w, e) ->
+      Pat.Word_index.select_containing (Pat.Instance.word_index inst) w
+        (eval inst e)
+  | Expr.Select (Expr.Exactly_word w, e) ->
+      Pat.Word_index.select_exact (Pat.Instance.word_index inst) w
+        (eval inst e)
+  | Expr.Select (Expr.Prefix_word w, e) ->
+      Pat.Word_index.select_prefix (Pat.Instance.word_index inst) w
+        (eval inst e)
+  | Expr.Setop (Expr.Union, a, b) -> Rs.union (eval inst a) (eval inst b)
+  | Expr.Setop (Expr.Inter, a, b) -> Rs.inter (eval inst a) (eval inst b)
+  | Expr.Setop (Expr.Diff, a, b) -> Rs.diff (eval inst a) (eval inst b)
+  | Expr.Innermost e -> Rs.innermost (eval inst e)
+  | Expr.Outermost e -> Rs.outermost (eval inst e)
+  | Expr.Chain (a, op, b) -> begin
+      let ra = eval inst a and rb = eval inst b in
+      match op with
+      | Expr.Including -> Rs.including ra rb
+      | Expr.Included -> Rs.included ra rb
+      | Expr.Directly_including ->
+          Rs.directly_including ~context:(Pat.Instance.universe inst) ra rb
+      | Expr.Directly_included ->
+          Rs.directly_included ~context:(Pat.Instance.universe inst) ra rb
+    end
+  | Expr.Chain_strict (a, op, b) -> begin
+      let ra = eval inst a and rb = eval inst b in
+      match op with
+      | Expr.Including -> Rs.including_strict ra rb
+      | Expr.Included -> Rs.included_strict ra rb
+      | Expr.Directly_including ->
+          Rs.directly_including_strict
+            ~context:(Pat.Instance.universe inst)
+            ra rb
+      | Expr.Directly_included ->
+          Rs.directly_included_strict
+            ~context:(Pat.Instance.universe inst)
+            ra rb
+    end
+  | Expr.At_depth (n, a, b) ->
+      Rs.including_at_depth
+        ~context:(Pat.Instance.universe inst)
+        ~depth:n (eval inst a) (eval inst b)
+
+let eval_shared inst expr =
+  let memo : (Expr.t, Rs.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec go expr =
+    match Hashtbl.find_opt memo expr with
+    | Some r -> r
+    | None ->
+        let r =
+          match expr with
+          | Expr.Name _ -> eval inst expr
+          | Expr.Select (Expr.Contains_word w, e) ->
+              Pat.Word_index.select_containing
+                (Pat.Instance.word_index inst)
+                w (go e)
+          | Expr.Select (Expr.Exactly_word w, e) ->
+              Pat.Word_index.select_exact
+                (Pat.Instance.word_index inst)
+                w (go e)
+          | Expr.Select (Expr.Prefix_word w, e) ->
+              Pat.Word_index.select_prefix
+                (Pat.Instance.word_index inst)
+                w (go e)
+          | Expr.Setop (Expr.Union, a, b) -> Rs.union (go a) (go b)
+          | Expr.Setop (Expr.Inter, a, b) -> Rs.inter (go a) (go b)
+          | Expr.Setop (Expr.Diff, a, b) -> Rs.diff (go a) (go b)
+          | Expr.Innermost e -> Rs.innermost (go e)
+          | Expr.Outermost e -> Rs.outermost (go e)
+          | Expr.Chain (a, op, b) -> begin
+              let ra = go a and rb = go b in
+              match op with
+              | Expr.Including -> Rs.including ra rb
+              | Expr.Included -> Rs.included ra rb
+              | Expr.Directly_including ->
+                  Rs.directly_including
+                    ~context:(Pat.Instance.universe inst)
+                    ra rb
+              | Expr.Directly_included ->
+                  Rs.directly_included
+                    ~context:(Pat.Instance.universe inst)
+                    ra rb
+            end
+          | Expr.Chain_strict (a, op, b) -> begin
+              let ra = go a and rb = go b in
+              match op with
+              | Expr.Including -> Rs.including_strict ra rb
+              | Expr.Included -> Rs.included_strict ra rb
+              | Expr.Directly_including ->
+                  Rs.directly_including_strict
+                    ~context:(Pat.Instance.universe inst)
+                    ra rb
+              | Expr.Directly_included ->
+                  Rs.directly_included_strict
+                    ~context:(Pat.Instance.universe inst)
+                    ra rb
+            end
+          | Expr.At_depth (n, a, b) ->
+              Rs.including_at_depth
+                ~context:(Pat.Instance.universe inst)
+                ~depth:n (go a) (go b)
+        in
+        Hashtbl.replace memo expr r;
+        r
+  in
+  go expr
+
+let direct_including_layered ~context r s =
+  let result = ref Rs.empty in
+  let layer = ref (Rs.outermost r) in
+  let rest = ref (Rs.diff r !layer) in
+  let continue_ = ref true in
+  while (not (Rs.is_empty !layer)) && !continue_ do
+    if Rs.is_empty (Rs.including !layer s) then continue_ := false
+    else begin
+      (* context regions strictly inside some layer region … *)
+      let intermediates = Rs.included_strict context !layer in
+      (* … shadow the s-regions strictly inside them *)
+      let shadowed = Rs.included_strict s intermediates in
+      let visible = Rs.diff s shadowed in
+      result := Rs.union !result (Rs.including !layer visible);
+      layer := Rs.outermost !rest;
+      rest := Rs.diff !rest !layer
+    end
+  done;
+  !result

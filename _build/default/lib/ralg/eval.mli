@@ -1,0 +1,27 @@
+(** Evaluation of region expressions on a PAT instance. *)
+
+exception Unknown_region of string
+(** Raised when an expression mentions a region name the instance does
+    not index — with partial indexing this signals that the planner
+    referenced a missing index. *)
+
+val eval : Pat.Instance.t -> Expr.t -> Pat.Region_set.t
+(** Evaluate with the efficient operators of {!Pat.Region_set}.  Direct
+    inclusion is decided against the instance universe. *)
+
+val eval_shared : Pat.Instance.t -> Expr.t -> Pat.Region_set.t
+(** Like {!eval} but common subexpressions are evaluated once (§5.2:
+    boolean combinations of selection criteria often share their inner
+    chains).  Same result, fewer index operations. *)
+
+val direct_including_layered :
+  context:Pat.Region_set.t ->
+  Pat.Region_set.t ->
+  Pat.Region_set.t ->
+  Pat.Region_set.t
+(** The paper's §3.1 while-program for [⊃d]: iterate over nested layers
+    of the left operand (outermost first) and, per layer, discard the
+    right-operand regions shadowed by an intermediate context region.
+    Given as an illustration of the cost of [⊃d]; correct for laminar
+    instances (same-layer regions disjoint), which parse-tree-derived
+    region sets always are. *)

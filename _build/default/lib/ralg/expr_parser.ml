@@ -1,0 +1,228 @@
+type error = { position : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "parse error at %d: %s" e.position e.message
+
+type token =
+  | Tname of string
+  | Tstring of string
+  | Tint of int
+  | Tchain of Expr.op * bool  (* operator, strict? *)
+  | Tpipe
+  | Tamp
+  | Tminus
+  | Tlparen
+  | Trparen
+  | Tlbracket
+  | Trbracket
+  | Tcomma
+
+exception Error of error
+
+let fail position message = raise (Error { position; message })
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let push tok pos = out := (tok, pos) :: !out in
+  while !i < n do
+    let c = s.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '>' || c = '<' then begin
+      let direct = !i + 1 < n && s.[!i + 1] = 'd' in
+      (* ">d" only when the d is not the start of a name like "delta",
+         except when followed by the strictness marker "!" *)
+      let direct =
+        direct
+        && (!i + 2 >= n || (not (is_name_char s.[!i + 2])) || s.[!i + 2] = '!')
+      in
+      let after = !i + if direct then 2 else 1 in
+      let strict = after < n && s.[after] = '!' in
+      let op =
+        match (c, direct) with
+        | '>', true -> Expr.Directly_including
+        | '>', false -> Expr.Including
+        | '<', true -> Expr.Directly_included
+        | _, false -> Expr.Included
+        | _ -> assert false
+      in
+      push (Tchain (op, strict)) pos;
+      i := after + if strict then 1 else 0
+    end
+    else if c = '|' then (push Tpipe pos; incr i)
+    else if c = '&' then (push Tamp pos; incr i)
+    else if c = '-' then (push Tminus pos; incr i)
+    else if c = '(' then (push Tlparen pos; incr i)
+    else if c = ')' then (push Trparen pos; incr i)
+    else if c = '[' then (push Tlbracket pos; incr i)
+    else if c = ']' then (push Trbracket pos; incr i)
+    else if c = ',' then (push Tcomma pos; incr i)
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if s.[!i] = '"' then closed := true
+        else if s.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf s.[!i + 1];
+          incr i
+        end
+        else Buffer.add_char buf s.[!i];
+        incr i
+      done;
+      if not !closed then fail pos "unterminated string literal";
+      push (Tstring (Buffer.contents buf)) pos
+    end
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      push (Tint (int_of_string (String.sub s !i (!j - !i)))) pos;
+      i := !j
+    end
+    else if is_name_char c then begin
+      let j = ref !i in
+      while !j < n && is_name_char s.[!j] do
+        incr j
+      done;
+      push (Tname (String.sub s !i (!j - !i))) pos;
+      i := !j
+    end
+    else fail pos (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !out
+
+type state = { mutable toks : (token * int) list; len : int }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  match peek st with
+  | Some (t, _) when t = tok -> advance st
+  | Some (_, pos) -> fail pos ("expected " ^ what)
+  | None -> fail st.len ("expected " ^ what ^ " but input ended")
+
+let expect_string st =
+  match peek st with
+  | Some (Tstring w, _) ->
+      advance st;
+      w
+  | Some (_, pos) -> fail pos "expected a string literal"
+  | None -> fail st.len "expected a string literal but input ended"
+
+let expect_int st =
+  match peek st with
+  | Some (Tint k, _) ->
+      advance st;
+      k
+  | Some (_, pos) -> fail pos "expected an integer"
+  | None -> fail st.len "expected an integer but input ended"
+
+let rec parse_expr st =
+  let left = parse_chain st in
+  parse_setops st left
+
+and parse_setops st left =
+  match peek st with
+  | Some (Tpipe, _) ->
+      advance st;
+      parse_setops st (Expr.Setop (Expr.Union, left, parse_chain st))
+  | Some (Tamp, _) ->
+      advance st;
+      parse_setops st (Expr.Setop (Expr.Inter, left, parse_chain st))
+  | Some (Tminus, _) ->
+      advance st;
+      parse_setops st (Expr.Setop (Expr.Diff, left, parse_chain st))
+  | _ -> left
+
+and parse_chain st =
+  let left = parse_atom st in
+  match peek st with
+  | Some (Tchain (op, strict), _) ->
+      advance st;
+      if strict then Expr.Chain_strict (left, op, parse_chain st)
+      else Expr.Chain (left, op, parse_chain st)
+  | _ -> left
+
+and parse_atom st =
+  match peek st with
+  | Some (Tlparen, _) ->
+      advance st;
+      let e = parse_expr st in
+      expect st Trparen "')'";
+      e
+  | Some (Tname "sigma", _) ->
+      advance st;
+      parse_selection st (fun w -> Expr.Exactly_word w)
+  | Some (Tname "word", _) ->
+      advance st;
+      parse_selection st (fun w -> Expr.Contains_word w)
+  | Some (Tname "prefix", _) ->
+      advance st;
+      parse_selection st (fun w -> Expr.Prefix_word w)
+  | Some (Tname "inner", _) ->
+      advance st;
+      expect st Tlparen "'('";
+      let e = parse_expr st in
+      expect st Trparen "')'";
+      Expr.Innermost e
+  | Some (Tname "outer", _) ->
+      advance st;
+      expect st Tlparen "'('";
+      let e = parse_expr st in
+      expect st Trparen "')'";
+      Expr.Outermost e
+  | Some (Tname "depth", _) ->
+      advance st;
+      expect st Tlbracket "'['";
+      let k = expect_int st in
+      expect st Trbracket "']'";
+      expect st Tlparen "'('";
+      let a = parse_expr st in
+      expect st Tcomma "','";
+      let b = parse_expr st in
+      expect st Trparen "')'";
+      Expr.At_depth (k, a, b)
+  | Some (Tname n, _) ->
+      advance st;
+      Expr.Name n
+  | Some (_, pos) -> fail pos "expected a region name or '('"
+  | None -> fail st.len "unexpected end of input"
+
+and parse_selection st mk =
+  expect st Tlbracket "'['";
+  let w = expect_string st in
+  expect st Trbracket "']'";
+  expect st Tlparen "'('";
+  let e = parse_expr st in
+  expect st Trparen "')'";
+  Expr.Select (mk w, e)
+
+let parse s =
+  match
+    let st = { toks = tokenize s; len = String.length s } in
+    let e = parse_expr st in
+    (match peek st with
+    | Some (_, pos) -> fail pos "trailing input"
+    | None -> ());
+    e
+  with
+  | e -> Ok e
+  | exception Error err -> Error err
+
+let parse_exn s =
+  match parse s with
+  | Ok e -> e
+  | Error err -> failwith (Format.asprintf "%a" pp_error err)

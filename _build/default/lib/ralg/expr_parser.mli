@@ -1,0 +1,24 @@
+(** Concrete syntax for region expressions.
+
+    Grammar (whitespace-insensitive):
+
+    {v
+    expr   ::= chain (("|" | "&" | "-") chain)*          left-associative
+    chain  ::= atom ((">" | ">d" | "<" | "<d") chain)?   right-associative
+    atom   ::= NAME
+             | "sigma" "[" STRING "]" "(" expr ")"       exact-word selection
+             | "word"  "[" STRING "]" "(" expr ")"       contains-word selection
+             | "inner" "(" expr ")" | "outer" "(" expr ")"
+             | "depth" "[" INT "]" "(" expr "," expr ")"
+             | "(" expr ")"
+    v}
+
+    [Expr.pp] prints in this syntax, so printing and parsing round-trip. *)
+
+type error = { position : int; message : string }
+
+val parse : string -> (Expr.t, error) result
+val parse_exn : string -> Expr.t
+(** Raises [Failure] with a located message. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,9 @@
+(** Reference evaluator with direct quantifier semantics.
+
+    Every operator is computed by brute-force enumeration straight from
+    its definition in §3.1.  Quadratic or worse; exists to validate
+    {!Eval} (and through it the {!Pat.Region_set} sweeps) in property
+    tests. *)
+
+val eval : Pat.Instance.t -> Expr.t -> Pat.Region_set.t
+(** Same contract as {!Eval.eval}, including {!Eval.Unknown_region}. *)

@@ -1,0 +1,94 @@
+let graph_for rig = function
+  | Chain.Up -> rig
+  | Chain.Down -> Rig.reverse rig
+
+let weaken_direct_pair rig ~family ~left ~right ~rightmost ~right_selection =
+  if left = right then false
+  else begin
+    let g = graph_for rig family in
+    if Rig.only_walk_is_edge g left right then true
+    else if not rightmost then false
+    else begin
+      let selection_ok =
+        (* only a containment selection survives the rightmost argument
+           on the up family: the direct witness inherits containment,
+           but not exact or prefix extents *)
+        match (family, right_selection) with
+        | _, None -> true
+        | Chain.Up, Some (Expr.Contains_word _) -> true
+        | Chain.Up, Some (Expr.Exactly_word _ | Expr.Prefix_word _) -> false
+        | Chain.Down, Some _ -> false
+      in
+      selection_ok && Rig.all_walks_start_with_edge g left right
+    end
+  end
+
+let can_shorten rig ~family a b c =
+  (* [a = c] would turn a two-step requirement into the vacuous
+     [A ⊃ A]: a region includes itself, so the walk argument behind
+     Proposition 3.5 (b) needs distinct endpoints. *)
+  a <> b && b <> c && a <> c
+  &&
+  let g = graph_for rig family in
+  Rig.separator g ~src:a ~dst:c ~via:b
+
+let optimize_chain rig (chain : Chain.t) =
+  let family = chain.family in
+  (* Step 1: weaken direct operators where Proposition 3.5 (a) holds. *)
+  let elements = Array.of_list chain.elements in
+  let strengths = Array.of_list chain.strengths in
+  let n_pairs = Array.length strengths in
+  for i = 0 to n_pairs - 1 do
+    if strengths.(i) = Chain.Direct then begin
+      let left = elements.(i).Chain.name
+      and right_el = elements.(i + 1) in
+      if
+        weaken_direct_pair rig ~family ~left ~right:right_el.Chain.name
+          ~rightmost:(i = n_pairs - 1)
+          ~right_selection:right_el.Chain.selection
+      then strengths.(i) <- Chain.Simple
+    end
+  done;
+  (* Step 2: shorten [a ⊃ b ⊃ c] to [a ⊃ c] when b separates a from c,
+     repeating to a fixpoint.  Work on lists for easy deletion. *)
+  let rec shorten elements strengths =
+    let rec scan els ss =
+      match (els, ss) with
+      | a :: b :: c :: rest_els, s1 :: s2 :: rest_ss
+        when s1 = Chain.Simple && s2 = Chain.Simple
+             && b.Chain.selection = None
+             && can_shorten rig ~family a.Chain.name b.Chain.name
+                  c.Chain.name ->
+          Some (a :: c :: rest_els, Chain.Simple :: rest_ss)
+      | a :: rest_els, s :: rest_ss -> begin
+          match scan rest_els rest_ss with
+          | Some (els', ss') -> Some (a :: els', s :: ss')
+          | None -> None
+        end
+      | _ -> None
+    in
+    match scan elements strengths with
+    | Some (els, ss) -> shorten els ss
+    | None -> (elements, strengths)
+  in
+  let elements, strengths =
+    shorten (Array.to_list elements) (Array.to_list strengths)
+  in
+  { chain with elements; strengths }
+
+let rec optimize rig e =
+  match Chain.of_expr e with
+  | Some chain -> Chain.to_expr (optimize_chain rig chain)
+  | None -> begin
+      match e with
+      | Expr.Name _ -> e
+      | Expr.Select (sel, e1) -> Expr.Select (sel, optimize rig e1)
+      | Expr.Setop (op, a, b) -> Expr.Setop (op, optimize rig a, optimize rig b)
+      | Expr.Chain (a, op, b) -> Expr.Chain (optimize rig a, op, optimize rig b)
+      | Expr.Chain_strict (a, op, b) ->
+          Expr.Chain_strict (optimize rig a, op, optimize rig b)
+      | Expr.Innermost e1 -> Expr.Innermost (optimize rig e1)
+      | Expr.Outermost e1 -> Expr.Outermost (optimize rig e1)
+      | Expr.At_depth (n, a, b) ->
+          Expr.At_depth (n, optimize rig a, optimize rig b)
+    end

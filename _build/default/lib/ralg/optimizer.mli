@@ -1,0 +1,46 @@
+(** The optimization algorithm of §3.2 (Theorem 3.6).
+
+    Given a RIG, every inclusion chain has a unique {e most efficient
+    version}, obtained by
+
+    + replacing each direct operator [⊃d]/[⊂d] by its simple form when
+      Proposition 3.5 (a) licenses it, and
+    + repeatedly shortening [Ri ⊃ Rj ⊃ Rk] to [Ri ⊃ Rk] when every walk
+      from [Ri] to [Rk] passes through [Rj] (Proposition 3.5 (b)),
+      until no rule applies.
+
+    The rewrite system is finite Church–Rosser (shown via Sethi's
+    theorem in the paper), so the scan order does not matter.
+
+    Deviations made explicit here:
+    - elements carrying a word selection are never removed by the
+      shortening step (dropping a [σ] would change the result);
+    - the "rightmost region" case of Proposition 3.5 (a) is applied only
+      when the rightmost element has no selection or — for [⊃]-family
+      chains — a containment selection; an {e exact} selection on a
+      cyclic rightmost name distinguishes the direct witness from deeper
+      ones, so only the only-walk case is sound there;
+    - a pair of equal names is left untouched (the paper's propositions
+      implicitly assume distinct names along the chain). *)
+
+val weaken_direct_pair :
+  Rig.t ->
+  family:Chain.family ->
+  left:string ->
+  right:string ->
+  rightmost:bool ->
+  right_selection:Expr.selection option ->
+  bool
+(** Proposition 3.5 (a): may [left ⊃d right] become [left ⊃ right]? *)
+
+val can_shorten :
+  Rig.t -> family:Chain.family -> string -> string -> string -> bool
+(** Proposition 3.5 (b): may the middle of [a ⊃ b ⊃ c] be removed
+    (ignoring selections, which the caller must check)? *)
+
+val optimize_chain : Rig.t -> Chain.t -> Chain.t
+(** The two-step algorithm on one chain. *)
+
+val optimize : Rig.t -> Expr.t -> Expr.t
+(** Apply {!optimize_chain} to every maximal inclusion chain inside a
+    general region expression; other nodes are rebuilt unchanged. *)

@@ -1,0 +1,50 @@
+let pair_is_trivial rig ~family ~strength ~left ~right =
+  if left = right then false
+  else if not (Rig.mem rig left && Rig.mem rig right) then false
+  else begin
+    let g = match family with Chain.Up -> rig | Chain.Down -> Rig.reverse rig in
+    match strength with
+    | Chain.Direct -> not (Rig.has_edge g left right)
+    | Chain.Simple -> not (Rig.reachable g left right)
+  end
+
+(* Conservative over-approximation of the names the result regions of an
+   expression can carry. *)
+let rec result_names e =
+  match e with
+  | Expr.Name n -> [ n ]
+  | Expr.Select (_, e1) | Expr.Innermost e1 | Expr.Outermost e1 ->
+      result_names e1
+  | Expr.Chain (a, _, _) | Expr.Chain_strict (a, _, _)
+  | Expr.At_depth (_, a, _) ->
+      result_names a
+  | Expr.Setop (Expr.Diff, a, _) -> result_names a
+  | Expr.Setop ((Expr.Union | Expr.Inter), a, b) ->
+      result_names a @ result_names b
+
+let rec check rig e =
+  match e with
+  | Expr.Name _ -> false
+  | Expr.Select (_, e1) | Expr.Innermost e1 | Expr.Outermost e1 -> check rig e1
+  | Expr.Setop (Expr.Union, a, b) -> check rig a && check rig b
+  | Expr.Setop (Expr.Inter, a, b) -> check rig a || check rig b
+  | Expr.Setop (Expr.Diff, a, _) -> check rig a
+  | Expr.At_depth (_, a, b) -> check rig a || check rig b
+  | Expr.Chain (a, op, b) | Expr.Chain_strict (a, op, b) ->
+      check rig a || check rig b
+      ||
+      let family, strength =
+        match op with
+        | Expr.Including -> (Chain.Up, Chain.Simple)
+        | Expr.Directly_including -> (Chain.Up, Chain.Direct)
+        | Expr.Included -> (Chain.Down, Chain.Simple)
+        | Expr.Directly_included -> (Chain.Down, Chain.Direct)
+      in
+      let lefts = result_names a and rights = result_names b in
+      lefts <> [] && rights <> []
+      && List.for_all
+           (fun l ->
+             List.for_all
+               (fun r -> pair_is_trivial rig ~family ~strength ~left:l ~right:r)
+               rights)
+           lefts

@@ -1,0 +1,29 @@
+(** Trivial-emptiness analysis (Proposition 3.3).
+
+    An inclusion expression is {e trivial} w.r.t. a RIG when its result
+    is empty on every instance satisfying the graph:
+
+    - it contains [Ri ⊃d Rj] and [(Ri, Rj)] is not an edge, or
+    - it contains [Ri ⊃ Rj] and the graph has no walk from [Ri] to [Rj]
+
+    (and symmetrically for the [⊂] family).  The analysis extends to
+    general region expressions: an intersection is trivial when either
+    side is, a union when both sides are, and emptiness propagates up
+    through selections, [ι]/[ω] and chain heads.
+
+    Pairs of equal names are never reported trivial: [R ⊃ R = R] under
+    the non-strict inclusion semantics. *)
+
+val pair_is_trivial :
+  Rig.t ->
+  family:Chain.family ->
+  strength:Chain.strength ->
+  left:string ->
+  right:string ->
+  bool
+(** The per-pair test of Proposition 3.3 (oriented by family). *)
+
+val check : Rig.t -> Expr.t -> bool
+(** [check rig e] is [true] when [e] is provably empty on every
+    instance satisfying [rig] (sound, not complete).  Expressions
+    mentioning names outside the graph are never reported trivial. *)

@@ -1,0 +1,1 @@
+lib/stdx/range_minmax.ml: Array

@@ -1,0 +1,1 @@
+lib/stdx/sorted_array.mli:

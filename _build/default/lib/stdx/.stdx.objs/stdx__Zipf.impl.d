@@ -1,0 +1,1 @@
+lib/stdx/zipf.ml: Array Float Prng Sorted_array

@@ -1,0 +1,51 @@
+type t = { kind : [ `Min | `Max ]; table : int array array; n : int }
+
+let combine kind (a : int) (b : int) =
+  match kind with
+  | `Min -> if a < b then a else b
+  | `Max -> if a > b then a else b
+
+let log2_floor n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let of_array ~kind a =
+  let n = Array.length a in
+  if n = 0 then { kind; table = [||]; n }
+  else begin
+    let levels = log2_floor n + 1 in
+    let table = Array.make levels [||] in
+    table.(0) <- Array.copy a;
+    for l = 1 to levels - 1 do
+      let w = 1 lsl l in
+      let m = n - w + 1 in
+      if m > 0 then begin
+        let row = Array.make m 0 in
+        let prev = table.(l - 1) in
+        for i = 0 to m - 1 do
+          row.(i) <- combine kind prev.(i) prev.(i + (w / 2))
+        done;
+        table.(l) <- row
+      end
+    done;
+    { kind; table; n }
+  end
+
+let query t ~lo ~hi =
+  let lo = max lo 0 and hi = min hi (t.n - 1) in
+  if lo > hi then None
+  else begin
+    let l = log2_floor (hi - lo + 1) in
+    let row = t.table.(l) in
+    Some (combine t.kind row.(lo) row.(hi - (1 lsl l) + 1))
+  end
+
+let query_excluding t ~lo ~hi ~skip =
+  if skip < lo || skip > hi then query t ~lo ~hi
+  else begin
+    let left = query t ~lo ~hi:(skip - 1) in
+    let right = query t ~lo:(skip + 1) ~hi in
+    match (left, right) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (combine t.kind a b)
+  end

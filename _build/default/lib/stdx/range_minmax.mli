@@ -1,0 +1,21 @@
+(** Static range-minimum / range-maximum queries.
+
+    A sparse table over an immutable int array, answering
+    min/max-over-interval queries in O(1) after O(n log n) preprocessing.
+    The region-set inclusion operators ({!Pat.Region_set}) use it to test
+    "does some region with start in this window have a small enough
+    stop?" in logarithmic time per probe. *)
+
+type t
+
+val of_array : kind:[ `Min | `Max ] -> int array -> t
+(** Build a table answering queries of the given kind. *)
+
+val query : t -> lo:int -> hi:int -> int option
+(** [query t ~lo ~hi] is the min (or max) of the elements with indices in
+    [\[lo, hi\]] inclusive, or [None] when the interval is empty or out of
+    range (indices are clamped to the array bounds first). *)
+
+val query_excluding : t -> lo:int -> hi:int -> skip:int -> int option
+(** Like {!query} but ignores the element at index [skip] (used when a
+    region must not be compared against itself). *)

@@ -1,0 +1,68 @@
+type t = {
+  mutable bytes_scanned : int;
+  mutable bytes_parsed : int;
+  mutable index_ops : int;
+  mutable region_comparisons : int;
+  mutable word_lookups : int;
+  mutable objects_built : int;
+  mutable regions_produced : int;
+}
+
+let create () =
+  {
+    bytes_scanned = 0;
+    bytes_parsed = 0;
+    index_ops = 0;
+    region_comparisons = 0;
+    word_lookups = 0;
+    objects_built = 0;
+    regions_produced = 0;
+  }
+
+let reset t =
+  t.bytes_scanned <- 0;
+  t.bytes_parsed <- 0;
+  t.index_ops <- 0;
+  t.region_comparisons <- 0;
+  t.word_lookups <- 0;
+  t.objects_built <- 0;
+  t.regions_produced <- 0
+
+let global = create ()
+
+let snapshot t =
+  {
+    bytes_scanned = t.bytes_scanned;
+    bytes_parsed = t.bytes_parsed;
+    index_ops = t.index_ops;
+    region_comparisons = t.region_comparisons;
+    word_lookups = t.word_lookups;
+    objects_built = t.objects_built;
+    regions_produced = t.regions_produced;
+  }
+
+let diff ~before ~after =
+  {
+    bytes_scanned = after.bytes_scanned - before.bytes_scanned;
+    bytes_parsed = after.bytes_parsed - before.bytes_parsed;
+    index_ops = after.index_ops - before.index_ops;
+    region_comparisons = after.region_comparisons - before.region_comparisons;
+    word_lookups = after.word_lookups - before.word_lookups;
+    objects_built = after.objects_built - before.objects_built;
+    regions_produced = after.regions_produced - before.regions_produced;
+  }
+
+let add acc x =
+  acc.bytes_scanned <- acc.bytes_scanned + x.bytes_scanned;
+  acc.bytes_parsed <- acc.bytes_parsed + x.bytes_parsed;
+  acc.index_ops <- acc.index_ops + x.index_ops;
+  acc.region_comparisons <- acc.region_comparisons + x.region_comparisons;
+  acc.word_lookups <- acc.word_lookups + x.word_lookups;
+  acc.objects_built <- acc.objects_built + x.objects_built;
+  acc.regions_produced <- acc.regions_produced + x.regions_produced
+
+let pp ppf t =
+  Format.fprintf ppf
+    "scanned=%dB parsed=%dB index_ops=%d cmps=%d lookups=%d objs=%d regions=%d"
+    t.bytes_scanned t.bytes_parsed t.index_ops t.region_comparisons
+    t.word_lookups t.objects_built t.regions_produced

@@ -1,0 +1,39 @@
+(** Execution instrumentation.
+
+    The benchmark harness reports, besides wall-clock time, the *work*
+    quantities the paper argues about: bytes of file content scanned or
+    parsed, number of index operations, number of region comparisons,
+    number of database objects constructed.  Components increment the
+    counters of the ambient {!t}; the harness snapshots and diffs them. *)
+
+type t = {
+  mutable bytes_scanned : int;
+      (** bytes of raw file content read outside the index *)
+  mutable bytes_parsed : int;  (** bytes fed through a structuring-schema parse *)
+  mutable index_ops : int;  (** region-algebra operator applications *)
+  mutable region_comparisons : int;  (** pairwise region endpoint comparisons *)
+  mutable word_lookups : int;  (** word-index (suffix-array) searches *)
+  mutable objects_built : int;  (** database objects/tuples materialised *)
+  mutable regions_produced : int;  (** total regions output by index ops *)
+}
+
+val create : unit -> t
+(** All-zero counters. *)
+
+val reset : t -> unit
+(** Zero every counter in place. *)
+
+val global : t
+(** The ambient counter set used by default throughout the library. *)
+
+val snapshot : t -> t
+(** Immutable copy of the current values. *)
+
+val diff : before:t -> after:t -> t
+(** Field-wise [after - before]. *)
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc] field-wise. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering. *)

@@ -1,0 +1,23 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+    cdf.(k) <- !total
+  done;
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. !total
+  done;
+  { cdf }
+
+let n t = Array.length t.cdf
+
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  let cmp x y = compare x y in
+  let i = Sorted_array.lower_bound ~cmp t.cdf u in
+  min i (Array.length t.cdf - 1)

@@ -1,0 +1,19 @@
+(** Zipf-distributed sampling over a finite rank range.
+
+    Used by the workload generators to draw author last names and
+    keywords with the skew real bibliographies exhibit, so that query
+    selectivity spans several orders of magnitude across words. *)
+
+type t
+(** Precomputed cumulative distribution for a fixed [n] and exponent. *)
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a Zipf law over ranks [1..n] with exponent
+    [s] (probability of rank [k] proportional to [1/k^s]).  [n] must be
+    positive, [s] non-negative. *)
+
+val sample : t -> Prng.t -> int
+(** [sample t prng] draws a rank in [\[0, n)] (0-based). *)
+
+val n : t -> int
+(** The rank-range size the law was built for. *)

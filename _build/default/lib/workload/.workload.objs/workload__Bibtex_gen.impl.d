@@ -1,0 +1,1 @@
+lib/workload/bibtex_gen.ml: Buffer List Printf Stdx String Vocab

@@ -1,0 +1,1 @@
+lib/workload/bibtex_gen.mli:

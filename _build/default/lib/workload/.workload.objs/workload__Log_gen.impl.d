@@ -1,0 +1,1 @@
+lib/workload/log_gen.ml: Buffer List Printf Stdx String Vocab

@@ -1,0 +1,1 @@
+lib/workload/mbox_gen.ml: Array Buffer List Printf Stdx String Vocab

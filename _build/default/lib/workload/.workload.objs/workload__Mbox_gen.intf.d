@@ -1,0 +1,1 @@
+lib/workload/mbox_gen.mli:

@@ -1,0 +1,1 @@
+lib/workload/sgml_gen.mli:

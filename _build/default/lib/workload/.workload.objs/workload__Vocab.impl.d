@@ -1,0 +1,1 @@
+lib/workload/vocab.ml: Array Printf

@@ -1,0 +1,82 @@
+type params = {
+  seed : int;
+  n_references : int;
+  max_authors : int;
+  max_editors : int;
+  max_keywords : int;
+  max_cites : int;
+  abstract_words : int;
+  name_pool : int;
+  zipf_s : float;
+}
+
+let default =
+  {
+    seed = 42;
+    n_references = 200;
+    max_authors = 3;
+    max_editors = 2;
+    max_keywords = 4;
+    max_cites = 3;
+    abstract_words = 30;
+    name_pool = 120;
+    zipf_s = 1.1;
+  }
+
+let with_size n = { default with n_references = n }
+let key_of i = Printf.sprintf "Ref%04d" i
+
+let gen_name prng zipf =
+  Printf.sprintf "%s %s"
+    (Vocab.first_name (Stdx.Prng.int prng 20))
+    (Vocab.last_name (Stdx.Zipf.sample zipf prng))
+
+let gen_names prng zipf max_n =
+  let n = Stdx.Prng.int_in prng 1 (max max_n 1) in
+  String.concat " and " (List.init n (fun _ -> gen_name prng zipf))
+
+let gen_title prng =
+  let n = Stdx.Prng.int_in prng 3 7 in
+  String.concat " "
+    (List.init n (fun _ -> Vocab.title_word (Stdx.Prng.int prng 20)))
+
+let gen_keywords prng kw_zipf max_n =
+  let n = Stdx.Prng.int_in prng 1 (max max_n 1) in
+  String.concat "; "
+    (List.init n (fun _ -> Vocab.keyword (Stdx.Zipf.sample kw_zipf prng)))
+
+let gen_cites prng i max_n =
+  if i = 0 then key_of 0
+  else begin
+    let n = Stdx.Prng.int_in prng 1 (max max_n 1) in
+    String.concat "; "
+      (List.init n (fun _ -> key_of (Stdx.Prng.int prng i)))
+  end
+
+let gen_abstract prng words =
+  String.concat " "
+    (List.init (max words 1) (fun _ ->
+         Vocab.abstract_word (Stdx.Prng.int prng 25)))
+
+let generate p =
+  let prng = Stdx.Prng.create p.seed in
+  let name_zipf = Stdx.Zipf.create ~n:(max p.name_pool 1) ~s:p.zipf_s in
+  let kw_zipf = Stdx.Zipf.create ~n:40 ~s:p.zipf_s in
+  let buf = Buffer.create (p.n_references * 400) in
+  Buffer.add_string buf "%% bibliography\n";
+  for i = 0 to p.n_references - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "@INCOLLECTION{%s, AUTHOR = {%s},\n  TITLE = {%s},\n  YEAR = {%d},\n\
+         \  EDITOR = {%s},\n  KEYWORDS = {%s},\n  CITES = {%s},\n\
+         \  ABSTRACT = {%s}}\n"
+         (key_of i)
+         (gen_names prng name_zipf p.max_authors)
+         (gen_title prng)
+         (1960 + Stdx.Prng.int prng 40)
+         (gen_names prng name_zipf p.max_editors)
+         (gen_keywords prng kw_zipf p.max_keywords)
+         (gen_cites prng i p.max_cites)
+         (gen_abstract prng p.abstract_words))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+type params = {
+  seed : int;
+  n_entries : int;
+  error_percent : int;
+  services : int;
+  message_words : int;
+}
+
+let default =
+  { seed = 7; n_entries = 500; error_percent = 10; services = 5; message_words = 6 }
+
+let with_size n = { default with n_entries = n }
+
+let timestamp i =
+  Printf.sprintf "2026-07-04 %02d:%02d:%02d" (i / 3600 mod 24) (i / 60 mod 60)
+    (i mod 60)
+
+let generate p =
+  let prng = Stdx.Prng.create p.seed in
+  let buf = Buffer.create (p.n_entries * 90) in
+  Buffer.add_string buf "== log ==\n";
+  for i = 0 to p.n_entries - 1 do
+    let level =
+      if Stdx.Prng.int prng 100 < p.error_percent then "ERROR"
+      else if Stdx.Prng.int prng 100 < 20 then "WARN"
+      else "INFO"
+    in
+    let service = Vocab.service (Stdx.Prng.int prng (max p.services 1)) in
+    let msg =
+      String.concat " "
+        (List.init (max p.message_words 1) (fun _ ->
+             Vocab.abstract_word (Stdx.Prng.int prng 25)))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "[%s] level=%s service=%s msg=\"%s\"\n" (timestamp i)
+         level service msg)
+  done;
+  Buffer.contents buf

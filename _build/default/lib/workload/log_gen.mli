@@ -1,0 +1,13 @@
+(** Synthetic structured logs conforming to {!Fschema.Log_schema}. *)
+
+type params = {
+  seed : int;
+  n_entries : int;
+  error_percent : int;  (** share of ERROR entries, 0–100 *)
+  services : int;  (** distinct service names *)
+  message_words : int;
+}
+
+val default : params
+val with_size : int -> params
+val generate : params -> string

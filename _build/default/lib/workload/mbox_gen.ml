@@ -1,0 +1,69 @@
+type params = {
+  seed : int;
+  n_messages : int;
+  n_users : int;
+  max_recipients : int;
+  body_words : int;
+  zipf_s : float;
+}
+
+let default =
+  {
+    seed = 23;
+    n_messages = 200;
+    n_users = 40;
+    max_recipients = 3;
+    body_words = 15;
+    zipf_s = 1.1;
+  }
+
+let with_size n = { default with n_messages = n }
+
+let domains = [| "uni.edu"; "csri.edu"; "uw.ca"; "web.org" |]
+
+let address k =
+  Printf.sprintf "%s%d@%s"
+    (String.lowercase_ascii (Vocab.last_name (k mod 20)))
+    k
+    domains.(k mod Array.length domains)
+
+let generate p =
+  let prng = Stdx.Prng.create p.seed in
+  let zipf = Stdx.Zipf.create ~n:(max p.n_users 1) ~s:p.zipf_s in
+  let buf = Buffer.create (p.n_messages * 250) in
+  let subjects = Array.make (max p.n_messages 1) "hello" in
+  Buffer.add_string buf "== mbox ==\n";
+  for i = 0 to p.n_messages - 1 do
+    let sender = address (Stdx.Zipf.sample zipf prng) in
+    let n_rcpt = Stdx.Prng.int_in prng 1 (max p.max_recipients 1) in
+    let recipients =
+      String.concat "; "
+        (List.init n_rcpt (fun _ -> address (Stdx.Zipf.sample zipf prng)))
+    in
+    let subject =
+      if i > 0 && Stdx.Prng.int prng 100 < 35 then
+        (* a reply: re-use an earlier subject so threads exist *)
+        "re: " ^ subjects.(Stdx.Prng.int prng i)
+      else
+        String.concat " "
+          (List.init (Stdx.Prng.int_in prng 2 4) (fun _ ->
+               Vocab.abstract_word (Stdx.Prng.int prng 25)))
+    in
+    subjects.(i) <-
+      (if String.length subject >= 4 && String.sub subject 0 4 = "re: " then
+         String.sub subject 4 (String.length subject - 4)
+       else subject);
+    let body =
+      String.concat " "
+        (List.init (max p.body_words 1) (fun _ ->
+             Vocab.abstract_word (Stdx.Prng.int prng 25)))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<msg> FROM: %s\nTO: {%s}\nSUBJECT: {%s}\nDATE: {2026-06-%02d}\n\
+          BODY: {%s}\n</msg>\n"
+         sender recipients subject
+         (1 + (i mod 28))
+         body)
+  done;
+  Buffer.contents buf

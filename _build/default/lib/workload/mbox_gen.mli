@@ -1,0 +1,23 @@
+(** Synthetic mailboxes conforming to {!Fschema.Mbox_schema}.
+
+    Senders and recipients are drawn from a Zipf-distributed user pool
+    (a few prolific writers, a long tail), and message bodies reuse the
+    abstract vocabulary, so both selective and unselective text queries
+    exist.  Reply subjects reference earlier subjects so join-style
+    thread queries have matches. *)
+
+type params = {
+  seed : int;
+  n_messages : int;
+  n_users : int;
+  max_recipients : int;
+  body_words : int;
+  zipf_s : float;
+}
+
+val default : params
+val with_size : int -> params
+val address : int -> string
+(** Deterministic address of the user with a given rank. *)
+
+val generate : params -> string

@@ -1,0 +1,47 @@
+type params = {
+  seed : int;
+  top_sections : int;
+  depth : int;
+  fanout : int;
+  paras : int;
+  para_words : int;
+}
+
+let default =
+  { seed = 13; top_sections = 3; depth = 4; fanout = 2; paras = 2; para_words = 8 }
+
+let with_depth d = { default with depth = d }
+
+let generate p =
+  let prng = Stdx.Prng.create p.seed in
+  let buf = Buffer.create 4096 in
+  let para () =
+    String.concat " "
+      (List.init (max p.para_words 1) (fun _ ->
+           Vocab.abstract_word (Stdx.Prng.int prng 25)))
+  in
+  let rec section depth =
+    Buffer.add_string buf "<sec> <h>";
+    Buffer.add_string buf (Vocab.heading_word (Stdx.Prng.int prng 10));
+    Buffer.add_string buf (Printf.sprintf " level%d" depth);
+    Buffer.add_string buf "</h>\n";
+    for _ = 1 to Stdx.Prng.int_in prng 1 (max p.paras 1) do
+      Buffer.add_string buf ("<p>" ^ para () ^ "</p>\n")
+    done;
+    if depth < p.depth then begin
+      (* at least one child while above half the target depth, so deep
+         chains reliably exist for the closure experiments *)
+      let min_children = if depth * 2 < p.depth then 1 else 0 in
+      let n = Stdx.Prng.int_in prng min_children (max p.fanout min_children) in
+      for _ = 1 to n do
+        section (depth + 1)
+      done
+    end;
+    Buffer.add_string buf "</sec>\n"
+  in
+  Buffer.add_string buf "<doc>\n";
+  for _ = 1 to max p.top_sections 1 do
+    section 1
+  done;
+  Buffer.add_string buf "</doc>\n";
+  Buffer.contents buf

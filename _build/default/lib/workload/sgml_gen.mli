@@ -1,0 +1,17 @@
+(** Synthetic nested documents conforming to {!Fschema.Sgml_schema}.
+
+    The nesting depth is a parameter — E7 (transitive closure) and E8
+    (direct-inclusion cost) sweep it. *)
+
+type params = {
+  seed : int;
+  top_sections : int;
+  depth : int;  (** maximum nesting depth *)
+  fanout : int;  (** subsections per section, uniform in [0..fanout] *)
+  paras : int;  (** paragraphs per section, uniform in [1..paras] *)
+  para_words : int;
+}
+
+val default : params
+val with_depth : int -> params
+val generate : params -> string

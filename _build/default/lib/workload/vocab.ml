@@ -1,0 +1,58 @@
+let pick base synth k =
+  if k < Array.length base then base.(k)
+  else Printf.sprintf "%s%d" synth (k - Array.length base)
+
+let last_names =
+  [|
+    "Chang"; "Corliss"; "Milo"; "Griewank"; "Consens"; "Tompa"; "Gonnet";
+    "Abiteboul"; "Cluet"; "Salminen"; "Kilpelainen"; "Mannila"; "Kifer";
+    "Sagiv"; "Mendelzon"; "Lamport"; "Sethi"; "Burkowski"; "Bertino"; "Paepcke";
+  |]
+
+let first_names =
+  [|
+    "Gene"; "Yves"; "Tova"; "Andreas"; "Mariano"; "Frank"; "Gaston"; "Serge";
+    "Sophie"; "Airi"; "Pekka"; "Heikki"; "Michael"; "Yehoshua"; "Alberto";
+    "Leslie"; "Ravi"; "Forbes"; "Elisa"; "Andreas2";
+  |]
+
+let keywords =
+  [|
+    "point algorithm"; "Taylor series"; "radius of convergence";
+    "text indexing"; "query optimization"; "region algebra";
+    "structuring schema"; "partial indexing"; "suffix arrays";
+    "object databases"; "path expressions"; "transitive closure";
+    "file systems"; "semi structured data"; "visual queries";
+  |]
+
+let title_words =
+  [|
+    "Optimizing"; "Queries"; "Files"; "Solving"; "Ordinary"; "Differential";
+    "Equations"; "Using"; "Taylor"; "Series"; "Automatic"; "Text"; "Search";
+    "Region"; "Indexing"; "Databases"; "Algebra"; "Grammar"; "Modelling";
+    "Retrieval";
+  |]
+
+let abstract_words =
+  [|
+    "the"; "a"; "system"; "index"; "region"; "query"; "file"; "database";
+    "parser"; "word"; "algorithm"; "evaluation"; "optimization"; "grammar";
+    "structure"; "text"; "schema"; "engine"; "program"; "derivation";
+    "preprocessor"; "performance"; "candidate"; "superset"; "inclusion";
+  |]
+
+let services = [| "auth"; "web"; "db"; "cache"; "mail"; "queue"; "batch" |]
+
+let heading_words =
+  [|
+    "introduction"; "background"; "motivation"; "example"; "indexing";
+    "optimization"; "schemas"; "evaluation"; "conclusion"; "appendix";
+  |]
+
+let last_name = pick last_names "Last"
+let first_name = pick first_names "First"
+let keyword = pick keywords "keyword"
+let title_word = pick title_words "Word"
+let abstract_word = pick abstract_words "term"
+let service = pick services "svc"
+let heading_word = pick heading_words "section"

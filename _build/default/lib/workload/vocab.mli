@@ -1,0 +1,21 @@
+(** Shared vocabulary for the synthetic corpora.
+
+    Real bibliographies draw names and keywords from heavy-tailed
+    distributions; the generators reproduce that with Zipf-ranked pools
+    so that query words span a wide selectivity range.  Rank 0 is the
+    most frequent item of each pool. *)
+
+val last_name : int -> string
+(** Deterministic last name of a given rank ("Chang", "Corliss", …,
+    then synthetic ["LastN"]). *)
+
+val first_name : int -> string
+val keyword : int -> string
+(** Multi-word keyword phrases, letters and spaces only. *)
+
+val title_word : int -> string
+val abstract_word : int -> string
+val service : int -> string
+(** Service names for the log corpus. *)
+
+val heading_word : int -> string

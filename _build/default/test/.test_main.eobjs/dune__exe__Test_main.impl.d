@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_fschema Test_odb Test_oqf Test_pat Test_ralg Test_stdx

@@ -1,0 +1,1 @@
+test/test_odb.ml: Alcotest Database List Odb Path Query Query_eval Query_parser Stdx Value

@@ -1,0 +1,1 @@
+test/test_oqf.ml: Alcotest Bibtex_schema Fmt Fschema Grammar List Log_schema Mbox_schema Odb Oqf Pat Printf Ralg Sgml_schema Stdx String View Workload

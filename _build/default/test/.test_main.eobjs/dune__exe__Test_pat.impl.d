@@ -1,0 +1,1 @@
+test/test_pat.ml: Alcotest Array Filename Fun Gen Index_store Instance List Pat Print Printf QCheck QCheck_alcotest Region Region_scanner Region_set String Suffix_array Sys Text Tokenizer Word_index

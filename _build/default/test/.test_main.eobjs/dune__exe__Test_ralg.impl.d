@@ -1,0 +1,1 @@
+test/test_ralg.ml: Alcotest Array Chain Cost Eval Expr Expr_parser Fun Gen List Naive_eval Optimizer Pat Printf QCheck QCheck_alcotest Ralg Rig Stdx String Trivial

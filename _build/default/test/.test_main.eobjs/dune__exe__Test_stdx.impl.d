@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Fun Gen Int List Print QCheck QCheck_alcotest Set Stdx

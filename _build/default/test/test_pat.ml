@@ -1,0 +1,696 @@
+(* Tests for the PAT engine: suffix array, word index, region sets and
+   the region-algebra operators, checked against naive reference
+   implementations on random inputs. *)
+
+open Pat
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference semantics for the region operators.                 *)
+
+module Naive = struct
+  let mem_list rs r = List.exists (Region.equal r) rs
+
+  let including r s =
+    List.filter (fun x -> List.exists (fun y -> Region.includes x y) s) r
+
+  let included r s =
+    List.filter (fun x -> List.exists (fun y -> Region.includes y x) s) r
+
+  let blocked ctx outer inner =
+    List.exists
+      (fun u ->
+        Region.strictly_includes outer u
+        && Region.strictly_includes u inner
+        && (not (Region.equal u outer))
+        && not (Region.equal u inner))
+      ctx
+
+  let directly_including ctx r s =
+    List.filter
+      (fun x ->
+        List.exists
+          (fun y -> Region.includes x y && not (blocked ctx x y))
+          s)
+      r
+
+  let directly_included ctx r s =
+    List.filter
+      (fun x ->
+        List.exists
+          (fun y -> Region.includes y x && not (blocked ctx y x))
+          s)
+      r
+
+  let directly_including_strict ctx r s =
+    List.filter
+      (fun x ->
+        List.exists
+          (fun y -> Region.strictly_includes x y && not (blocked ctx x y))
+          s)
+      r
+
+  let including_strict r s =
+    List.filter
+      (fun x -> List.exists (fun y -> Region.strictly_includes x y) s)
+      r
+
+  let included_strict r s =
+    List.filter
+      (fun x -> List.exists (fun y -> Region.strictly_includes y x) s)
+      r
+
+  let innermost r =
+    List.filter
+      (fun x ->
+        not
+          (List.exists
+             (fun y -> (not (Region.equal x y)) && Region.includes x y)
+             r))
+      r
+
+  let outermost r =
+    List.filter
+      (fun x ->
+        not
+          (List.exists
+             (fun y -> (not (Region.equal x y)) && Region.includes y x)
+             r))
+      r
+
+  let _ = mem_list
+end
+
+(* Random region-set generator: positions bounded so that inclusion and
+   overlap happen often. *)
+let region_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b -> Region.make ~start:(min a b) ~stop:(max a b))
+      (int_bound 40) (int_bound 40))
+
+let region_list_gen = QCheck.Gen.(list_size (int_bound 25) region_gen)
+
+let print_regions rs =
+  String.concat ";"
+    (List.map (fun (r : Region.t) -> Printf.sprintf "[%d,%d)" r.start r.stop) rs)
+
+let arb_regions = QCheck.make ~print:print_regions region_list_gen
+
+let arb_regions3 =
+  QCheck.(
+    make
+      ~print:(fun (a, b, c) ->
+        Printf.sprintf "(%s | %s | %s)" (print_regions a) (print_regions b)
+          (print_regions c))
+      QCheck.Gen.(triple region_list_gen region_list_gen region_list_gen))
+
+let set = Region_set.of_list
+let as_sorted_list rs = Region_set.to_list (Region_set.of_list rs)
+
+(* ------------------------------------------------------------------ *)
+(* Region unit tests                                                   *)
+
+let region_tests =
+  [
+    Alcotest.test_case "compare orders enclosing first" `Quick (fun () ->
+        let outer = Region.make ~start:0 ~stop:10 in
+        let inner = Region.make ~start:0 ~stop:4 in
+        Alcotest.(check bool) "outer first" true (Region.compare outer inner < 0));
+    Alcotest.test_case "includes is non-strict" `Quick (fun () ->
+        let r = Region.make ~start:2 ~stop:8 in
+        Alcotest.(check bool) "self" true (Region.includes r r);
+        Alcotest.(check bool) "strict self" false (Region.strictly_includes r r));
+    Alcotest.test_case "make rejects inverted interval" `Quick (fun () ->
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Region.make: invalid interval [5,3)") (fun () ->
+            ignore (Region.make ~start:5 ~stop:3)));
+    Alcotest.test_case "contains_point boundary" `Quick (fun () ->
+        let r = Region.make ~start:2 ~stop:5 in
+        Alcotest.(check bool) "start in" true (Region.contains_point r 2);
+        Alcotest.(check bool) "stop out" false (Region.contains_point r 5));
+    Alcotest.test_case "overlaps" `Quick (fun () ->
+        let a = Region.make ~start:0 ~stop:5 in
+        let b = Region.make ~start:4 ~stop:9 in
+        let c = Region.make ~start:5 ~stop:9 in
+        Alcotest.(check bool) "touching intervals overlap" true
+          (Region.overlaps a b);
+        Alcotest.(check bool) "adjacent do not" false (Region.overlaps a c));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Region_set properties                                               *)
+
+let eq_sets got want =
+  Region_set.equal got (Region_set.of_list want)
+
+let region_set_props =
+  [
+    QCheck.Test.make ~name:"including matches naive" ~count:500 arb_regions3
+      (fun (r, s, _) ->
+        eq_sets (Region_set.including (set r) (set s))
+          (Naive.including (as_sorted_list r) (as_sorted_list s)));
+    QCheck.Test.make ~name:"included matches naive" ~count:500 arb_regions3
+      (fun (r, s, _) ->
+        eq_sets (Region_set.included (set r) (set s))
+          (Naive.included (as_sorted_list r) (as_sorted_list s)));
+    QCheck.Test.make ~name:"directly_including matches naive" ~count:500
+      arb_regions3 (fun (r, s, c) ->
+        let ctx = as_sorted_list (r @ s @ c) in
+        eq_sets
+          (Region_set.directly_including ~context:(set ctx) (set r) (set s))
+          (Naive.directly_including ctx (as_sorted_list r) (as_sorted_list s)));
+    QCheck.Test.make ~name:"directly_included matches naive" ~count:500
+      arb_regions3 (fun (r, s, c) ->
+        let ctx = as_sorted_list (r @ s @ c) in
+        eq_sets
+          (Region_set.directly_included ~context:(set ctx) (set r) (set s))
+          (Naive.directly_included ctx (as_sorted_list r) (as_sorted_list s)));
+    QCheck.Test.make ~name:"including_strict matches naive" ~count:500
+      arb_regions3 (fun (r, s, _) ->
+        eq_sets
+          (Region_set.including_strict (set r) (set s))
+          (Naive.including_strict (as_sorted_list r) (as_sorted_list s)));
+    QCheck.Test.make ~name:"included_strict matches naive" ~count:500
+      arb_regions3 (fun (r, s, _) ->
+        eq_sets
+          (Region_set.included_strict (set r) (set s))
+          (Naive.included_strict (as_sorted_list r) (as_sorted_list s)));
+    QCheck.Test.make ~name:"directly_including_strict matches naive" ~count:500
+      arb_regions3 (fun (r, s, c) ->
+        let ctx = as_sorted_list (r @ s @ c) in
+        eq_sets
+          (Region_set.directly_including_strict ~context:(set ctx) (set r)
+             (set s))
+          (Naive.directly_including_strict ctx (as_sorted_list r)
+             (as_sorted_list s)));
+    QCheck.Test.make ~name:"strict excludes self-matches" ~count:300
+      arb_regions (fun r ->
+        let s = set r in
+        let strict = Region_set.including_strict s s in
+        (* an element is kept only if it strictly contains another *)
+        List.for_all
+          (fun x ->
+            List.exists
+              (fun y -> Region.strictly_includes x y)
+              (Region_set.to_list s))
+          (Region_set.to_list strict));
+    QCheck.Test.make ~name:"innermost matches naive" ~count:500 arb_regions
+      (fun r ->
+        eq_sets (Region_set.innermost (set r)) (Naive.innermost (as_sorted_list r)));
+    QCheck.Test.make ~name:"outermost matches naive" ~count:500 arb_regions
+      (fun r ->
+        eq_sets (Region_set.outermost (set r)) (Naive.outermost (as_sorted_list r)));
+    QCheck.Test.make ~name:"direct inclusion implies inclusion" ~count:300
+      arb_regions3 (fun (r, s, c) ->
+        let ctx = set (r @ s @ c) in
+        Region_set.subset
+          (Region_set.directly_including ~context:ctx (set r) (set s))
+          (Region_set.including (set r) (set s)));
+    QCheck.Test.make ~name:"R ⊃ R = R (non-strict inclusion)" ~count:300
+      arb_regions (fun r ->
+        Region_set.equal (Region_set.including (set r) (set r)) (set r));
+    QCheck.Test.make ~name:"innermost is a fixpoint" ~count:300 arb_regions
+      (fun r ->
+        let i = Region_set.innermost (set r) in
+        Region_set.equal (Region_set.innermost i) i);
+    QCheck.Test.make ~name:"outermost is a fixpoint" ~count:300 arb_regions
+      (fun r ->
+        let o = Region_set.outermost (set r) in
+        Region_set.equal (Region_set.outermost o) o);
+    QCheck.Test.make ~name:"union/inter/diff are set ops" ~count:300
+      arb_regions3 (fun (a, b, _) ->
+        let sa = set a and sb = set b in
+        let u = Region_set.union sa sb
+        and i = Region_set.inter sa sb
+        and d = Region_set.diff sa sb in
+        Region_set.subset i sa && Region_set.subset i sb
+        && Region_set.subset sa u && Region_set.subset sb u
+        && Region_set.subset d sa
+        && Region_set.is_empty (Region_set.inter d sb));
+    QCheck.Test.make ~name:"count_strictly_between matches naive" ~count:300
+      arb_regions3 (fun (r, s, c) ->
+        let ctx = as_sorted_list (r @ s @ c) in
+        let ctx_set = set ctx in
+        List.for_all
+          (fun outer ->
+            List.for_all
+              (fun inner ->
+                (not (Region.includes outer inner))
+                ||
+                let naive =
+                  List.length
+                    (List.filter
+                       (fun u ->
+                         Region.strictly_includes outer u
+                         && Region.strictly_includes u inner)
+                       ctx)
+                in
+                Region_set.count_strictly_between ~context:ctx_set ~outer
+                  ~inner
+                = naive)
+              (as_sorted_list s))
+          (as_sorted_list r));
+  ]
+
+let region_set_units =
+  [
+    Alcotest.test_case "of_list dedups" `Quick (fun () ->
+        let s = Region_set.of_pairs [ (1, 3); (1, 3); (0, 5) ] in
+        Alcotest.(check int) "cardinal" 2 (Region_set.cardinal s));
+    Alcotest.test_case "empty behaviour" `Quick (fun () ->
+        Alcotest.(check bool) "is_empty" true (Region_set.is_empty Region_set.empty);
+        Alcotest.(check bool)
+          "including with empty" true
+          (Region_set.is_empty
+             (Region_set.including Region_set.empty (Region_set.of_pairs [ (0, 1) ])));
+        Alcotest.(check bool)
+          "choose empty" true
+          (Region_set.choose Region_set.empty = None));
+    Alcotest.test_case "directly_including skips when blocked" `Quick (fun () ->
+        (* outer [0,10) ⊃ mid [2,8) ⊃ inner [4,6): outer ⊃d inner fails. *)
+        let outer = Region_set.of_pairs [ (0, 10) ] in
+        let inner = Region_set.of_pairs [ (4, 6) ] in
+        let ctx = Region_set.of_pairs [ (0, 10); (2, 8); (4, 6) ] in
+        Alcotest.(check bool)
+          "blocked" true
+          (Region_set.is_empty
+             (Region_set.directly_including ~context:ctx outer inner));
+        let ctx_free = Region_set.of_pairs [ (0, 10); (4, 6) ] in
+        Alcotest.(check bool)
+          "unblocked" false
+          (Region_set.is_empty
+             (Region_set.directly_including ~context:ctx_free outer inner)));
+    Alcotest.test_case "including_at_depth counts layers" `Quick (fun () ->
+        let outer = Region_set.of_pairs [ (0, 10) ] in
+        let inner = Region_set.of_pairs [ (4, 6) ] in
+        let ctx = Region_set.of_pairs [ (0, 10); (2, 8); (3, 7); (4, 6) ] in
+        Alcotest.(check bool)
+          "depth 2" false
+          (Region_set.is_empty
+             (Region_set.including_at_depth ~context:ctx ~depth:2 outer inner));
+        Alcotest.(check bool)
+          "depth 1 empty" true
+          (Region_set.is_empty
+             (Region_set.including_at_depth ~context:ctx ~depth:1 outer inner)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Suffix array / word index                                           *)
+
+let naive_word_occurrences text w =
+  (* positions where w occurs, starting at a word start and ending at a
+     token boundary *)
+  let t = Text.of_string text in
+  let n = String.length text and m = String.length w in
+  let out = ref [] in
+  for p = n - m downto 0 do
+    if
+      String.sub text p m = w
+      && Tokenizer.is_word_start t p
+      && Tokenizer.is_word_end t (p + m)
+    then out := p :: !out
+  done;
+  !out
+
+let word_gen =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 1 4) (oneofl [ 'a'; 'b'; 'c' ])))
+
+let text_gen =
+  QCheck.Gen.(
+    map
+      (fun ws -> String.concat " " ws)
+      (list_size (int_bound 30) word_gen))
+
+let suffix_array_props =
+  [
+    QCheck.Test.make ~name:"find_word matches naive scan" ~count:300
+      QCheck.(make ~print:Print.(pair string string) Gen.(pair text_gen word_gen))
+      (fun (text, w) ->
+        let t = Text.of_string text in
+        let sa = Suffix_array.build t in
+        Array.to_list (Suffix_array.find_word sa w)
+        = naive_word_occurrences text w);
+    QCheck.Test.make ~name:"find returns word-start prefix matches" ~count:300
+      QCheck.(make ~print:Print.(pair string string) Gen.(pair text_gen word_gen))
+      (fun (text, w) ->
+        let t = Text.of_string text in
+        let sa = Suffix_array.build t in
+        let found = Suffix_array.find sa w in
+        Array.for_all
+          (fun p ->
+            Tokenizer.is_word_start t p
+            && p + String.length w <= String.length text
+            && String.sub text p (String.length w) = w)
+          found);
+    QCheck.Test.make ~name:"count = |find|" ~count:200
+      QCheck.(make ~print:Print.(pair string string) Gen.(pair text_gen word_gen))
+      (fun (text, w) ->
+        let sa = Suffix_array.build (Text.of_string text) in
+        Suffix_array.count sa w = Array.length (Suffix_array.find sa w));
+  ]
+
+(* Random region windows over random texts, used to compare the indexed
+   word selections against character-level scans. *)
+let windows_gen =
+  QCheck.Gen.(
+    pair text_gen
+      (list_size (int_bound 8) (pair (int_bound 60) (int_bound 60))))
+
+let arb_windows =
+  QCheck.make
+    ~print:(fun (t, ws) ->
+      Printf.sprintf "%S %s" t
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) ws)))
+    windows_gen
+
+let clip_regions text ws =
+  let n = String.length text in
+  Region_set.of_pairs
+    (List.filter_map
+       (fun (a, b) ->
+         let lo = min (min a b) n and hi = min (max a b) n in
+         if lo <= hi then Some (lo, hi) else None)
+       ws)
+
+let word_selection_props =
+  let naive_count text (r : Region.t) w =
+    let t = Text.of_string text in
+    let m = String.length w in
+    let count = ref 0 in
+    for p = r.start to r.stop - m do
+      if
+        String.sub text p m = w
+        && Tokenizer.is_word_start t p
+        && Tokenizer.is_word_end t (p + m)
+      then incr count
+    done;
+    !count
+  in
+  [
+    QCheck.Test.make ~name:"select_min_count matches naive scan" ~count:300
+      QCheck.(pair arb_windows (make Gen.(pair word_gen (int_range 1 3))))
+      (fun ((text, ws), (w, k)) ->
+        let t = Text.of_string text in
+        let wi = Word_index.build t in
+        let regions = clip_regions text ws in
+        let got = Word_index.select_min_count wi w ~count:k regions in
+        let want =
+          Region_set.filter (fun r -> naive_count text r w >= k) regions
+        in
+        Region_set.equal got want);
+    QCheck.Test.make ~name:"select_prefix matches naive scan" ~count:300
+      QCheck.(pair arb_windows (make word_gen))
+      (fun ((text, ws), w) ->
+        let t = Text.of_string text in
+        let wi = Word_index.build t in
+        let regions = clip_regions text ws in
+        let got = Word_index.select_prefix wi w regions in
+        let m = String.length w in
+        let want =
+          Region_set.filter
+            (fun (r : Region.t) ->
+              Region.length r >= m
+              && r.start + m <= String.length text
+              && String.sub text r.start m = w
+              && Tokenizer.is_word_start t r.start)
+            regions
+        in
+        Region_set.equal got want);
+    QCheck.Test.make ~name:"select_proximity matches naive scan" ~count:300
+      QCheck.(
+        pair arb_windows (make Gen.(triple word_gen word_gen (int_bound 12))))
+      (fun ((text, ws), (w1, w2, window)) ->
+        let t = Text.of_string text in
+        let wi = Word_index.build t in
+        let regions = clip_regions text ws in
+        let got = Word_index.select_proximity wi w1 w2 ~window regions in
+        let occs w (r : Region.t) =
+          let m = String.length w in
+          let out = ref [] in
+          for p = r.start to r.stop - m do
+            if
+              String.sub text p m = w
+              && Tokenizer.is_word_start t p
+              && Tokenizer.is_word_end t (p + m)
+            then out := p :: !out
+          done;
+          !out
+        in
+        let want =
+          Region_set.filter
+            (fun r ->
+              List.exists
+                (fun p1 ->
+                  List.exists (fun p2 -> abs (p1 - p2) <= window) (occs w2 r))
+                (occs w1 r))
+            regions
+        in
+        Region_set.equal got want);
+  ]
+
+let sample_text = "the cat sat on the mat; the catalog was flat"
+
+let word_index_tests =
+  [
+    Alcotest.test_case "exact word does not match prefix" `Quick (fun () ->
+        let wi = Word_index.build (Text.of_string sample_text) in
+        Alcotest.(check int) "cat occurs once" 1
+          (Array.length (Word_index.match_points wi "cat"));
+        Alcotest.(check int) "catalog separate" 1
+          (Array.length (Word_index.match_points wi "catalog")));
+    Alcotest.test_case "multi-word pattern" `Quick (fun () ->
+        let wi = Word_index.build (Text.of_string sample_text) in
+        Alcotest.(check int) "the cat once" 1
+          (Array.length (Word_index.match_points wi "the cat ")));
+    Alcotest.test_case "select_exact picks exact-extent regions" `Quick
+      (fun () ->
+        let text = Text.of_string "AUTHOR = Chang , EDITOR = Chang" in
+        let wi = Word_index.build text in
+        (* regions: the two name fields, trimmed *)
+        let names = Region_set.of_pairs [ (9, 14); (26, 31) ] in
+        let hit = Word_index.select_exact wi "Chang" names in
+        Alcotest.(check int) "both" 2 (Region_set.cardinal hit);
+        let miss = Word_index.select_exact wi "Chan" names in
+        Alcotest.(check int) "prefix rejected" 0 (Region_set.cardinal miss));
+    Alcotest.test_case "select_containing finds embedded word" `Quick
+      (fun () ->
+        let text = Text.of_string "a Chang wrote; b Corliss edited" in
+        let wi = Word_index.build text in
+        let halves = Region_set.of_pairs [ (0, 13); (15, 31) ] in
+        let hit = Word_index.select_containing wi "Chang" halves in
+        Alcotest.(check int) "first half" 1 (Region_set.cardinal hit);
+        Alcotest.(check bool)
+          "is first" true
+          (match Region_set.choose hit with
+          | Some r -> r.Region.start = 0
+          | None -> false));
+    Alcotest.test_case "empty text" `Quick (fun () ->
+        let wi = Word_index.build (Text.of_string "") in
+        Alcotest.(check int) "no matches" 0
+          (Array.length (Word_index.match_points wi "x")));
+    Alcotest.test_case "prefix search selects extents starting with w" `Quick
+      (fun () ->
+        let text = Text.of_string "Ref0012 Ref0034 Xy0012" in
+        let wi = Word_index.build text in
+        let tokens = Region_set.of_pairs [ (0, 7); (8, 15); (16, 22) ] in
+        Alcotest.(check int) "Ref00 matches two" 2
+          (Region_set.cardinal (Word_index.select_prefix wi "Ref00" tokens));
+        Alcotest.(check int) "Ref0012 matches one" 1
+          (Region_set.cardinal (Word_index.select_prefix wi "Ref0012" tokens));
+        Alcotest.(check int) "no such prefix" 0
+          (Region_set.cardinal (Word_index.select_prefix wi "Zz" tokens));
+        (* prefix must start at the region start, not merely occur *)
+        let whole = Region_set.of_pairs [ (0, 22) ] in
+        Alcotest.(check int) "whole text starts with Ref" 1
+          (Region_set.cardinal (Word_index.select_prefix wi "Ref" whole));
+        Alcotest.(check int) "whole text does not start with Xy" 0
+          (Region_set.cardinal (Word_index.select_prefix wi "Xy" whole)));
+    Alcotest.test_case "frequency search counts occurrences" `Quick (fun () ->
+        let text = Text.of_string "ab ab zz | ab zz zz | zz" in
+        let wi = Word_index.build text in
+        (* three pipe-free chunks *)
+        let chunks = Region_set.of_pairs [ (0, 9); (11, 19); (22, 24) ] in
+        let at_least k =
+          Region_set.cardinal (Word_index.select_min_count wi "zz" ~count:k chunks)
+        in
+        Alcotest.(check int) "k=1" 3 (at_least 1);
+        Alcotest.(check int) "k=2" 1 (at_least 2);
+        Alcotest.(check int) "k=3" 0 (at_least 3));
+    Alcotest.test_case "proximity search respects the window" `Quick
+      (fun () ->
+        let text = Text.of_string "alpha beta | alpha xx xx xx xx beta" in
+        let wi = Word_index.build text in
+        let chunks = Region_set.of_pairs [ (0, 10); (13, 35) ] in
+        let near w =
+          Region_set.cardinal
+            (Word_index.select_proximity wi "alpha" "beta" ~window:w chunks)
+        in
+        Alcotest.(check int) "tight window" 1 (near 8);
+        Alcotest.(check int) "wide window" 2 (near 30);
+        Alcotest.(check int) "zero window" 0 (near 2));
+    Alcotest.test_case "proximity requires both words inside the region"
+      `Quick
+      (fun () ->
+        let text = Text.of_string "alpha | beta" in
+        let wi = Word_index.build text in
+        (* the words are near each other but in different regions *)
+        let chunks = Region_set.of_pairs [ (0, 5); (8, 12) ] in
+        Alcotest.(check int) "none" 0
+          (Region_set.cardinal
+             (Word_index.select_proximity wi "alpha" "beta" ~window:20 chunks)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Region scanner                                                      *)
+
+let scanner_tests =
+  [
+    Alcotest.test_case "marker scan pairs start with nearest end" `Quick
+      (fun () ->
+        let text = Text.of_string "AUTHOR = a b c, TITLE = t, AUTHOR = d," in
+        let rs =
+          Region_scanner.scan text ~start_marker:"AUTHOR =" ~end_marker:"," ()
+        in
+        Alcotest.(check int) "two author regions" 2 (Region_set.cardinal rs);
+        let contents =
+          List.map (Region.text text) (Region_set.to_list rs)
+        in
+        Alcotest.(check (list string)) "contents" [ " a b c"; " d" ] contents);
+    Alcotest.test_case "unmatched start dropped" `Quick (fun () ->
+        let text = Text.of_string "BEGIN x BEGIN y END" in
+        let rs =
+          Region_scanner.scan text ~start_marker:"BEGIN" ~end_marker:"END" ()
+        in
+        (* both starts pair with the single END; the scanner allows that *)
+        Alcotest.(check int) "two regions" 2 (Region_set.cardinal rs));
+    Alcotest.test_case "balanced braces nest" `Quick (fun () ->
+        let text = Text.of_string "{a {b} {c {d}}}" in
+        let rs = Region_scanner.scan_balanced text ~open_char:'{' ~close_char:'}' in
+        Alcotest.(check int) "four regions" 4 (Region_set.cardinal rs);
+        let outer = Region_set.outermost rs in
+        Alcotest.(check int) "one outermost" 1 (Region_set.cardinal outer));
+    Alcotest.test_case "occurrences finds all" `Quick (fun () ->
+        let text = Text.of_string "xx-xx-xx" in
+        let rs = Region_scanner.occurrences text "xx" in
+        Alcotest.(check int) "three" 3 (Region_set.cardinal rs));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Instance & store                                                    *)
+
+let instance_tests =
+  [
+    Alcotest.test_case "universe unions all names" `Quick (fun () ->
+        let text = Text.of_string "abcdef" in
+        let inst =
+          Instance.create text
+            [
+              ("A", Region_set.of_pairs [ (0, 6) ]);
+              ("B", Region_set.of_pairs [ (1, 3); (4, 5) ]);
+            ]
+        in
+        Alcotest.(check int) "universe" 3
+          (Region_set.cardinal (Instance.universe inst));
+        Alcotest.(check int) "total" 3 (Instance.total_regions inst));
+    Alcotest.test_case "restrict drops names" `Quick (fun () ->
+        let text = Text.of_string "abcdef" in
+        let inst =
+          Instance.create text
+            [
+              ("A", Region_set.of_pairs [ (0, 6) ]);
+              ("B", Region_set.of_pairs [ (1, 3) ]);
+            ]
+        in
+        let p = Instance.restrict inst [ "A" ] in
+        Alcotest.(check (list string)) "names" [ "A" ] (Instance.names p);
+        Alcotest.(check bool) "B gone" false (Instance.mem p "B"));
+    Alcotest.test_case "duplicate names rejected" `Quick (fun () ->
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Instance.create: duplicate region name A")
+          (fun () ->
+            ignore
+              (Instance.create (Text.of_string "x")
+                 [ ("A", Region_set.empty); ("A", Region_set.empty) ])));
+    Alcotest.test_case "satisfies_rig accepts consistent instance" `Quick
+      (fun () ->
+        let text = Text.of_string "0123456789" in
+        let inst =
+          Instance.create text
+            [
+              ("A", Region_set.of_pairs [ (0, 10) ]);
+              ("B", Region_set.of_pairs [ (2, 5) ]);
+            ]
+        in
+        Alcotest.(check bool)
+          "ok" true
+          (Instance.satisfies_rig inst ~edges:[ ("A", "B") ] = None);
+        Alcotest.(check bool)
+          "violated without edge" true
+          (Instance.satisfies_rig inst ~edges:[] <> None));
+    Alcotest.test_case "index store rejects foreign files" `Quick (fun () ->
+        let path = Filename.temp_file "oqf_test" ".idx" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc "definitely not an index file";
+            close_out oc;
+            match Index_store.load ~path with
+            | exception Failure msg ->
+                Alcotest.(check bool) "mentions magic" true
+                  (String.length msg > 0)
+            | _ -> Alcotest.fail "should refuse"));
+    Alcotest.test_case "text loads from disk" `Quick (fun () ->
+        let path = Filename.temp_file "oqf_test" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc "hello disk";
+            close_out oc;
+            let t = Text.of_file path in
+            Alcotest.(check int) "length" 10 (Text.length t);
+            Alcotest.(check string) "contents" "hello disk"
+              (Text.sub t ~pos:0 ~len:10)));
+    Alcotest.test_case "index store round-trip" `Quick (fun () ->
+        let text = Text.of_string "hello world of regions" in
+        let inst =
+          Instance.create text
+            [
+              ("W", Region_set.of_pairs [ (0, 5); (6, 11) ]);
+              ("ALL", Region_set.of_pairs [ (0, 22) ]);
+            ]
+        in
+        let path = Filename.temp_file "oqf_test" ".idx" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Index_store.save ~path inst;
+            let inst' = Index_store.load ~path in
+            Alcotest.(check (list string))
+              "names" (Instance.names inst) (Instance.names inst');
+            Alcotest.(check bool)
+              "regions equal" true
+              (Region_set.equal (Instance.find inst "W") (Instance.find inst' "W"));
+            Alcotest.(check int)
+              "same text" (Text.length text)
+              (Text.length (Instance.text inst'))));
+  ]
+
+let suites =
+  [
+    ("pat.region", region_tests);
+    ( "pat.region_set",
+      region_set_units @ List.map QCheck_alcotest.to_alcotest region_set_props );
+    ( "pat.suffix_array",
+      List.map QCheck_alcotest.to_alcotest suffix_array_props );
+    ( "pat.word_selections",
+      List.map QCheck_alcotest.to_alcotest word_selection_props );
+    ("pat.word_index", word_index_tests);
+    ("pat.region_scanner", scanner_tests);
+    ("pat.instance", instance_tests);
+  ]

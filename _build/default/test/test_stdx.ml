@@ -1,0 +1,246 @@
+(* Unit and property tests for the stdx substrate. *)
+
+let icmp = Int.compare
+
+let sorted_int_list =
+  QCheck.(make ~print:Print.(list int) Gen.(map (List.sort_uniq icmp) (list (int_bound 200))))
+
+let check_sorted name f =
+  QCheck.Test.make ~name ~count:300
+    QCheck.(pair sorted_int_list sorted_int_list)
+    f
+
+module Iset = Set.Make (Int)
+
+let prng_tests =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Stdx.Prng.create 42 and b = Stdx.Prng.create 42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64)
+            "stream" (Stdx.Prng.next_int64 a) (Stdx.Prng.next_int64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Stdx.Prng.create 1 and b = Stdx.Prng.create 2 in
+        Alcotest.(check bool)
+          "diverge" true
+          (Stdx.Prng.next_int64 a <> Stdx.Prng.next_int64 b));
+    Alcotest.test_case "int respects bound" `Quick (fun () ->
+        let t = Stdx.Prng.create 7 in
+        for _ = 1 to 1000 do
+          let x = Stdx.Prng.int t 13 in
+          Alcotest.(check bool) "in range" true (x >= 0 && x < 13)
+        done);
+    Alcotest.test_case "int_in inclusive bounds" `Quick (fun () ->
+        let t = Stdx.Prng.create 7 in
+        let seen_lo = ref false and seen_hi = ref false in
+        for _ = 1 to 2000 do
+          let x = Stdx.Prng.int_in t 3 5 in
+          if x = 3 then seen_lo := true;
+          if x = 5 then seen_hi := true;
+          Alcotest.(check bool) "in range" true (x >= 3 && x <= 5)
+        done;
+        Alcotest.(check bool) "lo reached" true !seen_lo;
+        Alcotest.(check bool) "hi reached" true !seen_hi);
+    Alcotest.test_case "split streams are independent" `Quick (fun () ->
+        let t = Stdx.Prng.create 99 in
+        let u = Stdx.Prng.split t in
+        Alcotest.(check bool)
+          "diverge" true
+          (Stdx.Prng.next_int64 t <> Stdx.Prng.next_int64 u));
+    Alcotest.test_case "shuffle is a permutation" `Quick (fun () ->
+        let t = Stdx.Prng.create 3 in
+        let a = Array.init 50 Fun.id in
+        Stdx.Prng.shuffle t a;
+        let sorted = Array.copy a in
+        Array.sort icmp sorted;
+        Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted);
+    Alcotest.test_case "sample draws distinct elements" `Quick (fun () ->
+        let t = Stdx.Prng.create 5 in
+        let xs = List.init 20 Fun.id in
+        let s = Stdx.Prng.sample t 8 xs in
+        Alcotest.(check int) "size" 8 (List.length s);
+        Alcotest.(check int) "distinct" 8 (Iset.cardinal (Iset.of_list s)));
+  ]
+
+let sorted_array_props =
+  [
+    check_sorted "union = set union" (fun (a, b) ->
+        let got =
+          Stdx.Sorted_array.union ~cmp:icmp (Array.of_list a) (Array.of_list b)
+        in
+        let want = Iset.elements (Iset.union (Iset.of_list a) (Iset.of_list b)) in
+        Array.to_list got = want);
+    check_sorted "inter = set inter" (fun (a, b) ->
+        let got =
+          Stdx.Sorted_array.inter ~cmp:icmp (Array.of_list a) (Array.of_list b)
+        in
+        let want = Iset.elements (Iset.inter (Iset.of_list a) (Iset.of_list b)) in
+        Array.to_list got = want);
+    check_sorted "diff = set diff" (fun (a, b) ->
+        let got =
+          Stdx.Sorted_array.diff ~cmp:icmp (Array.of_list a) (Array.of_list b)
+        in
+        let want = Iset.elements (Iset.diff (Iset.of_list a) (Iset.of_list b)) in
+        Array.to_list got = want);
+    check_sorted "subset agrees with Set.subset" (fun (a, b) ->
+        Stdx.Sorted_array.subset ~cmp:icmp (Array.of_list a) (Array.of_list b)
+        = Iset.subset (Iset.of_list a) (Iset.of_list b));
+    QCheck.Test.make ~name:"of_list sorts and dedups" ~count:300
+      QCheck.(list (int_bound 50))
+      (fun xs ->
+        let got = Stdx.Sorted_array.of_list ~cmp:icmp xs in
+        Array.to_list got = List.sort_uniq icmp xs);
+    QCheck.Test.make ~name:"lower/upper bound bracket" ~count:300
+      QCheck.(pair sorted_int_list (int_bound 200))
+      (fun (xs, x) ->
+        let a = Array.of_list xs in
+        let lo = Stdx.Sorted_array.lower_bound ~cmp:icmp a x in
+        let hi = Stdx.Sorted_array.upper_bound ~cmp:icmp a x in
+        lo <= hi
+        && (lo = 0 || a.(lo - 1) < x)
+        && (lo >= Array.length a || a.(lo) >= x)
+        && (hi >= Array.length a || a.(hi) > x)
+        && (hi = 0 || a.(hi - 1) <= x));
+  ]
+
+let sorted_array_units =
+  [
+    Alcotest.test_case "mem on empty" `Quick (fun () ->
+        Alcotest.(check bool) "absent" false
+          (Stdx.Sorted_array.mem ~cmp:icmp [||] 3));
+    Alcotest.test_case "union with empty" `Quick (fun () ->
+        let a = [| 1; 3; 5 |] in
+        Alcotest.(check (array int))
+          "left" a
+          (Stdx.Sorted_array.union ~cmp:icmp a [||]);
+        Alcotest.(check (array int))
+          "right" a
+          (Stdx.Sorted_array.union ~cmp:icmp [||] a));
+    Alcotest.test_case "is_sorted detects disorder" `Quick (fun () ->
+        Alcotest.(check bool) "ok" true
+          (Stdx.Sorted_array.is_sorted ~cmp:icmp [| 1; 2; 9 |]);
+        Alcotest.(check bool) "dup" false
+          (Stdx.Sorted_array.is_sorted ~cmp:icmp [| 1; 1 |]);
+        Alcotest.(check bool) "desc" false
+          (Stdx.Sorted_array.is_sorted ~cmp:icmp [| 2; 1 |]));
+  ]
+
+let range_minmax_tests =
+  let naive kind a lo hi =
+    let lo = max lo 0 and hi = min hi (Array.length a - 1) in
+    if lo > hi then None
+    else begin
+      let acc = ref a.(lo) in
+      for i = lo + 1 to hi do
+        acc := (match kind with `Min -> min | `Max -> max) !acc a.(i)
+      done;
+      Some !acc
+    end
+  in
+  [
+    QCheck.Test.make ~name:"range min matches naive" ~count:300
+      QCheck.(
+        triple
+          (array_of_size Gen.(int_range 1 40) (int_bound 1000))
+          small_nat small_nat)
+      (fun (a, i, j) ->
+        let t = Stdx.Range_minmax.of_array ~kind:`Min a in
+        let lo = i mod Array.length a and hi = j mod Array.length a in
+        Stdx.Range_minmax.query t ~lo ~hi = naive `Min a lo hi);
+    QCheck.Test.make ~name:"range max matches naive" ~count:300
+      QCheck.(
+        triple
+          (array_of_size Gen.(int_range 1 40) (int_bound 1000))
+          small_nat small_nat)
+      (fun (a, i, j) ->
+        let t = Stdx.Range_minmax.of_array ~kind:`Max a in
+        let lo = i mod Array.length a and hi = j mod Array.length a in
+        Stdx.Range_minmax.query t ~lo ~hi = naive `Max a lo hi);
+    QCheck.Test.make ~name:"query_excluding skips one index" ~count:300
+      QCheck.(
+        pair (array_of_size Gen.(int_range 2 40) (int_bound 1000)) small_nat)
+      (fun (a, i) ->
+        let t = Stdx.Range_minmax.of_array ~kind:`Min a in
+        let n = Array.length a in
+        let skip = i mod n in
+        let want =
+          let best = ref None in
+          for j = 0 to n - 1 do
+            if j <> skip then
+              best :=
+                Some (match !best with None -> a.(j) | Some b -> min b a.(j))
+          done;
+          !best
+        in
+        Stdx.Range_minmax.query_excluding t ~lo:0 ~hi:(n - 1) ~skip = want);
+  ]
+
+let zipf_tests =
+  [
+    Alcotest.test_case "samples stay in range" `Quick (fun () ->
+        let z = Stdx.Zipf.create ~n:10 ~s:1.1 in
+        let t = Stdx.Prng.create 11 in
+        for _ = 1 to 1000 do
+          let k = Stdx.Zipf.sample z t in
+          Alcotest.(check bool) "range" true (k >= 0 && k < 10)
+        done);
+    Alcotest.test_case "rank 0 dominates under skew" `Quick (fun () ->
+        let z = Stdx.Zipf.create ~n:100 ~s:1.5 in
+        let t = Stdx.Prng.create 17 in
+        let counts = Array.make 100 0 in
+        for _ = 1 to 10000 do
+          let k = Stdx.Zipf.sample z t in
+          counts.(k) <- counts.(k) + 1
+        done;
+        Alcotest.(check bool) "head heavier than tail" true
+          (counts.(0) > 10 * counts.(99)));
+    Alcotest.test_case "s=0 is uniform-ish" `Quick (fun () ->
+        let z = Stdx.Zipf.create ~n:4 ~s:0.0 in
+        let t = Stdx.Prng.create 23 in
+        let counts = Array.make 4 0 in
+        for _ = 1 to 8000 do
+          let k = Stdx.Zipf.sample z t in
+          counts.(k) <- counts.(k) + 1
+        done;
+        Array.iter
+          (fun c ->
+            Alcotest.(check bool) "roughly 2000" true (c > 1500 && c < 2500))
+          counts);
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "diff subtracts fieldwise" `Quick (fun () ->
+        let a = Stdx.Stats.create () in
+        a.bytes_scanned <- 10;
+        a.index_ops <- 2;
+        let b = Stdx.Stats.create () in
+        b.bytes_scanned <- 25;
+        b.index_ops <- 7;
+        let d = Stdx.Stats.diff ~before:a ~after:b in
+        Alcotest.(check int) "scanned" 15 d.bytes_scanned;
+        Alcotest.(check int) "ops" 5 d.index_ops);
+    Alcotest.test_case "reset zeroes" `Quick (fun () ->
+        let a = Stdx.Stats.create () in
+        a.objects_built <- 4;
+        Stdx.Stats.reset a;
+        Alcotest.(check int) "zero" 0 a.objects_built);
+    Alcotest.test_case "add accumulates" `Quick (fun () ->
+        let a = Stdx.Stats.create () and b = Stdx.Stats.create () in
+        a.word_lookups <- 1;
+        b.word_lookups <- 2;
+        Stdx.Stats.add a b;
+        Alcotest.(check int) "sum" 3 a.word_lookups);
+  ]
+
+let suites =
+  [
+    ("stdx.prng", prng_tests);
+    ( "stdx.sorted_array",
+      sorted_array_units @ List.map QCheck_alcotest.to_alcotest sorted_array_props
+    );
+    ("stdx.range_minmax", List.map QCheck_alcotest.to_alcotest range_minmax_tests);
+    ("stdx.zipf", zipf_tests);
+    ("stdx.stats", stats_tests);
+  ]
