@@ -6,21 +6,7 @@
 
 open Cmdliner
 
-let schemas =
-  [
-    ("bibtex", Fschema.Bibtex_schema.view);
-    ("log", Fschema.Log_schema.view);
-    ("sgml", Fschema.Sgml_schema.view);
-    ("mbox", Fschema.Mbox_schema.view);
-  ]
-
-let view_of_schema name =
-  match List.assoc_opt name schemas with
-  | Some v -> Ok v
-  | None ->
-      Error
-        (Printf.sprintf "unknown schema %s (expected %s)" name
-           (String.concat "|" (List.map fst schemas)))
+let view_of_schema = Oqf_catalog.Schemas.find_result
 
 let schema_arg =
   let doc = "Structuring schema: bibtex, log, sgml or mbox." in
@@ -154,9 +140,18 @@ let query_cmd =
   in
   let run schema file names q_text no_optimize load baseline =
     let view = or_die (view_of_schema schema) in
-    let text =
+    let loaded_instance =
       match load with
-      | Some path -> Pat.Instance.text (Pat.Index_store.load ~path)
+      | None -> None
+      | Some path ->
+          Some
+            (or_die
+               (Result.map_error Pat.Index_store.error_message
+                  (Pat.Index_store.load_result ~path)))
+    in
+    let text =
+      match loaded_instance with
+      | Some instance -> Pat.Instance.text instance
       | None -> Pat.Text.of_file file
     in
     let q =
@@ -176,9 +171,8 @@ let query_cmd =
     end
     else begin
       let src =
-        match load with
-        | Some path ->
-            Oqf.Execute.source_of_instance view (Pat.Index_store.load ~path)
+        match loaded_instance with
+        | Some instance -> Oqf.Execute.source_of_instance view instance
         | None ->
             let index = resolve_index view (split_names names) in
             or_die (Oqf.Execute.make_source view text ~index)
@@ -313,6 +307,149 @@ let rexpr_cmd =
       const run $ schema_arg $ file_arg $ index_names_arg $ expr_arg
       $ show_text)
 
+(* --- catalog ------------------------------------------------------- *)
+
+let catalog_dir_arg =
+  let doc = "The catalog directory." in
+  Arg.(required & opt (some string) None & info [ "c"; "catalog" ] ~doc)
+
+let open_catalog dir = or_die (Oqf_catalog.Catalog.open_dir dir)
+
+let catalog_init_cmd =
+  let dir =
+    let doc = "Directory to hold the catalog (created if missing)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let run dir =
+    let (_ : Oqf_catalog.Catalog.t) = or_die (Oqf_catalog.Catalog.init dir) in
+    Printf.printf "initialized empty catalog in %s\n" dir
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create an empty index catalog in a directory.")
+    Term.(const run $ dir)
+
+let catalog_add_cmd =
+  let run dir schema names file =
+    let cat = open_catalog dir in
+    let index = split_names names in
+    let entry = or_die (Oqf_catalog.Catalog.add cat ~schema ?index file) in
+    Printf.printf "added %s (schema %s): %d region names indexed\n"
+      entry.Oqf_catalog.Catalog.source entry.Oqf_catalog.Catalog.schema
+      (List.length entry.Oqf_catalog.Catalog.index_names)
+  in
+  Cmd.v
+    (Cmd.info "add"
+       ~doc:"Index a source file and record it in the catalog.")
+    Term.(const run $ catalog_dir_arg $ schema_arg $ index_names_arg $ file_arg)
+
+let catalog_refresh_cmd =
+  let file =
+    let doc = "Refresh only this source (default: every entry)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run dir file =
+    let cat = open_catalog dir in
+    let report (source, outcome) =
+      Format.printf "%s: %a@." source Oqf_catalog.Catalog.pp_refresh outcome
+    in
+    match file with
+    | Some source ->
+        report (source, or_die (Oqf_catalog.Catalog.refresh cat source))
+    | None ->
+        (* keep going past a failing entry; the others still refresh *)
+        let failed =
+          List.fold_left
+            (fun failed (e : Oqf_catalog.Catalog.entry) ->
+              match Oqf_catalog.Catalog.refresh cat e.source with
+              | Ok outcome ->
+                  report (e.source, outcome);
+                  failed
+              | Error msg ->
+                  Format.eprintf "%s@." msg;
+                  true)
+            false
+            (Oqf_catalog.Catalog.entries cat)
+        in
+        if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "refresh"
+       ~doc:
+         "Bring stale entries up to date: incremental extension for \
+          append-only growth, full rebuild otherwise.")
+    Term.(const run $ catalog_dir_arg $ file)
+
+let catalog_status_cmd =
+  let run dir =
+    let cat = open_catalog dir in
+    match Oqf_catalog.Catalog.status cat with
+    | [] -> print_endline "catalog is empty"
+    | rows ->
+        List.iter
+          (fun ((e : Oqf_catalog.Catalog.entry), st) ->
+            Format.printf "%-9s %-7s %8dB  %a@." e.schema
+              (Printf.sprintf "%d names" (List.length e.index_names))
+              e.length Oqf_catalog.Catalog.pp_staleness st;
+            Format.printf "  %s -> %s@." e.source e.index_file)
+          rows
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Fingerprint every source and report freshness per entry.")
+    Term.(const run $ catalog_dir_arg)
+
+let catalog_query_cmd =
+  let query =
+    let doc = "The query, run against every catalogued file of the schema." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let no_refresh =
+    let doc = "Query the persisted indices as they are, without a staleness check." in
+    Arg.(value & flag & info [ "no-refresh" ] ~doc)
+  in
+  let run dir schema q_text no_refresh =
+    let cat = open_catalog dir in
+    if not no_refresh then
+      ignore (or_die (Oqf_catalog.Catalog.refresh_all cat));
+    let q =
+      match Odb.Query_parser.parse q_text with
+      | Ok q -> q
+      | Error e ->
+          or_die (Error (Format.asprintf "%a" Odb.Query_parser.pp_error e))
+    in
+    let corpus = or_die (Oqf.Corpus.of_catalog cat ~schema) in
+    let r = or_die (Oqf.Corpus.run corpus q) in
+    List.iter
+      (fun (file, row) ->
+        Printf.printf "%s: %s\n" file
+          (String.concat " | " (List.map Odb.Value.to_display_string row)))
+      r.Oqf.Corpus.rows;
+    Format.printf "-- %d rows from %d files; %a@."
+      (List.length r.Oqf.Corpus.rows)
+      (List.length (Oqf.Corpus.files corpus))
+      Stdx.Stats.pp r.Oqf.Corpus.stats;
+    Format.printf "-- instance cache: %a@." Oqf_catalog.Instance_cache.pp_stats
+      (Oqf_catalog.Instance_cache.stats (Oqf_catalog.Catalog.cache cat))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Run a query against every catalogued file of a schema, straight \
+          off the persisted indices (refreshing stale ones first).")
+    Term.(const run $ catalog_dir_arg $ schema_arg $ query $ no_refresh)
+
+let catalog_cmd =
+  Cmd.group
+    (Cmd.info "catalog"
+       ~doc:
+         "Manage a persistent catalog of indexed files: init, add, refresh \
+          (incremental for append-only sources), status and multi-file \
+          query.")
+    [
+      catalog_init_cmd; catalog_add_cmd; catalog_refresh_cmd;
+      catalog_status_cmd; catalog_query_cmd;
+    ]
+
 (* --- advise -------------------------------------------------------- *)
 
 let advise_cmd =
@@ -355,5 +492,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; index_cmd; query_cmd; explain_cmd; advise_cmd;
-            schema_cmd; rexpr_cmd; tree_cmd;
+            schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd;
           ]))

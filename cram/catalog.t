@@ -1,0 +1,50 @@
+The index catalog, end to end: persist indices for a growing log file
+and keep them fresh without rebuilding from scratch.
+
+Generate a log and put it under catalog management:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 8 --seed 5 -o app.log
+  wrote 829 bytes to app.log
+  $ ../bin/oqf_cli.exe catalog init cat
+  initialized empty catalog in cat
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log app.log
+  added app.log (schema log): 5 region names indexed
+  $ ../bin/oqf_cli.exe catalog status -c cat
+  log       5 names      829B  fresh
+    app.log -> indices/app-117275758d73.idx
+
+Queries run straight off the persisted indices (parsed=0B — the file
+is never re-parsed):
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"'
+  -- 0 rows from 1 files; scanned=0B parsed=0B index_ops=10 cmps=136 lookups=2 objs=0 regions=120
+  -- instance cache: hits=0 misses=1 evictions=0
+
+The file grows: regenerating with the same seed and a larger size
+appends entries, byte for byte (the generator draws per entry):
+
+  $ ../bin/oqf_cli.exe generate -k log -n 20 --seed 5 -o app.log
+  wrote 2046 bytes to app.log
+  $ ../bin/oqf_cli.exe catalog status -c cat
+  log       5 names      829B  appended (+1217 bytes)
+    app.log -> indices/app-117275758d73.idx
+
+Refresh extends the index incrementally — only the tail is parsed:
+
+  $ ../bin/oqf_cli.exe catalog refresh -c cat
+  app.log: extended incrementally (+1217 bytes)
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"'
+  app.log: auth
+  app.log: cache
+  -- 2 rows from 1 files; scanned=9B parsed=0B index_ops=10 cmps=577 lookups=2 objs=0 regions=310
+  -- instance cache: hits=0 misses=1 evictions=0
+
+An edit in the old prefix cannot be handled incrementally; the next
+refresh falls back to a full rebuild:
+
+  $ sed 's/auth/AUTH/' app.log > app.tmp && mv app.tmp app.log
+  $ ../bin/oqf_cli.exe catalog status -c cat
+  log       5 names     2046B  changed
+    app.log -> indices/app-117275758d73.idx
+  $ ../bin/oqf_cli.exe catalog refresh -c cat
+  app.log: rebuilt (contents changed)

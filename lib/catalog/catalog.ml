@@ -1,0 +1,395 @@
+(* A catalog is a directory:
+
+     <dir>/CATALOG          the manifest (text, one block per entry)
+     <dir>/indices/*.idx    persisted instances (Pat.Index_store)
+
+   The manifest records, per source file: the schema name, the indexed
+   region names, a content fingerprint (MD5 + length) of the source as
+   of the last build, the index format version, and the index file
+   name.  Refresh fingerprints the source and rebuilds only what is
+   new or stale; appended-to sources of append-only schemas are
+   maintained incrementally. *)
+
+let manifest_name = "CATALOG"
+let manifest_magic = "oqf-catalog 1"
+let indices_subdir = "indices"
+
+type entry = {
+  source : string;
+  schema : string;
+  index_names : string list;
+  length : int;
+  digest : string;  (* hex MD5 of the source contents at build time *)
+  version : int;    (* index format version the entry was written with *)
+  index_file : string;  (* relative to the catalog directory *)
+}
+
+type t = {
+  dir : string;
+  mutable entries : entry list;  (* in add order *)
+  cache : Instance_cache.t;
+}
+
+let dir t = t.dir
+let entries t = t.entries
+let cache t = t.cache
+let find t source = List.find_opt (fun e -> e.source = source) t.entries
+
+let default_budget = 64 * 1024 * 1024
+
+(* ---------------- manifest serialisation ---------------- *)
+
+let entry_to_lines e =
+  [
+    "entry";
+    "source " ^ e.source;
+    "schema " ^ e.schema;
+    "index " ^ String.concat "," e.index_names;
+    "length " ^ string_of_int e.length;
+    "digest " ^ e.digest;
+    "version " ^ string_of_int e.version;
+    "file " ^ e.index_file;
+    "end";
+  ]
+
+let save_manifest t =
+  let path = Filename.concat t.dir manifest_name in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (manifest_magic ^ "\n");
+      List.iter
+        (fun e ->
+          List.iter
+            (fun line -> output_string oc (line ^ "\n"))
+            (entry_to_lines e))
+        t.entries);
+  Sys.rename tmp path
+
+let field name line =
+  let prefix = name ^ " " in
+  if String.length line >= String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then
+    Some
+      (String.sub line (String.length prefix)
+         (String.length line - String.length prefix))
+  else None
+
+let parse_manifest path lines =
+  let err fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
+  let rec entries acc = function
+    | [] -> Ok (List.rev acc)
+    | "entry" :: rest -> block [] rest acc
+    | "" :: rest -> entries acc rest
+    | line :: _ -> err "unexpected manifest line %S" line
+  and block fields rest acc =
+    match rest with
+    | "end" :: rest -> begin
+        let get name =
+          match List.find_map (field name) (List.rev fields) with
+          | Some v -> Ok v
+          | None -> err "entry is missing its %s field" name
+        in
+        let ( let* ) = Result.bind in
+        let* source = get "source" in
+        let* schema = get "schema" in
+        let* index = get "index" in
+        let* length = get "length" in
+        let* digest = get "digest" in
+        let* version = get "version" in
+        let* index_file = get "file" in
+        match (int_of_string_opt length, int_of_string_opt version) with
+        | Some length, Some version ->
+            entries
+              ({
+                 source;
+                 schema;
+                 index_names =
+                   List.filter
+                     (fun s -> s <> "")
+                     (String.split_on_char ',' index);
+                 length;
+                 digest;
+                 version;
+                 index_file;
+               }
+              :: acc)
+              rest
+        | _ -> err "entry for %s has a malformed number" source
+      end
+    | line :: rest -> block (line :: fields) rest acc
+    | [] -> err "unterminated entry block"
+  in
+  match lines with
+  | magic :: rest when magic = manifest_magic -> entries [] rest
+  | _ -> err "not an oqf catalog manifest (bad first line)"
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* ---------------- opening ---------------- *)
+
+let init dir =
+  if Sys.file_exists (Filename.concat dir manifest_name) then
+    Error (dir ^ " already holds a catalog")
+  else begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    if not (Sys.is_directory dir) then Error (dir ^ " is not a directory")
+    else begin
+      let t =
+        { dir; entries = []; cache = Instance_cache.create ~budget_bytes:default_budget }
+      in
+      let indices = Filename.concat dir indices_subdir in
+      if not (Sys.file_exists indices) then Sys.mkdir indices 0o755;
+      save_manifest t;
+      Ok t
+    end
+  end
+
+let open_dir ?(budget_bytes = default_budget) dir =
+  let path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists path) then
+    Error (dir ^ " holds no catalog (run catalog init first)")
+  else begin
+    match parse_manifest path (read_lines path) with
+    | Error e -> Error e
+    | Ok entries ->
+        Ok { dir; entries; cache = Instance_cache.create ~budget_bytes }
+  end
+
+(* ---------------- fingerprints and staleness ---------------- *)
+
+let fingerprint text =
+  Digest.to_hex (Digest.string (Pat.Text.unsafe_contents text))
+
+let prefix_fingerprint text len =
+  Digest.to_hex (Digest.subbytes (Bytes.unsafe_of_string (Pat.Text.unsafe_contents text)) 0 len)
+
+type staleness =
+  | Fresh
+  | Source_missing
+  | Index_missing
+  | Index_unreadable of string
+  | Appended of { old_len : int; new_len : int }
+  | Changed
+
+let index_path t e = Filename.concat t.dir e.index_file
+
+let staleness t e =
+  if not (Sys.file_exists e.source) then Source_missing
+  else begin
+    let text = Pat.Text.of_file e.source in
+    let n = Pat.Text.length text in
+    let index_state () =
+      let path = index_path t e in
+      if not (Sys.file_exists path) then Index_missing
+      else if e.version <> Pat.Index_store.format_version then
+        Index_unreadable
+          (Printf.sprintf "index format version %d, expected %d" e.version
+             Pat.Index_store.format_version)
+      else begin
+        match Pat.Index_store.verify ~path with
+        | Ok () -> Fresh
+        | Error err -> Index_unreadable (Pat.Index_store.error_message err)
+      end
+    in
+    if n = e.length then
+      if fingerprint text = e.digest then index_state () else Changed
+    else if n > e.length && prefix_fingerprint text e.length = e.digest then
+      Appended { old_len = e.length; new_len = n }
+    else Changed
+  end
+
+let status t = List.map (fun e -> (e, staleness t e)) t.entries
+
+let pp_staleness ppf = function
+  | Fresh -> Format.pp_print_string ppf "fresh"
+  | Source_missing -> Format.pp_print_string ppf "source missing"
+  | Index_missing -> Format.pp_print_string ppf "index missing"
+  | Index_unreadable reason -> Format.fprintf ppf "stale (%s)" reason
+  | Appended { old_len; new_len } ->
+      Format.fprintf ppf "appended (+%d bytes)" (new_len - old_len)
+  | Changed -> Format.pp_print_string ppf "changed"
+
+(* ---------------- building and refreshing ---------------- *)
+
+let store_entry t ~source ~schema ~index_names ~text ~index_file instance =
+  Pat.Index_store.save ~path:(Filename.concat t.dir index_file) instance;
+  let e =
+    {
+      source;
+      schema;
+      index_names;
+      length = Pat.Text.length text;
+      digest = fingerprint text;
+      version = Pat.Index_store.format_version;
+      index_file;
+    }
+  in
+  t.entries <-
+    (match find t source with
+    | None -> t.entries @ [ e ]
+    | Some _ ->
+        List.map (fun old -> if old.source = source then e else old) t.entries);
+  Instance_cache.add t.cache source instance;
+  save_manifest t;
+  e
+
+let build_instance view text ~index_names =
+  Fschema.View.index_file view text ~keep:index_names
+
+let index_file_for source =
+  let stem = Filename.remove_extension (Filename.basename source) in
+  let tag = String.sub (Digest.to_hex (Digest.string source)) 0 12 in
+  Filename.concat indices_subdir (Printf.sprintf "%s-%s.idx" stem tag)
+
+let add t ~schema ?index source =
+  match Schemas.find_result schema with
+  | Error e -> Error e
+  | Ok view -> begin
+      match find t source with
+      | Some e ->
+          Error
+            (Printf.sprintf "%s is already catalogued (schema %s)" e.source
+               e.schema)
+      | None ->
+          if not (Sys.file_exists source) then Error (source ^ ": no such file")
+          else begin
+            let indexable =
+              Fschema.Grammar.indexable view.Fschema.View.grammar
+            in
+            let index_names =
+              match index with
+              | Some names -> List.sort_uniq String.compare names
+              | None -> indexable
+            in
+            match
+              List.find_opt (fun n -> not (List.mem n indexable)) index_names
+            with
+            | Some bad ->
+                Error
+                  (Printf.sprintf "%s is not an indexable region name of %s"
+                     bad schema)
+            | None ->
+            let text = Pat.Text.of_file source in
+            match build_instance view text ~index_names with
+            | Error e -> Error (source ^ ": " ^ e)
+            | Ok instance ->
+                Ok
+                  (store_entry t ~source ~schema ~index_names ~text
+                     ~index_file:(index_file_for source) instance)
+          end
+    end
+
+type refresh = Unchanged | Extended of { added_bytes : int } | Rebuilt of string
+
+let load_persisted t e =
+  match Instance_cache.find t.cache e.source with
+  | Some instance -> Ok instance
+  | None -> begin
+      match Pat.Index_store.load_result ~path:(index_path t e) with
+      | Ok instance ->
+          Instance_cache.add t.cache e.source instance;
+          Ok instance
+      | Error err -> Error (Pat.Index_store.error_message err)
+    end
+
+let rebuild t e ~reason =
+  match Schemas.find_result e.schema with
+  | Error msg -> Error msg
+  | Ok view -> begin
+      let text = Pat.Text.of_file e.source in
+      match build_instance view text ~index_names:e.index_names with
+      | Error msg -> Error (e.source ^ ": " ^ msg)
+      | Ok instance ->
+          let (_ : entry) =
+            store_entry t ~source:e.source ~schema:e.schema
+              ~index_names:e.index_names ~text ~index_file:e.index_file
+              instance
+          in
+          Ok (Rebuilt reason)
+    end
+
+let extend t e ~old_len ~verify_rig =
+  match Schemas.find_result e.schema with
+  | Error msg -> Error msg
+  | Ok view -> begin
+      let new_text = Pat.Text.of_file e.source in
+      let attempt =
+        match load_persisted t e with
+        | Error msg -> Error msg
+        | Ok old_instance ->
+            Result.bind
+              (Incremental.extend_instance view ~old_instance ~old_len new_text)
+              (fun instance ->
+                if verify_rig then
+                  Result.map
+                    (fun () -> instance)
+                    (Incremental.verify_against_rig view instance)
+                else Ok instance)
+      in
+      match attempt with
+      | Ok instance ->
+          let added_bytes = Pat.Text.length new_text - old_len in
+          let (_ : entry) =
+            store_entry t ~source:e.source ~schema:e.schema
+              ~index_names:e.index_names ~text:new_text
+              ~index_file:e.index_file instance
+          in
+          Ok (Extended { added_bytes })
+      | Error why ->
+          (* incremental maintenance is an optimisation; any failure
+             degrades to the always-correct full rebuild *)
+          rebuild t e ~reason:("incremental failed: " ^ why)
+    end
+
+let refresh ?(verify_rig = false) t source =
+  match find t source with
+  | None -> Error (source ^ " is not in the catalog")
+  | Some e -> begin
+      match staleness t e with
+      | Source_missing -> Error (source ^ ": source file is missing")
+      | Fresh -> Ok Unchanged
+      | Index_missing -> rebuild t e ~reason:"index file missing"
+      | Index_unreadable reason -> rebuild t e ~reason
+      | Changed -> rebuild t e ~reason:"contents changed"
+      | Appended { old_len; _ } -> extend t e ~old_len ~verify_rig
+    end
+
+let refresh_all ?verify_rig t =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> begin
+        match refresh ?verify_rig t e.source with
+        | Error msg -> Error msg
+        | Ok r -> go ((e.source, r) :: acc) rest
+      end
+  in
+  go [] t.entries
+
+(* ---------------- serving instances ---------------- *)
+
+let load t source =
+  match find t source with
+  | None -> Error (source ^ " is not in the catalog")
+  | Some e -> load_persisted t e
+
+let view_of_entry e = Schemas.find_result e.schema
+
+let pp_refresh ppf = function
+  | Unchanged -> Format.pp_print_string ppf "unchanged"
+  | Extended { added_bytes } ->
+      Format.fprintf ppf "extended incrementally (+%d bytes)" added_bytes
+  | Rebuilt reason -> Format.fprintf ppf "rebuilt (%s)" reason

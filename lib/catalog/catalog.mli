@@ -1,0 +1,91 @@
+(** A persistent catalog of indexed files.
+
+    The paper's motivating scenario (§2) is a file system of evolving
+    semi-structured files: shared bibliographies that members edit,
+    logs that only grow.  A catalog is a directory that maps source
+    files to persisted indices:
+
+    {v
+    <dir>/CATALOG        manifest: schema, indexed names, fingerprint,
+                         format version and index file per source
+    <dir>/indices/*.idx  persisted instances (Pat.Index_store)
+    v}
+
+    {b Staleness rules.}  An entry is fresh when its source file still
+    has the recorded length and MD5 fingerprint and its index file
+    passes {!Pat.Index_store.verify} at the current format version.  A
+    source that {e grew} while its old prefix kept the recorded
+    fingerprint is {e appended}: refresh maintains its index
+    incrementally (tokenize and parse only the tail — see
+    {!Incremental}) instead of rebuilding.  Anything else — edited or
+    truncated source, missing/corrupt/outdated index — is rebuilt from
+    scratch.
+
+    Loaded instances are served through a bounded LRU
+    {!Instance_cache}, so repeated queries do not reload from disk. *)
+
+type entry = {
+  source : string;  (** path of the source file *)
+  schema : string;  (** a {!Schemas} name *)
+  index_names : string list;  (** region names indexed for this source *)
+  length : int;  (** source length at the last (re)build *)
+  digest : string;  (** hex MD5 of the source at the last (re)build *)
+  version : int;  (** index format version the entry was written with *)
+  index_file : string;  (** index path relative to the catalog directory *)
+}
+
+type t
+
+val init : string -> (t, string) result
+(** Create an empty catalog in a directory (created if missing).
+    Fails if the directory already holds one. *)
+
+val open_dir : ?budget_bytes:int -> string -> (t, string) result
+(** Open an existing catalog.  [budget_bytes] bounds the instance
+    cache (default 64 MiB). *)
+
+val dir : t -> string
+val entries : t -> entry list
+val find : t -> string -> entry option
+val cache : t -> Instance_cache.t
+
+val add :
+  t -> schema:string -> ?index:string list -> string -> (entry, string) result
+(** Index a source file and record it.  [index] defaults to every
+    indexable non-terminal of the schema; names outside the grammar are
+    rejected.  Fails if the source is already catalogued. *)
+
+type staleness =
+  | Fresh
+  | Source_missing
+  | Index_missing
+  | Index_unreadable of string  (** version mismatch, corruption, … *)
+  | Appended of { old_len : int; new_len : int }
+  | Changed
+
+val staleness : t -> entry -> staleness
+(** Fingerprint one source file against its entry. *)
+
+val status : t -> (entry * staleness) list
+val pp_staleness : Format.formatter -> staleness -> unit
+
+type refresh = Unchanged | Extended of { added_bytes : int } | Rebuilt of string
+
+val refresh : ?verify_rig:bool -> t -> string -> (refresh, string) result
+(** Bring one entry up to date, choosing incremental extension for
+    append-only growth and a full rebuild otherwise.  A failed
+    incremental attempt (tail does not parse, schema not append-only)
+    silently degrades to a rebuild — its reason says why.  With
+    [verify_rig] the extended instance is additionally checked against
+    the RIG of its indexed names (slow; meant for tests). *)
+
+val refresh_all :
+  ?verify_rig:bool -> t -> ((string * refresh) list, string) result
+(** {!refresh} every entry, in catalogue order. *)
+
+val load : t -> string -> (Pat.Instance.t, string) result
+(** The instance of a catalogued source, through the LRU cache. *)
+
+val view_of_entry : entry -> (Fschema.View.t, string) result
+
+val pp_refresh : Format.formatter -> refresh -> unit

@@ -1,0 +1,91 @@
+(* Incremental maintenance for append-only sources.
+
+   A schema is append-only when its root rule is a literal header
+   followed by a starred element with no separator (the log and mbox
+   schemas): appending whole elements to the file leaves every old
+   region in place.  The appended tail is then parsed on its own — the
+   header literal is prepended so the root rule applies, and the
+   resulting element regions are shifted back to file offsets — the
+   word index is extended rather than rebuilt, and the old region sets
+   are unioned with the tail's. *)
+
+let append_shape grammar =
+  match Fschema.Grammar.rules_of grammar (Fschema.Grammar.root grammar) with
+  | [ Fschema.Grammar.Seq
+        [
+          Fschema.Grammar.Lit header;
+          Fschema.Grammar.Star { nonterm; separator = None };
+        ] ] ->
+      Some (header, nonterm)
+  | _ -> None
+
+let shift_region k (r : Pat.Region.t) =
+  Pat.Region.make ~start:(r.start + k) ~stop:(r.stop + k)
+
+let extend_instance view ~old_instance ~old_len new_text =
+  let grammar = view.Fschema.View.grammar in
+  match append_shape grammar with
+  | None ->
+      Error
+        (Printf.sprintf "schema rooted at %s is not append-only"
+           (Fschema.Grammar.root grammar))
+  | Some (header, _element) ->
+      let new_len = Pat.Text.length new_text in
+      if new_len < old_len then Error "file shrank"
+      else begin
+        let tail = Pat.Text.sub new_text ~pos:old_len ~len:(new_len - old_len) in
+        let synthetic = Pat.Text.of_string (header ^ tail) in
+        match Fschema.Parser_engine.parse grammar synthetic with
+        | Error e ->
+            Error
+              ("appended tail does not parse: "
+              ^ Fschema.Parser_engine.describe_error synthetic e)
+        | Ok tree ->
+            (* synthetic offset p >= |header| is file offset
+               p - |header| + old_len *)
+            let shift = old_len - String.length header in
+            let keep = Pat.Instance.names old_instance in
+            let tail_regions =
+              List.filter_map
+                (fun (symbol, (r : Pat.Region.t)) ->
+                  if r.start >= String.length header && List.mem symbol keep
+                  then Some (symbol, shift_region shift r)
+                  else None)
+                (Fschema.Builder.regions_of_tree tree)
+            in
+            let bindings =
+              List.map
+                (fun name ->
+                  let added =
+                    Pat.Region_set.of_list
+                      (List.filter_map
+                         (fun (sym, r) -> if sym = name then Some r else None)
+                         tail_regions)
+                  in
+                  ( name,
+                    Pat.Region_set.union
+                      (Pat.Instance.find old_instance name)
+                      added ))
+                keep
+            in
+            let word_index =
+              Pat.Word_index.extend
+                (Pat.Instance.word_index old_instance)
+                new_text ~old_len
+            in
+            Ok (Pat.Instance.create_with_word_index new_text word_index bindings)
+      end
+
+let verify_against_rig view instance =
+  let keep = Pat.Instance.names instance in
+  let rig =
+    Fschema.Rig_of_grammar.for_index view.Fschema.View.grammar ~keep
+  in
+  match Pat.Instance.satisfies_rig instance ~edges:(Ralg.Rig.edges rig) with
+  | None -> Ok ()
+  | Some (a, b) ->
+      Error
+        (Printf.sprintf
+           "incremental result violates the RIG: %s directly includes %s \
+            without an edge"
+           a b)

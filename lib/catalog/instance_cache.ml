@@ -1,0 +1,95 @@
+type entry = { instance : Pat.Instance.t; cost : int; mutable stamp : int }
+
+type t = {
+  budget : int;
+  table : (string, entry) Hashtbl.t;
+  mutable used : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+(* Resident footprint estimate: the text bytes, one word per suffix-array
+   slot, and three words per region (start, stop, array slot).  The point
+   is a stable relative measure for the budget, not byte-exactness. *)
+let cost_of_instance instance =
+  let word = 8 in
+  Pat.Text.length (Pat.Instance.text instance)
+  + (word * Pat.Word_index.size (Pat.Instance.word_index instance))
+  + (3 * word * Pat.Instance.total_regions instance)
+
+let create ~budget_bytes =
+  {
+    budget = max budget_bytes 0;
+    table = Hashtbl.create 16;
+    used = 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let count t = Hashtbl.length t.table
+let used_bytes t = t.used
+let budget_bytes t = t.budget
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.stamp <- tick t;
+      t.hits <- t.hits + 1;
+      Stdx.Stats.global.cache_hits <- Stdx.Stats.global.cache_hits + 1;
+      Some e.instance
+  | None ->
+      t.misses <- t.misses + 1;
+      Stdx.Stats.global.cache_misses <- Stdx.Stats.global.cache_misses + 1;
+      None
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.table key;
+      t.used <- t.used - e.cost
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (key, e))
+      t.table None
+  in
+  match victim with
+  | None -> false
+  | Some (key, _) ->
+      remove t key;
+      t.evictions <- t.evictions + 1;
+      Stdx.Stats.global.cache_evictions <- Stdx.Stats.global.cache_evictions + 1;
+      true
+
+let add t key instance =
+  remove t key;
+  let cost = cost_of_instance instance in
+  (* an instance larger than the whole budget is not cached at all *)
+  if cost <= t.budget then begin
+    while t.used + cost > t.budget && evict_lru t do
+      ()
+    done;
+    Hashtbl.replace t.table key { instance; cost; stamp = tick t };
+    t.used <- t.used + cost
+  end
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "hits=%d misses=%d evictions=%d" s.hits s.misses
+    s.evictions

@@ -1,0 +1,18 @@
+let all =
+  [
+    ("bibtex", Fschema.Bibtex_schema.view);
+    ("log", Fschema.Log_schema.view);
+    ("sgml", Fschema.Sgml_schema.view);
+    ("mbox", Fschema.Mbox_schema.view);
+  ]
+
+let find name = List.assoc_opt name all
+let names = List.map fst all
+
+let find_result name =
+  match find name with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "unknown schema %s (expected %s)" name
+           (String.concat "|" names))

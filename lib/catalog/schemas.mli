@@ -1,0 +1,11 @@
+(** The built-in structuring schemas, by name.
+
+    Catalog entries record the schema of a source file as a string; this
+    registry resolves those names back to views, and is shared with the
+    CLI so both agree on the spelling. *)
+
+val all : (string * Fschema.View.t) list
+val names : string list
+val find : string -> Fschema.View.t option
+val find_result : string -> (Fschema.View.t, string) result
+(** [Error] names the unknown schema and lists the known ones. *)

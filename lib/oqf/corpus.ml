@@ -15,6 +15,25 @@ let make_full view files =
   make view files
     ~index:(Fschema.Grammar.indexable view.Fschema.View.grammar)
 
+let of_catalog catalog ~schema =
+  match Oqf_catalog.Schemas.find_result schema with
+  | Error e -> Error e
+  | Ok view ->
+      let rec go acc = function
+        | [] -> Ok { sources = List.rev acc }
+        | (e : Oqf_catalog.Catalog.entry) :: rest ->
+            if e.Oqf_catalog.Catalog.schema <> schema then go acc rest
+            else begin
+              match Oqf_catalog.Catalog.load catalog e.source with
+              | Error msg -> Error (Printf.sprintf "%s: %s" e.source msg)
+              | Ok instance ->
+                  go
+                    ((e.source, Execute.source_of_instance view instance) :: acc)
+                    rest
+            end
+      in
+      go [] (Oqf_catalog.Catalog.entries catalog)
+
 let files t = List.map fst t.sources
 let source t name = List.assoc_opt name t.sources
 

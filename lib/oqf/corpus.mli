@@ -25,6 +25,13 @@ val make_full :
   Fschema.View.t -> (string * Pat.Text.t) list -> (t, string) result
 (** Full indexing for every file. *)
 
+val of_catalog : Oqf_catalog.Catalog.t -> schema:string -> (t, string) result
+(** The corpus of every catalogued file of one schema, served from the
+    catalog's persisted indices through its instance cache — no
+    re-parsing.  The caller decides whether to
+    {!Oqf_catalog.Catalog.refresh_all} first; entries are loaded as
+    persisted. *)
+
 val files : t -> string list
 val source : t -> string -> Execute.source option
 

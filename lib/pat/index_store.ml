@@ -1,4 +1,30 @@
-let magic = "OQF-INDEX-1"
+(* On-disk layout (format version 2):
+
+     "OQF-INDEX-" ^ version digits ^ "\n"   header, human-greppable
+     16 bytes                               MD5 digest of the payload
+     marshalled payload                     contents + region bindings
+
+   Version 1 files (the seed format) had the bare magic "OQF-INDEX-1"
+   followed immediately by the marshalled payload, with no terminator,
+   no version negotiation and no checksum; they are recognised and
+   rejected as [Version_mismatch] so callers (the catalog) can treat
+   them as stale and rebuild. *)
+
+let magic_prefix = "OQF-INDEX-"
+let format_version = 2
+
+type error =
+  | Not_an_index_file of string
+  | Version_mismatch of { path : string; found : int; expected : int }
+  | Corrupt of { path : string; reason : string }
+
+let error_message = function
+  | Not_an_index_file path -> Printf.sprintf "%s is not an oqf index file" path
+  | Version_mismatch { path; found; expected } ->
+      Printf.sprintf "%s: index format version %d, expected %d (rebuild it)"
+        path found expected
+  | Corrupt { path; reason } ->
+      Printf.sprintf "%s: corrupt index file (%s)" path reason
 
 type payload = { contents : string; bindings : (string * (int * int) list) list }
 
@@ -16,23 +42,105 @@ let save ~path instance =
   let payload =
     { contents = Text.unsafe_contents (Instance.text instance); bindings }
   in
+  let body = Marshal.to_string payload [] in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc magic;
-      Marshal.to_channel oc payload [])
+      output_string oc (magic_prefix ^ string_of_int format_version ^ "\n");
+      Digest.output oc (Digest.string body);
+      output_string oc body)
+
+(* The version digits run up to the '\n' terminator.  A version-1 file
+   has a '1' followed by raw marshal bytes instead of the terminator;
+   reading digits-then-terminator classifies it correctly. *)
+let read_header ic path =
+  let m =
+    try really_input_string ic (String.length magic_prefix)
+    with End_of_file -> ""
+  in
+  if m <> magic_prefix then Error (Not_an_index_file path)
+  else begin
+    let buf = Buffer.create 4 in
+    let rec digits () =
+      match input_char ic with
+      | '0' .. '9' as c ->
+          Buffer.add_char buf c;
+          digits ()
+      | c -> Some c
+      | exception End_of_file -> None
+    in
+    let terminator = digits () in
+    match (int_of_string_opt (Buffer.contents buf), terminator) with
+    | None, _ -> Error (Not_an_index_file path)
+    | Some v, Some '\n' when v = format_version -> Ok ()
+    | Some v, _ ->
+        Error (Version_mismatch { path; found = v; expected = format_version })
+  end
+
+let load_result ~path =
+  let ic = try Ok (open_in_bin path) with Sys_error e -> Error (Corrupt { path; reason = e }) in
+  match ic with
+  | Error e -> Error e
+  | Ok ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match read_header ic path with
+          | Error e -> Error e
+          | Ok () -> begin
+              match
+                let stored = Digest.input ic in
+                let body =
+                  really_input_string ic
+                    (in_channel_length ic - pos_in ic)
+                in
+                (stored, body)
+              with
+              | exception End_of_file ->
+                  Error (Corrupt { path; reason = "truncated" })
+              | stored, body ->
+                  if not (Digest.equal stored (Digest.string body)) then
+                    Error (Corrupt { path; reason = "checksum mismatch" })
+                  else begin
+                    match (Marshal.from_string body 0 : payload) with
+                    | exception _ ->
+                        Error (Corrupt { path; reason = "undecodable payload" })
+                    | payload ->
+                        let text = Text.of_string payload.contents in
+                        Ok
+                          (Instance.create text
+                             (List.map
+                                (fun (name, pairs) ->
+                                  (name, Region_set.of_pairs pairs))
+                                payload.bindings))
+                  end
+            end)
+
+let verify ~path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error (Corrupt { path; reason = e })
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match read_header ic path with
+          | Error e -> Error e
+          | Ok () -> begin
+              match
+                let stored = Digest.input ic in
+                let body =
+                  really_input_string ic (in_channel_length ic - pos_in ic)
+                in
+                Digest.equal stored (Digest.string body)
+              with
+              | exception End_of_file ->
+                  Error (Corrupt { path; reason = "truncated" })
+              | true -> Ok ()
+              | false -> Error (Corrupt { path; reason = "checksum mismatch" })
+            end)
 
 let load ~path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then failwith ("Index_store.load: bad magic in " ^ path);
-      let payload : payload = Marshal.from_channel ic in
-      let text = Text.of_string payload.contents in
-      Instance.create text
-        (List.map
-           (fun (name, pairs) -> (name, Region_set.of_pairs pairs))
-           payload.bindings))
+  match load_result ~path with
+  | Ok instance -> instance
+  | Error e -> failwith ("Index_store.load: " ^ error_message e)

@@ -4,11 +4,33 @@
     it back, so the CLI can separate the indexing phase from the query
     phase like the PAT system does.  The word index (suffix array) is
     rebuilt on load — it is cheaper to rebuild than to store and its
-    construction is deterministic. *)
+    construction is deterministic.
+
+    Files carry a magic header, a format-version field and an MD5
+    checksum of the payload, so a corrupt, truncated or outdated index
+    file is rejected with a precise error instead of a garbage decode.
+    The catalog treats {!Version_mismatch} as "stale, rebuild". *)
+
+val format_version : int
+(** The version written by {!save} and required by {!load}. *)
+
+type error =
+  | Not_an_index_file of string  (** missing or foreign magic header *)
+  | Version_mismatch of { path : string; found : int; expected : int }
+  | Corrupt of { path : string; reason : string }
+      (** unreadable, truncated, checksum mismatch or undecodable *)
+
+val error_message : error -> string
 
 val save : path:string -> Instance.t -> unit
 (** Write the instance to [path].  Overwrites. *)
 
+val load_result : path:string -> (Instance.t, error) result
+(** Read an instance back, classifying every failure. *)
+
+val verify : path:string -> (unit, error) result
+(** Check header, version and checksum without reconstructing the
+    instance — the catalog's cheap staleness probe. *)
+
 val load : path:string -> Instance.t
-(** Read an instance back.  Raises [Failure] if the file is not a saved
-    index. *)
+(** Like {!load_result} but raises [Failure] with the error message. *)

@@ -7,16 +7,26 @@ type t = {
   mutable universe_cache : Region_set.t option;
 }
 
+let region_map bindings =
+  List.fold_left
+    (fun acc (name, set) ->
+      if Smap.mem name acc then
+        invalid_arg ("Instance.create: duplicate region name " ^ name)
+      else Smap.add name set acc)
+    Smap.empty bindings
+
 let create text bindings =
-  let regions =
-    List.fold_left
-      (fun acc (name, set) ->
-        if Smap.mem name acc then
-          invalid_arg ("Instance.create: duplicate region name " ^ name)
-        else Smap.add name set acc)
-      Smap.empty bindings
-  in
-  { text; word_index = Word_index.build text; regions; universe_cache = None }
+  {
+    text;
+    word_index = Word_index.build text;
+    regions = region_map bindings;
+    universe_cache = None;
+  }
+
+let create_with_word_index text word_index bindings =
+  if Word_index.text word_index != text then
+    invalid_arg "Instance.create_with_word_index: word index over another text";
+  { text; word_index; regions = region_map bindings; universe_cache = None }
 
 let text t = t.text
 let word_index t = t.word_index

@@ -12,6 +12,12 @@ val create : Text.t -> (string * Region_set.t) list -> t
 (** Build an instance over a text; the word index is built eagerly.
     Raises [Invalid_argument] on duplicate names. *)
 
+val create_with_word_index : Text.t -> Word_index.t -> (string * Region_set.t) list -> t
+(** Like {!create} but reusing an already-built word index over the
+    {e same} text value (physical equality is required) — the
+    incremental-maintenance path, where the word index was extended
+    rather than rebuilt.  Raises [Invalid_argument] otherwise. *)
+
 val text : t -> Text.t
 val word_index : t -> Word_index.t
 

@@ -35,6 +35,53 @@ let build text =
 
 let size t = Array.length t.order
 
+(* Extend an array built over the first [old_len] bytes to the whole of
+   [new_text] (whose prefix of length [old_len] must equal the old
+   text).  Appending bytes cannot change whether a position < old_len
+   is a word start (that depends on bytes p-1 and p only), and it
+   cannot change the sort key of a position whose capped comparison
+   window [p, p+prefix_cap) lies entirely inside the unchanged prefix:
+   such windows never reached the old end of text either, so those
+   entries keep their relative order.  Only the positions near the old
+   end (window crossing old_len) and the word starts of the appended
+   tail need sorting — a merge then rebuilds the full order without
+   re-sorting the untouched bulk. *)
+let extend t new_text ~old_len =
+  if old_len <> Text.length t.text then
+    invalid_arg "Suffix_array.extend: old_len does not match the indexed text";
+  let s = Text.unsafe_contents new_text in
+  let kept =
+    Array.of_seq
+      (Seq.filter (fun p -> p + prefix_cap <= old_len) (Array.to_seq t.order))
+  in
+  let affected = ref [] in
+  Array.iter
+    (fun p -> if p + prefix_cap > old_len then affected := p :: !affected)
+    t.order;
+  for p = Text.length new_text - 1 downto old_len do
+    if Tokenizer.is_word_start new_text p then affected := p :: !affected
+  done;
+  let affected = Array.of_list !affected in
+  Array.sort (compare_suffixes s) affected;
+  let n_kept = Array.length kept and n_aff = Array.length affected in
+  let order = Array.make (n_kept + n_aff) 0 in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to n_kept + n_aff - 1 do
+    let take_kept =
+      !j >= n_aff
+      || (!i < n_kept && compare_suffixes s kept.(!i) affected.(!j) <= 0)
+    in
+    if take_kept then begin
+      order.(k) <- kept.(!i);
+      incr i
+    end
+    else begin
+      order.(k) <- affected.(!j);
+      incr j
+    end
+  done;
+  { text = new_text; order }
+
 (* -1 when the suffix at [pos] is smaller than every string with prefix
    [pattern], 0 when [pattern] is a prefix of the suffix, 1 otherwise. *)
 let compare_prefix s pos pattern =

@@ -17,6 +17,16 @@ val build : Text.t -> t
 val size : t -> int
 (** Number of indexed sistrings (= number of word starts). *)
 
+val extend : t -> Text.t -> old_len:int -> t
+(** [extend t new_text ~old_len] upgrades an array built over the first
+    [old_len] bytes (the old text, which must be a prefix of
+    [new_text]) to one over the whole of [new_text], tokenizing only
+    the appended tail.  Entries whose capped comparison window lies in
+    the unchanged prefix keep their order; only tail word starts and
+    the few old entries whose window crosses the append point are
+    re-sorted, then merged.  Raises [Invalid_argument] when [old_len]
+    is not the length of the indexed text. *)
+
 val find : t -> string -> int array
 (** [find t pattern] returns every position [p] (sorted increasing) such
     that [pattern] occurs in the text at [p] and [p] is a word start.

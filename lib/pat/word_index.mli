@@ -9,7 +9,16 @@ type t
 val build : Text.t -> t
 (** Index every word start of the text. *)
 
+val extend : t -> Text.t -> old_len:int -> t
+(** Incremental maintenance for append-only files: upgrade an index
+    over the first [old_len] bytes to one over all of [new_text]
+    (whose prefix must equal the old text), tokenizing only the
+    appended tail — see {!Suffix_array.extend}. *)
+
 val text : t -> Text.t
+
+val size : t -> int
+(** Number of indexed sistrings (= word starts of the text). *)
 
 val match_points : t -> string -> int array
 (** Sorted positions where the string occurs starting at a word

@@ -6,6 +6,9 @@ type t = {
   mutable word_lookups : int;
   mutable objects_built : int;
   mutable regions_produced : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 let create () =
@@ -17,6 +20,9 @@ let create () =
     word_lookups = 0;
     objects_built = 0;
     regions_produced = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
   }
 
 let reset t =
@@ -26,7 +32,10 @@ let reset t =
   t.region_comparisons <- 0;
   t.word_lookups <- 0;
   t.objects_built <- 0;
-  t.regions_produced <- 0
+  t.regions_produced <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.cache_evictions <- 0
 
 let global = create ()
 
@@ -39,6 +48,9 @@ let snapshot t =
     word_lookups = t.word_lookups;
     objects_built = t.objects_built;
     regions_produced = t.regions_produced;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    cache_evictions = t.cache_evictions;
   }
 
 let diff ~before ~after =
@@ -50,6 +62,9 @@ let diff ~before ~after =
     word_lookups = after.word_lookups - before.word_lookups;
     objects_built = after.objects_built - before.objects_built;
     regions_produced = after.regions_produced - before.regions_produced;
+    cache_hits = after.cache_hits - before.cache_hits;
+    cache_misses = after.cache_misses - before.cache_misses;
+    cache_evictions = after.cache_evictions - before.cache_evictions;
   }
 
 let add acc x =
@@ -59,10 +74,19 @@ let add acc x =
   acc.region_comparisons <- acc.region_comparisons + x.region_comparisons;
   acc.word_lookups <- acc.word_lookups + x.word_lookups;
   acc.objects_built <- acc.objects_built + x.objects_built;
-  acc.regions_produced <- acc.regions_produced + x.regions_produced
+  acc.regions_produced <- acc.regions_produced + x.regions_produced;
+  acc.cache_hits <- acc.cache_hits + x.cache_hits;
+  acc.cache_misses <- acc.cache_misses + x.cache_misses;
+  acc.cache_evictions <- acc.cache_evictions + x.cache_evictions
 
 let pp ppf t =
   Format.fprintf ppf
     "scanned=%dB parsed=%dB index_ops=%d cmps=%d lookups=%d objs=%d regions=%d"
     t.bytes_scanned t.bytes_parsed t.index_ops t.region_comparisons
-    t.word_lookups t.objects_built t.regions_produced
+    t.word_lookups t.objects_built t.regions_produced;
+  (* cache traffic appears only for cache-backed runs, so the rendering
+     of cache-less executions (most tests, the cram transcripts) is
+     unchanged *)
+  if t.cache_hits <> 0 || t.cache_misses <> 0 || t.cache_evictions <> 0 then
+    Format.fprintf ppf " cache=%dh/%dm/%de" t.cache_hits t.cache_misses
+      t.cache_evictions

@@ -15,6 +15,10 @@ type t = {
   mutable word_lookups : int;  (** word-index (suffix-array) searches *)
   mutable objects_built : int;  (** database objects/tuples materialised *)
   mutable regions_produced : int;  (** total regions output by index ops *)
+  mutable cache_hits : int;  (** instance-cache lookups served from memory *)
+  mutable cache_misses : int;  (** instance-cache lookups that went to disk *)
+  mutable cache_evictions : int;
+      (** instances dropped to stay within the cache budget *)
 }
 
 val create : unit -> t
@@ -36,4 +40,6 @@ val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc] field-wise. *)
 
 val pp : Format.formatter -> t -> unit
-(** Human-readable one-line rendering. *)
+(** Human-readable one-line rendering.  Cache counters are appended only
+    when at least one of them is non-zero, so cache-less executions
+    render exactly as before the cache existed. *)

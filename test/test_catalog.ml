@@ -1,0 +1,449 @@
+(* Tests for the catalog subsystem: the hardened index store, the
+   incremental (append-only) maintenance path — checked for equivalence
+   with a from-scratch rebuild on random appended tails — the bounded
+   LRU instance cache, and catalog staleness/refresh end to end. *)
+
+let temp_dir () =
+  let path = Filename.temp_file "oqf_catalog_test" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_fail = function Ok x -> x | Error e -> Alcotest.fail e
+
+let log_text n = Workload.Log_gen.generate (Workload.Log_gen.with_size n)
+
+let log_keep = Fschema.Grammar.indexable Fschema.Log_schema.grammar
+
+let full_instance view keep text =
+  or_fail (Fschema.View.index_file view text ~keep)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance == full rebuild                             *)
+
+let check_equal_instances ~msg incremental full =
+  Alcotest.(check (list string))
+    (msg ^ ": same names")
+    (Pat.Instance.names full)
+    (Pat.Instance.names incremental);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: region set %s equal" msg name)
+        true
+        (Pat.Region_set.equal
+           (Pat.Instance.find incremental name)
+           (Pat.Instance.find full name)))
+    (Pat.Instance.names full)
+
+let check_equal_word_index ~msg incremental full words =
+  List.iter
+    (fun w ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: match points of %S equal" msg w)
+        (Array.to_list (Pat.Word_index.match_points (Pat.Instance.word_index full) w))
+        (Array.to_list
+           (Pat.Word_index.match_points (Pat.Instance.word_index incremental) w)))
+    words
+
+(* Log_gen draws its randomness per entry in sequence, so the n-entry
+   corpus is a byte prefix of the (n + k)-entry one: growing n to n + k
+   is exactly an append of whole entries. *)
+let incremental_equals_full =
+  QCheck.Test.make ~count:30 ~name:"incremental refresh == full rebuild (log)"
+    QCheck.(pair (int_range 1 60) (int_range 1 40))
+    (fun (n, k) ->
+      let view = Fschema.Log_schema.view in
+      let base = log_text n in
+      let grown = log_text (n + k) in
+      assert (String.sub grown 0 (String.length base) = base);
+      let old_instance =
+        full_instance view log_keep (Pat.Text.of_string base)
+      in
+      let new_text = Pat.Text.of_string grown in
+      let incremental =
+        match
+          Oqf_catalog.Incremental.extend_instance view ~old_instance
+            ~old_len:(String.length base) new_text
+        with
+        | Ok i -> i
+        | Error e -> QCheck.Test.fail_reportf "extend failed: %s" e
+      in
+      let full = full_instance view log_keep new_text in
+      List.iter
+        (fun name ->
+          if
+            not
+              (Pat.Region_set.equal
+                 (Pat.Instance.find incremental name)
+                 (Pat.Instance.find full name))
+          then
+            QCheck.Test.fail_reportf "region set %s differs (n=%d k=%d)" name n
+              k)
+        (Pat.Instance.names full);
+      (* the extended word index answers like a from-scratch one *)
+      List.iter
+        (fun w ->
+          if
+            Pat.Word_index.match_points (Pat.Instance.word_index incremental) w
+            <> Pat.Word_index.match_points (Pat.Instance.word_index full) w
+          then QCheck.Test.fail_reportf "match points of %S differ" w)
+        [ "ERROR"; "INFO"; "auth"; "web"; "level"; "msg" ];
+      (* and the result still satisfies the RIG of its indexed names *)
+      (match Oqf_catalog.Incremental.verify_against_rig view incremental with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "%s" e);
+      true)
+
+let incremental_tests =
+  [
+    QCheck_alcotest.to_alcotest incremental_equals_full;
+    Alcotest.test_case "append shapes of the built-in schemas" `Quick (fun () ->
+        let shape g = Oqf_catalog.Incremental.append_shape g in
+        Alcotest.(check bool)
+          "log is append-only" true
+          (shape Fschema.Log_schema.grammar <> None);
+        Alcotest.(check bool)
+          "mbox is append-only" true
+          (shape Fschema.Mbox_schema.grammar <> None);
+        Alcotest.(check bool)
+          "bibtex is append-only" true
+          (shape Fschema.Bibtex_schema.grammar <> None);
+        Alcotest.(check bool)
+          "sgml (closing tag) is not" true
+          (shape Fschema.Sgml_schema.grammar = None));
+    Alcotest.test_case "mbox append extends incrementally" `Quick (fun () ->
+        let view = Fschema.Mbox_schema.view in
+        let keep = Fschema.Grammar.indexable Fschema.Mbox_schema.grammar in
+        let base = Workload.Mbox_gen.generate (Workload.Mbox_gen.with_size 6) in
+        let grown = Workload.Mbox_gen.generate (Workload.Mbox_gen.with_size 9) in
+        Alcotest.(check string)
+          "mbox generator grows by appending" base
+          (String.sub grown 0 (String.length base));
+        let old_instance = full_instance view keep (Pat.Text.of_string base) in
+        let new_text = Pat.Text.of_string grown in
+        let incremental =
+          or_fail
+            (Oqf_catalog.Incremental.extend_instance view ~old_instance
+               ~old_len:(String.length base) new_text)
+        in
+        check_equal_instances ~msg:"mbox" incremental
+          (full_instance view keep new_text);
+        check_equal_word_index ~msg:"mbox" incremental
+          (full_instance view keep new_text)
+          [ "FROM"; "SUBJECT"; "edu" ]);
+    Alcotest.test_case "garbage tail is rejected" `Quick (fun () ->
+        let view = Fschema.Log_schema.view in
+        let base = log_text 3 in
+        let grown = base ^ "not a log entry at all\n" in
+        let old_instance =
+          full_instance view log_keep (Pat.Text.of_string base)
+        in
+        match
+          Oqf_catalog.Incremental.extend_instance view ~old_instance
+            ~old_len:(String.length base)
+            (Pat.Text.of_string grown)
+        with
+        | Ok _ -> Alcotest.fail "garbage tail must not extend"
+        | Error _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Index store hardening                                               *)
+
+let store_instance () =
+  let text = Pat.Text.of_string (Fschema.Log_schema.sample) in
+  full_instance Fschema.Log_schema.view log_keep text
+
+let expect_error ~msg path classify =
+  match Pat.Index_store.load_result ~path with
+  | Ok _ -> Alcotest.fail (msg ^ ": load unexpectedly succeeded")
+  | Error e ->
+      Alcotest.(check bool)
+        (msg ^ ": classified (" ^ Pat.Index_store.error_message e ^ ")")
+        true (classify e)
+
+let index_store_tests =
+  [
+    Alcotest.test_case "save/load round-trips" `Quick (fun () ->
+        let dir = temp_dir () in
+        let path = Filename.concat dir "a.idx" in
+        let instance = store_instance () in
+        Pat.Index_store.save ~path instance;
+        Alcotest.(check unit)
+          "verify passes" ()
+          (or_fail
+             (Result.map_error Pat.Index_store.error_message
+                (Pat.Index_store.verify ~path)));
+        let loaded = Pat.Index_store.load ~path in
+        check_equal_instances ~msg:"round-trip" loaded instance);
+    Alcotest.test_case "foreign file is not an index" `Quick (fun () ->
+        let dir = temp_dir () in
+        let path = Filename.concat dir "foreign" in
+        write_file path "just some text, definitely no index";
+        expect_error ~msg:"foreign" path (function
+          | Pat.Index_store.Not_an_index_file _ -> true
+          | _ -> false));
+    Alcotest.test_case "version-1 file reports a version mismatch" `Quick
+      (fun () ->
+        let dir = temp_dir () in
+        let path = Filename.concat dir "v1.idx" in
+        (* the seed format: bare magic, then the marshalled payload *)
+        write_file path ("OQF-INDEX-1" ^ Marshal.to_string ("old", []) []);
+        expect_error ~msg:"v1" path (function
+          | Pat.Index_store.Version_mismatch { found = 1; _ } -> true
+          | _ -> false));
+    Alcotest.test_case "flipped payload byte fails the checksum" `Quick
+      (fun () ->
+        let dir = temp_dir () in
+        let path = Filename.concat dir "corrupt.idx" in
+        Pat.Index_store.save ~path (store_instance ());
+        let raw = Bytes.of_string (read_file path) in
+        let pos = Bytes.length raw - 5 in
+        Bytes.set raw pos (Char.chr (Char.code (Bytes.get raw pos) lxor 0xff));
+        write_file path (Bytes.to_string raw);
+        expect_error ~msg:"corrupt" path (function
+          | Pat.Index_store.Corrupt { reason = "checksum mismatch"; _ } -> true
+          | _ -> false));
+    Alcotest.test_case "truncated file is corrupt" `Quick (fun () ->
+        let dir = temp_dir () in
+        let path = Filename.concat dir "trunc.idx" in
+        Pat.Index_store.save ~path (store_instance ());
+        let raw = read_file path in
+        write_file path (String.sub raw 0 (String.length raw / 2));
+        expect_error ~msg:"truncated" path (function
+          | Pat.Index_store.Corrupt _ -> true
+          | _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Instance cache                                                      *)
+
+let small_instance label =
+  (* distinct texts so instances differ and have known costs *)
+  let text = Pat.Text.of_string ("== log ==\n[t] level=INFO service=" ^ label ^ " msg=\"x\"\n") in
+  full_instance Fschema.Log_schema.view log_keep text
+
+let cache_tests =
+  [
+    Alcotest.test_case "hits and misses are counted" `Quick (fun () ->
+        let cache = Oqf_catalog.Instance_cache.create ~budget_bytes:(1 lsl 20) in
+        let i = small_instance "auth" in
+        Alcotest.(check bool)
+          "miss first" true
+          (Oqf_catalog.Instance_cache.find cache "a" = None);
+        Oqf_catalog.Instance_cache.add cache "a" i;
+        Alcotest.(check bool)
+          "hit second" true
+          (Oqf_catalog.Instance_cache.find cache "a" <> None);
+        let s = Oqf_catalog.Instance_cache.stats cache in
+        Alcotest.(check int) "one hit" 1 s.Oqf_catalog.Instance_cache.hits;
+        Alcotest.(check int) "one miss" 1 s.Oqf_catalog.Instance_cache.misses);
+    Alcotest.test_case "budget evicts the least recently used" `Quick
+      (fun () ->
+        let one = small_instance "auth" in
+        let cost = Oqf_catalog.Instance_cache.cost_of_instance one in
+        (* room for two instances of this size, not three *)
+        let cache =
+          Oqf_catalog.Instance_cache.create ~budget_bytes:((2 * cost) + (cost / 2))
+        in
+        Oqf_catalog.Instance_cache.add cache "a" one;
+        Oqf_catalog.Instance_cache.add cache "b" (small_instance "mail");
+        ignore (Oqf_catalog.Instance_cache.find cache "a");
+        (* "b" is now least recently used; inserting "c" must evict it *)
+        Oqf_catalog.Instance_cache.add cache "c" (small_instance "web9");
+        Alcotest.(check bool)
+          "a survives" true
+          (Oqf_catalog.Instance_cache.find cache "a" <> None);
+        Alcotest.(check bool)
+          "b evicted" true
+          (Oqf_catalog.Instance_cache.find cache "b" = None);
+        let s = Oqf_catalog.Instance_cache.stats cache in
+        Alcotest.(check int)
+          "one eviction" 1 s.Oqf_catalog.Instance_cache.evictions);
+    Alcotest.test_case "oversized instances are not cached" `Quick (fun () ->
+        let cache = Oqf_catalog.Instance_cache.create ~budget_bytes:16 in
+        Oqf_catalog.Instance_cache.add cache "a" (small_instance "auth");
+        Alcotest.(check int) "empty" 0 (Oqf_catalog.Instance_cache.count cache));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Catalog end to end                                                  *)
+
+let setup_catalog n =
+  let dir = temp_dir () in
+  let log_path = Filename.concat dir "app.log" in
+  write_file log_path (log_text n);
+  let cat = or_fail (Oqf_catalog.Catalog.init (Filename.concat dir "cat")) in
+  let (_ : Oqf_catalog.Catalog.entry) =
+    or_fail (Oqf_catalog.Catalog.add cat ~schema:"log" log_path)
+  in
+  (dir, log_path, cat)
+
+let refresh_kind = function
+  | Oqf_catalog.Catalog.Unchanged -> "unchanged"
+  | Oqf_catalog.Catalog.Extended _ -> "extended"
+  | Oqf_catalog.Catalog.Rebuilt _ -> "rebuilt"
+
+let check_refresh msg expected cat path =
+  let r = or_fail (Oqf_catalog.Catalog.refresh ~verify_rig:true cat path) in
+  Alcotest.(check string) msg expected (refresh_kind r)
+
+let check_matches_rebuild msg cat log_path =
+  let loaded = or_fail (Oqf_catalog.Catalog.load cat log_path) in
+  let full =
+    full_instance Fschema.Log_schema.view log_keep (Pat.Text.of_file log_path)
+  in
+  check_equal_instances ~msg loaded full
+
+let catalog_tests =
+  [
+    Alcotest.test_case "fresh entry refreshes to Unchanged" `Quick (fun () ->
+        let _, log_path, cat = setup_catalog 10 in
+        check_refresh "no change" "unchanged" cat log_path);
+    Alcotest.test_case "appended source extends incrementally" `Quick
+      (fun () ->
+        let _, log_path, cat = setup_catalog 10 in
+        write_file log_path (log_text 16);
+        (match Oqf_catalog.Catalog.status cat with
+        | [ (_, Oqf_catalog.Catalog.Appended _) ] -> ()
+        | _ -> Alcotest.fail "status must report the append");
+        check_refresh "append" "extended" cat log_path;
+        check_matches_rebuild "after append" cat log_path;
+        check_refresh "now fresh" "unchanged" cat log_path);
+    Alcotest.test_case "truncated source falls back to full rebuild" `Quick
+      (fun () ->
+        let _, log_path, cat = setup_catalog 10 in
+        write_file log_path (log_text 6);
+        check_refresh "truncation" "rebuilt" cat log_path;
+        check_matches_rebuild "after truncation" cat log_path);
+    Alcotest.test_case "edited source falls back to full rebuild" `Quick
+      (fun () ->
+        let _, log_path, cat = setup_catalog 10 in
+        let contents = read_file log_path in
+        let edited =
+          (* change one digit mid-file: same length, different bytes *)
+          String.mapi
+            (fun i c -> if i = String.length contents / 2 && c <> '\n' then 'Z' else c)
+            contents
+        in
+        let edited =
+          if edited = contents then contents ^ "extra garbage" else edited
+        in
+        write_file log_path edited;
+        match Oqf_catalog.Catalog.refresh cat log_path with
+        | Ok (Oqf_catalog.Catalog.Rebuilt _) | Error _ ->
+            (* an edit that still parses rebuilds; an edit that breaks
+               the grammar surfaces as an error — never Extended *)
+            ()
+        | Ok r ->
+            Alcotest.failf "edit must not extend (got %s)" (refresh_kind r));
+    Alcotest.test_case "grown-but-edited prefix rebuilds, not extends" `Quick
+      (fun () ->
+        let _, log_path, cat = setup_catalog 10 in
+        let grown = log_text 16 in
+        let tampered =
+          String.mapi (fun i c -> if i = 40 then (if c = '0' then '1' else '0') else c) grown
+        in
+        write_file log_path tampered;
+        match or_fail (Oqf_catalog.Catalog.refresh cat log_path) with
+        | Oqf_catalog.Catalog.Rebuilt _ -> ()
+        | r -> Alcotest.failf "tampered prefix must rebuild (got %s)" (refresh_kind r));
+    Alcotest.test_case "missing index file rebuilds" `Quick (fun () ->
+        let _, log_path, cat = setup_catalog 8 in
+        let e = Option.get (Oqf_catalog.Catalog.find cat log_path) in
+        Sys.remove
+          (Filename.concat (Oqf_catalog.Catalog.dir cat)
+             e.Oqf_catalog.Catalog.index_file);
+        check_refresh "missing index" "rebuilt" cat log_path);
+    Alcotest.test_case "corrupt index file rebuilds" `Quick (fun () ->
+        let _, log_path, cat = setup_catalog 8 in
+        let e = Option.get (Oqf_catalog.Catalog.find cat log_path) in
+        let idx =
+          Filename.concat (Oqf_catalog.Catalog.dir cat)
+            e.Oqf_catalog.Catalog.index_file
+        in
+        let raw = read_file idx in
+        write_file idx (String.sub raw 0 (String.length raw - 7));
+        (match Oqf_catalog.Catalog.status cat with
+        | [ (_, Oqf_catalog.Catalog.Index_unreadable _) ] -> ()
+        | _ -> Alcotest.fail "status must flag the corrupt index");
+        Oqf_catalog.Instance_cache.remove (Oqf_catalog.Catalog.cache cat)
+          log_path;
+        check_refresh "corrupt index" "rebuilt" cat log_path);
+    Alcotest.test_case "reopened catalog serves persisted entries" `Quick
+      (fun () ->
+        let _, log_path, cat = setup_catalog 8 in
+        let reopened =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        (match Oqf_catalog.Catalog.entries reopened with
+        | [ e ] ->
+            Alcotest.(check string) "source survives" log_path e.Oqf_catalog.Catalog.source;
+            Alcotest.(check string) "schema survives" "log" e.Oqf_catalog.Catalog.schema
+        | _ -> Alcotest.fail "one entry expected");
+        check_matches_rebuild "reopened" reopened log_path);
+    Alcotest.test_case "corpus runs straight off the catalog" `Quick (fun () ->
+        let _, log_path, cat = setup_catalog 30 in
+        let corpus = or_fail (Oqf.Corpus.of_catalog cat ~schema:"log") in
+        let q =
+          Odb.Query_parser.parse_exn
+            {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+        in
+        let via_catalog = or_fail (Oqf.Corpus.run corpus q) in
+        let direct =
+          or_fail
+            (Oqf.Execute.make_source_full Fschema.Log_schema.view
+               (Pat.Text.of_file log_path))
+        in
+        let via_direct = or_fail (Oqf.Execute.run direct q) in
+        Alcotest.(check int)
+          "same answers"
+          (List.length via_direct.Oqf.Execute.rows)
+          (List.length via_catalog.Oqf.Corpus.rows);
+        (* two catalog loads of the same entry: second is a cache hit *)
+        let (_ : (Pat.Instance.t, string) result) =
+          Oqf_catalog.Catalog.load cat log_path
+        in
+        let s =
+          Oqf_catalog.Instance_cache.stats (Oqf_catalog.Catalog.cache cat)
+        in
+        Alcotest.(check bool)
+          "cache saw hits" true
+          (s.Oqf_catalog.Instance_cache.hits > 0));
+    Alcotest.test_case "adding the same source twice fails" `Quick (fun () ->
+        let _, log_path, cat = setup_catalog 4 in
+        match Oqf_catalog.Catalog.add cat ~schema:"log" log_path with
+        | Ok _ -> Alcotest.fail "duplicate add must fail"
+        | Error _ -> ());
+    Alcotest.test_case "unknown index names are rejected" `Quick (fun () ->
+        let dir = temp_dir () in
+        let log_path = Filename.concat dir "x.log" in
+        write_file log_path (log_text 3);
+        let cat = or_fail (Oqf_catalog.Catalog.init (Filename.concat dir "cat")) in
+        match
+          Oqf_catalog.Catalog.add cat ~schema:"log" ~index:[ "Nonsense" ]
+            log_path
+        with
+        | Ok _ -> Alcotest.fail "bad index name must fail"
+        | Error _ -> ());
+  ]
+
+let suites =
+  [
+    ("catalog.incremental", incremental_tests);
+    ("catalog.index_store", index_store_tests);
+    ("catalog.cache", cache_tests);
+    ("catalog.catalog", catalog_tests);
+  ]

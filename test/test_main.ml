@@ -1,4 +1,4 @@
 let () =
   Alcotest.run "oqf"
     (Test_stdx.suites @ Test_pat.suites @ Test_ralg.suites @ Test_odb.suites
-   @ Test_fschema.suites @ Test_oqf.suites)
+   @ Test_fschema.suites @ Test_oqf.suites @ Test_catalog.suites)
