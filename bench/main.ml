@@ -92,9 +92,9 @@ let e1 () =
       let src = bibtex_source n in
       let naive_e, opt_e = exprs_for src in
       let eval e () =
-        let before = Stdx.Stats.global.region_comparisons in
+        let before = Stdx.Stats.(value region_comparisons) in
         let r = Ralg.Eval.eval src.Oqf.Execute.instance e in
-        (r, Stdx.Stats.global.region_comparisons - before)
+        (r, Stdx.Stats.(value region_comparisons) - before)
       in
       let (naive_set, naive_cmps), naive_ms = time_ms ~repeat:5 (eval naive_e) in
       let (opt_set, opt_cmps), opt_ms = time_ms ~repeat:5 (eval opt_e) in
@@ -221,7 +221,7 @@ let e4 () =
            ])
   in
   let run_scoped () =
-    let before = Stdx.Stats.snapshot Stdx.Stats.global in
+    let before = Stdx.Stats.snapshot () in
     let wi = Pat.Instance.word_index scoped in
     let hits =
       Pat.Region_set.including
@@ -239,7 +239,7 @@ let e4 () =
         | Ok _ -> ()
         | Error _ -> failwith "scoped candidate does not parse")
       hits;
-    let after = Stdx.Stats.snapshot Stdx.Stats.global in
+    let after = Stdx.Stats.snapshot () in
     (hits, Stdx.Stats.diff ~before ~after)
   in
   let (hits, st), ms = time_ms ~repeat:5 run_scoped in
@@ -399,9 +399,9 @@ let e8 () =
       let paras = Pat.Instance.find inst "Para" in
       let ctx = Pat.Instance.universe inst in
       let cmps f =
-        let before = Stdx.Stats.global.region_comparisons in
+        let before = Stdx.Stats.(value region_comparisons) in
         let r = f () in
-        (r, Stdx.Stats.global.region_comparisons - before)
+        (r, Stdx.Stats.(value region_comparisons) - before)
       in
       let (simple, simple_cmps), simple_ms =
         time_ms (fun () ->
@@ -441,9 +441,9 @@ let e8 () =
         Pat.Region_set.union windows (Pat.Region_set.union points wrappers)
       in
       let cmps f =
-        let before = Stdx.Stats.global.region_comparisons in
+        let before = Stdx.Stats.(value region_comparisons) in
         let r = f () in
-        (r, Stdx.Stats.global.region_comparisons - before)
+        (r, Stdx.Stats.(value region_comparisons) - before)
       in
       let (_, simple_cmps), simple_ms =
         time_ms (fun () ->
@@ -510,19 +510,24 @@ let record id ms =
   | Some cell -> cell := !cell @ [ ms ]
   | None -> json_series := !json_series @ [ (id, ref [ ms ]) ]
 
-let emit_json path =
+let emit_json ?(only_prefix = "") path =
+  let series =
+    List.filter
+      (fun (id, _) -> String.starts_with ~prefix:only_prefix id)
+      !json_series
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc "{\n";
-      let n = List.length !json_series in
+      let n = List.length series in
       List.iteri
         (fun i (id, cell) ->
           Printf.fprintf oc "  %S: [%s]%s\n" id
             (String.concat ", " (List.map (Printf.sprintf "%.3f") !cell))
             (if i = n - 1 then "" else ","))
-        !json_series;
+        series;
       output_string oc "}\n");
   say "wrote %s@." path
 
@@ -631,6 +636,72 @@ let c1 () =
   say "%s@." cache_stats
 
 (* ------------------------------------------------------------------ *)
+(* O1 — observability overhead.  Tracing must be zero-cost when
+   disabled: the public eval entry points check a single ref and
+   dispatch to the uninstrumented path, so disabled-tracing time must
+   stay within 5% of calling that path directly.  Traced time (events
+   streamed to a JSON-lines sink on /dev/null) is reported for
+   context, not bounded. *)
+
+let o1 () =
+  heading "O1" "tracing overhead: disabled dispatch vs uninstrumented path";
+  let n = 1600 in
+  let src = bibtex_source n in
+  let opt_e =
+    let plan = or_die (Oqf.Compile.compile src.Oqf.Execute.env q_chang) in
+    match plan.Oqf.Plan.var_plans with
+    | [ { Oqf.Plan.candidates = Oqf.Plan.Expr e; _ } ] ->
+        Ralg.Optimizer.optimize src.Oqf.Execute.query_rig e
+    | _ -> failwith "unexpected plan shape"
+  in
+  assert (not (Obs.Trace.enabled ()));
+  let iters = 40 in
+  let eval_loop f () =
+    for _ = 1 to iters do
+      ignore (f src.Oqf.Execute.instance opt_e)
+    done
+  in
+  say "E1 optimized expression on %d refs, %d evaluations per sample@." n
+    iters;
+  let (), plain_ms = time_ms ~repeat:7 (eval_loop Ralg.Eval.eval_shared_plain) in
+  let (), disabled_ms = time_ms ~repeat:7 (eval_loop Ralg.Eval.eval_shared) in
+  let devnull = open_out "/dev/null" in
+  Obs.Trace.set_sink (Some (Obs.Sink.jsonl devnull));
+  let (), traced_ms = time_ms ~repeat:3 (eval_loop Ralg.Eval.eval_shared) in
+  Obs.Trace.set_sink None;
+  close_out devnull;
+  record "O1_eval_plain_ms" plain_ms;
+  record "O1_eval_disabled_ms" disabled_ms;
+  record "O1_eval_traced_ms" traced_ms;
+  let overhead = (disabled_ms -. plain_ms) /. plain_ms *. 100.0 in
+  say "%-36s %10.3f ms@." "uninstrumented (eval_shared_plain)" plain_ms;
+  say "%-36s %10.3f ms@." "tracing disabled (eval_shared)" disabled_ms;
+  say "%-36s %10.3f ms@." "tracing enabled (jsonl -> /dev/null)" traced_ms;
+  say "disabled-tracing overhead: %+.2f%% — bound <= 5%%: %s@." overhead
+    (if disabled_ms <= plain_ms *. 1.05 then "PASS" else "FAIL");
+  (* the same bound on the whole query path: Execute.run with and
+     without a sink, E1 query mix *)
+  let q_star =
+    Odb.Query_parser.parse_exn
+      {|SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"|}
+  in
+  let run_mix () =
+    List.iter
+      (fun q -> ignore (or_die (Oqf.Execute.run src q)))
+      [ q_chang; q_star ]
+  in
+  let (), untraced_ms = time_ms ~repeat:7 run_mix in
+  let devnull = open_out "/dev/null" in
+  Obs.Trace.set_sink (Some (Obs.Sink.jsonl devnull));
+  let (), traced_q_ms = time_ms ~repeat:3 run_mix in
+  Obs.Trace.set_sink None;
+  close_out devnull;
+  record "O1_query_untraced_ms" untraced_ms;
+  record "O1_query_traced_ms" traced_q_ms;
+  say "query mix: untraced %.3f ms, traced %.3f ms (%.2fx)@." untraced_ms
+    traced_q_ms (traced_q_ms /. untraced_ms)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
 
 let bechamel_tests () =
@@ -724,6 +795,8 @@ let () =
   e8 ();
   b1 ();
   c1 ();
+  o1 ();
   run_bechamel ();
-  emit_json "BENCH_catalog.json";
+  emit_json ~only_prefix:"C1_" "BENCH_catalog.json";
+  emit_json ~only_prefix:"O1_" "BENCH_obs.json";
   say "@.done.@."

@@ -41,6 +41,38 @@ let resolve_index view names =
   | Some names -> names
   | None -> Fschema.Grammar.indexable view.Fschema.View.grammar
 
+(* --- observability plumbing ---------------------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Write an execution trace to $(docv): Chrome trace_event JSON when the \
+     name ends in .json (load it in chrome://tracing or Perfetto), \
+     JSON-lines otherwise."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Dump the metrics registry (counters and histograms) at exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* The sink is torn down via [at_exit] so the trace file is complete
+   even when a later error path calls [exit 1]. *)
+let install_trace = function
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let sink =
+        if Filename.check_suffix path ".json" then Obs.Sink.chrome oc
+        else Obs.Sink.jsonl oc
+      in
+      Obs.Trace.set_sink (Some sink);
+      at_exit (fun () ->
+          Obs.Trace.set_sink None;
+          close_out oc)
+
+let dump_metrics_if requested =
+  if requested then Format.printf "%a" Obs.Metrics.dump ()
+
 (* --- generate ------------------------------------------------------ *)
 
 let generate_cmd =
@@ -138,7 +170,17 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "baseline" ] ~doc)
   in
-  let run schema file names q_text no_optimize load baseline =
+  let analyze =
+    let doc =
+      "EXPLAIN ANALYZE: print the plan, the optimizer rewrites and the \
+       per-node actual costs (next to the static cost estimates) of the \
+       expressions evaluated on the index."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run schema file names q_text no_optimize load baseline explain trace
+      metrics =
+    install_trace trace;
     let view = or_die (view_of_schema schema) in
     let loaded_instance =
       match load with
@@ -177,7 +219,11 @@ let query_cmd =
             let index = resolve_index view (split_names names) in
             or_die (Oqf.Execute.make_source view text ~index)
       in
-      let r = or_die (Oqf.Execute.run ~optimize:(not no_optimize) src q) in
+      let r =
+        or_die (Oqf.Execute.run ~optimize:(not no_optimize) ~explain src q)
+      in
+      if explain then
+        Format.printf "%a" (Oqf.Explain.pp ~show_times:false ~source:src) r;
       List.iter
         (fun row ->
           print_endline
@@ -187,13 +233,14 @@ let query_cmd =
         r.Oqf.Execute.answers_count r.Oqf.Execute.candidates_count
         (if r.Oqf.Execute.plan.Oqf.Plan.exact then ", exact plan" else "")
         Stdx.Stats.pp r.Oqf.Execute.stats
-    end
+    end;
+    dump_metrics_if metrics
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a query against a file.")
     Term.(
       const run $ schema_arg $ file_arg $ index_names_arg $ query_arg
-      $ no_optimize $ load $ baseline)
+      $ no_optimize $ load $ baseline $ analyze $ trace_arg $ metrics_arg)
 
 (* --- explain ------------------------------------------------------- *)
 
@@ -272,7 +319,8 @@ let rexpr_cmd =
     let doc = "Print the text of each resulting region." in
     Arg.(value & flag & info [ "text" ] ~doc)
   in
-  let run schema file names expr_text show_text =
+  let run schema file names expr_text show_text trace metrics =
+    install_trace trace;
     let view = or_die (view_of_schema schema) in
     let text = Pat.Text.of_file file in
     let expr =
@@ -298,14 +346,15 @@ let rexpr_cmd =
           else Format.printf "%a@." Pat.Region.pp r)
         result;
       Format.printf "-- %d regions@." (Pat.Region_set.cardinal result)
-    end
+    end;
+    dump_metrics_if metrics
   in
   Cmd.v
     (Cmd.info "rexpr"
        ~doc:"Evaluate a raw region-algebra expression against a file.")
     Term.(
       const run $ schema_arg $ file_arg $ index_names_arg $ expr_arg
-      $ show_text)
+      $ show_text $ trace_arg $ metrics_arg)
 
 (* --- catalog ------------------------------------------------------- *)
 
@@ -487,10 +536,21 @@ let () =
     Cmd.info "oqf" ~version:"1.0.0"
       ~doc:"Optimizing queries on files: database queries over indexed text."
   in
+  let group =
+    Cmd.group info
+      [
+        generate_cmd; index_cmd; query_cmd; explain_cmd; advise_cmd;
+        schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd;
+      ]
+  in
+  (* [~catch:false] so engine exceptions become one-line errors with
+     exit 1, not a backtrace with Cmdliner's exit 125 *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd; index_cmd; query_cmd; explain_cmd; advise_cmd;
-            schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd;
-          ]))
+    (match Cmd.eval ~catch:false group with
+    | code -> code
+    | exception Ralg.Eval.Unknown_region n ->
+        prerr_endline ("oqf: unknown region name: " ^ n);
+        1
+    | exception Sys_error msg ->
+        prerr_endline ("oqf: " ^ msg);
+        1)

@@ -1,0 +1,91 @@
+Observability: explain-analyze plans, metrics dumps, trace files, and
+error exit codes.
+
+  $ ../bin/oqf_cli.exe generate -k bibtex -n 4 --seed 7 -o refs.bib
+  wrote 2079 bytes to refs.bib
+
+EXPLAIN ANALYZE prints the plan, the optimizer's rewrites, and a
+per-node annotation of the actual evaluation next to the cost
+estimates.  The analyzed totals agree with the stats line:
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --explain \
+  >   'SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"' \
+  >   2>/dev/null | sed -n '/^rewrites:/,/^stats:/p'
+  rewrites:
+    weaken-direct: Reference >d Authors => Reference > Authors
+    weaken-direct: Authors >d Name => Authors > Name
+    weaken-direct: Name >d Last_Name => Name > Last_Name
+    shorten: Authors > Name > Last_Name => Authors > Last_Name
+  analyze:
+    r: Reference > Authors > sigma["Chang"](Last_Name)
+      >  [out=3 self: ops=1 cmps=12 | subtree: ops=3 cmps=40 | est weighted=131.7]
+        Reference  [out=4 self: ops=0 cmps=0 | est weighted=0.0]
+        >  [out=3 self: ops=1 cmps=12 | subtree: ops=2 cmps=28 | est weighted=119.7]
+          Authors  [out=4 self: ops=0 cmps=0 | est weighted=0.0]
+          sigma["Chang"]  [out=3 self: ops=1 cmps=16 lookups=1 | subtree: ops=1 cmps=16 | est weighted=108.5]
+            Last_Name  [out=16 self: ops=0 cmps=0 | est weighted=0.0]
+    analyzed totals: ops=3 cmps=40 lookups=1
+  candidates: 3  answers: 3
+  stats: scanned=0B parsed=1557B index_ops=3 cmps=40 lookups=1 objs=3 regions=9
+
+--metrics dumps the registry (counters sorted by name) after the run:
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --metrics \
+  >   'SELECT r.Key FROM References r' 2>/dev/null \
+  >   | grep -E 'engine.index_ops|optimizer.weaken'
+  engine.index_ops = 1
+  optimizer.weaken_direct = 1
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --metrics \
+  >   'SELECT r.Key FROM References r' 2>/dev/null \
+  >   | grep -c 'query.latency_ms = count=1'
+  1
+
+--trace FILE writes JSON-lines events (or a Chrome trace_event array
+when the file ends in .json):
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --trace t.jsonl \
+  >   'SELECT r.Key FROM References r' >/dev/null 2>&1
+  $ grep -c '"ev":"begin".*"name":"query.run"' t.jsonl
+  1
+  $ grep -c '"name":"query.phase1"' t.jsonl
+  2
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --trace t.json \
+  >   'SELECT r.Key FROM References r' >/dev/null 2>&1
+  $ head -1 t.json
+  [
+  $ grep -c '"name":"query.run","ph":"B"' t.json
+  1
+  $ tail -1 t.json
+  ]
+
+Every query error path exits non-zero with a message on stderr — the
+planner, the baseline scanner, and raw region expressions alike:
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib 'SELECT r FROM Bogus r'
+  oqf: unknown class: Bogus
+  [1]
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --baseline 'SELECT r FROM Bogus r'
+  oqf: unknown class: Bogus
+  [1]
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib 'SELECT nonsense'
+  oqf: query parse error at 15: expected FROM but query ended
+  [1]
+
+  $ ../bin/oqf_cli.exe rexpr -s bibtex refs.bib 'Bogus > Authors'
+  oqf: unknown region name: Bogus
+  [1]
+
+A trace requested on a failing query still produces a well-formed file
+(the sink is flushed on exit):
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --trace err.json \
+  >   'SELECT r FROM Bogus r' 2>/dev/null
+  [1]
+  $ head -1 err.json
+  [
+  $ tail -1 err.json
+  ]

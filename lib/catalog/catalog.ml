@@ -356,6 +356,9 @@ let extend t e ~old_len ~verify_rig =
     end
 
 let refresh ?(verify_rig = false) t source =
+  Obs.Trace.with_span "catalog.refresh"
+    ~attrs:(fun () -> [ ("source", Obs.Trace.Str source) ])
+  @@ fun () ->
   match find t source with
   | None -> Error (source ^ " is not in the catalog")
   | Some e -> begin
@@ -382,6 +385,9 @@ let refresh_all ?verify_rig t =
 (* ---------------- serving instances ---------------- *)
 
 let load t source =
+  Obs.Trace.with_span "catalog.load"
+    ~attrs:(fun () -> [ ("source", Obs.Trace.Str source) ])
+  @@ fun () ->
   match find t source with
   | None -> Error (source ^ " is not in the catalog")
   | Some e -> load_persisted t e

@@ -43,11 +43,15 @@ let find t key =
   | Some e ->
       e.stamp <- tick t;
       t.hits <- t.hits + 1;
-      Stdx.Stats.global.cache_hits <- Stdx.Stats.global.cache_hits + 1;
+      Stdx.Stats.(incr cache_hits);
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "cache.hit" ~attrs:[ ("key", Obs.Trace.Str key) ];
       Some e.instance
   | None ->
       t.misses <- t.misses + 1;
-      Stdx.Stats.global.cache_misses <- Stdx.Stats.global.cache_misses + 1;
+      Stdx.Stats.(incr cache_misses);
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "cache.miss" ~attrs:[ ("key", Obs.Trace.Str key) ];
       None
 
 let remove t key =
@@ -71,7 +75,9 @@ let evict_lru t =
   | Some (key, _) ->
       remove t key;
       t.evictions <- t.evictions + 1;
-      Stdx.Stats.global.cache_evictions <- Stdx.Stats.global.cache_evictions + 1;
+      Stdx.Stats.(incr cache_evictions);
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "cache.evict" ~attrs:[ ("key", Obs.Trace.Str key) ];
       true
 
 let add t key instance =

@@ -220,8 +220,7 @@ let run grammar text ~symbol ~start ~stop =
   | Some (node, next) ->
       let next = skip_ws ctx next in
       if next = stop then begin
-        Stdx.Stats.global.bytes_parsed <-
-          Stdx.Stats.global.bytes_parsed + (stop - start);
+        Stdx.Stats.(add_to bytes_parsed (stop - start));
         Ok node
       end
       else if ctx.best_pos > next then

@@ -1,0 +1,113 @@
+type counter = { c_name : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  mutable values : float array;  (* observations, first [len] slots live *)
+  mutable len : int;
+}
+
+type item = Counter of counter | Histogram of histogram
+
+(* The registry proper.  Single-threaded engine: no locking. *)
+let registry : (string, item) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some (Histogram _) ->
+      invalid_arg (Printf.sprintf "Obs.Metrics.counter: %s is a histogram" name)
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let[@inline] incr c = c.count <- c.count + 1
+let[@inline] add_to c n = c.count <- c.count + n
+let[@inline] value c = c.count
+let set c n = c.count <- n
+let counter_name c = c.c_name
+
+let find_counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some c
+  | _ -> None
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some (Counter _) ->
+      invalid_arg (Printf.sprintf "Obs.Metrics.histogram: %s is a counter" name)
+  | None ->
+      let h = { h_name = name; values = Array.make 16 0.0; len = 0 } in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+let observe h x =
+  if h.len = Array.length h.values then begin
+    let bigger = Array.make (2 * h.len) 0.0 in
+    Array.blit h.values 0 bigger 0 h.len;
+    h.values <- bigger
+  end;
+  h.values.(h.len) <- x;
+  h.len <- h.len + 1
+
+type summary = { count : int; sum : float; p50 : float; p95 : float; max : float }
+
+(* Nearest-rank percentile on a sorted copy of the observations. *)
+let summarize h =
+  if h.len = 0 then None
+  else begin
+    let sorted = Array.sub h.values 0 h.len in
+    Array.sort Float.compare sorted;
+    let n = h.len in
+    let rank q = min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)) in
+    Some
+      {
+        count = n;
+        sum = Array.fold_left ( +. ) 0.0 sorted;
+        p50 = sorted.(rank 0.5);
+        p95 = sorted.(rank 0.95);
+        max = sorted.(n - 1);
+      }
+  end
+
+let histogram_name h = h.h_name
+
+let sorted_items () =
+  let all = Hashtbl.fold (fun name item acc -> (name, item) :: acc) registry [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let counters () =
+  List.filter_map
+    (function name, Counter c -> Some (name, c.count) | _ -> None)
+    (sorted_items ())
+
+let histograms () =
+  List.filter_map
+    (function
+      | name, Histogram h -> Option.map (fun s -> (name, s)) (summarize h)
+      | _ -> None)
+    (sorted_items ())
+
+let dump ppf () =
+  List.iter
+    (fun (name, item) ->
+      match item with
+      | Counter c -> Format.fprintf ppf "%s = %d@." name c.count
+      | Histogram h -> begin
+          match summarize h with
+          | None -> Format.fprintf ppf "%s = (no observations)@." name
+          | Some s ->
+              Format.fprintf ppf
+                "%s = count=%d sum=%.3f p50=%.3f p95=%.3f max=%.3f@." name
+                s.count s.sum s.p50 s.p95 s.max
+        end)
+    (sorted_items ())
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ item ->
+      match item with
+      | Counter c -> c.count <- 0
+      | Histogram h -> h.len <- 0)
+    registry

@@ -1,0 +1,84 @@
+type value = Str of string | Int of int | Float of float | Bool of bool
+type attrs = (string * value) list
+
+type event =
+  | Begin of { id : int; parent : int; name : string; ts : float }
+  | End of { id : int; name : string; ts : float; attrs : attrs }
+  | Instant of { name : string; parent : int; ts : float; attrs : attrs }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+let current : sink option ref = ref None
+
+(* ids of the open spans, innermost first; 0 is the virtual root *)
+let stack : int list ref = ref []
+let next_id = ref 0
+
+let enabled () = match !current with None -> false | Some _ -> true
+let sink () = !current
+
+let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
+
+let flush () = match !current with None -> () | Some s -> s.flush ()
+
+let set_sink s =
+  flush ();
+  current := s;
+  stack := []
+
+type span = { id : int; name : string }
+
+let null = { id = 0; name = "" }
+
+let parent_id () = match !stack with [] -> 0 | p :: _ -> p
+
+let begin_span ?(attrs = []) name =
+  match !current with
+  | None -> null
+  | Some s ->
+      incr next_id;
+      let id = !next_id in
+      s.emit (Begin { id; parent = parent_id (); name; ts = now_ms () });
+      (* begin-attrs are rare; fold them into an instant so sinks need
+         no merge logic *)
+      if attrs <> [] then
+        s.emit (Instant { name = name ^ ".args"; parent = id; ts = now_ms (); attrs });
+      stack := id :: !stack;
+      { id; name }
+
+let end_span ?(attrs = []) span =
+  if span.id <> 0 then begin
+    match !current with
+    | None -> ()
+    | Some s ->
+        (* pop to (and including) this span, closing any descendants a
+           non-local exit left open *)
+        let rec pop = function
+          | [] -> []
+          | id :: rest ->
+              if id = span.id then rest
+              else begin
+                s.emit (End { id; name = "(abandoned)"; ts = now_ms (); attrs = [] });
+                pop rest
+              end
+        in
+        stack := pop !stack;
+        s.emit (End { id = span.id; name = span.name; ts = now_ms (); attrs })
+  end
+
+let with_span ?attrs name f =
+  match !current with
+  | None -> f ()
+  | Some _ ->
+      let span = begin_span name in
+      Fun.protect
+        ~finally:(fun () ->
+          let attrs = match attrs with None -> [] | Some g -> g () in
+          end_span ~attrs span)
+        f
+
+let instant ?(attrs = []) name =
+  match !current with
+  | None -> ()
+  | Some s ->
+      s.emit (Instant { name; parent = parent_id (); ts = now_ms (); attrs })

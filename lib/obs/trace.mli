@@ -1,0 +1,63 @@
+(** Hierarchical execution tracing.
+
+    A trace is a stream of events — span begins/ends and instant
+    events — timestamped with a monotonic clock and threaded with
+    parent ids so the thread of execution can be reconstructed into a
+    tree.  Events flow to the installed {!sink} (see {!Sink} for the
+    pretty-printer, JSON-lines and Chrome [trace_event] sinks).
+
+    Tracing is off unless a sink is installed.  Every entry point
+    checks {!enabled} first and returns immediately when it is false:
+    a disabled instrumentation site costs one load and branch, no
+    allocation — verified by bench O1. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type attrs = (string * value) list
+(** Attributes attached to a span end or an instant event. *)
+
+type event =
+  | Begin of { id : int; parent : int; name : string; ts : float }
+      (** span opened; [parent = 0] for roots; [ts] in milliseconds on
+          the monotonic clock *)
+  | End of { id : int; name : string; ts : float; attrs : attrs }
+      (** span closed, with its accumulated attributes *)
+  | Instant of { name : string; parent : int; ts : float; attrs : attrs }
+      (** a point event inside the current span *)
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+val set_sink : sink option -> unit
+(** Install or remove the sink.  Installing flushes and replaces any
+    previous sink and resets the open-span stack. *)
+
+val sink : unit -> sink option
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed. *)
+
+val now_ms : unit -> float
+(** Monotonic clock reading in milliseconds (arbitrary epoch). *)
+
+type span
+(** An open span handle.  When tracing is disabled, handles are the
+    shared {!null} and all operations on them are no-ops. *)
+
+val null : span
+
+val begin_span : ?attrs:attrs -> string -> span
+(** Open a span nested under the innermost open span. *)
+
+val end_span : ?attrs:attrs -> span -> unit
+(** Close the span (and any unclosed descendants), emitting [attrs]. *)
+
+val with_span : ?attrs:(unit -> attrs) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span.  [attrs] is evaluated
+    only when tracing is enabled, after [f] returns — so attribute
+    computation is free when disabled.  Exception-safe. *)
+
+val instant : ?attrs:attrs -> string -> unit
+(** Emit a point event under the innermost open span. *)
+
+val flush : unit -> unit
+(** Flush the installed sink, if any. *)

@@ -3,7 +3,7 @@ type t = (string, Value.t list ref) Hashtbl.t
 let create () : t = Hashtbl.create 16
 
 let insert t ~class_name v =
-  Stdx.Stats.global.objects_built <- Stdx.Stats.global.objects_built + 1;
+  Stdx.Stats.(incr objects_built);
   match Hashtbl.find_opt t class_name with
   | Some cell -> cell := v :: !cell
   | None -> Hashtbl.replace t class_name (ref [ v ])

@@ -43,7 +43,13 @@ type outcome = {
   answers_count : int;
   join_assisted : bool;
   stats : Stdx.Stats.t;
+  rewrites : Ralg.Optimizer.rewrite list;
+  annotations : (string * Ralg.Annot.t) list;
 }
+
+let query_latency_ms = Obs.Metrics.histogram "query.latency_ms"
+let query_answers = Obs.Metrics.histogram "query.answers"
+let query_candidates = Obs.Metrics.histogram "query.candidates"
 
 (* ------------------------------------------------------------------ *)
 (* §5.2 join assist.
@@ -185,29 +191,90 @@ let single_var_filter (q : Odb.Query.t) var =
 
 (* Parse one candidate region as an occurrence of [symbol]. *)
 let materialize_region src ~symbol (r : Pat.Region.t) =
-  match
-    Fschema.Parser_engine.parse_at src.view.Fschema.View.grammar src.text
-      ~symbol ~start:r.start ~stop:r.stop
-  with
-  | Ok tree -> Ok (Fschema.Builder.value_of_tree src.text tree)
-  | Error e ->
-      Error
-        (Format.asprintf "candidate region %a of %s does not parse: %a"
-           Pat.Region.pp r symbol Fschema.Parser_engine.pp_error e)
+  let parse () =
+    match
+      Fschema.Parser_engine.parse_at src.view.Fschema.View.grammar src.text
+        ~symbol ~start:r.start ~stop:r.stop
+    with
+    | Ok tree -> Ok (Fschema.Builder.value_of_tree src.text tree)
+    | Error e ->
+        Error
+          (Format.asprintf "candidate region %a of %s does not parse: %a"
+             Pat.Region.pp r symbol Fschema.Parser_engine.pp_error e)
+  in
+  if not (Obs.Trace.enabled ()) then parse ()
+  else begin
+    let b0 = Stdx.Stats.(value bytes_parsed) in
+    let span = Obs.Trace.begin_span "phase2.parse" in
+    let res = parse () in
+    Obs.Trace.end_span span
+      ~attrs:
+        [
+          ("symbol", Obs.Trace.Str symbol);
+          ("start", Obs.Trace.Int r.start);
+          ("stop", Obs.Trace.Int r.stop);
+          ("bytes_parsed", Obs.Trace.Int (Stdx.Stats.(value bytes_parsed) - b0));
+          ("ok", Obs.Trace.Bool (Result.is_ok res));
+        ];
+    res
+  end
 
-let run ?(optimize = true) ?(join_assist = true) src (q : Odb.Query.t) =
-  let before = Stdx.Stats.snapshot Stdx.Stats.global in
-  match Compile.compile src.env q with
+let run ?(optimize = true) ?(join_assist = true) ?(explain = false) src
+    (q : Odb.Query.t) =
+  let before = Stdx.Stats.snapshot () in
+  let t0 = Obs.Trace.now_ms () in
+  let root =
+    if Obs.Trace.enabled () then Obs.Trace.begin_span "query.run"
+    else Obs.Trace.null
+  in
+  let finish result =
+    Obs.Metrics.observe query_latency_ms (Obs.Trace.now_ms () -. t0);
+    (match result with
+    | Ok o ->
+        Obs.Metrics.observe query_answers (float_of_int o.answers_count);
+        Obs.Metrics.observe query_candidates (float_of_int o.candidates_count);
+        if Obs.Trace.enabled () then
+          Obs.Trace.end_span root
+            ~attrs:
+              [
+                ("answers", Obs.Trace.Int o.answers_count);
+                ("candidates", Obs.Trace.Int o.candidates_count);
+                ("join_assisted", Obs.Trace.Bool o.join_assisted);
+              ]
+    | Error e ->
+        if Obs.Trace.enabled () then
+          Obs.Trace.end_span root ~attrs:[ ("error", Obs.Trace.Str e) ]);
+    result
+  in
+  finish
+  @@
+  match Obs.Trace.with_span "query.compile" (fun () -> Compile.compile src.env q) with
   | Error e -> Error e
   | Ok plan -> begin
+      let rewrites = ref [] in
+      let annots = ref [] in
       let maybe_optimize e =
-        if optimize then Ralg.Optimizer.optimize src.query_rig e else e
+        if optimize then begin
+          let e', rws = Ralg.Optimizer.optimize_logged src.query_rig e in
+          rewrites := !rewrites @ rws;
+          e'
+        end
+        else e
+      in
+      let eval_candidates label e =
+        if explain then begin
+          let r, a = Ralg.Eval.eval_shared_annotated src.instance e in
+          annots := (label, a) :: !annots;
+          r
+        end
+        else Ralg.Eval.eval_shared src.instance e
       in
       let exception Fail of string in
       try
         (* phase 1: candidate regions per variable *)
         let evaluated = ref [] in
         let candidates =
+          Obs.Trace.with_span "query.phase1" @@ fun () ->
           List.map
             (fun (vp : Plan.var_plan) ->
               match vp.Plan.candidates with
@@ -228,7 +295,10 @@ let run ?(optimize = true) ?(join_assist = true) src (q : Odb.Query.t) =
                   let regions =
                     match e with
                     | None -> Pat.Region_set.empty
-                    | Some e -> Ralg.Eval.eval_shared src.instance e
+                    | Some e ->
+                        Obs.Trace.with_span
+                          ("phase1." ^ vp.Plan.var)
+                          (fun () -> eval_candidates vp.Plan.var e)
                   in
                   (vp, `Regions regions))
             plan.Plan.var_plans
@@ -237,6 +307,7 @@ let run ?(optimize = true) ?(join_assist = true) src (q : Odb.Query.t) =
         let candidates, join_assisted =
           if not join_assist then (candidates, false)
           else begin
+            Obs.Trace.with_span "query.join_assist" @@ fun () ->
             let bindings =
               List.map
                 (fun ((vp : Plan.var_plan), c) -> (vp.Plan.var, (vp, c)))
@@ -263,12 +334,13 @@ let run ?(optimize = true) ?(join_assist = true) src (q : Odb.Query.t) =
           && List.length plan.Plan.select_plans = 1
         in
         let rows =
+          Obs.Trace.with_span "query.phase2" @@ fun () ->
           if plan.Plan.exact && all_projections then begin
             match plan.Plan.select_plans with
             | [ Plan.Project_regions e ] ->
                 let e = maybe_optimize e in
                 evaluated := ("<select>", e) :: !evaluated;
-                let regions = Ralg.Eval.eval_shared src.instance e in
+                let regions = eval_candidates "<select>" e in
                 List.sort_uniq (List.compare Odb.Value.compare)
                   (List.map
                      (fun r -> [ Odb.Value.Str (Pat.Region.text src.text r) ])
@@ -335,7 +407,7 @@ let run ?(optimize = true) ?(join_assist = true) src (q : Odb.Query.t) =
             Odb.Query_eval.eval db residual_query
           end
         in
-        let after = Stdx.Stats.snapshot Stdx.Stats.global in
+        let after = Stdx.Stats.snapshot () in
         Ok
           {
             rows;
@@ -345,15 +417,32 @@ let run ?(optimize = true) ?(join_assist = true) src (q : Odb.Query.t) =
             answers_count = List.length rows;
             join_assisted;
             stats = Stdx.Stats.diff ~before ~after;
+            rewrites = !rewrites;
+            annotations = List.rev !annots;
           }
       with Fail e -> Error e
     end
 
 let run_baseline view text q =
-  let before = Stdx.Stats.snapshot Stdx.Stats.global in
-  match Fschema.View.load_file view text with
-  | Error e -> Error e
-  | Ok db ->
-      let rows = Odb.Query_eval.eval db q in
-      let after = Stdx.Stats.snapshot Stdx.Stats.global in
-      Ok (rows, Stdx.Stats.diff ~before ~after)
+  let before = Stdx.Stats.snapshot () in
+  (* mirror the planner's validation: the baseline must reject a query
+     it cannot answer, not return an empty extent with exit 0 *)
+  let unknown =
+    List.find_map
+      (fun (cls, _) ->
+        match Fschema.View.class_nonterm view cls with
+        | None -> Some cls
+        | Some _ -> None)
+      q.Odb.Query.from_
+  in
+  match (Odb.Query.validate q, unknown) with
+  | Error e, _ -> Error e
+  | Ok (), Some cls -> Error ("unknown class: " ^ cls)
+  | Ok (), None -> begin
+      match Fschema.View.load_file view text with
+      | Error e -> Error e
+      | Ok db ->
+          let rows = Odb.Query_eval.eval db q in
+          let after = Stdx.Stats.snapshot () in
+          Ok (rows, Stdx.Stats.diff ~before ~after)
+    end

@@ -40,17 +40,33 @@ type outcome = {
       (** a §5.2 join refinement ran: path regions were projected, their
           texts joined, and the candidate sets shrunk before parsing *)
   stats : Stdx.Stats.t;  (** query-time work only *)
+  rewrites : Ralg.Optimizer.rewrite list;
+      (** optimizer rewrites applied to the candidate expressions, in
+          application order; empty with [~optimize:false] *)
+  annotations : (string * Ralg.Annot.t) list;
+      (** with [~explain:true], the per-node actual-cost tree for each
+          evaluated expression, keyed like [evaluated]; [[]] otherwise *)
 }
 
 val run :
   ?optimize:bool ->
   ?join_assist:bool ->
+  ?explain:bool ->
   source ->
   Odb.Query.t ->
   (outcome, string) result
 (** [optimize] defaults to [true]; pass [false] to execute the naive
     translation (benchmark E1).  [join_assist] defaults to [true]; pass
-    [false] to skip the §5.2 join refinement (benchmark E6). *)
+    [false] to skip the §5.2 join refinement (benchmark E6).
+    [explain] (default [false]) evaluates phase 1 through
+    {!Ralg.Eval.eval_shared_annotated} and fills [annotations] — the
+    EXPLAIN ANALYZE path.
+
+    Every run observes the [query.latency_ms], [query.answers] and
+    [query.candidates] registry histograms; when a trace sink is
+    installed the phases (i)–(iv) appear as spans ([query.compile],
+    [query.phase1], [query.join_assist], [query.phase2]) under a
+    [query.run] root. *)
 
 val run_baseline :
   Fschema.View.t ->

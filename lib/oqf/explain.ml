@@ -1,0 +1,35 @@
+let pp ?(show_times = false) ~source ppf (o : Execute.outcome) =
+  let estimate = Ralg.Cost.of_instance source.Execute.instance in
+  Format.fprintf ppf "%a@." Plan.pp o.Execute.plan;
+  (match o.Execute.rewrites with
+  | [] -> Format.fprintf ppf "rewrites: (none)@."
+  | rws ->
+      Format.fprintf ppf "rewrites:@.";
+      List.iter
+        (fun (rw : Ralg.Optimizer.rewrite) ->
+          Format.fprintf ppf "  %s: %s@." rw.Ralg.Optimizer.rule
+            rw.Ralg.Optimizer.detail)
+        rws);
+  (match o.Execute.annotations with
+  | [] -> ()
+  | annots ->
+      Format.fprintf ppf "analyze:@.";
+      List.iter
+        (fun (label, annot) ->
+          Format.fprintf ppf "  %s: %s@." label
+            (Ralg.Expr.to_string annot.Ralg.Annot.expr);
+          let body = Format.asprintf "%a" (Ralg.Annot.pp ~estimate ~show_times) annot in
+          String.split_on_char '\n' body
+          |> List.iter (fun line ->
+                 if line <> "" then Format.fprintf ppf "    %s@." line))
+        annots;
+      let sum f =
+        List.fold_left (fun acc (_, a) -> acc + f a) 0 annots
+      in
+      Format.fprintf ppf "  analyzed totals: ops=%d cmps=%d lookups=%d@."
+        (sum Ralg.Annot.total_ops) (sum Ralg.Annot.total_cmps)
+        (sum Ralg.Annot.total_lookups));
+  Format.fprintf ppf "candidates: %d  answers: %d%s@." o.Execute.candidates_count
+    o.Execute.answers_count
+    (if o.Execute.join_assisted then "  (join-assisted)" else "");
+  Format.fprintf ppf "stats: %a@." Stdx.Stats.pp o.Execute.stats

@@ -1,0 +1,21 @@
+(** EXPLAIN ANALYZE rendering.
+
+    Combines the static side of an executed query — the plan and the
+    optimizer rewrites that shaped it — with the actual per-node costs
+    collected by {!Ralg.Eval.eval_shared_annotated} (via
+    [Execute.run ~explain:true]) and the static {!Ralg.Cost} estimate
+    for each node, so estimated and actual work sit side by side.
+
+    The "analyzed totals" line sums the per-node self costs across all
+    annotated trees; for plans whose index work happens entirely in
+    phase 1 (no join assist) it equals the [index_ops] /
+    [region_comparisons] of the outcome's {!Stdx.Stats}. *)
+
+val pp :
+  ?show_times:bool ->
+  source:Execute.source ->
+  Format.formatter ->
+  Execute.outcome ->
+  unit
+(** [show_times] (default [false]) appends per-node wall-clock
+    durations; leave it off for deterministic transcripts. *)

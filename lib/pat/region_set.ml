@@ -2,12 +2,11 @@ type t = Region.t array
 (* Invariant: strictly increasing under Region.compare (start ascending,
    stop descending), hence duplicate-free. *)
 
-let stats = Stdx.Stats.global
-let tick_op () = stats.index_ops <- stats.index_ops + 1
-let tick_cmp n = stats.region_comparisons <- stats.region_comparisons + n
+let tick_op () = Stdx.Stats.(incr index_ops)
+let tick_cmp n = Stdx.Stats.(add_to region_comparisons n)
 
 let produced (r : t) =
-  stats.regions_produced <- stats.regions_produced + Array.length r;
+  Stdx.Stats.(add_to regions_produced (Array.length r));
   r
 
 let empty = [||]

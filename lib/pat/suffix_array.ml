@@ -122,7 +122,7 @@ let occurs_at s pos pattern =
   pos + m <= String.length s && String.sub s pos m = pattern
 
 let find t pattern =
-  Stdx.Stats.global.word_lookups <- Stdx.Stats.global.word_lookups + 1;
+  Stdx.Stats.(incr word_lookups);
   let out =
     if String.length pattern <= prefix_cap then begin
       let lo, hi = bounds t pattern in
@@ -152,7 +152,7 @@ let find_word t pattern =
 
 let count t pattern =
   if String.length pattern <= prefix_cap then begin
-    Stdx.Stats.global.word_lookups <- Stdx.Stats.global.word_lookups + 1;
+    Stdx.Stats.(incr word_lookups);
     let lo, hi = bounds t pattern in
     hi - lo
   end

@@ -15,7 +15,7 @@ let get t i = t.contents.[i]
 let sub t ~pos ~len = String.sub t.contents pos len
 
 let scan_sub t ~pos ~len =
-  Stdx.Stats.global.bytes_scanned <- Stdx.Stats.global.bytes_scanned + len;
+  Stdx.Stats.(add_to bytes_scanned len);
   String.sub t.contents pos len
 
 let unsafe_contents t = t.contents

@@ -2,7 +2,13 @@ exception Unknown_region of string
 
 module Rs = Pat.Region_set
 
-let rec eval inst expr =
+(* The plain evaluators below are the hot path: no instrumentation
+   beyond the counters maintained inside Pat.Region_set itself.  The
+   public [eval]/[eval_shared] dispatch to the annotated variants only
+   when a trace sink is installed, so the disabled-tracing cost is one
+   load and branch per top-level evaluation. *)
+
+let rec eval_plain inst expr =
   match expr with
   | Expr.Name n -> begin
       match Pat.Instance.find_opt inst n with
@@ -11,20 +17,23 @@ let rec eval inst expr =
     end
   | Expr.Select (Expr.Contains_word w, e) ->
       Pat.Word_index.select_containing (Pat.Instance.word_index inst) w
-        (eval inst e)
+        (eval_plain inst e)
   | Expr.Select (Expr.Exactly_word w, e) ->
       Pat.Word_index.select_exact (Pat.Instance.word_index inst) w
-        (eval inst e)
+        (eval_plain inst e)
   | Expr.Select (Expr.Prefix_word w, e) ->
       Pat.Word_index.select_prefix (Pat.Instance.word_index inst) w
-        (eval inst e)
-  | Expr.Setop (Expr.Union, a, b) -> Rs.union (eval inst a) (eval inst b)
-  | Expr.Setop (Expr.Inter, a, b) -> Rs.inter (eval inst a) (eval inst b)
-  | Expr.Setop (Expr.Diff, a, b) -> Rs.diff (eval inst a) (eval inst b)
-  | Expr.Innermost e -> Rs.innermost (eval inst e)
-  | Expr.Outermost e -> Rs.outermost (eval inst e)
+        (eval_plain inst e)
+  | Expr.Setop (Expr.Union, a, b) ->
+      Rs.union (eval_plain inst a) (eval_plain inst b)
+  | Expr.Setop (Expr.Inter, a, b) ->
+      Rs.inter (eval_plain inst a) (eval_plain inst b)
+  | Expr.Setop (Expr.Diff, a, b) ->
+      Rs.diff (eval_plain inst a) (eval_plain inst b)
+  | Expr.Innermost e -> Rs.innermost (eval_plain inst e)
+  | Expr.Outermost e -> Rs.outermost (eval_plain inst e)
   | Expr.Chain (a, op, b) -> begin
-      let ra = eval inst a and rb = eval inst b in
+      let ra = eval_plain inst a and rb = eval_plain inst b in
       match op with
       | Expr.Including -> Rs.including ra rb
       | Expr.Included -> Rs.included ra rb
@@ -34,7 +43,7 @@ let rec eval inst expr =
           Rs.directly_included ~context:(Pat.Instance.universe inst) ra rb
     end
   | Expr.Chain_strict (a, op, b) -> begin
-      let ra = eval inst a and rb = eval inst b in
+      let ra = eval_plain inst a and rb = eval_plain inst b in
       match op with
       | Expr.Including -> Rs.including_strict ra rb
       | Expr.Included -> Rs.included_strict ra rb
@@ -50,9 +59,9 @@ let rec eval inst expr =
   | Expr.At_depth (n, a, b) ->
       Rs.including_at_depth
         ~context:(Pat.Instance.universe inst)
-        ~depth:n (eval inst a) (eval inst b)
+        ~depth:n (eval_plain inst a) (eval_plain inst b)
 
-let eval_shared inst expr =
+let eval_shared_plain inst expr =
   let memo : (Expr.t, Rs.t) Hashtbl.t = Hashtbl.create 16 in
   let rec go expr =
     match Hashtbl.find_opt memo expr with
@@ -60,7 +69,7 @@ let eval_shared inst expr =
     | None ->
         let r =
           match expr with
-          | Expr.Name _ -> eval inst expr
+          | Expr.Name _ -> eval_plain inst expr
           | Expr.Select (Expr.Contains_word w, e) ->
               Pat.Word_index.select_containing
                 (Pat.Instance.word_index inst)
@@ -115,6 +124,142 @@ let eval_shared inst expr =
         r
   in
   go expr
+
+(* One operator application over already-evaluated children — the unit
+   the annotated evaluator measures counter deltas around. *)
+let apply inst expr children =
+  let ctx () = Pat.Instance.universe inst in
+  match (expr, children) with
+  | Expr.Name n, [] -> begin
+      match Pat.Instance.find_opt inst n with
+      | Some set -> set
+      | None -> raise (Unknown_region n)
+    end
+  | Expr.Select (Expr.Contains_word w, _), [ r ] ->
+      Pat.Word_index.select_containing (Pat.Instance.word_index inst) w r
+  | Expr.Select (Expr.Exactly_word w, _), [ r ] ->
+      Pat.Word_index.select_exact (Pat.Instance.word_index inst) w r
+  | Expr.Select (Expr.Prefix_word w, _), [ r ] ->
+      Pat.Word_index.select_prefix (Pat.Instance.word_index inst) w r
+  | Expr.Setop (Expr.Union, _, _), [ a; b ] -> Rs.union a b
+  | Expr.Setop (Expr.Inter, _, _), [ a; b ] -> Rs.inter a b
+  | Expr.Setop (Expr.Diff, _, _), [ a; b ] -> Rs.diff a b
+  | Expr.Innermost _, [ r ] -> Rs.innermost r
+  | Expr.Outermost _, [ r ] -> Rs.outermost r
+  | Expr.Chain (_, op, _), [ a; b ] -> begin
+      match op with
+      | Expr.Including -> Rs.including a b
+      | Expr.Included -> Rs.included a b
+      | Expr.Directly_including -> Rs.directly_including ~context:(ctx ()) a b
+      | Expr.Directly_included -> Rs.directly_included ~context:(ctx ()) a b
+    end
+  | Expr.Chain_strict (_, op, _), [ a; b ] -> begin
+      match op with
+      | Expr.Including -> Rs.including_strict a b
+      | Expr.Included -> Rs.included_strict a b
+      | Expr.Directly_including ->
+          Rs.directly_including_strict ~context:(ctx ()) a b
+      | Expr.Directly_included ->
+          Rs.directly_included_strict ~context:(ctx ()) a b
+    end
+  | Expr.At_depth (n, _, _), [ a; b ] ->
+      Rs.including_at_depth ~context:(ctx ()) ~depth:n a b
+  | _ -> invalid_arg "Eval.apply: operator/operand arity mismatch"
+
+let counters_now () =
+  Stdx.Stats.
+    ( value index_ops,
+      value region_comparisons,
+      value word_lookups,
+      value regions_produced )
+
+let annotate inst ~memo expr =
+  let traced = Obs.Trace.enabled () in
+  let rec go expr =
+    let hit =
+      match memo with Some tbl -> Hashtbl.find_opt tbl expr | None -> None
+    in
+    match hit with
+    | Some r ->
+        let node =
+          {
+            Annot.expr;
+            label = Expr.node_label expr;
+            out_card = Rs.cardinal r;
+            self_ops = 0;
+            self_cmps = 0;
+            self_lookups = 0;
+            self_regions = 0;
+            duration_ms = 0.;
+            cached = true;
+            children = [];
+          }
+        in
+        (r, node)
+    | None ->
+        let span =
+          if traced then Obs.Trace.begin_span ("eval." ^ Expr.node_label expr)
+          else Obs.Trace.null
+        in
+        let children =
+          match expr with
+          | Expr.Name _ -> []
+          | Expr.Select (_, e) | Expr.Innermost e | Expr.Outermost e ->
+              [ go e ]
+          | Expr.Setop (_, a, b)
+          | Expr.Chain (a, _, b)
+          | Expr.Chain_strict (a, _, b)
+          | Expr.At_depth (_, a, b) ->
+              let ra = go a in
+              let rb = go b in
+              [ ra; rb ]
+        in
+        let t0 = Obs.Trace.now_ms () in
+        let o0, c0, w0, r0 = counters_now () in
+        let result = apply inst expr (List.map fst children) in
+        let o1, c1, w1, r1 = counters_now () in
+        let t1 = Obs.Trace.now_ms () in
+        let node =
+          {
+            Annot.expr;
+            label = Expr.node_label expr;
+            out_card = Rs.cardinal result;
+            self_ops = o1 - o0;
+            self_cmps = c1 - c0;
+            self_lookups = w1 - w0;
+            self_regions = r1 - r0;
+            duration_ms = t1 -. t0;
+            cached = false;
+            children = List.map snd children;
+          }
+        in
+        if traced then
+          Obs.Trace.end_span span
+            ~attrs:
+              [
+                ("out", Obs.Trace.Int node.Annot.out_card);
+                ("self_ops", Obs.Trace.Int node.Annot.self_ops);
+                ("self_cmps", Obs.Trace.Int node.Annot.self_cmps);
+              ];
+        (match memo with
+        | Some tbl -> Hashtbl.replace tbl expr result
+        | None -> ());
+        (result, node)
+  in
+  go expr
+
+let eval_annotated inst expr = annotate inst ~memo:None expr
+
+let eval_shared_annotated inst expr =
+  annotate inst ~memo:(Some (Hashtbl.create 16)) expr
+
+let eval inst expr =
+  if Obs.Trace.enabled () then fst (eval_annotated inst expr)
+  else eval_plain inst expr
+
+let eval_shared inst expr =
+  if Obs.Trace.enabled () then fst (eval_shared_annotated inst expr)
+  else eval_shared_plain inst expr
 
 let direct_including_layered ~context r s =
   let result = ref Rs.empty in

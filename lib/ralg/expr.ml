@@ -89,6 +89,18 @@ let rec pp_prec prec ppf e =
 let pp = pp_prec 0
 let to_string e = Format.asprintf "%a" pp e
 
+let node_label = function
+  | Name n -> n
+  | Select (sel, _) -> Format.asprintf "%a" pp_selection sel
+  | Setop (Union, _, _) -> "|"
+  | Setop (Inter, _, _) -> "&"
+  | Setop (Diff, _, _) -> "-"
+  | Chain (_, op, _) -> Format.asprintf "%a" pp_op op
+  | Chain_strict (_, op, _) -> Format.asprintf "%a!" pp_op op
+  | Innermost _ -> "inner"
+  | Outermost _ -> "outer"
+  | At_depth (n, _, _) -> Printf.sprintf "depth[%d]" n
+
 let name n = Name n
 let exactly w e = Select (Exactly_word w, e)
 let contains w e = Select (Contains_word w, e)

@@ -75,6 +75,10 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val node_label : t -> string
+(** Rendering of the root operator alone — [>d], [sigma["w"]], a region
+    name — for plan annotations and trace span names. *)
+
 (** {2 Convenience constructors} *)
 
 val name : string -> t

@@ -15,6 +15,20 @@ let prefix_positions inst w =
     (Pat.Word_index.prefix_points (Pat.Instance.word_index inst) w)
 
 let rec eval_list inst expr =
+  if not (Obs.Trace.enabled ()) then eval_body inst expr
+  else begin
+    let span = Obs.Trace.begin_span ("naive." ^ Expr.node_label expr) in
+    match eval_body inst expr with
+    | r ->
+        Obs.Trace.end_span span
+          ~attrs:[ ("out", Obs.Trace.Int (List.length r)) ];
+        r
+    | exception e ->
+        Obs.Trace.end_span span;
+        raise e
+  end
+
+and eval_body inst expr =
   match expr with
   | Expr.Name n -> begin
       match Pat.Instance.find_opt inst n with

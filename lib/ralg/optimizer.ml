@@ -2,6 +2,27 @@ let graph_for rig = function
   | Chain.Up -> rig
   | Chain.Down -> Rig.reverse rig
 
+type rewrite = { rule : string; detail : string }
+
+let weaken_count = Obs.Metrics.counter "optimizer.weaken_direct"
+let shorten_count = Obs.Metrics.counter "optimizer.shorten"
+
+let record note (rw : rewrite) =
+  Obs.Metrics.incr
+    (if rw.rule = "weaken-direct" then weaken_count else shorten_count);
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant
+      ("optimizer." ^ rw.rule)
+      ~attrs:[ ("rewrite", Obs.Trace.Str rw.detail) ];
+  note rw
+
+let op_symbol family strength =
+  match (family, strength) with
+  | Chain.Up, Chain.Simple -> ">"
+  | Chain.Up, Chain.Direct -> ">d"
+  | Chain.Down, Chain.Simple -> "<"
+  | Chain.Down, Chain.Direct -> "<d"
+
 let weaken_direct_pair rig ~family ~left ~right ~rightmost ~right_selection =
   if left = right then false
   else begin
@@ -32,7 +53,7 @@ let can_shorten rig ~family a b c =
   let g = graph_for rig family in
   Rig.separator g ~src:a ~dst:c ~via:b
 
-let optimize_chain rig (chain : Chain.t) =
+let optimize_chain_logged rig ~note (chain : Chain.t) =
   let family = chain.family in
   (* Step 1: weaken direct operators where Proposition 3.5 (a) holds. *)
   let elements = Array.of_list chain.elements in
@@ -46,7 +67,19 @@ let optimize_chain rig (chain : Chain.t) =
         weaken_direct_pair rig ~family ~left ~right:right_el.Chain.name
           ~rightmost:(i = n_pairs - 1)
           ~right_selection:right_el.Chain.selection
-      then strengths.(i) <- Chain.Simple
+      then begin
+        strengths.(i) <- Chain.Simple;
+        record note
+          {
+            rule = "weaken-direct";
+            detail =
+              Printf.sprintf "%s %s %s => %s %s %s" left
+                (op_symbol family Chain.Direct)
+                right_el.Chain.name left
+                (op_symbol family Chain.Simple)
+                right_el.Chain.name;
+          }
+      end
     end
   done;
   (* Step 2: shorten [a ⊃ b ⊃ c] to [a ⊃ c] when b separates a from c,
@@ -59,6 +92,14 @@ let optimize_chain rig (chain : Chain.t) =
              && b.Chain.selection = None
              && can_shorten rig ~family a.Chain.name b.Chain.name
                   c.Chain.name ->
+          let op = op_symbol family Chain.Simple in
+          record note
+            {
+              rule = "shorten";
+              detail =
+                Printf.sprintf "%s %s %s %s %s => %s %s %s" a.Chain.name op
+                  b.Chain.name op c.Chain.name a.Chain.name op c.Chain.name;
+            };
           Some (a :: c :: rest_els, Chain.Simple :: rest_ss)
       | a :: rest_els, s :: rest_ss -> begin
           match scan rest_els rest_ss with
@@ -76,9 +117,12 @@ let optimize_chain rig (chain : Chain.t) =
   in
   { chain with elements; strengths }
 
-let rec optimize rig e =
+let optimize_chain rig chain = optimize_chain_logged rig ~note:ignore chain
+
+let rec optimize_noted rig ~note e =
+  let optimize rig e = optimize_noted rig ~note e in
   match Chain.of_expr e with
-  | Some chain -> Chain.to_expr (optimize_chain rig chain)
+  | Some chain -> Chain.to_expr (optimize_chain_logged rig ~note chain)
   | None -> begin
       match e with
       | Expr.Name _ -> e
@@ -92,3 +136,10 @@ let rec optimize rig e =
       | Expr.At_depth (n, a, b) ->
           Expr.At_depth (n, optimize rig a, optimize rig b)
     end
+
+let optimize rig e = optimize_noted rig ~note:ignore e
+
+let optimize_logged rig e =
+  let log = ref [] in
+  let e' = optimize_noted rig ~note:(fun rw -> log := rw :: !log) e in
+  (e', List.rev !log)

@@ -44,3 +44,14 @@ val optimize_chain : Rig.t -> Chain.t -> Chain.t
 val optimize : Rig.t -> Expr.t -> Expr.t
 (** Apply {!optimize_chain} to every maximal inclusion chain inside a
     general region expression; other nodes are rebuilt unchanged. *)
+
+type rewrite = { rule : string; detail : string }
+(** One applied rewrite: [rule] is ["weaken-direct"] (Proposition
+    3.5 (a)) or ["shorten"] (Proposition 3.5 (b)); [detail] renders the
+    rewritten fragment, e.g. ["A >d B => A > B"]. *)
+
+val optimize_logged : Rig.t -> Expr.t -> Expr.t * rewrite list
+(** {!optimize}, also returning every rewrite applied, in application
+    order.  Each rewrite bumps the [optimizer.weaken_direct] /
+    [optimizer.shorten] registry counters and — when tracing is
+    enabled — emits an instant trace event carrying the detail. *)

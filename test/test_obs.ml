@@ -1,0 +1,220 @@
+(* The observability layer: metrics registry, span tracer, sinks. *)
+
+let with_memory_sink f =
+  let sink, roots = Obs.Sink.memory () in
+  Obs.Trace.set_sink (Some sink);
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_sink None)
+    (fun () ->
+      f ();
+      roots ())
+
+let metrics_tests =
+  [
+    Alcotest.test_case "counter is create-or-get by name" `Quick (fun () ->
+        let a = Obs.Metrics.counter "test.m1" in
+        let b = Obs.Metrics.counter "test.m1" in
+        let v0 = Obs.Metrics.value a in
+        Obs.Metrics.incr a;
+        Obs.Metrics.add_to b 4;
+        Alcotest.(check int) "same cell" (v0 + 5) (Obs.Metrics.value a);
+        Alcotest.(check int) "named read" (v0 + 5)
+          (Obs.Metrics.value (Obs.Metrics.counter "test.m1")));
+    Alcotest.test_case "find_counter does not create" `Quick (fun () ->
+        Alcotest.(check bool)
+          "absent" true
+          (Obs.Metrics.find_counter "test.never_created" = None);
+        let (_ : Obs.Metrics.counter) = Obs.Metrics.counter "test.created" in
+        Alcotest.(check bool)
+          "present" true
+          (Obs.Metrics.find_counter "test.created" <> None));
+    Alcotest.test_case "counters listing includes registered names" `Quick
+      (fun () ->
+        let c = Obs.Metrics.counter "test.listing" in
+        Obs.Metrics.set c 42;
+        Alcotest.(check bool)
+          "listed" true
+          (List.mem ("test.listing", 42) (Obs.Metrics.counters ())));
+    Alcotest.test_case "histogram nearest-rank percentiles" `Quick (fun () ->
+        let h = Obs.Metrics.histogram "test.h1" in
+        (* observe 1..100 shuffled deterministically *)
+        let prng = Stdx.Prng.create 99 in
+        let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+        for i = 99 downto 1 do
+          let j = Stdx.Prng.int prng (i + 1) in
+          let t = xs.(i) in
+          xs.(i) <- xs.(j);
+          xs.(j) <- t
+        done;
+        Array.iter (Obs.Metrics.observe h) xs;
+        match Obs.Metrics.summarize h with
+        | None -> Alcotest.fail "expected a summary"
+        | Some s ->
+            Alcotest.(check int) "count" 100 s.Obs.Metrics.count;
+            Alcotest.(check (float 0.001)) "sum" 5050.0 s.Obs.Metrics.sum;
+            Alcotest.(check (float 0.001)) "p50" 50.0 s.Obs.Metrics.p50;
+            Alcotest.(check (float 0.001)) "p95" 95.0 s.Obs.Metrics.p95;
+            Alcotest.(check (float 0.001)) "max" 100.0 s.Obs.Metrics.max);
+    Alcotest.test_case "empty histogram has no summary" `Quick (fun () ->
+        Alcotest.(check bool)
+          "none" true
+          (Obs.Metrics.summarize (Obs.Metrics.histogram "test.empty") = None));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "disabled tracing is inert" `Quick (fun () ->
+        Obs.Trace.set_sink None;
+        Alcotest.(check bool) "disabled" false (Obs.Trace.enabled ());
+        (* no sink: spans are the shared null handle, nothing blows up *)
+        let s = Obs.Trace.begin_span "nothing" in
+        Obs.Trace.instant "nothing.instant";
+        Obs.Trace.end_span s;
+        Alcotest.(check bool)
+          "with_span passes through" true
+          (Obs.Trace.with_span "nothing" (fun () -> true)));
+    Alcotest.test_case "span nesting reconstructs as a tree" `Quick (fun () ->
+        let roots =
+          with_memory_sink (fun () ->
+              Obs.Trace.with_span "root" (fun () ->
+                  Obs.Trace.with_span "child_a" (fun () ->
+                      Obs.Trace.instant "tick");
+                  Obs.Trace.with_span "child_b" ignore))
+        in
+        match roots with
+        | [ root ] ->
+            Alcotest.(check string) "root" "root" root.Obs.Sink.name;
+            Alcotest.(check (list string))
+              "children in opening order" [ "child_a"; "child_b" ]
+              (List.map (fun n -> n.Obs.Sink.name) root.Obs.Sink.children);
+            let a = List.hd root.Obs.Sink.children in
+            Alcotest.(check (list string))
+              "instant recorded" [ "tick" ]
+              (List.map (fun (n, _, _) -> n) a.Obs.Sink.events)
+        | roots -> Alcotest.failf "expected one root, got %d" (List.length roots));
+    Alcotest.test_case "end_span attrs land on the span" `Quick (fun () ->
+        let roots =
+          with_memory_sink (fun () ->
+              let s = Obs.Trace.begin_span "work" in
+              Obs.Trace.end_span s ~attrs:[ ("out", Obs.Trace.Int 7) ])
+        in
+        match roots with
+        | [ n ] ->
+            Alcotest.(check bool)
+              "attr present" true
+              (List.mem_assoc "out" n.Obs.Sink.attrs)
+        | _ -> Alcotest.fail "expected one root");
+    Alcotest.test_case "unclosed descendants are closed with the parent"
+      `Quick
+      (fun () ->
+        let roots =
+          with_memory_sink (fun () ->
+              let outer = Obs.Trace.begin_span "outer" in
+              let (_ : Obs.Trace.span) = Obs.Trace.begin_span "leaked" in
+              Obs.Trace.end_span outer)
+        in
+        match roots with
+        | [ outer ] ->
+            Alcotest.(check (list string))
+              "leaked child present" [ "leaked" ]
+              (List.map (fun n -> n.Obs.Sink.name) outer.Obs.Sink.children)
+        | _ -> Alcotest.fail "expected one root");
+    Alcotest.test_case "with_span is exception-safe" `Quick (fun () ->
+        let roots =
+          with_memory_sink (fun () ->
+              try
+                Obs.Trace.with_span "boom" (fun () -> failwith "inner")
+              with Failure _ -> ())
+        in
+        Alcotest.(check (list string))
+          "span closed" [ "boom" ]
+          (List.map (fun n -> n.Obs.Sink.name) roots));
+    Alcotest.test_case "pretty sink renders the forest on flush" `Quick
+      (fun () ->
+        let buf = Buffer.create 256 in
+        let ppf = Format.formatter_of_buffer buf in
+        Obs.Trace.set_sink (Some (Obs.Sink.pretty ppf));
+        Obs.Trace.with_span "alpha" (fun () ->
+            Obs.Trace.with_span "beta" ignore);
+        Obs.Trace.set_sink None;
+        Format.pp_print_flush ppf ();
+        let out = Buffer.contents buf in
+        Alcotest.(check bool)
+          "mentions both spans" true
+          (let has needle =
+             let nh = String.length out and nn = String.length needle in
+             let rec go i =
+               if i + nn > nh then false
+               else String.sub out i nn = needle || go (i + 1)
+             in
+             go 0
+           in
+           has "alpha" && has "beta"));
+  ]
+
+let sink_file_tests =
+  let read_all path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let trace_to sink_of_oc path =
+    let oc = open_out path in
+    Obs.Trace.set_sink (Some (sink_of_oc oc));
+    Obs.Trace.with_span "query" (fun () ->
+        Obs.Trace.instant "cache.hit" ~attrs:[ ("key", Obs.Trace.Str "k\"1") ];
+        Obs.Trace.with_span "eval" ignore);
+    Obs.Trace.set_sink None;
+    close_out oc;
+    read_all path
+  in
+  [
+    Alcotest.test_case "jsonl writes one object per event line" `Quick
+      (fun () ->
+        let path = Filename.temp_file "obs_test" ".jsonl" in
+        let out = trace_to Obs.Sink.jsonl path in
+        Sys.remove path;
+        let lines =
+          List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+        in
+        (* begin(query) instant(cache.hit) begin(eval) end(eval) end(query) *)
+        Alcotest.(check int) "five events" 5 (List.length lines);
+        List.iter
+          (fun l ->
+            Alcotest.(check bool) "looks like an object" true
+              (String.length l > 1 && l.[0] = '{'))
+          lines);
+    Alcotest.test_case "chrome trace is a well-bracketed array" `Quick
+      (fun () ->
+        let path = Filename.temp_file "obs_test" ".json" in
+        let out = trace_to Obs.Sink.chrome path in
+        Sys.remove path;
+        let trimmed = String.trim out in
+        Alcotest.(check bool) "starts with [" true (trimmed.[0] = '[');
+        Alcotest.(check bool)
+          "ends with ]" true
+          (trimmed.[String.length trimmed - 1] = ']');
+        let count needle =
+          let nh = String.length out and nn = String.length needle in
+          let rec go i acc =
+            if i + nn > nh then acc
+            else
+              go (i + 1) (if String.sub out i nn = needle then acc + 1 else acc)
+          in
+          go 0 0
+        in
+        Alcotest.(check int) "two begins" 2 (count {|"ph":"B"|});
+        Alcotest.(check int) "two ends" 2 (count {|"ph":"E"|});
+        Alcotest.(check int) "one instant" 1 (count {|"ph":"i"|});
+        (* the quote inside the attr value must have been escaped *)
+        Alcotest.(check bool) "escaped quote" true (count {|k\"1|} = 1));
+  ]
+
+let suites =
+  [
+    ("obs.metrics", metrics_tests);
+    ("obs.trace", trace_tests);
+    ("obs.sinks", sink_file_tests);
+  ]

@@ -345,11 +345,11 @@ let database_tests =
           "insertion order" [ v_str "a"; v_str "b" ]
           (Database.extent db "C"));
     Alcotest.test_case "objects counted in stats" `Quick (fun () ->
-        let before = Stdx.Stats.global.objects_built in
+        let before = Stdx.Stats.(value objects_built) in
         let db = Database.create () in
         Database.insert db ~class_name:"C" (v_str "a");
         Alcotest.(check int) "one more" (before + 1)
-          Stdx.Stats.global.objects_built);
+          Stdx.Stats.(value objects_built));
     Alcotest.test_case "clear resets" `Quick (fun () ->
         let db = Database.create () in
         Database.insert db ~class_name:"C" (v_str "a");

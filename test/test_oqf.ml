@@ -856,6 +856,132 @@ let advisor_tests =
         | Error e -> Alcotest.fail e);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE at the query level: the per-node annotations of an
+   explained run must account for exactly the index work the outcome's
+   stats charge to the query. *)
+
+let explain_tests =
+  [
+    Alcotest.test_case "annotated sums equal the query's stats totals" `Quick
+      (fun () ->
+        let text = bibtex_text 40 in
+        let src =
+          match Oqf.Execute.make_source_full Bibtex_schema.view text with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e
+        in
+        List.iter
+          (fun q_text ->
+            let q = Odb.Query_parser.parse_exn q_text in
+            match Oqf.Execute.run ~explain:true src q with
+            | Error e -> Alcotest.fail e
+            | Ok r ->
+                let sum f =
+                  List.fold_left
+                    (fun acc (_, a) -> acc + f a)
+                    0 r.Oqf.Execute.annotations
+                in
+                Alcotest.(check bool)
+                  ("has annotations: " ^ q_text) true
+                  (r.Oqf.Execute.annotations <> []);
+                Alcotest.(check int)
+                  ("index_ops accounted: " ^ q_text)
+                  r.Oqf.Execute.stats.Stdx.Stats.index_ops
+                  (sum Ralg.Annot.total_ops);
+                Alcotest.(check int)
+                  ("region_comparisons accounted: " ^ q_text)
+                  r.Oqf.Execute.stats.Stdx.Stats.region_comparisons
+                  (sum Ralg.Annot.total_cmps))
+          [
+            {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|};
+            {|SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"|};
+            {|SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|};
+          ]);
+    Alcotest.test_case "explain does not change the rows" `Quick (fun () ->
+        let text = bibtex_text 30 in
+        let src =
+          match Oqf.Execute.make_source_full Bibtex_schema.view text with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e
+        in
+        let q =
+          Odb.Query_parser.parse_exn
+            {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|}
+        in
+        match (Oqf.Execute.run src q, Oqf.Execute.run ~explain:true src q) with
+        | Ok plainr, Ok explained ->
+            Alcotest.check rows_t "same rows" plainr.Oqf.Execute.rows
+              explained.Oqf.Execute.rows
+        | Error e, _ | _, Error e -> Alcotest.fail e);
+    Alcotest.test_case "optimizer rewrites are reported" `Quick (fun () ->
+        let text = bibtex_text 10 in
+        let src =
+          match Oqf.Execute.make_source_full Bibtex_schema.view text with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e
+        in
+        let q =
+          Odb.Query_parser.parse_exn
+            {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|}
+        in
+        match
+          (Oqf.Execute.run src q, Oqf.Execute.run ~optimize:false src q)
+        with
+        | Ok optimized, Ok naive ->
+            Alcotest.(check bool)
+              "optimized run logs rewrites" true
+              (optimized.Oqf.Execute.rewrites <> []);
+            List.iter
+              (fun (rw : Ralg.Optimizer.rewrite) ->
+                Alcotest.(check bool)
+                  "known rule" true
+                  (List.mem rw.Ralg.Optimizer.rule
+                     [ "weaken-direct"; "shorten" ]))
+              optimized.Oqf.Execute.rewrites;
+            Alcotest.(check (list (pair string string)))
+              "naive run logs none" []
+              (List.map
+                 (fun (rw : Ralg.Optimizer.rewrite) ->
+                   (rw.Ralg.Optimizer.rule, rw.Ralg.Optimizer.detail))
+                 naive.Oqf.Execute.rewrites)
+        | Error e, _ | _, Error e -> Alcotest.fail e);
+    Alcotest.test_case "explain renderer mentions every section" `Quick
+      (fun () ->
+        let text = bibtex_text 10 in
+        let src =
+          match Oqf.Execute.make_source_full Bibtex_schema.view text with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e
+        in
+        let q =
+          Odb.Query_parser.parse_exn
+            {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|}
+        in
+        match Oqf.Execute.run ~explain:true src q with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            let out =
+              Format.asprintf "%a" (Oqf.Explain.pp ~source:src ~show_times:false) r
+            in
+            let has needle =
+              let nh = String.length out and nn = String.length needle in
+              let rec go i =
+                if i + nn > nh then false
+                else String.sub out i nn = needle || go (i + 1)
+              in
+              go 0
+            in
+            List.iter
+              (fun needle ->
+                if not (has needle) then
+                  Alcotest.failf "explain output misses %S:\n%s" needle out)
+              [
+                "rewrites:"; "analyze:"; "analyzed totals:"; "est weighted=";
+                "stats:"; "self: ops=";
+              ]);
+  ]
+
 let suites =
   [
     ("oqf.equivalence", equivalence_tests);
@@ -864,4 +990,5 @@ let suites =
     ("oqf.join", join_tests);
     ("oqf.corpus", corpus_tests);
     ("oqf.advisor", advisor_tests);
+    ("oqf.explain", explain_tests);
   ]

@@ -378,6 +378,53 @@ module Gen_instance = struct
     Chain.to_expr { Chain.family; elements; strengths }
 end
 
+(* random region expressions over the instance's names: set operators,
+   selections, ι/ω, chains, depth constraints *)
+let rec random_general prng names depth =
+  let leaf () = Expr.Name (Stdx.Prng.choose prng names) in
+  if depth = 0 then leaf ()
+  else begin
+    match Stdx.Prng.int prng 10 with
+    | 0 | 1 -> leaf ()
+    | 2 ->
+        Expr.Select
+          ( (if Stdx.Prng.bool prng then
+               Expr.Exactly_word (Stdx.Prng.choose prng [| "a"; "b"; "c" |])
+             else
+               Expr.Contains_word (Stdx.Prng.choose prng [| "a"; "b"; "c" |])),
+            random_general prng names (depth - 1) )
+    | 3 ->
+        Expr.Setop
+          ( Stdx.Prng.choose prng [| Expr.Union; Expr.Inter; Expr.Diff |],
+            random_general prng names (depth - 1),
+            random_general prng names (depth - 1) )
+    | 4 -> Expr.Innermost (random_general prng names (depth - 1))
+    | 5 -> Expr.Outermost (random_general prng names (depth - 1))
+    | 6 ->
+        Expr.At_depth
+          ( Stdx.Prng.int prng 3,
+            random_general prng names (depth - 1),
+            random_general prng names (depth - 1) )
+    | 7 ->
+        Expr.Chain_strict
+          ( random_general prng names (depth - 1),
+            Stdx.Prng.choose prng
+              [|
+                Expr.Including; Expr.Directly_including; Expr.Included;
+                Expr.Directly_included;
+              |],
+            random_general prng names (depth - 1) )
+    | _ ->
+        Expr.Chain
+          ( random_general prng names (depth - 1),
+            Stdx.Prng.choose prng
+              [|
+                Expr.Including; Expr.Directly_including; Expr.Included;
+                Expr.Directly_included;
+              |],
+            random_general prng names (depth - 1) )
+  end
+
 let soundness_tests =
   [
     Alcotest.test_case "generated instances satisfy their RIG" `Quick
@@ -565,53 +612,6 @@ let soundness_tests =
         done);
     Alcotest.test_case "general expressions agree with naive reference" `Slow
       (fun () ->
-        (* random region expressions over the instance's names: set
-           operators, selections, ι/ω, chains, depth constraints *)
-        let rec random_general prng names depth =
-          let leaf () = Expr.Name (Stdx.Prng.choose prng names) in
-          if depth = 0 then leaf ()
-          else begin
-            match Stdx.Prng.int prng 10 with
-            | 0 | 1 -> leaf ()
-            | 2 ->
-                Expr.Select
-                  ( (if Stdx.Prng.bool prng then
-                       Expr.Exactly_word (Stdx.Prng.choose prng [| "a"; "b"; "c" |])
-                     else
-                       Expr.Contains_word (Stdx.Prng.choose prng [| "a"; "b"; "c" |])),
-                    random_general prng names (depth - 1) )
-            | 3 ->
-                Expr.Setop
-                  ( Stdx.Prng.choose prng [| Expr.Union; Expr.Inter; Expr.Diff |],
-                    random_general prng names (depth - 1),
-                    random_general prng names (depth - 1) )
-            | 4 -> Expr.Innermost (random_general prng names (depth - 1))
-            | 5 -> Expr.Outermost (random_general prng names (depth - 1))
-            | 6 ->
-                Expr.At_depth
-                  ( Stdx.Prng.int prng 3,
-                    random_general prng names (depth - 1),
-                    random_general prng names (depth - 1) )
-            | 7 ->
-                Expr.Chain_strict
-                  ( random_general prng names (depth - 1),
-                    Stdx.Prng.choose prng
-                      [|
-                        Expr.Including; Expr.Directly_including; Expr.Included;
-                        Expr.Directly_included;
-                      |],
-                    random_general prng names (depth - 1) )
-            | _ ->
-                Expr.Chain
-                  ( random_general prng names (depth - 1),
-                    Stdx.Prng.choose prng
-                      [|
-                        Expr.Including; Expr.Directly_including; Expr.Included;
-                        Expr.Directly_included;
-                      |],
-                    random_general prng names (depth - 1) )
-          end
-        in
         for seed = 1 to 250 do
           let rig, inst, prng = Gen_instance.generate seed in
           let names = Array.of_list (Rig.names rig) in
@@ -636,9 +636,9 @@ let soundness_tests =
         in
         let e = Expr.Setop (Expr.Union, sub, Expr.Setop (Expr.Inter, sub, sub)) in
         let count f =
-          let before = Stdx.Stats.global.index_ops in
+          let before = Stdx.Stats.(value index_ops) in
           ignore (f inst e);
-          Stdx.Stats.global.index_ops - before
+          Stdx.Stats.(value index_ops) - before
         in
         let plain = count Eval.eval and shared = count Eval.eval_shared in
         Alcotest.(check bool)
@@ -847,12 +847,117 @@ let cost_tests =
           (Cost.compare_weighted (Cost.estimate e2) (Cost.estimate e1) < 0));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: the annotated evaluator's per-node self costs must
+   sum to exactly the work the evaluation charged to the global
+   counters, and sharing must show up as cached zero-cost nodes. *)
+
+let annot_tests =
+  [
+    Alcotest.test_case "annotated self costs sum to the stats delta" `Quick
+      (fun () ->
+        for seed = 1 to 50 do
+          let rig, inst, prng = Gen_instance.generate seed in
+          let names = Array.of_list (Rig.names rig) in
+          let e = random_general prng names 3 in
+          let ops0 = Stdx.Stats.(value index_ops)
+          and cmps0 = Stdx.Stats.(value region_comparisons)
+          and lk0 = Stdx.Stats.(value word_lookups) in
+          let r, a = Eval.eval_annotated inst e in
+          let d_ops = Stdx.Stats.(value index_ops) - ops0
+          and d_cmps = Stdx.Stats.(value region_comparisons) - cmps0
+          and d_lk = Stdx.Stats.(value word_lookups) - lk0 in
+          if Annot.total_ops a <> d_ops then
+            Alcotest.failf "seed %d: tree ops %d <> delta %d on %s" seed
+              (Annot.total_ops a) d_ops (Expr.to_string e);
+          if Annot.total_cmps a <> d_cmps then
+            Alcotest.failf "seed %d: tree cmps %d <> delta %d on %s" seed
+              (Annot.total_cmps a) d_cmps (Expr.to_string e);
+          if Annot.total_lookups a <> d_lk then
+            Alcotest.failf "seed %d: tree lookups %d <> delta %d on %s" seed
+              (Annot.total_lookups a) d_lk (Expr.to_string e);
+          if a.Annot.out_card <> Pat.Region_set.cardinal r then
+            Alcotest.failf "seed %d: out_card mismatch" seed;
+          if not (Pat.Region_set.equal r (Eval.eval_plain inst e)) then
+            Alcotest.failf "seed %d: annotated result differs" seed
+        done);
+    Alcotest.test_case "shared annotation marks repeats cached, still sums"
+      `Quick
+      (fun () ->
+        let _, inst, _ = Gen_instance.generate 11 in
+        let sub =
+          match Pat.Instance.names inst with
+          | a :: b :: _ -> Expr.(name a >. name b)
+          | _ -> Alcotest.fail "need two names"
+        in
+        let e =
+          Expr.Setop (Expr.Union, sub, Expr.Setop (Expr.Inter, sub, sub))
+        in
+        let ops0 = Stdx.Stats.(value index_ops) in
+        let r, a = Eval.eval_shared_annotated inst e in
+        let d_ops = Stdx.Stats.(value index_ops) - ops0 in
+        Alcotest.(check int) "tree ops = stats delta" d_ops (Annot.total_ops a);
+        let rec cached_count (n : Annot.t) =
+          (if n.Annot.cached then 1 else 0)
+          + List.fold_left (fun acc c -> acc + cached_count c) 0 n.Annot.children
+        in
+        Alcotest.(check bool) "has cached nodes" true (cached_count a >= 2);
+        let cached_free (n : Annot.t) =
+          (not n.Annot.cached)
+          || (n.Annot.self_ops = 0 && n.Annot.children = [])
+        in
+        let rec all_ok n = cached_free n && List.for_all all_ok n.Annot.children in
+        Alcotest.(check bool) "cached nodes carry no self cost" true (all_ok a);
+        Alcotest.(check bool) "same result as eval" true
+          (Pat.Region_set.equal r (Eval.eval_plain inst e)));
+    Alcotest.test_case "node labels render the operator alone" `Quick
+      (fun () ->
+        Alcotest.(check string) "chain" ">d"
+          (Expr.node_label Expr.(name "A" >.. name "B"));
+        Alcotest.(check string)
+          "select" {|sigma["w"]|}
+          (Expr.node_label (Expr.exactly "w" (Expr.name "A")));
+        Alcotest.(check string) "name" "A" (Expr.node_label (Expr.name "A")));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"eval_shared: same regions, strictly fewer ops on shared chains"
+         ~count:100
+         QCheck.(make Gen.(int_bound 10000))
+         (fun seed ->
+           let rig, inst, prng = Gen_instance.generate (1 + (seed mod 997)) in
+           let names = Array.of_list (Rig.names rig) in
+           let a = Stdx.Prng.choose prng names
+           and b = Stdx.Prng.choose prng names in
+           let op =
+             Stdx.Prng.choose prng
+               [|
+                 Expr.Including; Expr.Directly_including; Expr.Included;
+                 Expr.Directly_included;
+               |]
+           in
+           (* a duplicated two-element chain: the canonical §5.2 shape *)
+           let sub = Expr.Chain (Expr.Name a, op, Expr.Name b) in
+           let setop =
+             Stdx.Prng.choose prng [| Expr.Union; Expr.Inter; Expr.Diff |]
+           in
+           let e = Expr.Setop (setop, sub, Expr.Setop (Expr.Inter, sub, sub)) in
+           let count f =
+             let before = Stdx.Stats.(value index_ops) in
+             let r = f inst e in
+             (r, Stdx.Stats.(value index_ops) - before)
+           in
+           let plain_r, plain_ops = count Eval.eval in
+           let shared_r, shared_ops = count Eval.eval_shared in
+           Pat.Region_set.equal plain_r shared_r && shared_ops < plain_ops));
+  ]
+
 let suites =
   [
     ("ralg.rig", rig_tests);
     ("ralg.optimizer", optimizer_tests);
     ("ralg.trivial", trivial_tests);
     ("ralg.soundness", soundness_tests);
+    ("ralg.annot", annot_tests);
     ("ralg.parser", parser_tests);
     ("ralg.cost", cost_tests);
   ]

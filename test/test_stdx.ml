@@ -232,6 +232,97 @@ let stats_tests =
         b.word_lookups <- 2;
         Stdx.Stats.add a b;
         Alcotest.(check int) "sum" 3 a.word_lookups);
+    (* every field, all values distinct: a field dropped from diff, add
+       or pp cannot hide behind an accidental collision *)
+    Alcotest.test_case "diff/add/pp cover every field" `Quick (fun () ->
+        let fields : (string * (Stdx.Stats.t -> int)) list =
+          [
+            ("bytes_scanned", fun t -> t.Stdx.Stats.bytes_scanned);
+            ("bytes_parsed", fun t -> t.Stdx.Stats.bytes_parsed);
+            ("index_ops", fun t -> t.Stdx.Stats.index_ops);
+            ("region_comparisons", fun t -> t.Stdx.Stats.region_comparisons);
+            ("word_lookups", fun t -> t.Stdx.Stats.word_lookups);
+            ("objects_built", fun t -> t.Stdx.Stats.objects_built);
+            ("regions_produced", fun t -> t.Stdx.Stats.regions_produced);
+            ("cache_hits", fun t -> t.Stdx.Stats.cache_hits);
+            ("cache_misses", fun t -> t.Stdx.Stats.cache_misses);
+            ("cache_evictions", fun t -> t.Stdx.Stats.cache_evictions);
+          ]
+        in
+        let before =
+          {
+            Stdx.Stats.bytes_scanned = 1;
+            bytes_parsed = 2;
+            index_ops = 3;
+            region_comparisons = 4;
+            word_lookups = 5;
+            objects_built = 6;
+            regions_produced = 7;
+            cache_hits = 8;
+            cache_misses = 9;
+            cache_evictions = 10;
+          }
+        in
+        let after =
+          {
+            Stdx.Stats.bytes_scanned = 101;
+            bytes_parsed = 203;
+            index_ops = 305;
+            region_comparisons = 407;
+            word_lookups = 509;
+            objects_built = 611;
+            regions_produced = 713;
+            cache_hits = 815;
+            cache_misses = 917;
+            cache_evictions = 1019;
+          }
+        in
+        let d = Stdx.Stats.diff ~before ~after in
+        List.iter
+          (fun (name, get) ->
+            Alcotest.(check int) ("diff " ^ name) (get after - get before) (get d))
+          fields;
+        (* deltas are pairwise distinct, so a crossed wire would show *)
+        let deltas = List.map (fun (_, get) -> get d) fields in
+        Alcotest.(check int) "all deltas distinct"
+          (List.length deltas)
+          (List.length (List.sort_uniq compare deltas));
+        let acc =
+          {
+            before with Stdx.Stats.bytes_scanned = before.Stdx.Stats.bytes_scanned;
+          }
+        in
+        Stdx.Stats.add acc d;
+        List.iter
+          (fun (name, get) ->
+            Alcotest.(check int) ("add " ^ name) (get after) (get acc))
+          fields;
+        let contains haystack needle =
+          let nh = String.length haystack and nn = String.length needle in
+          let rec go i =
+            if i + nn > nh then false
+            else String.sub haystack i nn = needle || go (i + 1)
+          in
+          go 0
+        in
+        let rendered = Format.asprintf "%a" Stdx.Stats.pp d in
+        List.iter
+          (fun fragment ->
+            if not (contains rendered fragment) then
+              Alcotest.failf "pp output %S misses %S" rendered fragment)
+          [
+            "scanned=100B"; "parsed=201B"; "index_ops=302"; "cmps=403";
+            "lookups=504"; "objs=605"; "regions=706"; "cache=807h/908m/1009e";
+          ]);
+    Alcotest.test_case "snapshot reads the registry counters" `Quick
+      (fun () ->
+        let s0 = Stdx.Stats.snapshot () in
+        Stdx.Stats.(incr index_ops);
+        Stdx.Stats.(add_to bytes_scanned 17);
+        let s1 = Stdx.Stats.snapshot () in
+        let d = Stdx.Stats.diff ~before:s0 ~after:s1 in
+        Alcotest.(check int) "index_ops" 1 d.Stdx.Stats.index_ops;
+        Alcotest.(check int) "bytes_scanned" 17 d.Stdx.Stats.bytes_scanned);
   ]
 
 let suites =
