@@ -702,6 +702,96 @@ let o1 () =
     traced_q_ms (traced_q_ms /. untraced_ms)
 
 (* ------------------------------------------------------------------ *)
+(* P1 — parallel execution.  An 8-file log corpus (the C1 scale spread
+   across files) evaluated at 1, 2 and 4 domains, plus the result
+   cache on a repeated-query batch.  The speedup is bounded by the
+   cores the container actually has — P1_cores records it so the JSON
+   is interpretable; on a single-core host the 2- and 4-domain rows
+   measure the pool's overhead, not a speedup. *)
+
+let p1 () =
+  heading "P1" "parallel corpus execution (1/2/4 domains) + result cache";
+  let cores = Domain.recommended_domain_count () in
+  record "P1_cores" (float_of_int cores);
+  say "available cores (recommended_domain_count): %d@." cores;
+  let files =
+    List.init 8 (fun i ->
+        ( Printf.sprintf "node%d.log" i,
+          Pat.Text.of_string
+            (Workload.Log_gen.generate
+               { (Workload.Log_gen.with_size 1200) with seed = 50 + i }) ))
+  in
+  let corpus = or_die (Oqf.Corpus.make_full Fschema.Log_schema.view files) in
+  let q =
+    Odb.Query_parser.parse_exn
+      {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+  in
+  let seq = or_die (Oqf.Corpus.run corpus q) in
+  say "corpus: 8 log files, %d answer rows@."
+    (List.length seq.Oqf.Corpus.rows);
+  say "%8s | %10s | %8s@." "domains" "ms" "speedup";
+  say "---------+------------+---------@.";
+  let base_ms = ref 0.0 in
+  List.iter
+    (fun jobs ->
+      let r, ms =
+        time_ms ~repeat:3 (fun () ->
+            or_die (Exec.Driver.run_parallel ~jobs corpus q))
+      in
+      (* whatever the domain count, the merged rows are the sequential
+         rows — the soundness claim the qcheck suite proves in small *)
+      assert (r.Exec.Driver.rows = seq.Oqf.Corpus.rows);
+      if jobs = 1 then base_ms := ms;
+      record (Printf.sprintf "P1_jobs%d_ms" jobs) ms;
+      say "%8d | %10.2f | %7.2fx@." jobs ms (!base_ms /. ms))
+    [ 1; 2; 4 ];
+  (* the result cache on a repeated-query batch: 6 distinct queries,
+     each asked 4 times -> 18 hits / 6 misses at steady state *)
+  let distinct =
+    List.map Odb.Query_parser.parse_exn
+      [
+        {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|};
+        {|SELECT e.Service FROM Entries e WHERE e.Level = "WARN"|};
+        {|SELECT e.Pid FROM Entries e WHERE e.Service = "auth"|};
+        {|SELECT e FROM Entries e WHERE e.Service = "cache"|};
+        {|SELECT e.Level FROM Entries e WHERE e.Service = "db"|};
+        {|SELECT e.Service FROM Entries e WHERE e.Message CONTAINS "timeout"|};
+      ]
+  in
+  let batch = List.concat (List.init 4 (fun _ -> distinct)) in
+  let cache = Exec.Rcache.create () in
+  let results, batch_ms =
+    time_ms ~repeat:1 (fun () ->
+        Exec.Driver.run_batch ~jobs:(min 4 cores) ~cache corpus batch)
+  in
+  List.iter
+    (fun (_, r) -> match r with Ok _ -> () | Error e -> failwith e)
+    results;
+  let s = Exec.Rcache.stats cache in
+  let hit_rate =
+    float_of_int s.Exec.Rcache.hits
+    /. float_of_int (s.Exec.Rcache.hits + s.Exec.Rcache.misses)
+  in
+  record "P1_batch_ms" batch_ms;
+  record "P1_cache_hit_rate" hit_rate;
+  say "batch of %d queries (%d distinct): %.2f ms, cache %a (hit rate %.2f)@."
+    (List.length batch) (List.length distinct) batch_ms Exec.Rcache.pp_stats s
+    hit_rate;
+  (* cold vs warm: the same query straight through the cache *)
+  let cache2 = Exec.Rcache.create () in
+  let _, cold_ms =
+    time_ms ~repeat:1 (fun () ->
+        or_die (Exec.Driver.run_parallel ~jobs:1 ~cache:cache2 corpus q))
+  in
+  let _, warm_ms =
+    time_ms ~repeat:1 (fun () ->
+        or_die (Exec.Driver.run_parallel ~jobs:1 ~cache:cache2 corpus q))
+  in
+  record "P1_cache_cold_ms" cold_ms;
+  record "P1_cache_warm_ms" warm_ms;
+  say "cold %.3f ms -> warm (cached) %.3f ms@." cold_ms warm_ms
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
 
 let bechamel_tests () =
@@ -796,7 +886,9 @@ let () =
   b1 ();
   c1 ();
   o1 ();
+  p1 ();
   run_bechamel ();
   emit_json ~only_prefix:"C1_" "BENCH_catalog.json";
   emit_json ~only_prefix:"O1_" "BENCH_obs.json";
+  emit_json ~only_prefix:"P1_" "BENCH_parallel.json";
   say "@.done.@."

@@ -41,6 +41,22 @@ let resolve_index view names =
   | Some names -> names
   | None -> Fschema.Grammar.indexable view.Fschema.View.grammar
 
+(* --- parallelism --------------------------------------------------- *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel execution (default: the $(b,OQF_JOBS) \
+     environment variable, else 1)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | None -> Exec.Driver.default_jobs ()
+  | Some n ->
+      if n < 1 then
+        or_die (Error (Printf.sprintf "jobs must be at least 1 (got %d)" n))
+      else n
+
 (* --- observability plumbing ---------------------------------------- *)
 
 let trace_arg =
@@ -178,9 +194,10 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run schema file names q_text no_optimize load baseline explain trace
-      metrics =
+  let run schema file names q_text no_optimize load baseline explain jobs
+      trace metrics =
     install_trace trace;
+    let jobs = resolve_jobs jobs in
     let view = or_die (view_of_schema schema) in
     let loaded_instance =
       match load with
@@ -220,7 +237,22 @@ let query_cmd =
             or_die (Oqf.Execute.make_source view text ~index)
       in
       let r =
-        or_die (Oqf.Execute.run ~optimize:(not no_optimize) ~explain src q)
+        (* --explain stays on the direct path (the plan printer wants
+           the instrumented run); otherwise jobs > 1 routes the single
+           file through the parallel driver, whose merged output is
+           identical to the sequential run's *)
+        if jobs > 1 && not explain then begin
+          let corpus = Oqf.Corpus.of_sources [ (file, src) ] in
+          let out =
+            or_die
+              (Exec.Driver.run_parallel ~optimize:(not no_optimize) ~jobs
+                 corpus q)
+          in
+          match out.Exec.Driver.per_file with
+          | [ (_, r) ] -> r
+          | _ -> or_die (Error "internal: expected one per-file outcome")
+        end
+        else or_die (Oqf.Execute.run ~optimize:(not no_optimize) ~explain src q)
       in
       if explain then
         Format.printf "%a" (Oqf.Explain.pp ~show_times:false ~source:src) r;
@@ -240,7 +272,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query against a file.")
     Term.(
       const run $ schema_arg $ file_arg $ index_names_arg $ query_arg
-      $ no_optimize $ load $ baseline $ analyze $ trace_arg $ metrics_arg)
+      $ no_optimize $ load $ baseline $ analyze $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- explain ------------------------------------------------------- *)
 
@@ -456,7 +489,15 @@ let catalog_query_cmd =
     let doc = "Query the persisted indices as they are, without a staleness check." in
     Arg.(value & flag & info [ "no-refresh" ] ~doc)
   in
-  let run dir schema q_text no_refresh =
+  let shards =
+    let doc =
+      "Report each shard's file count, weight and elapsed time on stderr \
+       (timings vary run to run, so this never touches stdout)."
+    in
+    Arg.(value & flag & info [ "shards" ] ~doc)
+  in
+  let run dir schema q_text no_refresh jobs shards =
+    let jobs = resolve_jobs jobs in
     let cat = open_catalog dir in
     if not no_refresh then
       ignore (or_die (Oqf_catalog.Catalog.refresh_all cat));
@@ -467,16 +508,23 @@ let catalog_query_cmd =
           or_die (Error (Format.asprintf "%a" Odb.Query_parser.pp_error e))
     in
     let corpus = or_die (Oqf.Corpus.of_catalog cat ~schema) in
-    let r = or_die (Oqf.Corpus.run corpus q) in
+    (* the parallel driver merges in corpus order, so the output is
+       byte-identical whatever the jobs count — CI runs this at
+       OQF_JOBS=4 against the same expectations *)
+    let r = or_die (Exec.Driver.run_parallel ~jobs corpus q) in
+    if shards then
+      List.iter
+        (fun s -> Format.eprintf "%a@." Exec.Driver.pp_shard_report s)
+        r.Exec.Driver.per_shard;
     List.iter
       (fun (file, row) ->
         Printf.printf "%s: %s\n" file
           (String.concat " | " (List.map Odb.Value.to_display_string row)))
-      r.Oqf.Corpus.rows;
+      r.Exec.Driver.rows;
     Format.printf "-- %d rows from %d files; %a@."
-      (List.length r.Oqf.Corpus.rows)
+      (List.length r.Exec.Driver.rows)
       (List.length (Oqf.Corpus.files corpus))
-      Stdx.Stats.pp r.Oqf.Corpus.stats;
+      Stdx.Stats.pp r.Exec.Driver.stats;
     Format.printf "-- instance cache: %a@." Oqf_catalog.Instance_cache.pp_stats
       (Oqf_catalog.Instance_cache.stats (Oqf_catalog.Catalog.cache cat))
   in
@@ -485,7 +533,9 @@ let catalog_query_cmd =
        ~doc:
          "Run a query against every catalogued file of a schema, straight \
           off the persisted indices (refreshing stale ones first).")
-    Term.(const run $ catalog_dir_arg $ schema_arg $ query $ no_refresh)
+    Term.(
+      const run $ catalog_dir_arg $ schema_arg $ query $ no_refresh $ jobs_arg
+      $ shards)
 
 let catalog_cmd =
   Cmd.group
@@ -498,6 +548,108 @@ let catalog_cmd =
       catalog_init_cmd; catalog_add_cmd; catalog_refresh_cmd;
       catalog_status_cmd; catalog_query_cmd;
     ]
+
+(* --- batch --------------------------------------------------------- *)
+
+let batch_cmd =
+  let queries_file =
+    let doc =
+      "File with one query per line; blank lines and lines starting with \
+       $(b,#) are skipped."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERIES" ~doc)
+  in
+  let data =
+    let doc =
+      "A data file to query (repeatable); the alternative to --catalog."
+    in
+    Arg.(value & opt_all file [] & info [ "f"; "data" ] ~docv:"FILE" ~doc)
+  in
+  let catalog_dir =
+    let doc = "Query every catalogued file of the schema in this catalog." in
+    Arg.(value & opt (some string) None & info [ "c"; "catalog" ] ~docv:"DIR" ~doc)
+  in
+  let read_queries path =
+    let ic = open_in path in
+    let rec go n acc =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      | line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then go (n + 1) acc
+          else begin
+            match Odb.Query_parser.parse line with
+            | Ok q -> go (n + 1) ((line, q) :: acc)
+            | Error e ->
+                close_in ic;
+                or_die
+                  (Error
+                     (Format.asprintf "%s:%d: %a" path n Odb.Query_parser.pp_error
+                        e))
+          end
+    in
+    go 1 []
+  in
+  let run schema queries_file data catalog_dir jobs trace metrics =
+    install_trace trace;
+    let jobs = resolve_jobs jobs in
+    let queries = read_queries queries_file in
+    if queries = [] then or_die (Error (queries_file ^ ": no queries"));
+    let corpus =
+      match (catalog_dir, data) with
+      | Some _, _ :: _ -> or_die (Error "--catalog and --data are exclusive")
+      | Some dir, [] ->
+          let cat = open_catalog dir in
+          ignore (or_die (Oqf_catalog.Catalog.refresh_all cat));
+          or_die (Oqf.Corpus.of_catalog cat ~schema)
+      | None, [] -> or_die (Error "need --catalog DIR or --data FILE")
+      | None, files ->
+          let view = or_die (view_of_schema schema) in
+          or_die
+            (Oqf.Corpus.make_full view
+               (List.map (fun f -> (f, Pat.Text.of_file f)) files))
+    in
+    let cache = Exec.Rcache.create () in
+    let results =
+      Exec.Driver.run_batch ~jobs ~cache corpus (List.map snd queries)
+    in
+    let failed =
+      List.fold_left2
+        (fun failed (line, _) (_, result) ->
+          Printf.printf "== %s\n" line;
+          match result with
+          | Error e ->
+              Printf.printf "-- error: %s\n" e;
+              true
+          | Ok (out : Exec.Driver.outcome) ->
+              List.iter
+                (fun (file, row) ->
+                  Printf.printf "%s: %s\n" file
+                    (String.concat " | "
+                       (List.map Odb.Value.to_display_string row)))
+                out.Exec.Driver.rows;
+              Printf.printf "-- %d rows%s\n"
+                (List.length out.Exec.Driver.rows)
+                (if out.Exec.Driver.from_cache then " (cached)" else "");
+              failed)
+        false queries results
+    in
+    Format.printf "-- result cache: %a@." Exec.Rcache.pp_stats
+      (Exec.Rcache.stats cache);
+    dump_metrics_if metrics;
+    if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a file of queries through the domain worker pool against a \
+          corpus (from a catalog or from data files), sharing one \
+          fingerprint-keyed result cache.")
+    Term.(
+      const run $ schema_arg $ queries_file $ data $ catalog_dir $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- advise -------------------------------------------------------- *)
 
@@ -540,7 +692,7 @@ let () =
     Cmd.group info
       [
         generate_cmd; index_cmd; query_cmd; explain_cmd; advise_cmd;
-        schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd;
+        schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd; batch_cmd;
       ]
   in
   (* [~catch:false] so engine exceptions become one-line errors with

@@ -1,0 +1,103 @@
+Parallel execution: sharded corpora behind --jobs, the batch runner,
+and the fingerprint-keyed result cache.  Every output here must be
+byte-identical whatever the jobs count — CI replays the whole cram
+suite under OQF_JOBS=4.
+
+Build a two-file catalogued corpus:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 12 --seed 3 -o a.log
+  wrote 1165 bytes to a.log
+  $ ../bin/oqf_cli.exe generate -k log -n 12 --seed 4 -o b.log
+  wrote 1216 bytes to b.log
+  $ ../bin/oqf_cli.exe catalog init cat
+  initialized empty catalog in cat
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log a.log
+  added a.log (schema log): 5 region names indexed
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log b.log
+  added b.log (schema log): 5 region names indexed
+
+A multi-file query gives the same answer at any worker count — the
+shards merge back into corpus order:
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 1 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"'
+  b.log: cache
+  -- 1 rows from 2 files; scanned=5B parsed=0B index_ops=20 cmps=481 lookups=4 objs=0 regions=365
+  -- instance cache: hits=0 misses=2 evictions=0
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 4 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"'
+  b.log: cache
+  -- 1 rows from 2 files; scanned=5B parsed=0B index_ops=20 cmps=481 lookups=4 objs=0 regions=365
+  -- instance cache: hits=0 misses=2 evictions=0
+
+--shards reports each shard's makeup and timing on stderr (stdout is
+untouched; the elapsed figures are normalized here because they vary
+run to run):
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 2 --shards 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"' 2>&1 >/dev/null | sed 's/[0-9.]* ms/_ ms/'
+  shard 0: 1 files, 1 KB, _ ms
+  shard 1: 1 files, 1 KB, _ ms
+
+Single-file queries accept --jobs too:
+
+  $ ../bin/oqf_cli.exe query -s log a.log --jobs 4 'SELECT e.Service FROM Entries e WHERE e.Level = "WARN"'
+  auth
+  db
+  -- 2 rows (3 candidates, exact plan); scanned=8B parsed=0B index_ops=10 cmps=356 lookups=2 objs=0 regions=195
+
+A jobs count below one is rejected up front, exit 1 with the message
+on stderr — the standard error-path convention:
+
+  $ ../bin/oqf_cli.exe query -s log a.log --jobs 0 'SELECT e FROM Entries e'
+  oqf: jobs must be at least 1 (got 0)
+  [1]
+  $ ../bin/oqf_cli.exe query -s log a.log --jobs=-3 'SELECT e FROM Entries e'
+  oqf: jobs must be at least 1 (got -3)
+  [1]
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 0 'SELECT e FROM Entries e'
+  oqf: jobs must be at least 1 (got 0)
+  [1]
+
+Batch mode fans a query file out over the pool; a repeated query is
+served from the result cache (same normalized text, same corpus
+fingerprint):
+
+  $ cat > queries.txt <<'EOF'
+  > # error sweep
+  > SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"
+  > 
+  > SELECT e.Pid FROM Entries e WHERE e.Service = "auth"
+  > SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"
+  > EOF
+  $ ../bin/oqf_cli.exe batch -s log -c cat --jobs 4 queries.txt
+  == SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"
+  b.log: cache
+  -- 1 rows
+  == SELECT e.Pid FROM Entries e WHERE e.Service = "auth"
+  -- 0 rows
+  == SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"
+  b.log: cache
+  -- 1 rows (cached)
+  -- result cache: hits=1 misses=2 evictions=0 entries=2
+
+Cache keys carry the corpus fingerprint.  The source grows, the batch
+refreshes the catalog, and the same query file now answers against
+the new corpus (3 rows, was 1) — with the repeated query still
+hitting within the run because both occurrences key to the same new
+fingerprint:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 30 --seed 3 -o a.log
+  wrote 2991 bytes to a.log
+  $ ../bin/oqf_cli.exe batch -s log -c cat --jobs 2 queries.txt 2>/dev/null | tail -3
+  b.log: cache
+  -- 3 rows (cached)
+  -- result cache: hits=1 misses=2 evictions=0 entries=2
+
+Bad inputs fail loudly:
+
+  $ ../bin/oqf_cli.exe batch -s log queries.txt
+  oqf: need --catalog DIR or --data FILE
+  [1]
+  $ echo 'SELECT nonsense' > bad.txt
+  $ ../bin/oqf_cli.exe batch -s log -c cat bad.txt
+  oqf: bad.txt:1: query parse error at 15: expected FROM but query ended
+  [1]

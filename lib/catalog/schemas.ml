@@ -9,6 +9,12 @@ let all =
 let find name = List.assoc_opt name all
 let names = List.map fst all
 
+(* Views are toplevel values referenced both here and by their schema
+   modules, so physical equality identifies the built-in schemas; a
+   hand-assembled view is simply anonymous. *)
+let name_of_view view =
+  List.find_map (fun (name, v) -> if v == view then Some name else None) all
+
 let find_result name =
   match find name with
   | Some v -> Ok v

@@ -9,3 +9,8 @@ val names : string list
 val find : string -> Fschema.View.t option
 val find_result : string -> (Fschema.View.t, string) result
 (** [Error] names the unknown schema and lists the known ones. *)
+
+val name_of_view : Fschema.View.t -> string option
+(** The registered name of a built-in view (decided by physical
+    equality), or [None] for a hand-assembled one.  The executor uses
+    this to label its per-query histograms with the workload. *)

@@ -1,0 +1,202 @@
+type shard_report = {
+  shard : int;
+  files : string list;
+  weight_bytes : int;
+  elapsed_ms : float;
+}
+
+type outcome = {
+  rows : (string * Odb.Query_eval.row) list;
+  per_file : (string * Oqf.Execute.outcome) list;
+  per_shard : shard_report list;
+  stats : Stdx.Stats.t;
+  from_cache : bool;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "OQF_JOBS" with
+  | Some s -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1
+    end
+  | None -> 1
+
+let cached_outcome payload =
+  {
+    rows = payload;
+    per_file = [];
+    per_shard = [];
+    stats = Stdx.Stats.create ();
+    from_cache = true;
+  }
+
+(* Cache protocol shared by the sequential and parallel paths: probe,
+   run on miss, populate on success. *)
+let with_cache cache corpus q run =
+  match cache with
+  | None -> run ()
+  | Some cache ->
+      let key = Rcache.key ~query:q ~fingerprint:(Rcache.fingerprint corpus) in
+      (match Rcache.find cache key with
+      | Some payload -> Ok (cached_outcome payload)
+      | None -> begin
+          match run () with
+          | Error _ as e -> e
+          | Ok outcome ->
+              Rcache.add cache key outcome.rows;
+              Ok outcome
+        end)
+
+let run_one ?optimize ?cache corpus q =
+  with_cache cache corpus q @@ fun () ->
+  match Oqf.Corpus.run ?optimize corpus q with
+  | Error _ as e -> e
+  | Ok r ->
+      Ok
+        {
+          rows = r.Oqf.Corpus.rows;
+          per_file = r.Oqf.Corpus.per_file;
+          per_shard = [];
+          stats = r.Oqf.Corpus.stats;
+          from_cache = false;
+        }
+
+(* Evaluate one shard: its files in order, stopping at the first
+   failure (mirroring the sequential executor within the shard). *)
+let eval_shard ?optimize q (shard : (string * Oqf.Execute.source) Shard.t) =
+  let t0 = Obs.Trace.now_ms () in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, src) :: rest -> begin
+        match Oqf.Execute.run ?optimize src q with
+        | Error e -> Error (name, e)
+        | Ok r -> go ((name, r) :: acc) rest
+      end
+  in
+  let result =
+    if Obs.Trace.enabled () then
+      Obs.Trace.with_span "exec.shard"
+        ~attrs:(fun () ->
+          [
+            ("shard", Obs.Trace.Int shard.Shard.id);
+            ("files", Obs.Trace.Int (List.length shard.Shard.items));
+            ("weight_bytes", Obs.Trace.Int shard.Shard.weight);
+          ])
+        (fun () -> go [] shard.Shard.items)
+    else go [] shard.Shard.items
+  in
+  let report =
+    {
+      shard = shard.Shard.id;
+      files = List.map fst shard.Shard.items;
+      weight_bytes = shard.Shard.weight;
+      elapsed_ms = Obs.Trace.now_ms () -. t0;
+    }
+  in
+  (report, result)
+
+let run_parallel ?optimize ?jobs ?cache ?timeout_ms corpus q =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then
+    Error (Printf.sprintf "jobs must be at least 1 (got %d)" jobs)
+  else
+    with_cache cache corpus q @@ fun () ->
+    let sources = Oqf.Corpus.sources corpus in
+    let position =
+      let tbl = Hashtbl.create (List.length sources) in
+      List.iteri (fun i (name, _) -> Hashtbl.replace tbl name i) sources;
+      fun name -> try Hashtbl.find tbl name with Not_found -> max_int
+    in
+    let shards = Shard.of_corpus ~shards:jobs corpus in
+    let before = Stdx.Stats.snapshot () in
+    let shard_results =
+      match shards with
+      | [] -> []
+      | _ ->
+          Pool.with_pool ~jobs:(min jobs (List.length shards)) @@ fun pool ->
+          Pool.run_all ?timeout_ms pool
+            (List.map (fun s () -> eval_shard ?optimize q s) shards)
+    in
+    let after = Stdx.Stats.snapshot () in
+    (* a task-level failure (timeout, uncaught exception) has no file
+       attribution; surface it against its shard *)
+    let task_errors, shard_outcomes =
+      List.partition_map
+        (fun (shard, res) ->
+          match res with
+          | Error msg ->
+              Left (Printf.sprintf "shard %d: %s" shard.Shard.id msg)
+          | Ok (report, per_shard_result) -> Right (report, per_shard_result))
+        (List.combine shards shard_results)
+    in
+    match task_errors with
+    | e :: _ -> Error e
+    | [] -> begin
+        (* deterministic error: the earliest failing file in corpus order *)
+        let failures =
+          List.filter_map
+            (fun (_, r) -> match r with Error f -> Some f | Ok _ -> None)
+            shard_outcomes
+        in
+        match
+          List.sort
+            (fun (a, _) (b, _) -> compare (position a) (position b))
+            failures
+        with
+        | (name, e) :: _ -> Error (Printf.sprintf "%s: %s" name e)
+        | [] ->
+            let per_file =
+              List.concat_map
+                (fun (_, r) -> match r with Ok l -> l | Error _ -> [])
+                shard_outcomes
+              |> List.sort (fun (a, _) (b, _) -> compare (position a) (position b))
+            in
+            let rows =
+              List.concat_map
+                (fun (name, (r : Oqf.Execute.outcome)) ->
+                  List.map (fun row -> (name, row)) r.Oqf.Execute.rows)
+                per_file
+            in
+            let per_shard =
+              List.sort
+                (fun a b -> compare a.shard b.shard)
+                (List.map fst shard_outcomes)
+            in
+            Ok
+              {
+                rows;
+                per_file;
+                per_shard;
+                stats = Stdx.Stats.diff ~before ~after;
+                from_cache = false;
+              }
+      end
+
+let run_batch ?optimize ?jobs ?cache corpus queries =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then
+    List.map
+      (fun q -> (q, Error (Printf.sprintf "jobs must be at least 1 (got %d)" jobs)))
+      queries
+  else
+    Pool.with_pool ~jobs @@ fun pool ->
+    let handles =
+      List.map
+        (fun q -> (q, Pool.submit pool (fun () -> run_one ?optimize ?cache corpus q)))
+        queries
+    in
+    List.map
+      (fun (q, h) ->
+        let result =
+          match Pool.await h with
+          | Ok (Ok outcome) -> Ok outcome
+          | Ok (Error e) -> Error e
+          | Error e -> Error e  (* the task itself died *)
+        in
+        (q, result))
+      handles
+
+let pp_shard_report ppf r =
+  Format.fprintf ppf "shard %d: %d files, %d KB, %.2f ms" r.shard
+    (List.length r.files) (r.weight_bytes / 1024) r.elapsed_ms

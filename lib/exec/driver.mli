@@ -1,0 +1,75 @@
+(** Parallel corpus execution.
+
+    [run_parallel] is the multicore twin of {!Oqf.Corpus.run}: it
+    partitions the corpus into weight-balanced shards ({!Shard}),
+    evaluates each shard on a {!Pool} worker with the existing
+    two-phase executor, and merges the per-file results back into
+    corpus order — so its rows are {e identical} to the sequential
+    run's (qcheck-verified in the test suite).  [run_one] is the
+    sequential path with the same cache handling; [run_batch] fans a
+    query list out over the pool, one query per task, sharing one
+    result cache. *)
+
+type shard_report = {
+  shard : int;
+  files : string list;
+  weight_bytes : int;  (** summed indexed-text bytes of the shard *)
+  elapsed_ms : float;
+}
+
+type outcome = {
+  rows : (string * Odb.Query_eval.row) list;
+      (** answer rows tagged with their file, in corpus order *)
+  per_file : (string * Oqf.Execute.outcome) list;
+      (** corpus order; empty when served from the cache *)
+  per_shard : shard_report list;
+      (** shard timings; empty when sequential or cached *)
+  stats : Stdx.Stats.t;
+      (** work across the whole run.  Under concurrency the global
+          counters interleave, so per-file stats inside [per_file] may
+          include neighbouring shards' work; this field diffs around
+          the whole fan-out and stays exact. *)
+  from_cache : bool;
+}
+
+val default_jobs : unit -> int
+(** The [OQF_JOBS] environment variable when it parses as a positive
+    integer, else 1. *)
+
+val run_parallel :
+  ?optimize:bool ->
+  ?jobs:int ->
+  ?cache:Rcache.t ->
+  ?timeout_ms:float ->
+  Oqf.Corpus.t ->
+  Odb.Query.t ->
+  (outcome, string) result
+(** [jobs] defaults to {!default_jobs}; the pool gets
+    [min jobs (number of non-empty shards)] workers.  [timeout_ms]
+    bounds each shard task (expiry fails the query with a timeout
+    message).  With [cache], a hit skips evaluation entirely and a
+    successful run populates the cache.  Errors name the failing file
+    — deterministically the earliest one in corpus order.  [jobs < 1]
+    is rejected as an error. *)
+
+val run_one :
+  ?optimize:bool ->
+  ?cache:Rcache.t ->
+  Oqf.Corpus.t ->
+  Odb.Query.t ->
+  (outcome, string) result
+(** Sequential {!Oqf.Corpus.run} behind the same cache protocol —
+    the per-task body of {!run_batch}. *)
+
+val run_batch :
+  ?optimize:bool ->
+  ?jobs:int ->
+  ?cache:Rcache.t ->
+  Oqf.Corpus.t ->
+  Odb.Query.t list ->
+  (Odb.Query.t * (outcome, string) result) list
+(** Run every query through a [jobs]-worker pool (inter-query
+    parallelism; each query evaluates sequentially within its task),
+    returning results in input order. *)
+
+val pp_shard_report : Format.formatter -> shard_report -> unit

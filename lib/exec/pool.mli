@@ -1,0 +1,48 @@
+(** A reusable pool of domain workers.
+
+    A pool owns a fixed set of [Domain.t] workers feeding from one
+    bounded work queue.  Tasks are closures; {!submit} returns a handle
+    whose {!await} blocks until the task has run.  A task may carry a
+    deadline: the worker arms {!Obs.Deadline} around it, the
+    region-algebra evaluator polls it once per operator, and an expiry
+    surfaces as an [Error] on the handle — the worker survives and
+    takes the next task.
+
+    Shutdown is graceful: already-queued tasks are drained and their
+    handles completed before the workers exit.  All operations are
+    safe to call from any domain except {!await} from inside a pool
+    task of the same pool (the worker would wait on itself). *)
+
+type t
+
+val create : ?queue_capacity:int -> jobs:int -> unit -> t
+(** Spawn [jobs] worker domains ([jobs >= 1], else
+    [Invalid_argument]).  [queue_capacity] (default 256) bounds the
+    number of queued-but-unstarted tasks; a full queue makes {!submit}
+    block until a worker takes something. *)
+
+val jobs : t -> int
+
+type 'a handle
+(** The pending result of one submitted task. *)
+
+val submit : ?timeout_ms:float -> t -> (unit -> 'a) -> 'a handle
+(** Enqueue a task.  With [timeout_ms] the worker runs it under
+    {!Obs.Deadline.with_timeout_ms}; expiry (or any other exception)
+    is captured in the handle rather than killing the worker.  Raises
+    [Invalid_argument] if the pool is shut down. *)
+
+val await : 'a handle -> ('a, string) result
+(** Block until the task has run.  [Error] carries the exception
+    message ("task timed out after <n> ms" for a deadline expiry). *)
+
+val run_all : ?timeout_ms:float -> t -> (unit -> 'a) list -> ('a, string) result list
+(** Submit every thunk, then await them in order. *)
+
+val shutdown : t -> unit
+(** Drain the queue, complete every outstanding handle, join the
+    workers.  Idempotent; subsequent {!submit}s raise. *)
+
+val with_pool :
+  ?queue_capacity:int -> jobs:int -> (t -> 'a) -> 'a
+(** [create], run the body, [shutdown] (also on exceptions). *)

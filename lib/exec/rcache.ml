@@ -1,0 +1,109 @@
+let cache_hits = Obs.Metrics.counter "exec.rcache.hits"
+let cache_misses = Obs.Metrics.counter "exec.rcache.misses"
+let cache_evictions = Obs.Metrics.counter "exec.rcache.evictions"
+
+type payload = (string * Odb.Query_eval.row) list
+
+type entry = { payload : payload; mutable stamp : int }
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type key = string
+
+let create ?(capacity = 128) () =
+  if capacity < 1 then invalid_arg "Exec.Rcache.create: capacity must be at least 1";
+  {
+    capacity;
+    table = Hashtbl.create 32;
+    lock = Mutex.create ();
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let key ~query ~fingerprint =
+  (* the canonical rendering normalizes whitespace and parenthesization *)
+  Odb.Query.to_string query ^ "\x00" ^ fingerprint
+
+let fingerprint corpus =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, src) ->
+      let text = src.Oqf.Execute.text in
+      Buffer.add_string buf name;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int (Pat.Text.length text));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Digest.to_hex (Digest.string (Pat.Text.unsafe_contents text)));
+      Buffer.add_char buf ';')
+    (Oqf.Corpus.sources corpus);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.stamp <- tick t;
+      t.hits <- t.hits + 1;
+      Obs.Metrics.incr cache_hits;
+      if Obs.Trace.enabled () then Obs.Trace.instant "rcache.hit";
+      Some e.payload
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.Metrics.incr cache_misses;
+      if Obs.Trace.enabled () then Obs.Trace.instant "rcache.miss";
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (key, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1;
+      Obs.Metrics.incr cache_evictions
+
+let add t key payload =
+  locked t @@ fun () ->
+  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
+    evict_lru t;
+  Hashtbl.replace t.table key { payload; stamp = tick t }
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "hits=%d misses=%d evictions=%d entries=%d" s.hits s.misses
+    s.evictions s.entries

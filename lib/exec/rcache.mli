@@ -1,0 +1,41 @@
+(** A bounded LRU cache of corpus query results.
+
+    Keys pair the {e normalized} query text (the canonical rendering
+    of the parsed query, so formatting differences collapse) with a
+    {e corpus fingerprint} — an MD5 over every member's name, length
+    and content digest.  Any change to any member changes the
+    fingerprint, so entries are invalidated automatically: after a
+    catalog refresh picks up an appended or edited source, the
+    rebuilt corpus fingerprints differently, the stale entry can
+    never be hit again, and the LRU bound ages it out.
+
+    All operations are mutex-serialized — batch workers on different
+    domains share one cache.  Hits, misses and evictions feed the
+    [exec.rcache.*] registry counters. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 128) bounds the number of resident entries;
+    inserting past it evicts the least recently used. *)
+
+type key
+
+val key : query:Odb.Query.t -> fingerprint:string -> key
+(** Normalizes the query via its canonical rendering. *)
+
+val fingerprint : Oqf.Corpus.t -> string
+(** Hex MD5 over the corpus members' (name, length, content digest)
+    triples, in corpus order. *)
+
+type payload = (string * Odb.Query_eval.row) list
+(** Result rows tagged with the file they came from, as
+    {!Oqf.Corpus.run} returns them. *)
+
+val find : t -> key -> payload option
+val add : t -> key -> payload -> unit
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,45 @@
+type 'a t = { id : int; items : 'a list; weight : int }
+
+type 'a bin = { mutable acc : (int * 'a) list; mutable total : int }
+
+let by_weight ~shards ~weight items =
+  if shards < 1 then invalid_arg "Exec.Shard.by_weight: shards must be at least 1";
+  let bins = Array.init shards (fun _ -> { acc = []; total = 0 }) in
+  let weighted = List.mapi (fun i x -> (i, weight x, x)) items in
+  let heaviest_first =
+    (* descending weight, input order breaking ties: deterministic *)
+    List.sort
+      (fun (i, wa, _) (j, wb, _) -> if wa <> wb then compare wb wa else compare i j)
+      weighted
+  in
+  List.iter
+    (fun (i, w, x) ->
+      let lightest = ref 0 in
+      for b = 1 to shards - 1 do
+        if bins.(b).total < bins.(!lightest).total then lightest := b
+      done;
+      let bin = bins.(!lightest) in
+      bin.acc <- (i, x) :: bin.acc;
+      bin.total <- bin.total + w)
+    heaviest_first;
+  let out = ref [] in
+  for b = shards - 1 downto 0 do
+    if bins.(b).acc <> [] then
+      (* items inside a shard go back to input order so per-shard
+         evaluation visits files exactly as the sequential runner would *)
+      let items =
+        List.sort (fun (i, _) (j, _) -> compare i j) bins.(b).acc
+        |> List.map snd
+      in
+      out := { id = b; items; weight = bins.(b).total } :: !out
+  done;
+  (* re-number densely so shard ids are stable under empty-bin removal *)
+  List.mapi (fun i s -> { s with id = i }) !out
+
+let source_weight (src : Oqf.Execute.source) =
+  Pat.Text.length src.Oqf.Execute.text
+
+let of_corpus ~shards corpus =
+  by_weight ~shards
+    ~weight:(fun (_, src) -> source_weight src)
+    (Oqf.Corpus.sources corpus)

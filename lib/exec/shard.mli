@@ -1,0 +1,29 @@
+(** Partitioning a corpus into balanced shards.
+
+    The PAT algebra is set-at-a-time over region sets, and regions
+    from distinct files never overlap, so a corpus query decomposes
+    into independent per-file evaluations whose results merge by
+    concatenation (the set-operator merge — union, intersection,
+    difference — distributes over the file partition; see DESIGN.md).
+    The only scheduling question is balance: files differ wildly in
+    size, so shards are balanced by indexed-text bytes with a greedy
+    longest-processing-time assignment. *)
+
+type 'a t = {
+  id : int;  (** dense shard index, 0-based *)
+  items : 'a list;  (** in descending weight order *)
+  weight : int;  (** summed item weights *)
+}
+
+val by_weight : shards:int -> weight:('a -> int) -> 'a list -> 'a t list
+(** Greedy LPT: items in descending weight (ties broken by input
+    order) each go to the currently lightest shard.  Returns at most
+    [shards] shards, without empty ones; deterministic.  Raises
+    [Invalid_argument] when [shards < 1]. *)
+
+val source_weight : Oqf.Execute.source -> int
+(** The balance measure of one corpus member: its indexed-text bytes. *)
+
+val of_corpus :
+  shards:int -> Oqf.Corpus.t -> (string * Oqf.Execute.source) t list
+(** Partition a corpus's (file, source) pairs by {!source_weight}. *)

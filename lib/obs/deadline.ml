@@ -1,0 +1,28 @@
+exception Expired of float
+
+(* (absolute monotonic deadline in ms, original budget in ms) *)
+type armed_state = (float * float) option
+
+let key : armed_state ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let cell () = Domain.DLS.get key
+
+let with_timeout_ms ms f =
+  let cell = cell () in
+  let previous = !cell in
+  let proposed = Trace.now_ms () +. ms in
+  let armed =
+    match previous with
+    | Some (d, b) when d <= proposed -> Some (d, b)  (* nested: keep earlier *)
+    | _ -> Some (proposed, ms)
+  in
+  cell := armed;
+  Fun.protect ~finally:(fun () -> cell := previous) f
+
+let check () =
+  match !(cell ()) with
+  | None -> ()
+  | Some (deadline, budget) ->
+      if Trace.now_ms () > deadline then raise (Expired budget)
+
+let armed () = !(cell ()) <> None

@@ -1,4 +1,4 @@
-type counter = { c_name : string; mutable count : int }
+type counter = { c_name : string; count : int Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -8,31 +8,43 @@ type histogram = {
 
 type item = Counter of counter | Histogram of histogram
 
-(* The registry proper.  Single-threaded engine: no locking. *)
+(* The registry proper.  Counters are atomic cells so concurrent
+   domains (the Exec worker pool) never lose increments; structural
+   mutation — create-or-get interning, histogram observation, dumps —
+   is serialized by [lock].  Holding a counter handle and bumping it
+   stays lock-free, so the hot path is an uncontended fetch-and-add. *)
 let registry : (string, item) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> c
   | Some (Histogram _) ->
       invalid_arg (Printf.sprintf "Obs.Metrics.counter: %s is a histogram" name)
   | None ->
-      let c = { c_name = name; count = 0 } in
+      let c = { c_name = name; count = Atomic.make 0 } in
       Hashtbl.replace registry name (Counter c);
       c
 
-let[@inline] incr c = c.count <- c.count + 1
-let[@inline] add_to c n = c.count <- c.count + n
-let[@inline] value c = c.count
-let set c n = c.count <- n
+let[@inline] incr c = Atomic.incr c.count
+let[@inline] add_to c n = ignore (Atomic.fetch_and_add c.count n)
+let[@inline] value c = Atomic.get c.count
+let set c n = Atomic.set c.count n
 let counter_name c = c.c_name
 
 let find_counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Counter c) -> Some c
   | _ -> None
 
 let histogram name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some (Histogram h) -> h
   | Some (Counter _) ->
@@ -43,6 +55,7 @@ let histogram name =
       h
 
 let observe h x =
+  locked @@ fun () ->
   if h.len = Array.length h.values then begin
     let bigger = Array.make (2 * h.len) 0.0 in
     Array.blit h.values 0 bigger 0 h.len;
@@ -54,7 +67,7 @@ let observe h x =
 type summary = { count : int; sum : float; p50 : float; p95 : float; max : float }
 
 (* Nearest-rank percentile on a sorted copy of the observations. *)
-let summarize h =
+let summarize_unlocked h =
   if h.len = 0 then None
   else begin
     let sorted = Array.sub h.values 0 h.len in
@@ -71,15 +84,19 @@ let summarize h =
       }
   end
 
+let summarize h = locked @@ fun () -> summarize_unlocked h
 let histogram_name h = h.h_name
 
 let sorted_items () =
-  let all = Hashtbl.fold (fun name item acc -> (name, item) :: acc) registry [] in
+  let all =
+    locked @@ fun () ->
+    Hashtbl.fold (fun name item acc -> (name, item) :: acc) registry []
+  in
   List.sort (fun (a, _) (b, _) -> String.compare a b) all
 
 let counters () =
   List.filter_map
-    (function name, Counter c -> Some (name, c.count) | _ -> None)
+    (function name, Counter c -> Some (name, Atomic.get c.count) | _ -> None)
     (sorted_items ())
 
 let histograms () =
@@ -93,7 +110,7 @@ let dump ppf () =
   List.iter
     (fun (name, item) ->
       match item with
-      | Counter c -> Format.fprintf ppf "%s = %d@." name c.count
+      | Counter c -> Format.fprintf ppf "%s = %d@." name (Atomic.get c.count)
       | Histogram h -> begin
           match summarize h with
           | None -> Format.fprintf ppf "%s = (no observations)@." name
@@ -105,9 +122,10 @@ let dump ppf () =
     (sorted_items ())
 
 let reset_all () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ item ->
       match item with
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c.count 0
       | Histogram h -> h.len <- 0)
     registry

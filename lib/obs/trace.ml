@@ -10,40 +10,61 @@ type sink = { emit : event -> unit; flush : unit -> unit }
 
 let current : sink option ref = ref None
 
-(* ids of the open spans, innermost first; 0 is the virtual root *)
-let stack : int list ref = ref []
-let next_id = ref 0
+(* Sinks write to channels and keep internal buffers, so concurrent
+   domains must not interleave inside [emit]/[flush]. *)
+let emit_lock = Mutex.create ()
+
+let emit_locked s ev =
+  Mutex.lock emit_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock emit_lock) (fun () -> s.emit ev)
+
+(* ids of the open spans, innermost first; 0 is the virtual root.  Span
+   nesting is a property of one thread of execution, so each domain
+   (each Exec pool worker) keeps its own stack — a worker's spans root
+   at 0 rather than under whatever the main domain happens to have
+   open. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+let next_id = Atomic.make 0
 
 let enabled () = match !current with None -> false | Some _ -> true
 let sink () = !current
 
 let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
 
-let flush () = match !current with None -> () | Some s -> s.flush ()
+let flush () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      Mutex.lock emit_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock emit_lock) (fun () -> s.flush ())
 
 let set_sink s =
   flush ();
   current := s;
-  stack := []
+  stack () := []
 
 type span = { id : int; name : string }
 
 let null = { id = 0; name = "" }
 
-let parent_id () = match !stack with [] -> 0 | p :: _ -> p
+let parent_id () = match !(stack ()) with [] -> 0 | p :: _ -> p
 
 let begin_span ?(attrs = []) name =
   match !current with
   | None -> null
   | Some s ->
-      incr next_id;
-      let id = !next_id in
-      s.emit (Begin { id; parent = parent_id (); name; ts = now_ms () });
+      let id = Atomic.fetch_and_add next_id 1 + 1 in
+      emit_locked s (Begin { id; parent = parent_id (); name; ts = now_ms () });
       (* begin-attrs are rare; fold them into an instant so sinks need
          no merge logic *)
       if attrs <> [] then
-        s.emit (Instant { name = name ^ ".args"; parent = id; ts = now_ms (); attrs });
-      stack := id :: !stack;
+        emit_locked s
+          (Instant { name = name ^ ".args"; parent = id; ts = now_ms (); attrs });
+      let st = stack () in
+      st := id :: !st;
       { id; name }
 
 let end_span ?(attrs = []) span =
@@ -58,12 +79,14 @@ let end_span ?(attrs = []) span =
           | id :: rest ->
               if id = span.id then rest
               else begin
-                s.emit (End { id; name = "(abandoned)"; ts = now_ms (); attrs = [] });
+                emit_locked s
+                  (End { id; name = "(abandoned)"; ts = now_ms (); attrs = [] });
                 pop rest
               end
         in
-        stack := pop !stack;
-        s.emit (End { id = span.id; name = span.name; ts = now_ms (); attrs })
+        let st = stack () in
+        st := pop !st;
+        emit_locked s (End { id = span.id; name = span.name; ts = now_ms (); attrs })
   end
 
 let with_span ?attrs name f =
@@ -81,4 +104,4 @@ let instant ?(attrs = []) name =
   match !current with
   | None -> ()
   | Some s ->
-      s.emit (Instant { name; parent = parent_id (); ts = now_ms (); attrs })
+      emit_locked s (Instant { name; parent = parent_id (); ts = now_ms (); attrs })

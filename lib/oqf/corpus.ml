@@ -34,8 +34,10 @@ let of_catalog catalog ~schema =
       in
       go [] (Oqf_catalog.Catalog.entries catalog)
 
+let of_sources sources = { sources }
 let files t = List.map fst t.sources
 let source t name = List.assoc_opt name t.sources
+let sources t = t.sources
 
 type outcome = {
   rows : (string * Odb.Query_eval.row) list;

@@ -32,8 +32,16 @@ val of_catalog : Oqf_catalog.Catalog.t -> schema:string -> (t, string) result
     {!Oqf_catalog.Catalog.refresh_all} first; entries are loaded as
     persisted. *)
 
+val of_sources : (string * Execute.source) list -> t
+(** Wrap already-built sources (e.g. a single file the CLI just
+    indexed) without re-indexing anything. *)
+
 val files : t -> string list
 val source : t -> string -> Execute.source option
+
+val sources : t -> (string * Execute.source) list
+(** Every (file, source) pair in corpus order — the unit the Exec
+    sharding layer partitions across domains. *)
 
 type outcome = {
   rows : (string * Odb.Query_eval.row) list;

@@ -9,6 +9,9 @@ module Rs = Pat.Region_set
    load and branch per top-level evaluation. *)
 
 let rec eval_plain inst expr =
+  (* one deadline poll per operator application: a pooled task with a
+     budget aborts at the next operator boundary (see Obs.Deadline) *)
+  Obs.Deadline.check ();
   match expr with
   | Expr.Name n -> begin
       match Pat.Instance.find_opt inst n with
@@ -64,6 +67,7 @@ let rec eval_plain inst expr =
 let eval_shared_plain inst expr =
   let memo : (Expr.t, Rs.t) Hashtbl.t = Hashtbl.create 16 in
   let rec go expr =
+    Obs.Deadline.check ();
     match Hashtbl.find_opt memo expr with
     | Some r -> r
     | None ->
@@ -128,6 +132,7 @@ let eval_shared_plain inst expr =
 (* One operator application over already-evaluated children — the unit
    the annotated evaluator measures counter deltas around. *)
 let apply inst expr children =
+  Obs.Deadline.check ();
   let ctx () = Pat.Instance.universe inst in
   match (expr, children) with
   | Expr.Name n, [] -> begin

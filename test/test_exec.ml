@@ -1,0 +1,535 @@
+(* Tests for the multicore execution subsystem: the domain worker pool
+   (graceful shutdown with in-flight tasks, per-task deadlines), the
+   weight-balanced sharder, the master qcheck property that parallel
+   execution is result-identical to sequential execution at any shard
+   count, and the fingerprint-keyed result cache including automatic
+   invalidation across a catalog refresh. *)
+
+let or_fail = function Ok x -> x | Error e -> Alcotest.fail e
+
+(* monotonic busy-wait so the pool tests need no Unix dependency *)
+let spin_ms ms =
+  let t0 = Obs.Trace.now_ms () in
+  while Obs.Trace.now_ms () -. t0 < ms do
+    ignore (Sys.opaque_identity ())
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shard                                                               *)
+
+let shard_all_items_kept () =
+  let items = [ ("a", 50); ("b", 10); ("c", 40); ("d", 10); ("e", 30) ] in
+  let shards = Exec.Shard.by_weight ~shards:2 ~weight:snd items in
+  let flat = List.concat_map (fun s -> s.Exec.Shard.items) shards in
+  Alcotest.(check (list (pair string int)))
+    "every item lands in exactly one shard" (List.sort compare items)
+    (List.sort compare flat);
+  Alcotest.(check int) "two shards" 2 (List.length shards);
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        "shard weight is the sum of its items" s.Exec.Shard.weight
+        (List.fold_left (fun acc (_, w) -> acc + w) 0 s.Exec.Shard.items))
+    shards
+
+let shard_balances () =
+  (* LPT on 50/40/30/10/10 over 2 bins: {50,10,10} vs {40,30} — within
+     30% of each other, far better than a naive round-robin split *)
+  let items = [ ("a", 50); ("b", 10); ("c", 40); ("d", 10); ("e", 30) ] in
+  let shards = Exec.Shard.by_weight ~shards:2 ~weight:snd items in
+  let weights = List.map (fun s -> s.Exec.Shard.weight) shards in
+  Alcotest.(check (list int)) "LPT assignment" [ 70; 70 ] weights
+
+let shard_no_empty_bins () =
+  let items = [ ("a", 1); ("b", 1) ] in
+  let shards = Exec.Shard.by_weight ~shards:8 ~weight:snd items in
+  Alcotest.(check int) "only non-empty shards" 2 (List.length shards);
+  List.iteri
+    (fun i s -> Alcotest.(check int) "dense ids" i s.Exec.Shard.id)
+    shards;
+  Alcotest.check_raises "shards < 1 rejected"
+    (Invalid_argument "Exec.Shard.by_weight: shards must be at least 1")
+    (fun () -> ignore (Exec.Shard.by_weight ~shards:0 ~weight:snd items))
+
+let shard_deterministic () =
+  let items = List.init 17 (fun i -> (string_of_int i, (i * 7 mod 13) + 1)) in
+  let run () = Exec.Shard.by_weight ~shards:4 ~weight:snd items in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same partition on every call" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let pool_runs_tasks_in_order () =
+  Exec.Pool.with_pool ~jobs:3 @@ fun pool ->
+  let results =
+    Exec.Pool.run_all pool (List.init 20 (fun i () -> i * i))
+  in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "result order preserved" (i * i) v
+      | Error e -> Alcotest.fail e)
+    results
+
+let pool_graceful_shutdown_with_in_flight_tasks () =
+  let completed = Atomic.make 0 in
+  let pool = Exec.Pool.create ~jobs:2 () in
+  let handles =
+    List.init 8 (fun _ ->
+        Exec.Pool.submit pool (fun () ->
+            spin_ms 10.0;
+            Atomic.incr completed))
+  in
+  (* workers are still spinning on the first tasks; the rest are queued *)
+  Exec.Pool.shutdown pool;
+  Alcotest.(check int)
+    "every queued task drained before the workers exited" 8
+    (Atomic.get completed);
+  List.iter
+    (fun h ->
+      match Exec.Pool.await h with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("task failed during shutdown: " ^ e))
+    handles;
+  (* shutdown is idempotent, and later submissions are refused *)
+  Exec.Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Exec.Pool.submit: pool is shut down") (fun () ->
+      ignore (Exec.Pool.submit pool (fun () -> ())))
+
+let pool_task_exception_is_captured () =
+  Exec.Pool.with_pool ~jobs:1 @@ fun pool ->
+  let h = Exec.Pool.submit pool (fun () -> failwith "boom") in
+  (match Exec.Pool.await h with
+  | Ok () -> Alcotest.fail "expected the task to fail"
+  | Error e ->
+      Alcotest.(check bool) "message mentions the exception" true
+        (Astring.String.is_infix ~affix:"boom" e));
+  (* the worker survived the exception and still takes tasks *)
+  match Exec.Pool.await (Exec.Pool.submit pool (fun () -> 41 + 1)) with
+  | Ok v -> Alcotest.(check int) "worker survives" 42 v
+  | Error e -> Alcotest.fail e
+
+let pool_task_deadline_expires () =
+  Exec.Pool.with_pool ~jobs:1 @@ fun pool ->
+  let h =
+    Exec.Pool.submit ~timeout_ms:5.0 pool (fun () ->
+        (* a well-behaved long task polls the deadline, like the
+           region-algebra evaluator does once per operator *)
+        let rec loop n =
+          Obs.Deadline.check ();
+          spin_ms 2.0;
+          if n = 0 then () else loop (n - 1)
+        in
+        loop 1000)
+  in
+  match Exec.Pool.await h with
+  | Ok () -> Alcotest.fail "expected a timeout"
+  | Error e ->
+      Alcotest.(check bool)
+        ("timeout message, got: " ^ e)
+        true
+        (Astring.String.is_infix ~affix:"timed out" e)
+
+let pool_deadline_interrupts_eval () =
+  (* an adversarial direct-inclusion expression over a late-blocked
+     window is quadratic (bench E8's worst case); the evaluator's
+     per-operator poll must abort it *)
+  let n = 3000 in
+  let windows = [ (0, (3 * n) + 3) ] in
+  let points = List.init n (fun i -> ((3 * i) + 1, (3 * i) + 2)) in
+  let wrappers = List.init n (fun i -> (3 * i, (3 * i) + 3)) in
+  let text =
+    Pat.Text.of_string (String.make ((3 * n) + 4) 'x')
+  in
+  let instance =
+    Pat.Instance.create text
+      [
+        ("W", Pat.Region_set.of_pairs windows);
+        ("P", Pat.Region_set.of_pairs points);
+        ("U", Pat.Region_set.of_pairs wrappers);
+      ]
+  in
+  let expr = Ralg.Expr_parser.parse_exn "W >d P" in
+  Exec.Pool.with_pool ~jobs:1 @@ fun pool ->
+  let h =
+    Exec.Pool.submit ~timeout_ms:1.0 pool (fun () ->
+        (* evaluate repeatedly so a fast machine still crosses the
+           deadline between operator applications *)
+        for _ = 1 to 10_000 do
+          ignore (Ralg.Eval.eval instance expr)
+        done)
+  in
+  match Exec.Pool.await h with
+  | Ok () -> Alcotest.fail "expected the evaluator to be interrupted"
+  | Error e ->
+      Alcotest.(check bool)
+        ("timeout surfaced from the eval loop, got: " ^ e)
+        true
+        (Astring.String.is_infix ~affix:"timed out" e)
+
+(* ------------------------------------------------------------------ *)
+(* run_parallel == sequential                                          *)
+
+let rows_t =
+  Alcotest.testable
+    (Fmt.Dump.list (Fmt.Dump.pair Fmt.Dump.string (Fmt.Dump.list Odb.Value.pp)))
+    (List.equal (fun (f1, r1) (f2, r2) ->
+         String.equal f1 f2 && List.equal Odb.Value.equal r1 r2))
+
+let bibtex_corpus sizes =
+  let files =
+    List.mapi
+      (fun i n ->
+        ( Printf.sprintf "refs%d.bib" i,
+          Pat.Text.of_string
+            (Workload.Bibtex_gen.generate
+               { (Workload.Bibtex_gen.with_size n) with seed = 1000 + i }) ))
+      sizes
+  in
+  or_fail (Oqf.Corpus.make_full Fschema.Bibtex_schema.view files)
+
+let log_corpus sizes =
+  let files =
+    List.mapi
+      (fun i n ->
+        ( Printf.sprintf "node%d.log" i,
+          Pat.Text.of_string
+            (Workload.Log_gen.generate
+               { (Workload.Log_gen.with_size n) with seed = 2000 + i }) ))
+      sizes
+  in
+  or_fail (Oqf.Corpus.make_full Fschema.Log_schema.view files)
+
+let bibtex_queries =
+  [
+    {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|};
+    {|SELECT r.Key FROM References r|};
+    {|SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"|};
+    {|SELECT r FROM References r WHERE r.Abstract CONTAINS "derivation"|};
+  ]
+
+let log_queries =
+  [
+    {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|};
+    {|SELECT e FROM Entries e WHERE e.Level = "WARN"|};
+  ]
+
+let check_parallel_equals_sequential corpus q_text jobs =
+  let q = Odb.Query_parser.parse_exn q_text in
+  let seq = or_fail (Oqf.Corpus.run corpus q) in
+  let par = or_fail (Exec.Driver.run_parallel ~jobs corpus q) in
+  Alcotest.check rows_t
+    (Printf.sprintf "rows agree at jobs=%d: %s" jobs q_text)
+    seq.Oqf.Corpus.rows par.Exec.Driver.rows;
+  Alcotest.(check (list string))
+    "per-file outcomes cover the same files in corpus order"
+    (List.map fst seq.Oqf.Corpus.per_file)
+    (List.map fst par.Exec.Driver.per_file);
+  Alcotest.(check bool) "not from cache" false par.Exec.Driver.from_cache
+
+let parallel_equals_sequential_qcheck =
+  QCheck.Test.make ~count:25
+    ~name:"run_parallel == sequential Corpus.run (any shard count)"
+    QCheck.(
+      quad
+        (int_range 1 4)  (* number of files *)
+        (int_range 3 14)  (* entries per file *)
+        (int_range 1 8)  (* jobs / shard count *)
+        (pair bool (int_range 0 9)) (* workload pick, query pick *))
+    (fun (n_files, size, jobs, (use_log, q_pick)) ->
+      let sizes = List.init n_files (fun i -> size + (i * 3)) in
+      let corpus, queries =
+        if use_log then (log_corpus sizes, log_queries)
+        else (bibtex_corpus sizes, bibtex_queries)
+      in
+      let q_text = List.nth queries (q_pick mod List.length queries) in
+      let q = Odb.Query_parser.parse_exn q_text in
+      let seq =
+        match Oqf.Corpus.run corpus q with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "sequential failed: %s" e
+      in
+      let par =
+        match Exec.Driver.run_parallel ~jobs corpus q with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "parallel failed: %s" e
+      in
+      if
+        not
+          (List.equal
+             (fun (f1, r1) (f2, r2) ->
+               String.equal f1 f2 && List.equal Odb.Value.equal r1 r2)
+             seq.Oqf.Corpus.rows par.Exec.Driver.rows)
+      then
+        QCheck.Test.fail_reportf
+          "rows differ (files=%d size=%d jobs=%d log=%b q=%s)" n_files size
+          jobs use_log q_text;
+      true)
+
+let parallel_battery () =
+  (* a fixed battery on a mixed-size corpus, at every jobs count 1..8,
+     including jobs > files; CI runs the suite under OQF_JOBS=4 and this
+     also exercises the env-derived default *)
+  let corpus = bibtex_corpus [ 20; 4; 12; 8 ] in
+  List.iter
+    (fun q -> check_parallel_equals_sequential corpus q (Exec.Driver.default_jobs ()))
+    bibtex_queries;
+  List.iter
+    (fun jobs ->
+      check_parallel_equals_sequential corpus
+        {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|}
+        jobs)
+    [ 1; 2; 3; 8 ]
+
+let parallel_reports_shards () =
+  let corpus = log_corpus [ 30; 10; 10; 5; 5 ] in
+  let q = Odb.Query_parser.parse_exn {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|} in
+  let r = or_fail (Exec.Driver.run_parallel ~jobs:2 corpus q) in
+  Alcotest.(check int) "two shard reports" 2 (List.length r.Exec.Driver.per_shard);
+  let shard_files =
+    List.concat_map (fun s -> s.Exec.Driver.files) r.Exec.Driver.per_shard
+  in
+  Alcotest.(check (list string))
+    "shards cover every file exactly once"
+    (List.sort compare (Oqf.Corpus.files corpus))
+    (List.sort compare shard_files)
+
+let parallel_rejects_bad_jobs () =
+  let corpus = log_corpus [ 3 ] in
+  let q = Odb.Query_parser.parse_exn {|SELECT e FROM Entries e|} in
+  (match Exec.Driver.run_parallel ~jobs:0 corpus q with
+  | Ok _ -> Alcotest.fail "jobs=0 must be rejected"
+  | Error e ->
+      Alcotest.(check bool) "names the bad value" true
+        (Astring.String.is_infix ~affix:"jobs must be at least 1" e));
+  match Exec.Driver.run_parallel ~jobs:(-2) corpus q with
+  | Ok _ -> Alcotest.fail "negative jobs must be rejected"
+  | Error _ -> ()
+
+let parallel_propagates_deterministic_error () =
+  let corpus = bibtex_corpus [ 6; 6; 6 ] in
+  (* unknown class fails at compile time in every file; the error must
+     name the first file in corpus order, like the sequential runner *)
+  let q = Odb.Query_parser.parse_exn {|SELECT x FROM Nope x|} in
+  let seq_err =
+    match Oqf.Corpus.run corpus q with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "expected sequential failure"
+  in
+  List.iter
+    (fun jobs ->
+      match Exec.Driver.run_parallel ~jobs corpus q with
+      | Ok _ -> Alcotest.fail "expected parallel failure"
+      | Error e -> Alcotest.(check string) "same error as sequential" seq_err e)
+    [ 1; 2; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Rcache                                                              *)
+
+let rcache_hit_and_normalization () =
+  let corpus = log_corpus [ 12 ] in
+  let cache = Exec.Rcache.create () in
+  let q1 =
+    Odb.Query_parser.parse_exn
+      {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+  in
+  (* same query, different spacing: must normalize to the same key *)
+  let q2 =
+    Odb.Query_parser.parse_exn
+      {|SELECT   e.Service
+        FROM Entries   e
+        WHERE e.Level = "ERROR"|}
+  in
+  let r1 = or_fail (Exec.Driver.run_one ~cache corpus q1) in
+  Alcotest.(check bool) "first run misses" false r1.Exec.Driver.from_cache;
+  let r2 = or_fail (Exec.Driver.run_one ~cache corpus q2) in
+  Alcotest.(check bool) "reformatted query hits" true r2.Exec.Driver.from_cache;
+  Alcotest.check rows_t "cached rows identical" r1.Exec.Driver.rows
+    r2.Exec.Driver.rows;
+  let s = Exec.Rcache.stats cache in
+  Alcotest.(check int) "one hit" 1 s.Exec.Rcache.hits;
+  Alcotest.(check int) "one miss" 1 s.Exec.Rcache.misses
+
+let rcache_parallel_populates_too () =
+  let corpus = log_corpus [ 8; 8 ] in
+  let cache = Exec.Rcache.create () in
+  let q =
+    Odb.Query_parser.parse_exn
+      {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+  in
+  let r1 = or_fail (Exec.Driver.run_parallel ~jobs:2 ~cache corpus q) in
+  let r2 = or_fail (Exec.Driver.run_parallel ~jobs:2 ~cache corpus q) in
+  Alcotest.(check bool) "second parallel run served from cache" true
+    r2.Exec.Driver.from_cache;
+  Alcotest.check rows_t "same rows" r1.Exec.Driver.rows r2.Exec.Driver.rows
+
+let rcache_lru_eviction () =
+  let corpus = log_corpus [ 10 ] in
+  let cache = Exec.Rcache.create ~capacity:2 () in
+  let q n =
+    Odb.Query_parser.parse_exn
+      (Printf.sprintf {|SELECT e FROM Entries e WHERE e.Pid = "%d"|} n)
+  in
+  ignore (or_fail (Exec.Driver.run_one ~cache corpus (q 1)));
+  ignore (or_fail (Exec.Driver.run_one ~cache corpus (q 2)));
+  (* touch q1 so q2 is the LRU victim when q3 arrives *)
+  ignore (or_fail (Exec.Driver.run_one ~cache corpus (q 1)));
+  ignore (or_fail (Exec.Driver.run_one ~cache corpus (q 3)));
+  let r1 = or_fail (Exec.Driver.run_one ~cache corpus (q 1)) in
+  Alcotest.(check bool) "recently-used entry survived" true
+    r1.Exec.Driver.from_cache;
+  let r2 = or_fail (Exec.Driver.run_one ~cache corpus (q 2)) in
+  Alcotest.(check bool) "LRU entry was evicted" false r2.Exec.Driver.from_cache;
+  let s = Exec.Rcache.stats cache in
+  Alcotest.(check bool) "evictions counted" true (s.Exec.Rcache.evictions >= 1)
+
+let temp_dir () =
+  let path = Filename.temp_file "oqf_exec_test" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let rcache_invalidated_by_catalog_refresh () =
+  let dir = temp_dir () in
+  let log_path = Filename.concat dir "app.log" in
+  let base = Workload.Log_gen.generate (Workload.Log_gen.with_size 30) in
+  let grown = Workload.Log_gen.generate (Workload.Log_gen.with_size 40) in
+  write_file log_path base;
+  let cat = or_fail (Oqf_catalog.Catalog.init (Filename.concat dir "cat")) in
+  let (_ : Oqf_catalog.Catalog.entry) =
+    or_fail (Oqf_catalog.Catalog.add cat ~schema:"log" log_path)
+  in
+  let cache = Exec.Rcache.create () in
+  let q =
+    Odb.Query_parser.parse_exn
+      {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+  in
+  let corpus = or_fail (Oqf.Corpus.of_catalog cat ~schema:"log") in
+  let fp_before = Exec.Rcache.fingerprint corpus in
+  let r1 = or_fail (Exec.Driver.run_one ~cache corpus q) in
+  let r2 = or_fail (Exec.Driver.run_one ~cache corpus q) in
+  Alcotest.(check bool) "warm repeat hits" true r2.Exec.Driver.from_cache;
+  (* the source grows; refresh extends the index; the rebuilt corpus
+     fingerprints differently, so the cached rows cannot be served *)
+  write_file log_path grown;
+  (match or_fail (Oqf_catalog.Catalog.refresh cat log_path) with
+  | Oqf_catalog.Catalog.Extended _ -> ()
+  | o ->
+      Alcotest.failf "expected incremental extension, got %a"
+        Oqf_catalog.Catalog.pp_refresh o);
+  let corpus' = or_fail (Oqf.Corpus.of_catalog cat ~schema:"log") in
+  let fp_after = Exec.Rcache.fingerprint corpus' in
+  Alcotest.(check bool) "refresh changed the corpus fingerprint" false
+    (String.equal fp_before fp_after);
+  let r3 = or_fail (Exec.Driver.run_one ~cache corpus' q) in
+  Alcotest.(check bool) "post-refresh run recomputes" false
+    r3.Exec.Driver.from_cache;
+  Alcotest.(check bool)
+    "the grown log has at least as many answers" true
+    (List.length r3.Exec.Driver.rows >= List.length r1.Exec.Driver.rows);
+  let r4 = or_fail (Exec.Driver.run_one ~cache corpus' q) in
+  Alcotest.(check bool) "fresh result cached under the new key" true
+    r4.Exec.Driver.from_cache
+
+(* ------------------------------------------------------------------ *)
+(* batch + workload-labelled metrics                                   *)
+
+let batch_runs_all_queries () =
+  let corpus = bibtex_corpus [ 10; 6 ] in
+  let cache = Exec.Rcache.create () in
+  let queries =
+    List.map Odb.Query_parser.parse_exn
+      [
+        {|SELECT r.Key FROM References r|};
+        {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|};
+        {|SELECT r.Key FROM References r|};  (* repeat: cache hit *)
+      ]
+  in
+  let results = Exec.Driver.run_batch ~jobs:2 ~cache corpus queries in
+  Alcotest.(check int) "one result per query" 3 (List.length results);
+  List.iteri
+    (fun i (q, r) ->
+      Alcotest.(check string)
+        "results come back in input order"
+        (Odb.Query.to_string (List.nth queries i))
+        (Odb.Query.to_string q);
+      match r with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "query %d failed: %s" i e)
+    results;
+  (* the repeated query must agree with its first occurrence *)
+  match (List.nth results 0, List.nth results 2) with
+  | (_, Ok a), (_, Ok b) ->
+      Alcotest.check rows_t "repeat equals first" a.Exec.Driver.rows
+        b.Exec.Driver.rows
+  | _ -> Alcotest.fail "unreachable"
+
+let workload_labelled_histograms () =
+  let corpus = bibtex_corpus [ 5 ] in
+  let q = Odb.Query_parser.parse_exn {|SELECT r.Key FROM References r|} in
+  ignore (or_fail (Oqf.Corpus.run corpus q));
+  let names = List.map fst (Obs.Metrics.histograms ()) in
+  Alcotest.(check bool)
+    "labelled latency histogram registered" true
+    (List.mem "query.latency_ms{workload=bibtex}" names);
+  Alcotest.(check bool)
+    "unlabelled alias still recorded" true
+    (List.mem "query.latency_ms" names)
+
+let suites =
+  [
+    ( "exec.shard",
+      [
+        Alcotest.test_case "all items kept" `Quick shard_all_items_kept;
+        Alcotest.test_case "LPT balance" `Quick shard_balances;
+        Alcotest.test_case "no empty bins, dense ids" `Quick shard_no_empty_bins;
+        Alcotest.test_case "deterministic" `Quick shard_deterministic;
+      ] );
+    ( "exec.pool",
+      [
+        Alcotest.test_case "results in order" `Quick pool_runs_tasks_in_order;
+        Alcotest.test_case "graceful shutdown drains in-flight tasks" `Quick
+          pool_graceful_shutdown_with_in_flight_tasks;
+        Alcotest.test_case "task exception captured" `Quick
+          pool_task_exception_is_captured;
+        Alcotest.test_case "task deadline expires" `Quick
+          pool_task_deadline_expires;
+        Alcotest.test_case "deadline interrupts the eval loop" `Quick
+          pool_deadline_interrupts_eval;
+      ] );
+    ( "exec.parallel",
+      [
+        QCheck_alcotest.to_alcotest parallel_equals_sequential_qcheck;
+        Alcotest.test_case "battery at jobs 1..8 and OQF_JOBS default" `Quick
+          parallel_battery;
+        Alcotest.test_case "shard reports cover the corpus" `Quick
+          parallel_reports_shards;
+        Alcotest.test_case "jobs < 1 rejected" `Quick parallel_rejects_bad_jobs;
+        Alcotest.test_case "deterministic error propagation" `Quick
+          parallel_propagates_deterministic_error;
+      ] );
+    ( "exec.rcache",
+      [
+        Alcotest.test_case "hit + query normalization" `Quick
+          rcache_hit_and_normalization;
+        Alcotest.test_case "parallel runs populate the cache" `Quick
+          rcache_parallel_populates_too;
+        Alcotest.test_case "LRU eviction" `Quick rcache_lru_eviction;
+        Alcotest.test_case "invalidated by catalog refresh" `Quick
+          rcache_invalidated_by_catalog_refresh;
+      ] );
+    ( "exec.batch",
+      [
+        Alcotest.test_case "batch order and cache reuse" `Quick
+          batch_runs_all_queries;
+        Alcotest.test_case "workload-labelled histograms" `Quick
+          workload_labelled_histograms;
+      ] );
+  ]
