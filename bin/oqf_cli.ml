@@ -57,6 +57,42 @@ let resolve_jobs = function
         or_die (Error (Printf.sprintf "jobs must be at least 1 (got %d)" n))
       else n
 
+(* --- static analysis plumbing -------------------------------------- *)
+
+let force_arg =
+  let doc =
+    "Execute even when static analysis reports error-severity \
+     diagnostics (e.g. a query that is provably empty on every \
+     conforming file)."
+  in
+  Arg.(value & flag & info [ "force" ] ~doc)
+
+(* [--format]/[--cost-threshold] are validated by hand so a bad value
+   exits 1 with a message on stderr, like every other oqf error path
+   (Cmdliner's own conv errors exit 124). *)
+let format_arg =
+  let doc = "Diagnostics format: $(b,text) or $(b,json)." in
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+
+let resolve_format = function
+  | "text" -> `Text
+  | "json" -> `Json
+  | f ->
+      or_die
+        (Error (Printf.sprintf "unknown format %s (expected text or json)" f))
+
+let resolve_cost_threshold = function
+  | None -> None
+  | Some s -> begin
+      match float_of_string_opt s with
+      | Some f when f > 0. -> Some f
+      | _ ->
+          or_die
+            (Error
+               (Printf.sprintf "cost threshold must be a positive number (got %s)"
+                  s))
+    end
+
 (* --- observability plumbing ---------------------------------------- *)
 
 let trace_arg =
@@ -194,8 +230,8 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run schema file names q_text no_optimize load baseline explain jobs
-      trace metrics =
+  let run schema file names q_text no_optimize load baseline explain force
+      jobs trace metrics =
     install_trace trace;
     let jobs = resolve_jobs jobs in
     let view = or_die (view_of_schema schema) in
@@ -245,14 +281,16 @@ let query_cmd =
           let corpus = Oqf.Corpus.of_sources [ (file, src) ] in
           let out =
             or_die
-              (Exec.Driver.run_parallel ~optimize:(not no_optimize) ~jobs
-                 corpus q)
+              (Exec.Driver.run_parallel ~optimize:(not no_optimize) ~force
+                 ~jobs corpus q)
           in
           match out.Exec.Driver.per_file with
           | [ (_, r) ] -> r
           | _ -> or_die (Error "internal: expected one per-file outcome")
         end
-        else or_die (Oqf.Execute.run ~optimize:(not no_optimize) ~explain src q)
+        else
+          or_die
+            (Oqf.Execute.run ~optimize:(not no_optimize) ~explain ~force src q)
       in
       if explain then
         Format.printf "%a" (Oqf.Explain.pp ~show_times:false ~source:src) r;
@@ -272,8 +310,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query against a file.")
     Term.(
       const run $ schema_arg $ file_arg $ index_names_arg $ query_arg
-      $ no_optimize $ load $ baseline $ analyze $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      $ no_optimize $ load $ baseline $ analyze $ force_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- explain ------------------------------------------------------- *)
 
@@ -537,16 +575,42 @@ let catalog_query_cmd =
       const run $ catalog_dir_arg $ schema_arg $ query $ no_refresh $ jobs_arg
       $ shards)
 
+let catalog_audit_cmd =
+  let run dir fmt =
+    let fmt = resolve_format fmt in
+    let cat = open_catalog dir in
+    let ds = Analysis.Catalog_audit.audit cat in
+    (match fmt with
+    | `Json -> print_endline (Analysis.Diagnostic.list_to_json ds)
+    | `Text ->
+        List.iter
+          (fun d -> print_endline (Analysis.Diagnostic.to_string d))
+          ds;
+        let e, w, h = Analysis.Diagnostic.count ds in
+        Printf.printf "-- audited %d entries: errors=%d warnings=%d hints=%d\n"
+          (List.length (Oqf_catalog.Catalog.entries cat))
+          e w h);
+    if Analysis.Diagnostic.has_errors ds then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Audit the catalog for stale fingerprints (OQF201), orphan index \
+          files nothing references (OQF202) and manifest entries whose \
+          source or index is missing (OQF203).  Exits 1 when any \
+          error-severity diagnostic is found.")
+    Term.(const run $ catalog_dir_arg $ format_arg)
+
 let catalog_cmd =
   Cmd.group
     (Cmd.info "catalog"
        ~doc:
          "Manage a persistent catalog of indexed files: init, add, refresh \
-          (incremental for append-only sources), status and multi-file \
-          query.")
+          (incremental for append-only sources), status, audit and \
+          multi-file query.")
     [
       catalog_init_cmd; catalog_add_cmd; catalog_refresh_cmd;
-      catalog_status_cmd; catalog_query_cmd;
+      catalog_status_cmd; catalog_query_cmd; catalog_audit_cmd;
     ]
 
 (* --- batch --------------------------------------------------------- *)
@@ -592,7 +656,7 @@ let batch_cmd =
     in
     go 1 []
   in
-  let run schema queries_file data catalog_dir jobs trace metrics =
+  let run schema queries_file data catalog_dir force jobs trace metrics =
     install_trace trace;
     let jobs = resolve_jobs jobs in
     let queries = read_queries queries_file in
@@ -613,7 +677,7 @@ let batch_cmd =
     in
     let cache = Exec.Rcache.create () in
     let results =
-      Exec.Driver.run_batch ~jobs ~cache corpus (List.map snd queries)
+      Exec.Driver.run_batch ~force ~jobs ~cache corpus (List.map snd queries)
     in
     let failed =
       List.fold_left2
@@ -648,8 +712,175 @@ let batch_cmd =
           corpus (from a catalog or from data files), sharing one \
           fingerprint-keyed result cache.")
     Term.(
-      const run $ schema_arg $ queries_file $ data $ catalog_dir $ jobs_arg
-      $ trace_arg $ metrics_arg)
+      const run $ schema_arg $ queries_file $ data $ catalog_dir $ force_arg
+      $ jobs_arg $ trace_arg $ metrics_arg)
+
+(* --- check --------------------------------------------------------- *)
+
+(* Non-comment lines of a query/expression file, with line numbers. *)
+let read_check_lines path =
+  let ic = open_in path in
+  let rec go n acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go (n + 1) acc
+        else go (n + 1) ((n, line) :: acc)
+  in
+  go 1 []
+
+(* A declared RIG file: one [A -> B] line per edge, a bare name per
+   isolated node, [#] comments. *)
+let parse_rig_file path =
+  let split_arrow line =
+    let n = String.length line in
+    let rec find i =
+      if i + 2 > n then None
+      else if String.sub line i 2 = "->" then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> `Node (String.trim line)
+    | Some i ->
+        `Edge
+          ( String.trim (String.sub line 0 i),
+            String.trim (String.sub line (i + 2) (n - i - 2)) )
+  in
+  let nodes, edges =
+    List.fold_left
+      (fun (nodes, edges) (lineno, line) ->
+        match split_arrow line with
+        | `Node n when n <> "" -> (n :: nodes, edges)
+        | `Edge (a, b) when a <> "" && b <> "" ->
+            (a :: b :: nodes, (a, b) :: edges)
+        | _ ->
+            or_die
+              (Error (Printf.sprintf "%s:%d: bad RIG line %S" path lineno line)))
+      ([], []) (read_check_lines path)
+  in
+  Ralg.Rig.create
+    ~names:(List.sort_uniq String.compare nodes)
+    ~edges:(List.rev edges)
+
+let check_cmd =
+  let queries_files =
+    let doc =
+      "Check every query in $(docv), one per line (blank lines and lines \
+       starting with $(b,#) are skipped).  Repeatable."
+    in
+    Arg.(value & opt_all file [] & info [ "queries" ] ~docv:"FILE" ~doc)
+  in
+  let exprs =
+    let doc = "Check a raw region-algebra expression.  Repeatable." in
+    Arg.(value & opt_all string [] & info [ "expr" ] ~docv:"EXPR" ~doc)
+  in
+  let pos_queries =
+    let doc = "Queries to check." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let cost_threshold =
+    let doc =
+      "OQF006 threshold: warn when a direct-inclusion expression's weighted \
+       cost estimate exceeds $(docv) (default 50000)."
+    in
+    Arg.(value & opt (some string) None & info [ "cost-threshold" ] ~docv:"N" ~doc)
+  in
+  let declared_rig =
+    let doc =
+      "Check the schema-derived RIG against the one declared in $(docv) \
+       (one $(b,A -> B) line per edge, bare names for isolated nodes)."
+    in
+    Arg.(value & opt (some file) None & info [ "declared-rig" ] ~docv:"FILE" ~doc)
+  in
+  let run schema names queries_files exprs fmt threshold declared_rig
+      pos_queries =
+    let fmt = resolve_format fmt in
+    let threshold = resolve_cost_threshold threshold in
+    let view = or_die (view_of_schema schema) in
+    let index = resolve_index view (split_names names) in
+    let env = Oqf.Compile.env view ~index in
+    let query_rig =
+      Ralg.Rig.partial env.Oqf.Compile.full_rig ~keep:index
+    in
+    let parse_failure pp e =
+      [
+        Analysis.Diagnostic.make ~code:"OQF000"
+          ~severity:Analysis.Diagnostic.Error (Format.asprintf "%a" pp e);
+      ]
+    in
+    let check_query text =
+      match Odb.Query_parser.parse text with
+      | Error e -> parse_failure Odb.Query_parser.pp_error e
+      | Ok q ->
+          (Oqf.Check.query ~text ?cost_threshold:threshold env ~query_rig q)
+            .Oqf.Check.diagnostics
+    in
+    let check_expr text =
+      match Ralg.Expr_parser.parse text with
+      | Error e -> parse_failure Ralg.Expr_parser.pp_error e
+      | Ok e ->
+          Analysis.Expr_check.check ~text ?cost_threshold:threshold query_rig e
+    in
+    let file_items =
+      List.concat_map
+        (fun path ->
+          List.map
+            (fun (n, line) ->
+              (Printf.sprintf "%s:%d: %s" path n line, check_query line))
+            (read_check_lines path))
+        queries_files
+    in
+    let query_items = List.map (fun q -> (q, check_query q)) pos_queries in
+    let expr_items = List.map (fun e -> (e, check_expr e)) exprs in
+    (* schema-level checks run when no query/expression inputs are
+       given, and whenever a declared RIG asks for the comparison *)
+    let schema_items =
+      if
+        (file_items = [] && query_items = [] && expr_items = [])
+        || declared_rig <> None
+      then begin
+        let declared = Option.map parse_rig_file declared_rig in
+        [
+          ( "schema " ^ schema,
+            Analysis.Schema_check.check ?declared_rig:declared view );
+        ]
+      end
+      else []
+    in
+    let items = file_items @ query_items @ expr_items @ schema_items in
+    let all = List.concat_map snd items in
+    (match fmt with
+    | `Json -> print_endline (Analysis.Diagnostic.list_to_json all)
+    | `Text ->
+        List.iter
+          (fun (label, ds) ->
+            Printf.printf "== %s\n" label;
+            match ds with
+            | [] -> print_endline "  ok"
+            | ds ->
+                List.iter
+                  (fun d ->
+                    Printf.printf "  %s\n" (Analysis.Diagnostic.to_string d))
+                  ds)
+          items;
+        let e, w, h = Analysis.Diagnostic.count all in
+        Printf.printf "-- errors=%d warnings=%d hints=%d\n" e w h);
+    if Analysis.Diagnostic.has_errors all then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze queries, region expressions and structuring \
+          schemas against the RIG: trivial emptiness (OQF001), unknown \
+          names (OQF002), optimizer rewrites (OQF003/4), unreachable pairs \
+          (OQF005), cost (OQF006) and schema checks (OQF101-103).  Exits 1 \
+          when any error-severity diagnostic is found.")
+    Term.(
+      const run $ schema_arg $ index_names_arg $ queries_files $ exprs
+      $ format_arg $ cost_threshold $ declared_rig $ pos_queries)
 
 (* --- advise -------------------------------------------------------- *)
 
@@ -691,8 +922,8 @@ let () =
   let group =
     Cmd.group info
       [
-        generate_cmd; index_cmd; query_cmd; explain_cmd; advise_cmd;
-        schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd; batch_cmd;
+        generate_cmd; index_cmd; query_cmd; explain_cmd; check_cmd;
+        advise_cmd; schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd; batch_cmd;
       ]
   in
   (* [~catch:false] so engine exceptions become one-line errors with

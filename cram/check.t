@@ -1,0 +1,179 @@
+Static analysis: every diagnostic code of the oqf check engine, the
+execution gate it feeds, and the catalog audit.
+
+  $ ../bin/oqf_cli.exe generate -k bibtex -n 4 --seed 7 -o refs.bib
+  wrote 2079 bytes to refs.bib
+
+OQF001: a direct inclusion that is not a RIG edge is provably empty on
+every conforming file (Prop 3.3) — an error:
+
+  $ ../bin/oqf_cli.exe check -s bibtex --expr 'Reference >d Name'
+  == Reference >d Name
+    error[OQF001] trivially empty: the answer is the empty set on every instance satisfying the RIG (Prop 3.3) -- (Reference, Name) is not a RIG edge (at 0..9)
+  -- errors=1 warnings=0 hints=0
+  [1]
+
+OQF002: a name the RIG has never heard of:
+
+  $ ../bin/oqf_cli.exe check -s bibtex --expr 'Reference > Nope'
+  == Reference > Nope
+    error[OQF002] unknown region name Nope w.r.t. the RIG (at 12..16)
+  -- errors=1 warnings=0 hints=0
+  [1]
+
+OQF003/OQF004: rewrites the optimizer applies anyway (Prop 3.5 a/b) —
+hints, exit 0:
+
+  $ ../bin/oqf_cli.exe check -s bibtex --expr 'Reference >d Authors' --expr 'Authors > Name > Last_Name'
+  == Reference >d Authors
+    hint[OQF003] direct inclusion is weakenable (Prop 3.5a); the optimizer applies this rewrite -- Reference >d Authors => Reference > Authors (at 0..9)
+  == Authors > Name > Last_Name
+    hint[OQF004] inclusion chain is shortenable (Prop 3.5b); the optimizer applies this rewrite -- Authors > Name > Last_Name => Authors > Last_Name (at 0..7)
+  -- errors=0 warnings=0 hints=2
+
+OQF005: a dead union arm — the whole is satisfiable, the arm is not:
+
+  $ ../bin/oqf_cli.exe check -s bibtex --expr '(Reference >d Name) | (Reference > Authors)'
+  == (Reference >d Name) | (Reference > Authors)
+    warning[OQF005] subexpression Reference >d Name can only be empty on instances conforming to the RIG -- (Reference, Name) is not a RIG edge (at 1..10)
+  -- errors=0 warnings=1 hints=0
+
+OQF006: estimated cost above threshold while direct-inclusion
+operators remain:
+
+  $ ../bin/oqf_cli.exe check -s bibtex --cost-threshold 100 --expr 'Reference >d Authors'
+  == Reference >d Authors
+    warning[OQF006] estimated evaluation cost 21932 exceeds threshold 100 and the expression uses 1 direct-inclusion operator(s) -- simple=0 direct=1 set=0 sel=0 weighted=21931.6
+    hint[OQF003] direct inclusion is weakenable (Prop 3.5a); the optimizer applies this rewrite -- Reference >d Authors => Reference > Authors (at 0..9)
+  -- errors=0 warnings=1 hints=1
+
+Whole queries: a path the RIG cannot walk makes the query empty on
+every conforming file; an unknown attribute merely degrades to a
+wildcard (the planner's behaviour), so it warns instead:
+
+  $ ../bin/oqf_cli.exe check -s bibtex 'SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"'
+  == SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"
+    error[OQF001] r: the candidate set is provably empty: this query returns no rows on any file conforming to the schema (Prop 3.3)
+    warning[OQF005] r: path r.Title.Last_Name can never match: no RIG edge from Title to Last_Name, so the query is empty on every file conforming to the schema (at 41..50)
+  -- errors=1 warnings=1 hints=0
+  [1]
+
+  $ ../bin/oqf_cli.exe check -s bibtex 'SELECT r.Bogus FROM References r'
+  == SELECT r.Bogus FROM References r
+    warning[OQF002] r: attribute Bogus names no region of the schema; the planner treats it as a wildcard (at 9..14)
+  -- errors=0 warnings=1 hints=0
+
+Query files, one per line, # comments skipped — the shape the CI lint
+gate feeds in:
+
+  $ printf '# nightly checks\nSELECT r.Key FROM References r\nSELECT r FROM References r WHERE r.Title.Last_Name = "Chang"\n' > nightly.queries
+  $ ../bin/oqf_cli.exe check -s bibtex --queries nightly.queries
+  == nightly.queries:2: SELECT r.Key FROM References r
+    ok
+  == nightly.queries:3: SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"
+    error[OQF001] r: the candidate set is provably empty: this query returns no rows on any file conforming to the schema (Prop 3.3)
+    warning[OQF005] r: path r.Title.Last_Name can never match: no RIG edge from Title to Last_Name, so the query is empty on every file conforming to the schema (at 41..50)
+  -- errors=1 warnings=1 hints=0
+  [1]
+
+With no query inputs, check lints the schema itself (OQF103:
+non-natural constructs, §4):
+
+  $ ../bin/oqf_cli.exe check -s bibtex
+  == schema bibtex
+    hint[OQF103] Abstract: pass-through wrapper rule: its database value is its single child's, so queries usually address the child -- wraps Abstract_value
+    hint[OQF103] Title: pass-through wrapper rule: its database value is its single child's, so queries usually address the child -- wraps Title_value
+    hint[OQF103] Year: pass-through wrapper rule: its database value is its single child's, so queries usually address the child -- wraps Year_value
+  -- errors=0 warnings=0 hints=3
+
+OQF102: a declared RIG that disagrees with the one rig_of_grammar
+derives — every missing node/edge is an error:
+
+  $ printf '# hand-maintained RIG, long out of date\nReference -> Key\nGhost\n' > decl.rig
+  $ ../bin/oqf_cli.exe check -s bibtex --declared-rig decl.rig 2>&1 | sed -n '2,3p'
+    error[OQF102] declared RIG is missing a node the grammar derives -- Abstract
+    error[OQF102] declared RIG is missing a node the grammar derives -- Abstract_value
+  $ ../bin/oqf_cli.exe check -s bibtex --declared-rig decl.rig 2>&1 | grep -c 'OQF102'
+  34
+  $ ../bin/oqf_cli.exe check -s bibtex --declared-rig decl.rig > /dev/null
+  [1]
+
+JSON rendering is one object per line — machine-consumable by the CI
+gate:
+
+  $ ../bin/oqf_cli.exe check -s bibtex --format json --expr 'Reference >d Name'
+  [
+    {"code":"OQF001","severity":"error","message":"trivially empty: the answer is the empty set on every instance satisfying the RIG (Prop 3.3)","detail":"(Reference, Name) is not a RIG edge","span":{"start":0,"stop":9}}
+  ]
+  [1]
+
+The same engine gates execution: a provably-empty query is refused
+before phase 1 unless forced, and --explain shows the diagnostics
+alongside the plan:
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib 'SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"'
+  oqf: static analysis found 1 error (use --force to execute anyway):
+    error[OQF001] r: the candidate set is provably empty: this query returns no rows on any file conforming to the schema (Prop 3.3)
+  [1]
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --force 'SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"' 2>/dev/null
+  -- 0 rows (0 candidates, exact plan); scanned=0B parsed=0B index_ops=0 cmps=0 lookups=0 objs=0 regions=0
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --force --explain 'SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"' 2>/dev/null | sed -n '/^diagnostics:/,/^rewrites:/p'
+  diagnostics:
+    error[OQF001] r: the candidate set is provably empty: this query returns no rows on any file conforming to the schema (Prop 3.3)
+    warning[OQF005] r: path r.Title.Last_Name can never match: no RIG edge from Title to Last_Name, so the query is empty on every file conforming to the schema (at 41..50)
+  rewrites: (none)
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --explain 'SELECT r.Key FROM References r' 2>/dev/null | grep diagnostics
+  diagnostics: (none)
+
+Catalog audit: fresh is quiet; appended sources, orphan index files
+and missing sources each get their code:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 8 --seed 5 -o app.log
+  wrote 829 bytes to app.log
+  $ ../bin/oqf_cli.exe catalog init cat
+  initialized empty catalog in cat
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log app.log
+  added app.log (schema log): 5 region names indexed
+  $ ../bin/oqf_cli.exe catalog audit -c cat
+  -- audited 1 entries: errors=0 warnings=0 hints=0
+
+  $ printf '[2026-07-04 00:00:08] level=ERROR service=auth msg="late arrival"\n' >> app.log
+  $ ../bin/oqf_cli.exe catalog audit -c cat
+  warning[OQF201] app.log: stale index: the source grew append-only since the last build (refresh extends it incrementally) -- 829B -> 895B
+  -- audited 1 entries: errors=0 warnings=1 hints=0
+
+  $ : > cat/indices/ghost-full.idx
+  $ ../bin/oqf_cli.exe catalog audit -c cat | grep OQF202
+  warning[OQF202] indices/ghost-full.idx: orphan index file: no manifest entry references it
+
+  $ rm app.log
+  $ ../bin/oqf_cli.exe catalog audit -c cat
+  error[OQF203] app.log: orphan manifest entry: the source file is missing
+  warning[OQF202] indices/ghost-full.idx: orphan index file: no manifest entry references it
+  -- audited 1 entries: errors=1 warnings=1 hints=0
+  [1]
+
+  $ ../bin/oqf_cli.exe catalog audit -c cat --format json | head -3
+  [
+    {"code":"OQF203","severity":"error","subject":"app.log","message":"orphan manifest entry: the source file is missing"},
+    {"code":"OQF202","severity":"warning","subject":"indices/ghost-full.idx","message":"orphan index file: no manifest entry references it"}
+
+Flag validation matches the query subcommand's convention everywhere:
+bad values exit 1 with a one-line message on stderr:
+
+  $ ../bin/oqf_cli.exe check -s bibtex --format yaml
+  oqf: unknown format yaml (expected text or json)
+  [1]
+  $ ../bin/oqf_cli.exe check -s bibtex --cost-threshold abc
+  oqf: cost threshold must be a positive number (got abc)
+  [1]
+  $ ../bin/oqf_cli.exe catalog audit -c cat --format xml
+  oqf: unknown format xml (expected text or json)
+  [1]
+  $ printf 'SELECT r.Key FROM References r\n' > one.queries
+  $ ../bin/oqf_cli.exe batch -s bibtex --data refs.bib --jobs 0 one.queries
+  oqf: jobs must be at least 1 (got 0)
+  [1]

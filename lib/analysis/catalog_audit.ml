@@ -1,0 +1,38 @@
+module C = Oqf_catalog.Catalog
+
+let entry_diag ((e : C.entry), staleness) =
+  let mk ?detail ~severity ~code msg =
+    Some (Diagnostic.make ~subject:e.C.source ?detail ~code ~severity msg)
+  in
+  match staleness with
+  | C.Fresh -> None
+  | C.Appended { old_len; new_len } ->
+      mk ~code:"OQF201" ~severity:Diagnostic.Warning
+        ~detail:(Printf.sprintf "%dB -> %dB" old_len new_len)
+        "stale index: the source grew append-only since the last build \
+         (refresh extends it incrementally)"
+  | C.Changed ->
+      mk ~code:"OQF201" ~severity:Diagnostic.Warning
+        "stale index: the source changed since the last build (refresh \
+         rebuilds it)"
+  | C.Source_missing ->
+      mk ~code:"OQF203" ~severity:Diagnostic.Error
+        "orphan manifest entry: the source file is missing"
+  | C.Index_missing ->
+      mk ~code:"OQF203" ~severity:Diagnostic.Error
+        ~detail:e.C.index_file "the persisted index file is missing"
+  | C.Index_unreadable reason ->
+      mk ~code:"OQF203" ~severity:Diagnostic.Error ~detail:reason
+        "the persisted index file is unreadable"
+
+let audit catalog =
+  let entry_diags = List.filter_map entry_diag (C.status catalog) in
+  let orphan_diags =
+    List.map
+      (fun file ->
+        Diagnostic.make ~subject:file ~code:"OQF202"
+          ~severity:Diagnostic.Warning
+          "orphan index file: no manifest entry references it")
+      (C.orphan_index_files catalog)
+  in
+  Diagnostic.sort (entry_diags @ orphan_diags)

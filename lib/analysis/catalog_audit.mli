@@ -1,0 +1,15 @@
+(** Static audit of a persistent index catalog (codes OQF201–OQF203).
+
+    - OQF201 ({e warning}): an entry's fingerprint is stale — the
+      source grew (appended) or changed, so the persisted index
+      answers against an old snapshot until refreshed;
+    - OQF202 ({e warning}): an index file on disk that no manifest
+      entry references — debris from crashed rebuilds;
+    - OQF203 ({e error}): an entry that cannot serve queries at all —
+      its source or index file is missing, or the index is unreadable
+      (corrupt or written by another format version). *)
+
+val audit : Oqf_catalog.Catalog.t -> Diagnostic.t list
+(** Fingerprint every entry ({!Oqf_catalog.Catalog.status}) and list
+    orphan index files; sorted by severity, subjects are source paths
+    (OQF201/203) or index paths (OQF202). *)

@@ -1,0 +1,158 @@
+type severity = Error | Warning | Hint
+
+type span = { start : int; stop : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span option;
+  subject : string option;
+  message : string;
+  detail : string option;
+}
+
+let make ?span ?subject ?detail ~code ~severity message =
+  { code; severity; span; subject; message; detail }
+
+let with_subject subject d =
+  match d.subject with Some _ -> d | None -> { d with subject = Some subject }
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let span_of_word ~text word =
+  let n = String.length text and m = String.length word in
+  let boundary i = i < 0 || i >= n || not (is_word_char text.[i]) in
+  let rec go i =
+    if i + m > n then None
+    else if
+      String.sub text i m = word && boundary (i - 1) && boundary (i + m)
+    then Some { start = i; stop = i + m }
+    else go (i + 1)
+  in
+  if m = 0 then None else go 0
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let compare a b =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> begin
+      match String.compare a.code b.code with
+      | 0 ->
+          let pos d =
+            match d.span with Some s -> s.start | None -> max_int
+          in
+          Stdlib.compare (pos a) (pos b)
+      | c -> c
+    end
+  | c -> c
+
+let sort ds = List.stable_sort compare ds
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let count ds =
+  List.fold_left
+    (fun (e, w, h) d ->
+      match d.severity with
+      | Error -> (e + 1, w, h)
+      | Warning -> (e, w + 1, h)
+      | Hint -> (e, w, h + 1))
+    (0, 0, 0) ds
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
+
+let pp ppf d =
+  Format.fprintf ppf "%a[%s]" pp_severity d.severity d.code;
+  (match d.subject with
+  | Some s -> Format.fprintf ppf " %s:" s
+  | None -> ());
+  Format.fprintf ppf " %s" d.message;
+  (match d.detail with
+  | Some detail -> Format.fprintf ppf " -- %s" detail
+  | None -> ());
+  match d.span with
+  | Some { start; stop } -> Format.fprintf ppf " (at %d..%d)" start stop
+  | None -> ()
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* Hand-rolled JSON: the toolchain image carries no JSON library, and
+   the shapes here are flat. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"code\":\"%s\",\"severity\":\"%s\"" (json_escape d.code)
+       (severity_to_string d.severity));
+  (match d.subject with
+  | Some s ->
+      Buffer.add_string buf (Printf.sprintf ",\"subject\":\"%s\"" (json_escape s))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf ",\"message\":\"%s\"" (json_escape d.message));
+  (match d.detail with
+  | Some s ->
+      Buffer.add_string buf (Printf.sprintf ",\"detail\":\"%s\"" (json_escape s))
+  | None -> ());
+  (match d.span with
+  | Some { start; stop } ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"span\":{\"start\":%d,\"stop\":%d}" start stop)
+  | None -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let list_to_json ds =
+  match ds with
+  | [] -> "[]"
+  | ds ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i d ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf ("  " ^ to_json d))
+        ds;
+      Buffer.add_string buf "\n]";
+      Buffer.contents buf
+
+let registry =
+  [
+    ("OQF000", Error, "query or expression does not parse/compile");
+    ("OQF001", Error, "trivially-empty expression under the RIG (Prop 3.3)");
+    ("OQF002", Error, "unknown region name w.r.t. the RIG/schema");
+    ("OQF003", Hint, "weakenable direct inclusion (Prop 3.5a)");
+    ("OQF004", Hint, "shortenable inclusion chain (Prop 3.5b)");
+    ("OQF005", Warning, "RIG-unreachable pair: empty on every conforming instance");
+    ("OQF006", Warning, "direct-inclusion cost estimate above threshold");
+    ("OQF101", Warning, "non-terminal unreachable from the grammar root");
+    ("OQF102", Error, "declared RIG inconsistent with the grammar-derived RIG");
+    ("OQF103", Hint, "non-natural schema construct");
+    ("OQF201", Warning, "catalogued index is stale (source appended/changed)");
+    ("OQF202", Warning, "orphan index file not referenced by the manifest");
+    ("OQF203", Error, "catalog entry unusable (missing or unreadable file)");
+  ]

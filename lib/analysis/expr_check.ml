@@ -1,0 +1,148 @@
+module Expr = Ralg.Expr
+
+let rec trivial_subexprs rig e =
+  if Ralg.Trivial.check rig e then [ e ]
+  else begin
+    match e with
+    | Expr.Name _ -> []
+    | Expr.Select (_, e1) | Expr.Innermost e1 | Expr.Outermost e1 ->
+        trivial_subexprs rig e1
+    | Expr.Setop (_, a, b)
+    | Expr.Chain (a, _, b)
+    | Expr.Chain_strict (a, _, b)
+    | Expr.At_depth (_, a, b) ->
+        trivial_subexprs rig a @ trivial_subexprs rig b
+  end
+
+let family_strength = function
+  | Expr.Including -> (Ralg.Chain.Up, Ralg.Chain.Simple)
+  | Expr.Directly_including -> (Ralg.Chain.Up, Ralg.Chain.Direct)
+  | Expr.Included -> (Ralg.Chain.Down, Ralg.Chain.Simple)
+  | Expr.Directly_included -> (Ralg.Chain.Down, Ralg.Chain.Direct)
+
+let rec witness_pair rig e =
+  let first_of a b =
+    match witness_pair rig a with
+    | Some _ as w -> w
+    | None -> witness_pair rig b
+  in
+  match e with
+  | Expr.Name _ -> None
+  | Expr.Select (_, e1) | Expr.Innermost e1 | Expr.Outermost e1 ->
+      witness_pair rig e1
+  | Expr.Setop (_, a, b) | Expr.At_depth (_, a, b) -> first_of a b
+  | Expr.Chain (a, op, b) | Expr.Chain_strict (a, op, b) -> begin
+      match first_of a b with
+      | Some _ as w -> w
+      | None ->
+          let family, strength = family_strength op in
+          let lefts = Ralg.Trivial.result_names a
+          and rights = Ralg.Trivial.result_names b in
+          let all_trivial =
+            lefts <> [] && rights <> []
+            && List.for_all
+                 (fun l ->
+                   List.for_all
+                     (fun r ->
+                       Ralg.Trivial.pair_is_trivial rig ~family ~strength
+                         ~left:l ~right:r)
+                     rights)
+                 lefts
+          in
+          if all_trivial then Some (List.hd lefts, op, List.hd rights)
+          else None
+    end
+
+let describe_witness (l, op, r) =
+  let family, strength = family_strength op in
+  let a, b = match family with Ralg.Chain.Up -> (l, r) | Ralg.Chain.Down -> (r, l) in
+  match strength with
+  | Ralg.Chain.Direct -> Printf.sprintf "(%s, %s) is not a RIG edge" a b
+  | Ralg.Chain.Simple -> Printf.sprintf "no RIG walk from %s to %s" a b
+
+let default_cost_threshold = 50_000.
+
+let check ?text ?cost ?(cost_threshold = default_cost_threshold) rig e =
+  let span_of name =
+    match text with
+    | None -> None
+    | Some text -> Diagnostic.span_of_word ~text name
+  in
+  let unknown =
+    List.filter (fun n -> not (Ralg.Rig.mem rig n)) (Expr.names e)
+    |> List.map (fun n ->
+           Diagnostic.make ?span:(span_of n) ~code:"OQF002"
+             ~severity:Diagnostic.Error
+             (Printf.sprintf "unknown region name %s w.r.t. the RIG" n))
+  in
+  let witness_detail scope =
+    match witness_pair rig scope with
+    | Some w -> Some (describe_witness w)
+    | None -> None
+  in
+  let witness_span scope =
+    match witness_pair rig scope with
+    | Some (l, _, _) -> span_of l
+    | None -> None
+  in
+  let triviality =
+    if Ralg.Trivial.check rig e then
+      [
+        Diagnostic.make ?span:(witness_span e) ?detail:(witness_detail e)
+          ~code:"OQF001" ~severity:Diagnostic.Error
+          "trivially empty: the answer is the empty set on every instance \
+           satisfying the RIG (Prop 3.3)";
+      ]
+    else
+      List.map
+        (fun sub ->
+          Diagnostic.make ?span:(witness_span sub)
+            ?detail:(witness_detail sub) ~code:"OQF005"
+            ~severity:Diagnostic.Warning
+            (Printf.sprintf
+               "subexpression %s can only be empty on instances conforming \
+                to the RIG"
+               (Expr.to_string sub)))
+        (trivial_subexprs rig e)
+  in
+  let rewrites =
+    let _optimized, rws = Ralg.Optimizer.plan_rewrites rig e in
+    let rewrite_diag (rw : Ralg.Optimizer.rewrite) =
+      let first_name =
+        match String.index_opt rw.Ralg.Optimizer.detail ' ' with
+        | Some i -> String.sub rw.Ralg.Optimizer.detail 0 i
+        | None -> rw.Ralg.Optimizer.detail
+      in
+      if rw.Ralg.Optimizer.rule = "weaken-direct" then
+        Diagnostic.make ?span:(span_of first_name)
+          ~detail:rw.Ralg.Optimizer.detail ~code:"OQF003"
+          ~severity:Diagnostic.Hint
+          "direct inclusion is weakenable (Prop 3.5a); the optimizer applies \
+           this rewrite"
+      else
+        Diagnostic.make ?span:(span_of first_name)
+          ~detail:rw.Ralg.Optimizer.detail ~code:"OQF004"
+          ~severity:Diagnostic.Hint
+          "inclusion chain is shortenable (Prop 3.5b); the optimizer applies \
+           this rewrite"
+    in
+    List.map rewrite_diag rws
+  in
+  let cost_diag =
+    let estimate =
+      match cost with Some f -> f | None -> fun e -> Ralg.Cost.estimate e
+    in
+    let c = estimate e in
+    if c.Ralg.Cost.direct_ops > 0 && c.Ralg.Cost.weighted > cost_threshold
+    then
+      [
+        Diagnostic.make ~code:"OQF006" ~severity:Diagnostic.Warning
+          ~detail:(Format.asprintf "%a" Ralg.Cost.pp c)
+          (Printf.sprintf
+             "estimated evaluation cost %.0f exceeds threshold %.0f and the \
+              expression uses %d direct-inclusion operator(s)"
+             c.Ralg.Cost.weighted cost_threshold c.Ralg.Cost.direct_ops);
+      ]
+    else []
+  in
+  Diagnostic.sort (unknown @ triviality @ rewrites @ cost_diag)

@@ -1,0 +1,51 @@
+(** Static checks on region-algebra expressions (codes OQF001–OQF006).
+
+    Everything here is decided on the RIG alone — no file is touched:
+
+    - OQF001 ({e error}): the whole expression is trivially empty under
+      Proposition 3.3 — it answers the empty set on {e every} instance
+      satisfying the RIG;
+    - OQF002 ({e error}): a mentioned region name is not in the RIG;
+    - OQF003 ({e hint}): a direct inclusion the optimizer weakens via
+      Proposition 3.5 (a), with the rewrite it would apply;
+    - OQF004 ({e hint}): a chain the optimizer shortens via
+      Proposition 3.5 (b);
+    - OQF005 ({e warning}): a proper subexpression (e.g. one union arm)
+      is trivially empty while the whole is not — dead weight that can
+      only contribute the empty set on conforming instances;
+    - OQF006 ({e warning}): the cost estimate exceeds the threshold and
+      the expression still carries direct-inclusion operators after
+      optimization would run — the expensive case Bille–Gørtz-style
+      tree inclusion work warns about. *)
+
+val trivial_subexprs : Ralg.Rig.t -> Ralg.Expr.t -> Ralg.Expr.t list
+(** The {e maximal} trivially-empty subexpressions: every returned
+    node satisfies {!Ralg.Trivial.check} on its own (so each is sound
+    to replace by the empty set), and no returned node is inside
+    another.  [[e]] itself when the whole expression is trivial. *)
+
+val witness_pair :
+  Ralg.Rig.t -> Ralg.Expr.t -> (string * Ralg.Expr.op * string) option
+(** A concrete Proposition 3.3 witness inside a trivial expression:
+    the first inclusion node whose operand name pairs all fail the RIG
+    test, as [(left, op, right)]. *)
+
+val describe_witness : string * Ralg.Expr.op * string -> string
+(** ["(A, B) is not a RIG edge"] / ["no RIG walk from A to B"],
+    oriented by the operator's family. *)
+
+val default_cost_threshold : float
+(** 50,000 weighted units — roughly the paper's four-element direct
+    chain on a 1000-regions-per-name instance. *)
+
+val check :
+  ?text:string ->
+  ?cost:(Ralg.Expr.t -> Ralg.Cost.t) ->
+  ?cost_threshold:float ->
+  Ralg.Rig.t ->
+  Ralg.Expr.t ->
+  Diagnostic.t list
+(** All diagnostics for one expression, sorted by severity.  [text]
+    (the source the expression was parsed from) anchors spans;
+    [cost] defaults to {!Ralg.Cost.estimate} with default
+    cardinalities. *)

@@ -1,0 +1,18 @@
+(** Static checks on structuring schemas (codes OQF101–OQF103).
+
+    - OQF101 ({e warning}): a defined non-terminal is unreachable from
+      the grammar root — its regions can never occur in a parsed file,
+      so indexing or querying it is dead weight;
+    - OQF102 ({e error}): a user-declared RIG disagrees with the one
+      {!Fschema.Rig_of_grammar} derives (§4.2) — missing/extra nodes or
+      edges are each reported;
+    - OQF103 ({e hint}): a non-natural construct in the §4 sense — a
+      pass-through wrapper rule (its value is its single child's) or
+      an anonymous [Tok] field (contributes a value but no named
+      region, so the index cannot see past it). *)
+
+val check :
+  ?declared_rig:Ralg.Rig.t -> Fschema.View.t -> Diagnostic.t list
+(** All diagnostics for one view's grammar, sorted by severity.  With
+    [declared_rig], additionally run the OQF102 consistency check
+    against the derived full RIG. *)

@@ -187,6 +187,18 @@ type staleness =
 
 let index_path t e = Filename.concat t.dir e.index_file
 
+let orphan_index_files t =
+  let dir = Filename.concat t.dir indices_subdir in
+  let referenced = List.map (fun e -> e.index_file) t.entries in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             let rel = Filename.concat indices_subdir f in
+             if List.mem rel referenced then None else Some rel)
+      |> List.sort compare
+
 let staleness t e =
   if not (Sys.file_exists e.source) then Source_missing
   else begin

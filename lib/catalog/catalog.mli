@@ -69,6 +69,12 @@ val staleness : t -> entry -> staleness
 val status : t -> (entry * staleness) list
 val pp_staleness : Format.formatter -> staleness -> unit
 
+val orphan_index_files : t -> string list
+(** Files under [<dir>/indices] that no manifest entry references
+    (paths relative to the catalog directory, sorted) — debris from
+    crashed rebuilds or hand-deleted entries.  [oqf catalog audit]
+    reports them. *)
+
 type refresh = Unchanged | Extended of { added_bytes : int } | Rebuilt of string
 
 val refresh : ?verify_rig:bool -> t -> string -> (refresh, string) result

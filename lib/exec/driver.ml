@@ -48,9 +48,9 @@ let with_cache cache corpus q run =
               Ok outcome
         end)
 
-let run_one ?optimize ?cache corpus q =
+let run_one ?optimize ?force ?cache corpus q =
   with_cache cache corpus q @@ fun () ->
-  match Oqf.Corpus.run ?optimize corpus q with
+  match Oqf.Corpus.run ?optimize ?force corpus q with
   | Error _ as e -> e
   | Ok r ->
       Ok
@@ -64,12 +64,12 @@ let run_one ?optimize ?cache corpus q =
 
 (* Evaluate one shard: its files in order, stopping at the first
    failure (mirroring the sequential executor within the shard). *)
-let eval_shard ?optimize q (shard : (string * Oqf.Execute.source) Shard.t) =
+let eval_shard ?optimize ?force q (shard : (string * Oqf.Execute.source) Shard.t) =
   let t0 = Obs.Trace.now_ms () in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | (name, src) :: rest -> begin
-        match Oqf.Execute.run ?optimize src q with
+        match Oqf.Execute.run ?optimize ?force src q with
         | Error e -> Error (name, e)
         | Ok r -> go ((name, r) :: acc) rest
       end
@@ -96,7 +96,7 @@ let eval_shard ?optimize q (shard : (string * Oqf.Execute.source) Shard.t) =
   in
   (report, result)
 
-let run_parallel ?optimize ?jobs ?cache ?timeout_ms corpus q =
+let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms corpus q =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     Error (Printf.sprintf "jobs must be at least 1 (got %d)" jobs)
@@ -116,7 +116,7 @@ let run_parallel ?optimize ?jobs ?cache ?timeout_ms corpus q =
       | _ ->
           Pool.with_pool ~jobs:(min jobs (List.length shards)) @@ fun pool ->
           Pool.run_all ?timeout_ms pool
-            (List.map (fun s () -> eval_shard ?optimize q s) shards)
+            (List.map (fun s () -> eval_shard ?optimize ?force q s) shards)
     in
     let after = Stdx.Stats.snapshot () in
     (* a task-level failure (timeout, uncaught exception) has no file
@@ -173,7 +173,7 @@ let run_parallel ?optimize ?jobs ?cache ?timeout_ms corpus q =
               }
       end
 
-let run_batch ?optimize ?jobs ?cache corpus queries =
+let run_batch ?optimize ?force ?jobs ?cache corpus queries =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     List.map
@@ -183,7 +183,8 @@ let run_batch ?optimize ?jobs ?cache corpus queries =
     Pool.with_pool ~jobs @@ fun pool ->
     let handles =
       List.map
-        (fun q -> (q, Pool.submit pool (fun () -> run_one ?optimize ?cache corpus q)))
+        (fun q ->
+          (q, Pool.submit pool (fun () -> run_one ?optimize ?force ?cache corpus q)))
         queries
     in
     List.map

@@ -38,6 +38,7 @@ val default_jobs : unit -> int
 
 val run_parallel :
   ?optimize:bool ->
+  ?force:bool ->
   ?jobs:int ->
   ?cache:Rcache.t ->
   ?timeout_ms:float ->
@@ -47,13 +48,15 @@ val run_parallel :
 (** [jobs] defaults to {!default_jobs}; the pool gets
     [min jobs (number of non-empty shards)] workers.  [timeout_ms]
     bounds each shard task (expiry fails the query with a timeout
-    message).  With [cache], a hit skips evaluation entirely and a
+    message).  [force] reaches {!Oqf.Execute.run}: execute despite
+    error-severity static-analysis findings.  With [cache], a hit skips evaluation entirely and a
     successful run populates the cache.  Errors name the failing file
     — deterministically the earliest one in corpus order.  [jobs < 1]
     is rejected as an error. *)
 
 val run_one :
   ?optimize:bool ->
+  ?force:bool ->
   ?cache:Rcache.t ->
   Oqf.Corpus.t ->
   Odb.Query.t ->
@@ -63,6 +66,7 @@ val run_one :
 
 val run_batch :
   ?optimize:bool ->
+  ?force:bool ->
   ?jobs:int ->
   ?cache:Rcache.t ->
   Oqf.Corpus.t ->

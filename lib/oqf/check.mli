@@ -1,0 +1,54 @@
+(** Static analysis of whole queries against a view (the [oqf check]
+    engine).
+
+    Two layers on top of {!Analysis.Expr_check}:
+
+    - {e path-level}: every rooted path in SELECT/WHERE is walked over
+      the {e full} RIG with the planner's own step test
+      ({!Compile.step_possible}), reporting unknown attributes
+      (OQF002, warning here — the planner degrades them to wildcards)
+      and impossible steps (OQF005: the query can only be empty on
+      files conforming to the schema);
+    - {e plan-level}: each variable's candidate expression is checked
+      against the query RIG (OQF001/003/004/006), and a [Plan.Empty]
+      candidate set is reported as OQF001 — the compiler already
+      proved the query empty.
+
+    {!Execute.run} runs {!plan_diagnostics} before phase 1 and refuses
+    error-severity findings unless forced. *)
+
+type checked = {
+  plan : Plan.t option;  (** [None] when the query failed to compile *)
+  diagnostics : Analysis.Diagnostic.t list;
+}
+
+val plan_diagnostics :
+  ?text:string ->
+  ?cost:(Ralg.Expr.t -> Ralg.Cost.t) ->
+  ?cost_threshold:float ->
+  Compile.env ->
+  query_rig:Ralg.Rig.t ->
+  Plan.t ->
+  Analysis.Diagnostic.t list
+(** Diagnose a compiled plan: path-level walks over [env]'s full RIG
+    plus per-variable expression checks against [query_rig].  [text]
+    is the query's source text (spans); [cost] defaults to
+    {!Ralg.Cost.estimate} with default cardinalities — pass
+    [Ralg.Cost.of_instance] applied to an instance for true
+    cardinalities.  Sorted by severity, deduplicated. *)
+
+val query :
+  ?text:string ->
+  ?cost:(Ralg.Expr.t -> Ralg.Cost.t) ->
+  ?cost_threshold:float ->
+  Compile.env ->
+  query_rig:Ralg.Rig.t ->
+  Odb.Query.t ->
+  checked
+(** Compile then {!plan_diagnostics}.  A compile failure becomes one
+    diagnostic: OQF002 for an unknown class, OQF000 otherwise. *)
+
+val refusal : Analysis.Diagnostic.t list -> string
+(** The error message {!Execute.run} returns when error-severity
+    diagnostics block an unforced run: a summary line plus one
+    indented line per error. *)

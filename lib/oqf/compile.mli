@@ -39,6 +39,15 @@ val word_containment_exact : env -> string -> string -> bool
     [w] over the region coincides with containment over the value's
     nested strings. *)
 
+val step_possible :
+  env -> src:string -> dst:string -> stars:int -> anys:int -> bool
+(** Can a query path step from a region of [src] to one of [dst] with
+    [stars] [*X] and [anys] [Xi] wildcards in between, under the full
+    RIG?  ([stars > 0] asks for any walk, [anys > 0] for a walk of
+    exactly [anys + 1] edges, neither for one edge.)  The Prop 3.3
+    test the planner applies per path step; the static analyzer uses
+    it to report {e why} a path can only be empty. *)
+
 val compile : env -> Odb.Query.t -> (Plan.t, string) result
 (** Build the plan.  Fails on validation errors (unknown class, unbound
     variable). *)

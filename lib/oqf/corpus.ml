@@ -45,12 +45,12 @@ type outcome = {
   stats : Stdx.Stats.t;
 }
 
-let run ?optimize t q =
+let run ?optimize ?force t q =
   let rec go rows per_file stats = function
     | [] ->
         Ok { rows = List.rev rows; per_file = List.rev per_file; stats }
     | (name, src) :: rest -> begin
-        match Execute.run ?optimize src q with
+        match Execute.run ?optimize ?force src q with
         | Error e -> Error (Printf.sprintf "%s: %s" name e)
         | Ok r ->
             Stdx.Stats.add stats r.Execute.stats;

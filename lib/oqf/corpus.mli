@@ -50,4 +50,7 @@ type outcome = {
   stats : Stdx.Stats.t;  (** summed query-time work *)
 }
 
-val run : ?optimize:bool -> t -> Odb.Query.t -> (outcome, string) result
+val run :
+  ?optimize:bool -> ?force:bool -> t -> Odb.Query.t -> (outcome, string) result
+(** [force] is passed to {!Execute.run}: execute despite
+    error-severity static-analysis findings. *)

@@ -38,6 +38,7 @@ let source_of_instance view instance =
 type outcome = {
   rows : Odb.Query_eval.row list;
   plan : Plan.t;
+  diagnostics : Analysis.Diagnostic.t list;
   evaluated : (string * Ralg.Expr.t) list;
   candidates_count : int;
   answers_count : int;
@@ -257,8 +258,8 @@ let materialize_region src ~symbol (r : Pat.Region.t) =
     res
   end
 
-let run ?(optimize = true) ?(join_assist = true) ?(explain = false) src
-    (q : Odb.Query.t) =
+let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
+    ?(force = false) src (q : Odb.Query.t) =
   let before = Stdx.Stats.snapshot () in
   let t0 = Obs.Trace.now_ms () in
   let root =
@@ -289,7 +290,16 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false) src
   @@
   match Obs.Trace.with_span "query.compile" (fun () -> Compile.compile src.env q) with
   | Error e -> Error e
-  | Ok plan -> begin
+  | Ok plan ->
+      let diagnostics =
+        Obs.Trace.with_span "query.analyze" @@ fun () ->
+        Check.plan_diagnostics ~text:(Odb.Query.to_string q)
+          ~cost:(Ralg.Cost.of_instance src.instance)
+          src.env ~query_rig:src.query_rig plan
+      in
+      if (not force) && Analysis.Diagnostic.has_errors diagnostics then
+        Error (Check.refusal diagnostics)
+      else begin
       let rewrites = ref [] in
       let annots = ref [] in
       let maybe_optimize e =
@@ -451,6 +461,7 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false) src
           {
             rows;
             plan;
+            diagnostics;
             evaluated = List.rev !evaluated;
             candidates_count;
             answers_count = List.length rows;

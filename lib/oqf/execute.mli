@@ -31,6 +31,10 @@ val source_of_instance : Fschema.View.t -> Pat.Instance.t -> source
 type outcome = {
   rows : Odb.Query_eval.row list;
   plan : Plan.t;
+  diagnostics : Analysis.Diagnostic.t list;
+      (** the static-analysis findings for the plan ({!Check}), sorted
+          by severity; warnings and hints when the run proceeded,
+          possibly errors too under [~force:true] *)
   evaluated : (string * Ralg.Expr.t) list;
       (** per variable, the expression actually evaluated (after
           optimization if enabled) *)
@@ -52,6 +56,7 @@ val run :
   ?optimize:bool ->
   ?join_assist:bool ->
   ?explain:bool ->
+  ?force:bool ->
   source ->
   Odb.Query.t ->
   (outcome, string) result
@@ -62,11 +67,18 @@ val run :
     {!Ralg.Eval.eval_shared_annotated} and fills [annotations] — the
     EXPLAIN ANALYZE path.
 
+    Static analysis ({!Check.plan_diagnostics}) runs between compiling
+    and phase 1.  Error-severity findings — the plan is provably empty
+    on every conforming file (Prop 3.3) — refuse execution with
+    {!Check.refusal} unless [force] (default [false]) is set; the
+    findings of a run that proceeds are in the outcome's
+    [diagnostics].
+
     Every run observes the [query.latency_ms], [query.answers] and
     [query.candidates] registry histograms; when a trace sink is
     installed the phases (i)–(iv) appear as spans ([query.compile],
-    [query.phase1], [query.join_assist], [query.phase2]) under a
-    [query.run] root. *)
+    [query.analyze], [query.phase1], [query.join_assist],
+    [query.phase2]) under a [query.run] root. *)
 
 val run_baseline :
   Fschema.View.t ->

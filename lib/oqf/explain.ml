@@ -1,6 +1,15 @@
 let pp ?(show_times = false) ~source ppf (o : Execute.outcome) =
   let estimate = Ralg.Cost.of_instance source.Execute.instance in
   Format.fprintf ppf "%a@." Plan.pp o.Execute.plan;
+  (* before [rewrites:] — the obs cram slices the output from that
+     line on, and must stay byte-identical *)
+  (match o.Execute.diagnostics with
+  | [] -> Format.fprintf ppf "diagnostics: (none)@."
+  | ds ->
+      Format.fprintf ppf "diagnostics:@.";
+      List.iter
+        (fun d -> Format.fprintf ppf "  %a@." Analysis.Diagnostic.pp d)
+        ds);
   (match o.Execute.rewrites with
   | [] -> Format.fprintf ppf "rewrites: (none)@."
   | rws ->

@@ -7,14 +7,18 @@ type rewrite = { rule : string; detail : string }
 let weaken_count = Obs.Metrics.counter "optimizer.weaken_direct"
 let shorten_count = Obs.Metrics.counter "optimizer.shorten"
 
-let record note (rw : rewrite) =
+(* [record] only forwards to the caller's note; the observability
+   side effects live in [observe] so that [plan_rewrites] can preview
+   rewrites without touching counters or the trace. *)
+let record note (rw : rewrite) = note rw
+
+let observe (rw : rewrite) =
   Obs.Metrics.incr
     (if rw.rule = "weaken-direct" then weaken_count else shorten_count);
   if Obs.Trace.enabled () then
     Obs.Trace.instant
       ("optimizer." ^ rw.rule)
-      ~attrs:[ ("rewrite", Obs.Trace.Str rw.detail) ];
-  note rw
+      ~attrs:[ ("rewrite", Obs.Trace.Str rw.detail) ]
 
 let op_symbol family strength =
   match (family, strength) with
@@ -140,6 +144,17 @@ let rec optimize_noted rig ~note e =
 let optimize rig e = optimize_noted rig ~note:ignore e
 
 let optimize_logged rig e =
+  let log = ref [] in
+  let e' =
+    optimize_noted rig
+      ~note:(fun rw ->
+        observe rw;
+        log := rw :: !log)
+      e
+  in
+  (e', List.rev !log)
+
+let plan_rewrites rig e =
   let log = ref [] in
   let e' = optimize_noted rig ~note:(fun rw -> log := rw :: !log) e in
   (e', List.rev !log)

@@ -55,3 +55,9 @@ val optimize_logged : Rig.t -> Expr.t -> Expr.t * rewrite list
     order.  Each rewrite bumps the [optimizer.weaken_direct] /
     [optimizer.shorten] registry counters and — when tracing is
     enabled — emits an instant trace event carrying the detail. *)
+
+val plan_rewrites : Rig.t -> Expr.t -> Expr.t * rewrite list
+(** Exactly {!optimize_logged}'s result with {e no} observability side
+    effects: no counters, no trace events.  The static analyzer uses
+    this to report the rewrites the optimizer {e would} apply without
+    perturbing the metrics of the run that follows. *)

@@ -27,3 +27,10 @@ val check : Rig.t -> Expr.t -> bool
 (** [check rig e] is [true] when [e] is provably empty on every
     instance satisfying [rig] (sound, not complete).  Expressions
     mentioning names outside the graph are never reported trivial. *)
+
+val result_names : Expr.t -> string list
+(** Conservative over-approximation of the names the result regions of
+    an expression can carry (with duplicates): chains and [At_depth]
+    answer regions of their left side, difference of its left side,
+    union and intersection of either side.  The per-pair test of
+    {!check} quantifies over these. *)

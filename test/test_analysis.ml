@@ -1,0 +1,311 @@
+(* The static analyzer: diagnostic plumbing, per-code unit cases on a
+   hand-built RIG, qcheck soundness of the emptiness codes against the
+   naive reference evaluator, and schema checks. *)
+
+module D = Analysis.Diagnostic
+
+let parse = Ralg.Expr_parser.parse_exn
+
+(* A -> B -> C, D isolated: (A, C) is a walk but not an edge, D is
+   unreachable from everything. *)
+let rig =
+  Ralg.Rig.create
+    ~names:[ "A"; "B"; "C"; "D" ]
+    ~edges:[ ("A", "B"); ("B", "C") ]
+
+let codes ds = List.map (fun d -> d.D.code) ds
+let has code ds = List.mem code (codes ds)
+
+let check ?cost_threshold text =
+  Analysis.Expr_check.check ?cost_threshold ~text rig (parse text)
+
+(* --- diagnostic plumbing ------------------------------------------- *)
+
+let span_of_word_whole_words_only () =
+  let text = "Author > Authors" in
+  (match D.span_of_word ~text "Authors" with
+  | Some { D.start; stop } ->
+      Alcotest.(check (pair int int)) "whole word, not the prefix" (9, 16)
+        (start, stop)
+  | None -> Alcotest.fail "Authors not found");
+  Alcotest.(check bool) "absent word has no span" true
+    (D.span_of_word ~text "Name" = None)
+
+let sort_ranks_errors_first () =
+  let mk sev code = D.make ~code ~severity:sev "m" in
+  let sorted = D.sort [ mk D.Hint "OQF003"; mk D.Error "OQF002"; mk D.Warning "OQF005" ] in
+  Alcotest.(check (list string)) "severity order"
+    [ "OQF002"; "OQF005"; "OQF003" ]
+    (codes sorted);
+  Alcotest.(check bool) "has_errors" true (D.has_errors sorted);
+  let e, w, h = D.count sorted in
+  Alcotest.(check (list int)) "counts" [ 1; 1; 1 ] [ e; w; h ]
+
+let json_field_shape () =
+  let d =
+    D.make ~span:{ D.start = 3; stop = 7 } ~subject:"r" ~detail:"why"
+      ~code:"OQF001" ~severity:D.Error "boom"
+  in
+  Alcotest.(check string) "object rendering"
+    {|{"code":"OQF001","severity":"error","subject":"r","message":"boom","detail":"why","span":{"start":3,"stop":7}}|}
+    (D.to_json d);
+  let bare = D.make ~code:"OQF005" ~severity:D.Warning "m" in
+  Alcotest.(check string) "optional fields omitted"
+    {|{"code":"OQF005","severity":"warning","message":"m"}|}
+    (D.to_json bare);
+  Alcotest.(check string) "empty list" "[]" (D.list_to_json [])
+
+let registry_covers_every_emitted_code () =
+  let registered = List.map (fun (c, _, _) -> c) D.registry in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " registered") true (List.mem c registered))
+    [
+      "OQF001"; "OQF002"; "OQF003"; "OQF004"; "OQF005"; "OQF006"; "OQF101";
+      "OQF102"; "OQF103"; "OQF201"; "OQF202"; "OQF203";
+    ]
+
+(* --- expression codes ---------------------------------------------- *)
+
+let oqf001_trivially_empty () =
+  let ds = check "A >d C" in
+  Alcotest.(check bool) "OQF001 on non-edge direct inclusion" true
+    (has "OQF001" ds);
+  Alcotest.(check bool) "it is an error" true (D.has_errors ds);
+  let ds = check "A > D" in
+  Alcotest.(check bool) "OQF001 on unreachable pair" true (has "OQF001" ds);
+  Alcotest.(check (list string)) "clean expression is clean" []
+    (codes (check "A > B"))
+
+let oqf002_unknown_name () =
+  let ds = check "A > Nope" in
+  Alcotest.(check bool) "OQF002 raised" true (has "OQF002" ds);
+  Alcotest.(check bool) "unknown name is an error" true (D.has_errors ds)
+
+let oqf003_004_optimizer_hints () =
+  let ds = check "A >d B" in
+  Alcotest.(check bool) "weaken-direct hint" true (has "OQF003" ds);
+  Alcotest.(check bool) "hints alone are not errors" false (D.has_errors ds);
+  let ds = check "A > B > C" in
+  Alcotest.(check bool) "shorten hint" true (has "OQF004" ds)
+
+let oqf005_dead_union_arm () =
+  let ds = check "(A >d C) | (A > B)" in
+  Alcotest.(check bool) "dead arm flagged" true (has "OQF005" ds);
+  Alcotest.(check bool) "whole expression is not OQF001" false
+    (has "OQF001" ds);
+  Alcotest.(check bool) "a dead arm is only a warning" false (D.has_errors ds)
+
+let oqf006_cost_threshold () =
+  let ds = check ~cost_threshold:1. "A >d B" in
+  Alcotest.(check bool) "tiny threshold trips OQF006" true (has "OQF006" ds);
+  let ds = check ~cost_threshold:1e12 "A >d B" in
+  Alcotest.(check bool) "huge threshold is quiet" false (has "OQF006" ds);
+  (* weakened-away direct inclusions don't warn: A > B has no direct op *)
+  let ds = check ~cost_threshold:1. "A > B" in
+  Alcotest.(check bool) "no direct operator, no OQF006" false (has "OQF006" ds)
+
+let spans_anchor_into_source () =
+  List.iter
+    (fun d ->
+      match d.D.span with
+      | None -> ()
+      | Some { D.start; stop } ->
+          Alcotest.(check bool) "span within text" true
+            (0 <= start && start < stop && stop <= String.length "(A >d C) | (A > B)"))
+    (check "(A >d C) | (A > B)")
+
+(* --- qcheck soundness (satellite): anything the analyzer calls empty
+   really is empty under the naive reference evaluator ---------------- *)
+
+let soundness_flagged_exprs_are_empty =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:
+         "OQF001/OQF005-flagged (sub)expressions evaluate empty (naive eval)"
+       ~count:250
+       QCheck.(make Gen.(int_bound 100000))
+       (fun seed ->
+         let seed = 1 + (seed mod 9973) in
+         let rig, inst, prng = Test_ralg.Gen_instance.generate seed in
+         let e =
+           if Stdx.Prng.bool prng then Test_ralg.Gen_instance.random_chain prng rig
+           else
+             Test_ralg.random_general prng
+               (Array.of_list (Ralg.Rig.names rig))
+               3
+         in
+         let ds = Analysis.Expr_check.check rig e in
+         (* OQF001: the whole expression must be empty on the instance *)
+         if List.exists (fun d -> d.D.code = "OQF001") ds then begin
+           let v = Ralg.Naive_eval.eval inst e in
+           if not (Pat.Region_set.is_empty v) then
+             QCheck.Test.fail_reportf "seed %d: OQF001 but %s is non-empty"
+               seed (Ralg.Expr.to_string e)
+         end;
+         (* every subexpression behind an OQF001/OQF005 is standalone
+            trivial; each must be empty on its own *)
+         List.iter
+           (fun sub ->
+             let v = Ralg.Naive_eval.eval inst sub in
+             if not (Pat.Region_set.is_empty v) then
+               QCheck.Test.fail_reportf
+                 "seed %d: flagged subexpression %s of %s is non-empty" seed
+                 (Ralg.Expr.to_string sub) (Ralg.Expr.to_string e))
+           (Analysis.Expr_check.trivial_subexprs rig e);
+         true))
+
+(* --- schema checks -------------------------------------------------- *)
+
+let ghost_view =
+  let g =
+    Fschema.Grammar.create_exn ~root:"Doc"
+      [
+        {
+          Fschema.Grammar.lhs = "Doc";
+          rhs =
+            Fschema.Grammar.Seq
+              [
+                Fschema.Grammar.Lit "{";
+                Fschema.Grammar.Star { nonterm = "Item"; separator = None };
+                Fschema.Grammar.Lit "}";
+              ];
+        };
+        {
+          Fschema.Grammar.lhs = "Item";
+          rhs =
+            Fschema.Grammar.Seq
+              [
+                Fschema.Grammar.Lit "(";
+                Fschema.Grammar.Nonterm "Name";
+                Fschema.Grammar.Lit ")";
+              ];
+        };
+        { Fschema.Grammar.lhs = "Name"; rhs = Fschema.Grammar.Token Word };
+        { Fschema.Grammar.lhs = "Ghost"; rhs = Fschema.Grammar.Token Word };
+      ]
+  in
+  Fschema.View.make ~grammar:g ~classes:[]
+
+let oqf101_unreachable_nonterminal () =
+  let ds = Analysis.Schema_check.check ghost_view in
+  let unreachable =
+    List.filter (fun d -> d.D.code = "OQF101") ds
+    |> List.filter_map (fun d -> d.D.subject)
+  in
+  Alcotest.(check (list string)) "only Ghost is unreachable" [ "Ghost" ]
+    unreachable
+
+let oqf102_declared_rig_mismatch () =
+  let grammar = ghost_view.Fschema.View.grammar in
+  let derived = Fschema.Rig_of_grammar.full grammar in
+  Alcotest.(check (list string)) "matching declaration is quiet" []
+    (Analysis.Schema_check.check ~declared_rig:derived ghost_view
+    |> List.filter (fun d -> d.D.code = "OQF102")
+    |> codes);
+  (* drop an edge and a node from the declaration: both diffs reported,
+     as errors *)
+  let declared =
+    Ralg.Rig.create
+      ~names:[ "Doc"; "Item"; "Ghost" ]
+      ~edges:[ ("Doc", "Item") ]
+  in
+  let ds =
+    Analysis.Schema_check.check ~declared_rig:declared ghost_view
+    |> List.filter (fun d -> d.D.code = "OQF102")
+  in
+  Alcotest.(check bool) "mismatches found" true (List.length ds >= 2);
+  Alcotest.(check bool) "inconsistency is an error" true (D.has_errors ds);
+  let details = List.filter_map (fun d -> d.D.detail) ds in
+  Alcotest.(check bool) "missing node named" true (List.mem "Name" details);
+  Alcotest.(check bool) "missing edge named" true
+    (List.mem "Item -> Name" details)
+
+let bibtex_schema_is_error_free () =
+  let view =
+    match Oqf_catalog.Schemas.find "bibtex" with
+    | Some v -> v
+    | None -> Alcotest.fail "bibtex schema missing"
+  in
+  let ds = Analysis.Schema_check.check view in
+  Alcotest.(check bool) "built-in schema has no errors" false (D.has_errors ds)
+
+(* --- whole-query analysis ------------------------------------------ *)
+
+let bibtex_env () =
+  let view =
+    match Oqf_catalog.Schemas.find "bibtex" with
+    | Some v -> v
+    | None -> Alcotest.fail "bibtex schema missing"
+  in
+  let index = Fschema.Grammar.indexable view.Fschema.View.grammar in
+  let env = Oqf.Compile.env view ~index in
+  (env, Ralg.Rig.partial env.Oqf.Compile.full_rig ~keep:index)
+
+let query_check text =
+  let env, query_rig = bibtex_env () in
+  (Oqf.Check.query ~text env ~query_rig (Odb.Query_parser.parse_exn text))
+    .Oqf.Check.diagnostics
+
+let query_impossible_path_is_oqf001 () =
+  let ds =
+    query_check {|SELECT r FROM References r WHERE r.Title.Last_Name = "C"|}
+  in
+  Alcotest.(check bool) "provably empty query is an error" true
+    (has "OQF001" ds);
+  Alcotest.(check bool) "path-level witness attached" true (has "OQF005" ds)
+
+let query_unknown_attribute_warns () =
+  let ds = query_check {|SELECT r.Bogus FROM References r|} in
+  Alcotest.(check bool) "unknown attribute is OQF002" true (has "OQF002" ds);
+  (* the planner treats it as a wildcard, so this must NOT refuse *)
+  Alcotest.(check bool) "but only a warning" false (D.has_errors ds)
+
+let query_clean_is_clean () =
+  let ds = query_check {|SELECT r.Title FROM References r|} in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes ds)
+
+let suites =
+  [
+    ( "analysis.diagnostic",
+      [
+        Alcotest.test_case "span_of_word matches whole words" `Quick
+          span_of_word_whole_words_only;
+        Alcotest.test_case "sort ranks errors first" `Quick
+          sort_ranks_errors_first;
+        Alcotest.test_case "json shape" `Quick json_field_shape;
+        Alcotest.test_case "registry covers every emitted code" `Quick
+          registry_covers_every_emitted_code;
+      ] );
+    ( "analysis.expr",
+      [
+        Alcotest.test_case "OQF001 trivially empty" `Quick
+          oqf001_trivially_empty;
+        Alcotest.test_case "OQF002 unknown name" `Quick oqf002_unknown_name;
+        Alcotest.test_case "OQF003/OQF004 optimizer hints" `Quick
+          oqf003_004_optimizer_hints;
+        Alcotest.test_case "OQF005 dead union arm" `Quick oqf005_dead_union_arm;
+        Alcotest.test_case "OQF006 cost threshold" `Quick oqf006_cost_threshold;
+        Alcotest.test_case "spans stay inside the source" `Quick
+          spans_anchor_into_source;
+        soundness_flagged_exprs_are_empty;
+      ] );
+    ( "analysis.schema",
+      [
+        Alcotest.test_case "OQF101 unreachable non-terminal" `Quick
+          oqf101_unreachable_nonterminal;
+        Alcotest.test_case "OQF102 declared RIG mismatch" `Quick
+          oqf102_declared_rig_mismatch;
+        Alcotest.test_case "built-in bibtex schema is error-free" `Quick
+          bibtex_schema_is_error_free;
+      ] );
+    ( "analysis.query",
+      [
+        Alcotest.test_case "impossible path: OQF001 + OQF005" `Quick
+          query_impossible_path_is_oqf001;
+        Alcotest.test_case "unknown attribute: OQF002 warning" `Quick
+          query_unknown_attribute_warns;
+        Alcotest.test_case "clean query has no diagnostics" `Quick
+          query_clean_is_clean;
+      ] );
+  ]

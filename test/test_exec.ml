@@ -385,6 +385,71 @@ let rcache_lru_eviction () =
   let s = Exec.Rcache.stats cache in
   Alcotest.(check bool) "evictions counted" true (s.Exec.Rcache.evictions >= 1)
 
+(* eviction edges, driven through the raw Rcache API so the recency
+   bookkeeping is visible without a corpus in the way *)
+
+let rkey text fp =
+  Exec.Rcache.key ~query:(Odb.Query_parser.parse_exn text) ~fingerprint:fp
+
+let payload file = [ (file, [ Odb.Value.Str file ]) ]
+
+let rcache_capacity_one () =
+  let cache = Exec.Rcache.create ~capacity:1 () in
+  let k1 = rkey {|SELECT e FROM Entries e WHERE e.Pid = "1"|} "fp" in
+  let k2 = rkey {|SELECT e FROM Entries e WHERE e.Pid = "2"|} "fp" in
+  Exec.Rcache.add cache k1 (payload "a");
+  Alcotest.(check bool) "sole entry resident" true
+    (Exec.Rcache.find cache k1 <> None);
+  Exec.Rcache.add cache k2 (payload "b");
+  Alcotest.(check bool) "previous entry evicted" true
+    (Exec.Rcache.find cache k1 = None);
+  Alcotest.(check bool) "new entry resident" true
+    (Exec.Rcache.find cache k2 <> None);
+  let s = Exec.Rcache.stats cache in
+  Alcotest.(check int) "one eviction" 1 s.Exec.Rcache.evictions;
+  Alcotest.(check int) "one resident entry" 1 s.Exec.Rcache.entries
+
+let rcache_reinsert_refreshes_lru () =
+  let cache = Exec.Rcache.create ~capacity:2 () in
+  let k n = rkey (Printf.sprintf {|SELECT e FROM Entries e WHERE e.Pid = "%d"|} n) "fp" in
+  Exec.Rcache.add cache (k 1) (payload "v1");
+  Exec.Rcache.add cache (k 2) (payload "v2");
+  (* re-adding key 1 must replace its payload in place (no growth) and
+     mark it most recently used, leaving key 2 as the victim *)
+  Exec.Rcache.add cache (k 1) (payload "v1'");
+  Alcotest.(check int) "reinsertion does not grow the cache" 2
+    (Exec.Rcache.stats cache).Exec.Rcache.entries;
+  (match Exec.Rcache.find cache (k 1) with
+  | Some [ (f, _) ] -> Alcotest.(check string) "payload replaced" "v1'" f
+  | _ -> Alcotest.fail "reinserted entry lost");
+  Exec.Rcache.add cache (k 3) (payload "v3");
+  Alcotest.(check bool) "refreshed key survives the next eviction" true
+    (Exec.Rcache.find cache (k 1) <> None);
+  Alcotest.(check bool) "stale key is the victim" true
+    (Exec.Rcache.find cache (k 2) = None)
+
+let rcache_fingerprint_partitions_keys () =
+  let cache = Exec.Rcache.create () in
+  let texts =
+    [
+      {|SELECT e FROM Entries e WHERE e.Pid = "1"|};
+      {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|};
+    ]
+  in
+  List.iter (fun t -> Exec.Rcache.add cache (rkey t "fp-before") (payload t)) texts;
+  (* a corpus change (e.g. one appended member) re-fingerprints every
+     key, so no row cached under the old corpus can be served *)
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "old-fingerprint row not served" true
+        (Exec.Rcache.find cache (rkey t "fp-after") = None))
+    texts;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "old rows still keyed separately" true
+        (Exec.Rcache.find cache (rkey t "fp-before") <> None))
+    texts
+
 let temp_dir () =
   let path = Filename.temp_file "oqf_exec_test" "" in
   Sys.remove path;
@@ -522,6 +587,12 @@ let suites =
         Alcotest.test_case "parallel runs populate the cache" `Quick
           rcache_parallel_populates_too;
         Alcotest.test_case "LRU eviction" `Quick rcache_lru_eviction;
+        Alcotest.test_case "capacity 1: every insert evicts" `Quick
+          rcache_capacity_one;
+        Alcotest.test_case "duplicate-key reinsertion refreshes recency"
+          `Quick rcache_reinsert_refreshes_lru;
+        Alcotest.test_case "fingerprint change partitions every key" `Quick
+          rcache_fingerprint_partitions_keys;
         Alcotest.test_case "invalidated by catalog refresh" `Quick
           rcache_invalidated_by_catalog_refresh;
       ] );

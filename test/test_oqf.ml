@@ -385,10 +385,23 @@ let plan_tests =
           Odb.Query_parser.parse_exn
             {|SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"|}
         in
-        match Oqf.Execute.run src q with
+        (* the analyzer proves the plan empty (OQF001) and refuses the
+           unforced run *)
+        (match Oqf.Execute.run src q with
+        | Ok _ -> Alcotest.fail "expected a static-analysis refusal"
+        | Error msg ->
+            Alcotest.(check bool) "refusal mentions OQF001" true
+              (Astring.String.is_infix ~affix:"OQF001" msg));
+        (* --force executes anyway and finds the empty answer *)
+        match Oqf.Execute.run ~force:true src q with
         | Ok r ->
             Alcotest.(check int) "no candidates" 0 r.Oqf.Execute.candidates_count;
-            Alcotest.(check int) "no rows" 0 r.Oqf.Execute.answers_count
+            Alcotest.(check int) "no rows" 0 r.Oqf.Execute.answers_count;
+            Alcotest.(check bool) "diagnostics kept in the outcome" true
+              (List.exists
+                 (fun (d : Analysis.Diagnostic.t) ->
+                   d.Analysis.Diagnostic.code = "OQF001")
+                 r.Oqf.Execute.diagnostics)
         | Error e -> Alcotest.fail e);
     Alcotest.test_case "unknown class is an error" `Quick (fun () ->
         let text = bibtex_text 5 in
