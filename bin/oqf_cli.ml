@@ -57,6 +57,38 @@ let resolve_jobs = function
         or_die (Error (Printf.sprintf "jobs must be at least 1 (got %d)" n))
       else n
 
+(* --- robustness plumbing ------------------------------------------- *)
+
+let fail_policy_arg =
+  let doc =
+    "What a failing file does to the run: $(b,fail-fast) (any failure \
+     fails the query, the default), $(b,partial) (failed files are \
+     excluded and reported on stderr) or $(b,degrade) (retry, then \
+     fall back to a naive scan of the raw file, excluding only files \
+     with no remaining path to their data)."
+  in
+  Arg.(
+    value & opt string "fail-fast" & info [ "fail-policy" ] ~docv:"POLICY" ~doc)
+
+let resolve_fail_policy s = or_die (Exec.Driver.fail_policy_of_string s)
+
+let faults_arg =
+  let doc =
+    "Arm deterministic fault injection (a testing aid), e.g. \
+     $(b,transient:0.1,seed:7,burst:2) or $(b,crash:catalog.write\\@1); \
+     same syntax as the $(b,OQF_FAULTS) environment variable."
+  in
+  Arg.(value & opt (some string) None & info [ "inject-faults" ] ~docv:"SPEC" ~doc)
+
+let install_faults = function
+  | None -> ()
+  | Some spec -> Stdx.Fault.set (Some (or_die (Stdx.Fault.parse spec)))
+
+(* Degradation reports go to stderr: stdout stays byte-identical to a
+   fault-free run whenever every file kept a path to its data. *)
+let report_degraded notes =
+  if notes <> [] then Format.eprintf "%a%!" Oqf.Degrade.pp_report notes
+
 (* --- static analysis plumbing -------------------------------------- *)
 
 let force_arg =
@@ -231,8 +263,10 @@ let query_cmd =
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
   let run schema file names q_text no_optimize load baseline explain force
-      jobs trace metrics =
+      jobs fail_policy faults trace metrics =
     install_trace trace;
+    install_faults faults;
+    let fail_policy = resolve_fail_policy fail_policy in
     let jobs = resolve_jobs jobs in
     let view = or_die (view_of_schema schema) in
     let loaded_instance =
@@ -272,37 +306,77 @@ let query_cmd =
             let index = resolve_index view (split_names names) in
             or_die (Oqf.Execute.make_source view text ~index)
       in
-      let r =
-        (* --explain stays on the direct path (the plan printer wants
-           the instrumented run); otherwise jobs > 1 routes the single
-           file through the parallel driver, whose merged output is
-           identical to the sequential run's *)
-        if jobs > 1 && not explain then begin
-          let corpus = Oqf.Corpus.of_sources [ (file, src) ] in
-          let out =
-            or_die
-              (Exec.Driver.run_parallel ~optimize:(not no_optimize) ~force
-                 ~jobs corpus q)
-          in
-          match out.Exec.Driver.per_file with
-          | [ (_, r) ] -> r
-          | _ -> or_die (Error "internal: expected one per-file outcome")
-        end
-        else
-          or_die
-            (Oqf.Execute.run ~optimize:(not no_optimize) ~explain ~force src q)
+      let print_row row =
+        print_endline
+          (String.concat " | " (List.map Odb.Value.to_display_string row))
       in
-      if explain then
-        Format.printf "%a" (Oqf.Explain.pp ~show_times:false ~source:src) r;
-      List.iter
-        (fun row ->
-          print_endline
-            (String.concat " | " (List.map Odb.Value.to_display_string row)))
-        r.Oqf.Execute.rows;
-      Format.printf "-- %d rows (%d candidates%s); %a@."
-        r.Oqf.Execute.answers_count r.Oqf.Execute.candidates_count
-        (if r.Oqf.Execute.plan.Oqf.Plan.exact then ", exact plan" else "")
-        Stdx.Stats.pp r.Oqf.Execute.stats
+      let print_outcome (r : Oqf.Execute.outcome) =
+        if explain then
+          Format.printf "%a" (Oqf.Explain.pp ~show_times:false ~source:src) r;
+        List.iter print_row r.Oqf.Execute.rows;
+        Format.printf "-- %d rows (%d candidates%s); %a@."
+          r.Oqf.Execute.answers_count r.Oqf.Execute.candidates_count
+          (if r.Oqf.Execute.plan.Oqf.Plan.exact then ", exact plan" else "")
+          Stdx.Stats.pp r.Oqf.Execute.stats
+      in
+      (* --explain stays on the direct path (the plan printer wants
+         the instrumented run); otherwise jobs > 1 or a recovery
+         policy routes the single file through the parallel driver,
+         whose merged output is identical to the sequential run's *)
+      if (jobs > 1 || fail_policy <> Exec.Driver.Fail_fast) && not explain
+      then begin
+        let corpus = Oqf.Corpus.of_sources [ (file, src) ] in
+        let out =
+          or_die
+            (Exec.Driver.run_parallel ~optimize:(not no_optimize) ~force ~jobs
+               ~fail_policy corpus q)
+        in
+        report_degraded out.Exec.Driver.degraded;
+        match out.Exec.Driver.per_file with
+        | [ (_, r) ] -> print_outcome r
+        | _ ->
+            (* the file did not answer from its index: a naive
+               fallback's rows are in [out.rows], an exclusion leaves
+               them empty *)
+            List.iter (fun (_, row) -> print_row row) out.Exec.Driver.rows;
+            Format.printf "-- %d rows (degraded); %a@."
+              (List.length out.Exec.Driver.rows)
+              Stdx.Stats.pp out.Exec.Driver.stats
+      end
+      else begin
+        match
+          Oqf.Execute.run ~optimize:(not no_optimize) ~explain ~force src q
+        with
+        | Ok r -> print_outcome r
+        | Error e -> begin
+            (* the per-file recovery ladder, minus the shard rung; a
+               query-level defect fails under every policy — it would
+               fail identically on every file *)
+            if Oqf.Execute.semantic_error src.Oqf.Execute.view q <> None then
+              or_die (Error e);
+            match fail_policy with
+            | Exec.Driver.Fail_fast -> or_die (Error e)
+            | Exec.Driver.Partial ->
+                report_degraded [ Oqf.Degrade.make ~file Oqf.Degrade.Excluded e ];
+                Format.printf "-- 0 rows (file excluded)@."
+            | Exec.Driver.Degrade -> begin
+                match Oqf.Execute.run_naive ~file src q with
+                | Ok rows ->
+                    report_degraded
+                      [ Oqf.Degrade.make ~file Oqf.Degrade.Naive_fallback e ];
+                    List.iter print_row rows;
+                    Format.printf "-- %d rows (degraded); naive fallback@."
+                      (List.length rows)
+                | Error ne ->
+                    report_degraded
+                      [
+                        Oqf.Degrade.make ~file Oqf.Degrade.Excluded
+                          (e ^ "; " ^ ne);
+                      ];
+                    Format.printf "-- 0 rows (file excluded)@."
+              end
+          end
+      end
     end;
     dump_metrics_if metrics
   in
@@ -311,7 +385,7 @@ let query_cmd =
     Term.(
       const run $ schema_arg $ file_arg $ index_names_arg $ query_arg
       $ no_optimize $ load $ baseline $ analyze $ force_arg $ jobs_arg
-      $ trace_arg $ metrics_arg)
+      $ fail_policy_arg $ faults_arg $ trace_arg $ metrics_arg)
 
 (* --- explain ------------------------------------------------------- *)
 
@@ -433,7 +507,37 @@ let catalog_dir_arg =
   let doc = "The catalog directory." in
   Arg.(required & opt (some string) None & info [ "c"; "catalog" ] ~doc)
 
-let open_catalog dir = or_die (Oqf_catalog.Catalog.open_dir dir)
+let open_catalog dir =
+  let cat = or_die (Oqf_catalog.Catalog.open_dir dir) in
+  List.iter
+    (fun w -> Format.eprintf "oqf: warning: %s@." w)
+    (Oqf_catalog.Catalog.recovery_warnings cat);
+  cat
+
+(* Under fail-fast a refresh failure fails the command; under the
+   recovery policies it becomes a warning — load-time self-healing and
+   the driver's recovery ladder still get their chance per file. *)
+let refresh_catalog cat ~fail_policy =
+  match fail_policy with
+  | Exec.Driver.Fail_fast ->
+      ignore (or_die (Oqf_catalog.Catalog.refresh_all cat))
+  | Exec.Driver.Partial | Exec.Driver.Degrade ->
+      List.iter
+        (fun (e : Oqf_catalog.Catalog.entry) ->
+          match Oqf_catalog.Catalog.refresh cat e.source with
+          | Ok _ -> ()
+          | Error msg -> Format.eprintf "oqf: warning: %s@." msg)
+        (Oqf_catalog.Catalog.entries cat)
+
+(* The corpus plus the files already lost before execution started
+   (index dead and unhealable): failure under fail-fast, Excluded
+   notes otherwise. *)
+let corpus_of_catalog cat ~schema ~fail_policy =
+  match fail_policy with
+  | Exec.Driver.Fail_fast ->
+      (or_die (Oqf.Corpus.of_catalog cat ~schema), [])
+  | Exec.Driver.Partial | Exec.Driver.Degrade ->
+      or_die (Oqf.Corpus.of_catalog_robust cat ~schema)
 
 let catalog_init_cmd =
   let dir =
@@ -449,7 +553,8 @@ let catalog_init_cmd =
     Term.(const run $ dir)
 
 let catalog_add_cmd =
-  let run dir schema names file =
+  let run dir schema names file faults =
+    install_faults faults;
     let cat = open_catalog dir in
     let index = split_names names in
     let entry = or_die (Oqf_catalog.Catalog.add cat ~schema ?index file) in
@@ -460,7 +565,9 @@ let catalog_add_cmd =
   Cmd.v
     (Cmd.info "add"
        ~doc:"Index a source file and record it in the catalog.")
-    Term.(const run $ catalog_dir_arg $ schema_arg $ index_names_arg $ file_arg)
+    Term.(
+      const run $ catalog_dir_arg $ schema_arg $ index_names_arg $ file_arg
+      $ faults_arg)
 
 let catalog_refresh_cmd =
   let file =
@@ -534,22 +641,24 @@ let catalog_query_cmd =
     in
     Arg.(value & flag & info [ "shards" ] ~doc)
   in
-  let run dir schema q_text no_refresh jobs shards =
+  let run dir schema q_text no_refresh jobs shards fail_policy faults metrics =
+    install_faults faults;
+    let fail_policy = resolve_fail_policy fail_policy in
     let jobs = resolve_jobs jobs in
     let cat = open_catalog dir in
-    if not no_refresh then
-      ignore (or_die (Oqf_catalog.Catalog.refresh_all cat));
+    if not no_refresh then refresh_catalog cat ~fail_policy;
     let q =
       match Odb.Query_parser.parse q_text with
       | Ok q -> q
       | Error e ->
           or_die (Error (Format.asprintf "%a" Odb.Query_parser.pp_error e))
     in
-    let corpus = or_die (Oqf.Corpus.of_catalog cat ~schema) in
+    let corpus, lost = corpus_of_catalog cat ~schema ~fail_policy in
     (* the parallel driver merges in corpus order, so the output is
        byte-identical whatever the jobs count — CI runs this at
        OQF_JOBS=4 against the same expectations *)
-    let r = or_die (Exec.Driver.run_parallel ~jobs corpus q) in
+    let r = or_die (Exec.Driver.run_parallel ~jobs ~fail_policy corpus q) in
+    report_degraded (lost @ r.Exec.Driver.degraded);
     if shards then
       List.iter
         (fun s -> Format.eprintf "%a@." Exec.Driver.pp_shard_report s)
@@ -564,7 +673,8 @@ let catalog_query_cmd =
       (List.length (Oqf.Corpus.files corpus))
       Stdx.Stats.pp r.Exec.Driver.stats;
     Format.printf "-- instance cache: %a@." Oqf_catalog.Instance_cache.pp_stats
-      (Oqf_catalog.Instance_cache.stats (Oqf_catalog.Catalog.cache cat))
+      (Oqf_catalog.Instance_cache.stats (Oqf_catalog.Catalog.cache cat));
+    dump_metrics_if metrics
   in
   Cmd.v
     (Cmd.info "query"
@@ -573,7 +683,57 @@ let catalog_query_cmd =
           off the persisted indices (refreshing stale ones first).")
     Term.(
       const run $ catalog_dir_arg $ schema_arg $ query $ no_refresh $ jobs_arg
-      $ shards)
+      $ shards $ fail_policy_arg $ faults_arg $ metrics_arg)
+
+let catalog_repair_cmd =
+  let run dir fmt =
+    let fmt = resolve_format fmt in
+    let cat = open_catalog dir in
+    let actions = Oqf_catalog.Catalog.repair cat in
+    match fmt with
+    | `Json ->
+        let item (file, a) =
+          let action, detail =
+            match a with
+            | Oqf_catalog.Catalog.Healed reason -> ("healed", reason)
+            | Oqf_catalog.Catalog.Quarantined reason -> ("quarantined", reason)
+            | Oqf_catalog.Catalog.Removed_orphan ->
+                ("removed-orphan", "unreferenced index file")
+          in
+          Printf.sprintf {|{"file":"%s","action":"%s","detail":"%s"}|}
+            (Oqf.Degrade.json_escape file)
+            (Oqf.Degrade.json_escape action)
+            (Oqf.Degrade.json_escape detail)
+        in
+        print_endline ("[" ^ String.concat "," (List.map item actions) ^ "]")
+    | `Text -> begin
+        match actions with
+        | [] -> print_endline "catalog is healthy; nothing to repair"
+        | actions ->
+            List.iter
+              (fun (file, a) ->
+                Format.printf "%s: %a@." file
+                  Oqf_catalog.Catalog.pp_repair_action a)
+              actions;
+            let count p = List.length (List.filter (fun (_, a) -> p a) actions) in
+            Printf.printf "-- healed=%d quarantined=%d orphans-removed=%d\n"
+              (count (function Oqf_catalog.Catalog.Healed _ -> true | _ -> false))
+              (count (function
+                | Oqf_catalog.Catalog.Quarantined _ -> true
+                | _ -> false))
+              (count (function
+                | Oqf_catalog.Catalog.Removed_orphan -> true
+                | _ -> false))
+      end
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Apply the self-healing logic offline: rebuild missing or corrupt \
+          indices from their sources, drop entries whose source file is \
+          gone, and sweep orphan index files.  Entries that are merely \
+          stale are left for refresh.")
+    Term.(const run $ catalog_dir_arg $ format_arg)
 
 let catalog_audit_cmd =
   let run dir fmt =
@@ -606,11 +766,12 @@ let catalog_cmd =
     (Cmd.info "catalog"
        ~doc:
          "Manage a persistent catalog of indexed files: init, add, refresh \
-          (incremental for append-only sources), status, audit and \
+          (incremental for append-only sources), status, audit, repair and \
           multi-file query.")
     [
       catalog_init_cmd; catalog_add_cmd; catalog_refresh_cmd;
       catalog_status_cmd; catalog_query_cmd; catalog_audit_cmd;
+      catalog_repair_cmd;
     ]
 
 (* --- batch --------------------------------------------------------- *)
@@ -656,8 +817,11 @@ let batch_cmd =
     in
     go 1 []
   in
-  let run schema queries_file data catalog_dir force jobs trace metrics =
+  let run schema queries_file data catalog_dir force jobs fail_policy faults
+      trace metrics =
     install_trace trace;
+    install_faults faults;
+    let fail_policy = resolve_fail_policy fail_policy in
     let jobs = resolve_jobs jobs in
     let queries = read_queries queries_file in
     if queries = [] then or_die (Error (queries_file ^ ": no queries"));
@@ -666,8 +830,10 @@ let batch_cmd =
       | Some _, _ :: _ -> or_die (Error "--catalog and --data are exclusive")
       | Some dir, [] ->
           let cat = open_catalog dir in
-          ignore (or_die (Oqf_catalog.Catalog.refresh_all cat));
-          or_die (Oqf.Corpus.of_catalog cat ~schema)
+          refresh_catalog cat ~fail_policy;
+          let corpus, lost = corpus_of_catalog cat ~schema ~fail_policy in
+          report_degraded lost;
+          corpus
       | None, [] -> or_die (Error "need --catalog DIR or --data FILE")
       | None, files ->
           let view = or_die (view_of_schema schema) in
@@ -677,7 +843,8 @@ let batch_cmd =
     in
     let cache = Exec.Rcache.create () in
     let results =
-      Exec.Driver.run_batch ~force ~jobs ~cache corpus (List.map snd queries)
+      Exec.Driver.run_batch ~force ~jobs ~cache ~fail_policy corpus
+        (List.map snd queries)
     in
     let failed =
       List.fold_left2
@@ -697,6 +864,7 @@ let batch_cmd =
               Printf.printf "-- %d rows%s\n"
                 (List.length out.Exec.Driver.rows)
                 (if out.Exec.Driver.from_cache then " (cached)" else "");
+              report_degraded out.Exec.Driver.degraded;
               failed)
         false queries results
     in
@@ -713,7 +881,7 @@ let batch_cmd =
           fingerprint-keyed result cache.")
     Term.(
       const run $ schema_arg $ queries_file $ data $ catalog_dir $ force_arg
-      $ jobs_arg $ trace_arg $ metrics_arg)
+      $ jobs_arg $ fail_policy_arg $ faults_arg $ trace_arg $ metrics_arg)
 
 (* --- check --------------------------------------------------------- *)
 
@@ -936,4 +1104,7 @@ let () =
         1
     | exception Sys_error msg ->
         prerr_endline ("oqf: " ^ msg);
+        1
+    | exception (Stdx.Fault.Injected _ as e) ->
+        prerr_endline ("oqf: " ^ Printexc.to_string e);
         1)

@@ -147,19 +147,19 @@ and missing sources each get their code:
 
   $ : > cat/indices/ghost-full.idx
   $ ../bin/oqf_cli.exe catalog audit -c cat | grep OQF202
-  warning[OQF202] indices/ghost-full.idx: orphan index file: no manifest entry references it
+  warning[OQF202] indices/ghost-full.idx: orphan index file: no manifest entry references it (oqf catalog repair removes it)
 
   $ rm app.log
   $ ../bin/oqf_cli.exe catalog audit -c cat
-  error[OQF203] app.log: orphan manifest entry: the source file is missing
-  warning[OQF202] indices/ghost-full.idx: orphan index file: no manifest entry references it
+  error[OQF203] app.log: orphan manifest entry: the source file is missing (oqf catalog repair drops it)
+  warning[OQF202] indices/ghost-full.idx: orphan index file: no manifest entry references it (oqf catalog repair removes it)
   -- audited 1 entries: errors=1 warnings=1 hints=0
   [1]
 
   $ ../bin/oqf_cli.exe catalog audit -c cat --format json | head -3
   [
-    {"code":"OQF203","severity":"error","subject":"app.log","message":"orphan manifest entry: the source file is missing"},
-    {"code":"OQF202","severity":"warning","subject":"indices/ghost-full.idx","message":"orphan index file: no manifest entry references it"}
+    {"code":"OQF203","severity":"error","subject":"app.log","message":"orphan manifest entry: the source file is missing (oqf catalog repair drops it)"},
+    {"code":"OQF202","severity":"warning","subject":"indices/ghost-full.idx","message":"orphan index file: no manifest entry references it (oqf catalog repair removes it)"}
 
 Flag validation matches the query subcommand's convention everywhere:
 bad values exit 1 with a one-line message on stderr:

@@ -1,0 +1,152 @@
+Fault-tolerant execution: the deterministic fault-injection layer
+behind --inject-faults, crash-safe catalog writes, self-healing index
+loads, offline repair, and the --fail-policy degradation ladder.
+Every schedule is seeded, so this file replays byte-identically.
+
+Fixtures — a two-file catalogued log corpus:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 12 --seed 3 -o app.log
+  wrote 1165 bytes to app.log
+  $ ../bin/oqf_cli.exe generate -k log -n 12 --seed 4 -o web.log
+  wrote 1216 bytes to web.log
+  $ ../bin/oqf_cli.exe catalog init cat
+  initialized empty catalog in cat
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log app.log
+  added app.log (schema log): 5 region names indexed
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log web.log
+  added web.log (schema log): 5 region names indexed
+
+A fault-free reference answer, for comparison with the degraded runs
+below:
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"'
+  web.log: cache
+  -- 1 rows from 2 files; scanned=5B parsed=0B index_ops=20 cmps=481 lookups=4 objs=0 regions=365
+  -- instance cache: hits=0 misses=2 evictions=0
+
+A malformed fault spec or fail policy is rejected before anything
+runs:
+
+  $ ../bin/oqf_cli.exe query -s log app.log --inject-faults 'transient:nope' 'SELECT e FROM Entries e'
+  oqf: transient wants a probability in [0,1], got "nope"
+  [1]
+
+  $ ../bin/oqf_cli.exe query -s log app.log --fail-policy sometimes 'SELECT e FROM Entries e'
+  oqf: unknown fail policy "sometimes" (expected fail-fast, partial or degrade)
+  [1]
+
+Crash injection: kill the process (exit 137, as SIGKILL would) at the
+first catalog.write — mid catalog add, after the index is built but
+while the manifest is being persisted:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 8 --seed 5 -o late.log
+  wrote 829 bytes to late.log
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log late.log --inject-faults 'crash:catalog.write@1'
+  oqf: injected crash at catalog.write
+  [137]
+
+The manifest is written to a temp file, fsynced and renamed into
+place, so the crash never leaves an unopenable catalog — the previous
+two entries survive, still fresh, and the interrupted add simply never
+happened:
+
+  $ ../bin/oqf_cli.exe catalog status -c cat
+  log       5 names     1165B  fresh
+    app.log -> indices/app-117275758d73.idx
+  log       5 names     1216B  fresh
+    web.log -> indices/web-4a84c7c23d3b.idx
+
+The only trace is the index the crashed add had already built, now an
+orphan nothing references.  Offline repair sweeps that debris:
+
+  $ ../bin/oqf_cli.exe catalog repair -c cat
+  indices/late-f347b4811d21.idx: removed orphan index file
+  -- healed=0 quarantined=0 orphans-removed=1
+
+  $ ../bin/oqf_cli.exe catalog repair -c cat
+  catalog is healthy; nothing to repair
+
+Self-healing loads: truncate an index file on disk, then query without
+refresh.  The load detects the corruption (checksum mismatch),
+rebuilds the index from its source on the spot, and answers
+identically — counted by the catalog.healed metric, with no
+degradation recorded because no answer was lost:
+
+  $ idx=$(ls cat/indices | head -1)
+  $ cp "cat/indices/$idx" idx.bak
+  $ head -c 100 idx.bak > "cat/indices/$idx"
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --no-refresh --metrics 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"' > out.txt
+  $ grep -E '^web.log|catalog.healed|fallback.naive' out.txt
+  web.log: cache
+  catalog.healed = 1
+  fallback.naive = 0
+
+Offline repair handles the same damage without running a query, and
+drops an entry whose source file is gone (its data is unreachable from
+anywhere), sweeping the index it leaves behind:
+
+  $ head -c 100 idx.bak > "cat/indices/$idx"
+  $ rm web.log
+  $ ../bin/oqf_cli.exe catalog repair -c cat
+  app.log: healed (cat/indices/app-117275758d73.idx: corrupt index file (checksum mismatch))
+  web.log: quarantined (source file is missing; entry dropped)
+  indices/web-4a84c7c23d3b.idx: removed orphan index file
+  -- healed=1 quarantined=1 orphans-removed=1
+
+The same report is available as JSON for tooling:
+
+  $ head -c 100 idx.bak > "cat/indices/$idx"
+  $ ../bin/oqf_cli.exe catalog repair -c cat --format json
+  [{"file":"app.log","action":"healed","detail":"cat/indices/app-117275758d73.idx: corrupt index file (checksum mismatch)"}]
+
+Rebuild the two-file corpus for the degradation demos:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 12 --seed 4 -o web.log
+  wrote 1216 bytes to web.log
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log web.log
+  added web.log (schema log): 5 region names indexed
+
+The degradation ladder: with every pool task failing permanently,
+--fail-policy degrade retries each shard on the coordinator, then
+falls back to a naive scan per file.  The answer rows are identical to
+the fault-free reference above (the stats line reflects the recovery
+work instead); every action taken is reported on stderr:
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 2 --fail-policy degrade --inject-faults 'permanent:1.0,only:pool.task' 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"' 2>degraded.txt
+  web.log: cache
+  -- 1 rows from 2 files; scanned=0B parsed=0B index_ops=0 cmps=0 lookups=0 objs=0 regions=0
+  -- instance cache: hits=0 misses=2 evictions=0
+  $ cat degraded.txt
+  degraded:
+    shard 0: re-evaluated directly after a task failure (injected permanent fault at pool.task)
+    shard 1: re-evaluated directly after a task failure (injected permanent fault at pool.task)
+    app.log: fell back to a naive scan (injected permanent fault at pool.task)
+    web.log: fell back to a naive scan (injected permanent fault at pool.task)
+
+The same schedule under the default fail-fast policy fails the query,
+naming the earliest failing shard:
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 2 --inject-faults 'permanent:1.0,only:pool.task' 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"'
+  oqf: shard 0: injected permanent fault at pool.task
+  [1]
+
+--fail-policy partial keeps going without the failed files and says
+which were excluded:
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 2 --fail-policy partial --inject-faults 'permanent:1.0,only:pool.task' 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"'
+  degraded:
+    shard 0: re-evaluated directly after a task failure (injected permanent fault at pool.task)
+    shard 1: re-evaluated directly after a task failure (injected permanent fault at pool.task)
+    app.log: excluded from the result (injected permanent fault at pool.task)
+    web.log: excluded from the result (injected permanent fault at pool.task)
+  -- 0 rows from 2 files; scanned=0B parsed=0B index_ops=0 cmps=0 lookups=0 objs=0 regions=0
+  -- instance cache: hits=0 misses=2 evictions=0
+
+A recoverable schedule (transient faults in bursts shorter than the
+retry budget) is fully masked by the retry layer — same answer, no
+degradation, not even under fail-fast:
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 2 --inject-faults 'transient:0.3,burst:2,seed:7' 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"'
+  web.log: cache
+  -- 1 rows from 2 files; scanned=5B parsed=0B index_ops=20 cmps=481 lookups=4 objs=0 regions=365
+  -- instance cache: hits=0 misses=2 evictions=0

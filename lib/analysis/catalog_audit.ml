@@ -17,13 +17,17 @@ let entry_diag ((e : C.entry), staleness) =
          rebuilds it)"
   | C.Source_missing ->
       mk ~code:"OQF203" ~severity:Diagnostic.Error
-        "orphan manifest entry: the source file is missing"
+        "orphan manifest entry: the source file is missing (oqf catalog \
+         repair drops it)"
   | C.Index_missing ->
       mk ~code:"OQF203" ~severity:Diagnostic.Error
-        ~detail:e.C.index_file "the persisted index file is missing"
+        ~detail:e.C.index_file
+        "the persisted index file is missing (oqf catalog repair rebuilds \
+         it from the source)"
   | C.Index_unreadable reason ->
       mk ~code:"OQF203" ~severity:Diagnostic.Error ~detail:reason
-        "the persisted index file is unreadable"
+        "the persisted index file is unreadable (oqf catalog repair \
+         rebuilds it from the source)"
 
 let audit catalog =
   let entry_diags = List.filter_map entry_diag (C.status catalog) in
@@ -32,7 +36,8 @@ let audit catalog =
       (fun file ->
         Diagnostic.make ~subject:file ~code:"OQF202"
           ~severity:Diagnostic.Warning
-          "orphan index file: no manifest entry references it")
+          "orphan index file: no manifest entry references it (oqf catalog \
+           repair removes it)")
       (C.orphan_index_files catalog)
   in
   Diagnostic.sort (entry_diags @ orphan_diags)

@@ -28,11 +28,17 @@ type t = {
   dir : string;
   mutable entries : entry list;  (* in add order *)
   cache : Instance_cache.t;
+  mutable warnings : string list;  (* torn-manifest recovery notes *)
 }
 
 let dir t = t.dir
 let entries t = t.entries
 let cache t = t.cache
+let recovery_warnings t = t.warnings
+
+let catalog_healed = Obs.Metrics.counter "catalog.healed"
+let catalog_quarantined = Obs.Metrics.counter "catalog.quarantined"
+let catalog_recovered = Obs.Metrics.counter "catalog.recovered"
 let find t source = List.find_opt (fun e -> e.source = source) t.entries
 
 let default_budget = 64 * 1024 * 1024
@@ -52,8 +58,12 @@ let entry_to_lines e =
     "end";
   ]
 
+(* Crash-safe: the new image is written to a temp file, forced to disk
+   with fsync, and renamed over the old manifest.  A crash at any point
+   leaves either the old manifest or the new one — never a torn mix. *)
 let save_manifest t =
   let path = Filename.concat t.dir manifest_name in
+  Stdx.Retry.io ~site:"catalog.write" @@ fun () ->
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -65,7 +75,12 @@ let save_manifest t =
           List.iter
             (fun line -> output_string oc (line ^ "\n"))
             (entry_to_lines e))
-        t.entries);
+        t.entries;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  (* the crash window the rename protects: tmp is durable, the swap has
+     not happened yet *)
+  Stdx.Fault.hit "catalog.write";
   Sys.rename tmp path
 
 let field name line =
@@ -78,56 +93,62 @@ let field name line =
          (String.length line - String.length prefix))
   else None
 
+(* Lenient by design: a damaged manifest (torn tail from a crash on a
+   filesystem without atomic rename, hand-editing, bit rot) keeps its
+   complete leading entries and drops everything from the first bad
+   line on, reporting why.  Only a wrong magic line is a hard error —
+   that is not our file. *)
 let parse_manifest path lines =
-  let err fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
+  let salvage acc reason = Ok (List.rev acc, Some reason) in
   let rec entries acc = function
-    | [] -> Ok (List.rev acc)
+    | [] -> Ok (List.rev acc, None)
     | "entry" :: rest -> block [] rest acc
     | "" :: rest -> entries acc rest
-    | line :: _ -> err "unexpected manifest line %S" line
+    | line :: _ ->
+        salvage acc (Printf.sprintf "unexpected manifest line %S" line)
   and block fields rest acc =
     match rest with
     | "end" :: rest -> begin
-        let get name =
-          match List.find_map (field name) (List.rev fields) with
-          | Some v -> Ok v
-          | None -> err "entry is missing its %s field" name
-        in
-        let ( let* ) = Result.bind in
-        let* source = get "source" in
-        let* schema = get "schema" in
-        let* index = get "index" in
-        let* length = get "length" in
-        let* digest = get "digest" in
-        let* version = get "version" in
-        let* index_file = get "file" in
-        match (int_of_string_opt length, int_of_string_opt version) with
-        | Some length, Some version ->
-            entries
-              ({
-                 source;
-                 schema;
-                 index_names =
-                   List.filter
-                     (fun s -> s <> "")
-                     (String.split_on_char ',' index);
-                 length;
-                 digest;
-                 version;
-                 index_file;
-               }
-              :: acc)
-              rest
-        | _ -> err "entry for %s has a malformed number" source
+        let get name = List.find_map (field name) (List.rev fields) in
+        match
+          ( get "source", get "schema", get "index", get "length",
+            get "digest", get "version", get "file" )
+        with
+        | ( Some source, Some schema, Some index, Some length, Some digest,
+            Some version, Some index_file ) -> begin
+            match (int_of_string_opt length, int_of_string_opt version) with
+            | Some length, Some version ->
+                entries
+                  ({
+                     source;
+                     schema;
+                     index_names =
+                       List.filter
+                         (fun s -> s <> "")
+                         (String.split_on_char ',' index);
+                     length;
+                     digest;
+                     version;
+                     index_file;
+                   }
+                  :: acc)
+                  rest
+            | _ ->
+                salvage acc
+                  (Printf.sprintf "entry for %s has a malformed number" source)
+          end
+        | _ -> salvage acc "entry block with missing fields"
       end
     | line :: rest -> block (line :: fields) rest acc
-    | [] -> err "unterminated entry block"
+    | [] -> salvage acc "unterminated entry block"
   in
   match lines with
   | magic :: rest when magic = manifest_magic -> entries [] rest
-  | _ -> err "not an oqf catalog manifest (bad first line)"
+  | _ -> Error (path ^ ": not an oqf catalog manifest (bad first line)")
 
 let read_lines path =
+  Stdx.Retry.io ~site:"catalog.read" @@ fun () ->
+  Stdx.Fault.hit "catalog.read";
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -149,7 +170,12 @@ let init dir =
     if not (Sys.is_directory dir) then Error (dir ^ " is not a directory")
     else begin
       let t =
-        { dir; entries = []; cache = Instance_cache.create ~budget_bytes:default_budget }
+        {
+          dir;
+          entries = [];
+          cache = Instance_cache.create ~budget_bytes:default_budget;
+          warnings = [];
+        }
       in
       let indices = Filename.concat dir indices_subdir in
       if not (Sys.file_exists indices) then Sys.mkdir indices 0o755;
@@ -165,8 +191,23 @@ let open_dir ?(budget_bytes = default_budget) dir =
   else begin
     match parse_manifest path (read_lines path) with
     | Error e -> Error e
-    | Ok entries ->
-        Ok { dir; entries; cache = Instance_cache.create ~budget_bytes }
+    | Ok (entries, recovered) ->
+        let t =
+          { dir; entries; cache = Instance_cache.create ~budget_bytes; warnings = [] }
+        in
+        (match recovered with
+        | None -> ()
+        | Some reason ->
+            Obs.Metrics.incr catalog_recovered;
+            t.warnings <-
+              [
+                Printf.sprintf
+                  "recovered torn manifest (%s); kept %d entries and rewrote it"
+                  reason (List.length entries);
+              ];
+            (* persist the recovered image so the next open is clean *)
+            save_manifest t);
+        Ok t
   end
 
 (* ---------------- fingerprints and staleness ---------------- *)
@@ -307,6 +348,30 @@ let add t ~schema ?index source =
 
 type refresh = Unchanged | Extended of { added_bytes : int } | Rebuilt of string
 
+(* Rebuild an entry's instance from its source file, persisting the
+   result.  The shared bottom of refresh-rebuilds and heals. *)
+let rebuild_instance t e =
+  match Schemas.find_result e.schema with
+  | Error msg -> Error msg
+  | Ok view -> begin
+      match Pat.Text.of_file e.source with
+      | exception Sys_error msg -> Error msg
+      | text -> begin
+          match build_instance view text ~index_names:e.index_names with
+          | Error msg -> Error (e.source ^ ": " ^ msg)
+          | Ok instance ->
+              let (_ : entry) =
+                store_entry t ~source:e.source ~schema:e.schema
+                  ~index_names:e.index_names ~text ~index_file:e.index_file
+                  instance
+              in
+              Ok instance
+        end
+    end
+
+(* Self-healing load: a missing/corrupt/outdated index is transparently
+   rebuilt from its source while serving the request.  Only when the
+   source is gone too is there genuinely no path to the data. *)
 let load_persisted t e =
   match Instance_cache.find t.cache e.source with
   | Some instance -> Ok instance
@@ -315,24 +380,29 @@ let load_persisted t e =
       | Ok instance ->
           Instance_cache.add t.cache e.source instance;
           Ok instance
-      | Error err -> Error (Pat.Index_store.error_message err)
+      | Error err -> begin
+          let msg = Pat.Index_store.error_message err in
+          if not (Sys.file_exists e.source) then
+            Error (msg ^ "; source file is missing, cannot heal")
+          else begin
+            match rebuild_instance t e with
+            | Ok instance ->
+                Obs.Metrics.incr catalog_healed;
+                if Obs.Trace.enabled () then
+                  Obs.Trace.instant "catalog.heal"
+                    ~attrs:
+                      [
+                        ("source", Obs.Trace.Str e.source);
+                        ("reason", Obs.Trace.Str msg);
+                      ];
+                Ok instance
+            | Error heal_msg -> Error (msg ^ "; heal failed: " ^ heal_msg)
+          end
+        end
     end
 
 let rebuild t e ~reason =
-  match Schemas.find_result e.schema with
-  | Error msg -> Error msg
-  | Ok view -> begin
-      let text = Pat.Text.of_file e.source in
-      match build_instance view text ~index_names:e.index_names with
-      | Error msg -> Error (e.source ^ ": " ^ msg)
-      | Ok instance ->
-          let (_ : entry) =
-            store_entry t ~source:e.source ~schema:e.schema
-              ~index_names:e.index_names ~text ~index_file:e.index_file
-              instance
-          in
-          Ok (Rebuilt reason)
-    end
+  Result.map (fun (_ : Pat.Instance.t) -> Rebuilt reason) (rebuild_instance t e)
 
 let extend t e ~old_len ~verify_rig =
   match Schemas.find_result e.schema with
@@ -374,11 +444,14 @@ let refresh ?(verify_rig = false) t source =
   match find t source with
   | None -> Error (source ^ " is not in the catalog")
   | Some e -> begin
+      let healing r =
+        Result.map (fun r -> Obs.Metrics.incr catalog_healed; r) r
+      in
       match staleness t e with
       | Source_missing -> Error (source ^ ": source file is missing")
       | Fresh -> Ok Unchanged
-      | Index_missing -> rebuild t e ~reason:"index file missing"
-      | Index_unreadable reason -> rebuild t e ~reason
+      | Index_missing -> healing (rebuild t e ~reason:"index file missing")
+      | Index_unreadable reason -> healing (rebuild t e ~reason)
       | Changed -> rebuild t e ~reason:"contents changed"
       | Appended { old_len; _ } -> extend t e ~old_len ~verify_rig
     end
@@ -411,3 +484,52 @@ let pp_refresh ppf = function
   | Extended { added_bytes } ->
       Format.fprintf ppf "extended incrementally (+%d bytes)" added_bytes
   | Rebuilt reason -> Format.fprintf ppf "rebuilt (%s)" reason
+
+(* ---------------- offline repair ---------------- *)
+
+type repair_action =
+  | Healed of string
+  | Quarantined of string
+  | Removed_orphan
+
+let drop_entry t e =
+  t.entries <- List.filter (fun o -> o.source <> e.source) t.entries;
+  Instance_cache.remove t.cache e.source;
+  save_manifest t;
+  Obs.Metrics.incr catalog_quarantined
+
+let repair t =
+  let actions = ref [] in
+  let note source a = actions := (source, a) :: !actions in
+  List.iter
+    (fun e ->
+      let heal_or_quarantine reason =
+        match rebuild_instance t e with
+        | Ok (_ : Pat.Instance.t) ->
+            Obs.Metrics.incr catalog_healed;
+            note e.source (Healed reason)
+        | Error msg ->
+            drop_entry t e;
+            note e.source (Quarantined (reason ^ "; rebuild failed: " ^ msg))
+      in
+      match staleness t e with
+      | Fresh | Appended _ | Changed -> ()  (* refresh's job, not repair's *)
+      | Source_missing ->
+          drop_entry t e;
+          note e.source (Quarantined "source file is missing; entry dropped")
+      | Index_missing -> heal_or_quarantine "index file missing"
+      | Index_unreadable reason -> heal_or_quarantine reason)
+    t.entries;
+  (* sweep index files nothing references any more, including those
+     orphaned by the quarantines above *)
+  List.iter
+    (fun rel ->
+      (try Sys.remove (Filename.concat t.dir rel) with Sys_error _ -> ());
+      note rel Removed_orphan)
+    (orphan_index_files t);
+  List.rev !actions
+
+let pp_repair_action ppf = function
+  | Healed reason -> Format.fprintf ppf "healed (%s)" reason
+  | Quarantined reason -> Format.fprintf ppf "quarantined (%s)" reason
+  | Removed_orphan -> Format.pp_print_string ppf "removed orphan index file"

@@ -42,7 +42,19 @@ val init : string -> (t, string) result
 
 val open_dir : ?budget_bytes:int -> string -> (t, string) result
 (** Open an existing catalog.  [budget_bytes] bounds the instance
-    cache (default 64 MiB). *)
+    cache (default 64 MiB).
+
+    Opening is crash-tolerant: a torn or partially damaged manifest
+    (possible on filesystems without atomic rename, or after
+    hand-editing) keeps its complete leading entries, drops the
+    damaged tail, and is immediately rewritten in repaired form; the
+    incident is reported through {!recovery_warnings} and the
+    [catalog.recovered] metric.  Only a file that is not a catalog
+    manifest at all fails to open. *)
+
+val recovery_warnings : t -> string list
+(** Human-readable notes about damage repaired while opening
+    (empty for a clean open). *)
 
 val dir : t -> string
 val entries : t -> entry list
@@ -90,7 +102,31 @@ val refresh_all :
 (** {!refresh} every entry, in catalogue order. *)
 
 val load : t -> string -> (Pat.Instance.t, string) result
-(** The instance of a catalogued source, through the LRU cache. *)
+(** The instance of a catalogued source, through the LRU cache.
+
+    Self-healing: when the persisted index is missing, corrupt, or at
+    an outdated format version but the source file still exists, the
+    index is transparently rebuilt from the source (and re-persisted)
+    while serving the request — counted by the [catalog.healed]
+    metric.  Loading fails only when the index is unusable {e and}
+    the source is gone. *)
+
+type repair_action =
+  | Healed of string  (** index rebuilt from the source (the reason) *)
+  | Quarantined of string
+      (** entry dropped from the manifest: its source is gone or its
+          rebuild failed (the reason) *)
+  | Removed_orphan  (** unreferenced file under [indices/] deleted *)
+
+val repair : t -> (string * repair_action) list
+(** Apply the self-healing logic offline to every entry: rebuild
+    missing/corrupt indices, drop entries whose source is gone, then
+    sweep orphan index files.  Returns what was done, keyed by source
+    path (or index path for orphans), in catalogue order.  Entries
+    that are merely stale ([Changed]/[Appended]) are left for
+    {!refresh}.  Persists the repaired manifest. *)
+
+val pp_repair_action : Format.formatter -> repair_action -> unit
 
 val view_of_entry : entry -> (Fschema.View.t, string) result
 

@@ -5,13 +5,32 @@ type shard_report = {
   elapsed_ms : float;
 }
 
+type fail_policy = Fail_fast | Partial | Degrade
+
+let fail_policy_of_string = function
+  | "fail-fast" -> Ok Fail_fast
+  | "partial" -> Ok Partial
+  | "degrade" -> Ok Degrade
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown fail policy %S (expected fail-fast, partial or degrade)" s)
+
+let fail_policy_to_string = function
+  | Fail_fast -> "fail-fast"
+  | Partial -> "partial"
+  | Degrade -> "degrade"
+
 type outcome = {
   rows : (string * Odb.Query_eval.row) list;
   per_file : (string * Oqf.Execute.outcome) list;
   per_shard : shard_report list;
   stats : Stdx.Stats.t;
   from_cache : bool;
+  degraded : Oqf.Degrade.t list;
 }
+
+let shard_quarantined = Obs.Metrics.counter "shard.quarantined"
 
 let default_jobs () =
   match Sys.getenv_opt "OQF_JOBS" with
@@ -29,10 +48,13 @@ let cached_outcome payload =
     per_shard = [];
     stats = Stdx.Stats.create ();
     from_cache = true;
+    degraded = [];
   }
 
 (* Cache protocol shared by the sequential and parallel paths: probe,
-   run on miss, populate on success. *)
+   run on miss, populate on success.  A degraded outcome is never
+   cached — its rows may not reflect what the indices will serve once
+   the fault clears. *)
 let with_cache cache corpus q run =
   match cache with
   | None -> run ()
@@ -44,34 +66,136 @@ let with_cache cache corpus q run =
           match run () with
           | Error _ as e -> e
           | Ok outcome ->
-              Rcache.add cache key outcome.rows;
+              if outcome.degraded = [] then Rcache.add cache key outcome.rows;
               Ok outcome
         end)
 
-let run_one ?optimize ?force ?cache corpus q =
-  with_cache cache corpus q @@ fun () ->
-  match Oqf.Corpus.run ?optimize ?force corpus q with
-  | Error _ as e -> e
-  | Ok r ->
-      Ok
-        {
-          rows = r.Oqf.Corpus.rows;
-          per_file = r.Oqf.Corpus.per_file;
-          per_shard = [];
-          stats = r.Oqf.Corpus.stats;
-          from_cache = false;
-        }
+(* Turn corpus-ordered per-file results into an outcome body according
+   to the fail policy.  [Fail_fast] surfaces the earliest failure;
+   [Partial] excludes failed files; [Degrade] walks the recovery
+   ladder per failed file: circuit breaker → query-level error check →
+   naive scan of the raw file → exclusion.  Returns the merged rows,
+   the indexed per-file outcomes, and the degradation report. *)
+let resolve ~fail_policy q results =
+  let exception Abort of string in
+  let breaker_key name = "source:" ^ name in
+  try
+    let rows = ref [] in
+    let per_file = ref [] in
+    let degraded = ref [] in
+    let note d = degraded := d :: !degraded in
+    List.iter
+      (fun (name, (src : Oqf.Execute.source), result) ->
+        match result with
+        | Ok (o : Oqf.Execute.outcome) ->
+            Stdx.Retry.Breaker.success (breaker_key name);
+            rows :=
+              List.rev_append
+                (List.map (fun row -> (name, row)) o.Oqf.Execute.rows)
+                !rows;
+            per_file := (name, o) :: !per_file
+        | Error e -> begin
+            match fail_policy with
+            | Fail_fast -> raise (Abort (Printf.sprintf "%s: %s" name e))
+            | Partial ->
+                Obs.Metrics.incr shard_quarantined;
+                note (Oqf.Degrade.make ~file:name Oqf.Degrade.Excluded e)
+            | Degrade ->
+                if Stdx.Retry.Breaker.state (breaker_key name) = Stdx.Retry.Breaker.Open
+                then begin
+                  Obs.Metrics.incr shard_quarantined;
+                  note
+                    (Oqf.Degrade.make ~file:name Oqf.Degrade.Excluded
+                       ("circuit open; " ^ e))
+                end
+                else begin
+                  match Oqf.Execute.semantic_error src.Oqf.Execute.view q with
+                  | Some se ->
+                      (* the query itself is broken: every file fails the
+                         same way, degrading would silently return nothing *)
+                      raise (Abort (Printf.sprintf "%s: %s" name se))
+                  | None -> begin
+                      match Oqf.Execute.run_naive ~file:name src q with
+                      | Ok nrows ->
+                          Stdx.Retry.Breaker.success (breaker_key name);
+                          rows :=
+                            List.rev_append
+                              (List.map (fun row -> (name, row)) nrows)
+                              !rows;
+                          note
+                            (Oqf.Degrade.make ~file:name
+                               Oqf.Degrade.Naive_fallback e)
+                      | Error ne ->
+                          Stdx.Retry.Breaker.failure (breaker_key name);
+                          Obs.Metrics.incr shard_quarantined;
+                          note
+                            (Oqf.Degrade.make ~file:name Oqf.Degrade.Excluded
+                               (e ^ "; " ^ ne))
+                    end
+                end
+          end)
+      results;
+    Ok (List.rev !rows, List.rev !per_file, List.rev !degraded)
+  with Abort e -> Error e
 
-(* Evaluate one shard: its files in order, stopping at the first
-   failure (mirroring the sequential executor within the shard). *)
-let eval_shard ?optimize ?force q (shard : (string * Oqf.Execute.source) Shard.t) =
+let run_one ?optimize ?force ?cache ?(fail_policy = Fail_fast) corpus q =
+  match fail_policy with
+  | Fail_fast -> begin
+      with_cache cache corpus q @@ fun () ->
+      match Oqf.Corpus.run ?optimize ?force corpus q with
+      | Error _ as e -> e
+      | Ok r ->
+          Ok
+            {
+              rows = r.Oqf.Corpus.rows;
+              per_file = r.Oqf.Corpus.per_file;
+              per_shard = [];
+              stats = r.Oqf.Corpus.stats;
+              from_cache = false;
+              degraded = [];
+            }
+    end
+  | Partial | Degrade -> begin
+      with_cache cache corpus q @@ fun () ->
+      let before = Stdx.Stats.snapshot () in
+      let results =
+        List.map
+          (fun (name, src) ->
+            (name, src, Oqf.Execute.run ?optimize ?force src q))
+          (Oqf.Corpus.sources corpus)
+      in
+      match resolve ~fail_policy q results with
+      | Error _ as e -> e
+      | Ok (rows, per_file, degraded) ->
+          let after = Stdx.Stats.snapshot () in
+          Ok
+            {
+              rows;
+              per_file;
+              per_shard = [];
+              stats = Stdx.Stats.diff ~before ~after;
+              from_cache = false;
+              degraded;
+            }
+    end
+
+(* Evaluate one shard: its files in order.  Under [stop_at_first]
+   (fail-fast) evaluation stops at the first failing file, mirroring
+   the sequential executor; otherwise every file gets its own result
+   so the policies can recover per file.  The [pool.task] fault site
+   fires here, inside the retryable task body. *)
+let eval_shard ?optimize ?force ~stop_at_first q
+    (shard : (string * Oqf.Execute.source) Shard.t) =
+  Stdx.Fault.hit "pool.task";
   let t0 = Obs.Trace.now_ms () in
   let rec go acc = function
-    | [] -> Ok (List.rev acc)
+    | [] -> List.rev acc
     | (name, src) :: rest -> begin
         match Oqf.Execute.run ?optimize ?force src q with
-        | Error e -> Error (name, e)
-        | Ok r -> go ((name, r) :: acc) rest
+        | Error e ->
+            let acc = (name, Error e) :: acc in
+            if stop_at_first then List.rev acc else go acc rest
+        | Ok r -> go ((name, Ok r) :: acc) rest
       end
   in
   let result =
@@ -96,7 +220,8 @@ let eval_shard ?optimize ?force q (shard : (string * Oqf.Execute.source) Shard.t
   in
   (report, result)
 
-let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms corpus q =
+let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms
+    ?(fail_policy = Fail_fast) corpus q =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     Error (Printf.sprintf "jobs must be at least 1 (got %d)" jobs)
@@ -108,6 +233,8 @@ let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms corpus q =
       List.iteri (fun i (name, _) -> Hashtbl.replace tbl name i) sources;
       fun name -> try Hashtbl.find tbl name with Not_found -> max_int
     in
+    let stop_at_first = fail_policy = Fail_fast in
+    let eval s = eval_shard ?optimize ?force ~stop_at_first q s in
     let shards = Shard.of_corpus ~shards:jobs corpus in
     let before = Stdx.Stats.snapshot () in
     let shard_results =
@@ -116,48 +243,76 @@ let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms corpus q =
       | _ ->
           Pool.with_pool ~jobs:(min jobs (List.length shards)) @@ fun pool ->
           Pool.run_all ?timeout_ms pool
-            (List.map (fun s () -> eval_shard ?optimize ?force q s) shards)
+            (List.map
+               (fun s () -> Stdx.Retry.io ~site:"pool.task" (fun () -> eval s))
+               shards)
     in
-    let after = Stdx.Stats.snapshot () in
-    (* a task-level failure (timeout, uncaught exception) has no file
-       attribution; surface it against its shard *)
-    let task_errors, shard_outcomes =
-      List.partition_map
+    (* A task-level failure (timeout, worker death, injected fault that
+       outlived its retry budget) has no file attribution.  Fail-fast
+       surfaces it against its shard; the recovering policies re-run
+       the shard once on the coordinator and only then push the
+       failure down to its files. *)
+    let task_errors = ref [] in
+    let degraded_shards = ref [] in
+    let shard_outcomes =
+      List.filter_map
         (fun (shard, res) ->
           match res with
-          | Error msg ->
-              Left (Printf.sprintf "shard %d: %s" shard.Shard.id msg)
-          | Ok (report, per_shard_result) -> Right (report, per_shard_result))
+          | Ok (report, per_shard_result) -> Some (report, per_shard_result)
+          | Error msg when fail_policy = Fail_fast ->
+              task_errors :=
+                Printf.sprintf "shard %d: %s" shard.Shard.id msg
+                :: !task_errors;
+              None
+          | Error msg -> begin
+              degraded_shards :=
+                Oqf.Degrade.make
+                  ~file:(Printf.sprintf "shard %d" shard.Shard.id)
+                  Oqf.Degrade.Shard_retried msg
+                :: !degraded_shards;
+              match
+                Stdx.Retry.io ~site:"pool.task" (fun () -> eval shard)
+              with
+              | outcome -> Some outcome
+              | exception e ->
+                  (* even the direct re-run failed: fail each file and
+                     let the per-file ladder take over *)
+                  let err = Printexc.to_string e in
+                  Some
+                    ( {
+                        shard = shard.Shard.id;
+                        files = List.map fst shard.Shard.items;
+                        weight_bytes = shard.Shard.weight;
+                        elapsed_ms = 0.;
+                      },
+                      List.map
+                        (fun (name, _) -> (name, Error err))
+                        shard.Shard.items )
+            end)
         (List.combine shards shard_results)
     in
-    match task_errors with
+    let after = Stdx.Stats.snapshot () in
+    match List.rev !task_errors with
     | e :: _ -> Error e
     | [] -> begin
-        (* deterministic error: the earliest failing file in corpus order *)
-        let failures =
-          List.filter_map
-            (fun (_, r) -> match r with Error f -> Some f | Ok _ -> None)
-            shard_outcomes
+        let by_position field =
+          List.sort (fun (a, _) (b, _) -> compare (position a) (position b))
+            field
         in
-        match
-          List.sort
-            (fun (a, _) (b, _) -> compare (position a) (position b))
-            failures
-        with
-        | (name, e) :: _ -> Error (Printf.sprintf "%s: %s" name e)
-        | [] ->
-            let per_file =
-              List.concat_map
-                (fun (_, r) -> match r with Ok l -> l | Error _ -> [])
-                shard_outcomes
-              |> List.sort (fun (a, _) (b, _) -> compare (position a) (position b))
-            in
-            let rows =
-              List.concat_map
-                (fun (name, (r : Oqf.Execute.outcome)) ->
-                  List.map (fun row -> (name, row)) r.Oqf.Execute.rows)
-                per_file
-            in
+        let per_file_results =
+          List.concat_map (fun (_, r) -> r) shard_outcomes
+          |> by_position
+          |> List.map (fun (name, result) ->
+                 let src =
+                   match List.assoc_opt name sources with
+                   | Some src -> src
+                   | None -> assert false  (* shards partition the corpus *)
+                 in
+                 (name, src, result))
+        in
+        match resolve ~fail_policy q per_file_results with
+        | Error _ as e -> e
+        | Ok (rows, per_file, degraded) ->
             let per_shard =
               List.sort
                 (fun a b -> compare a.shard b.shard)
@@ -170,10 +325,11 @@ let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms corpus q =
                 per_shard;
                 stats = Stdx.Stats.diff ~before ~after;
                 from_cache = false;
+                degraded = List.rev !degraded_shards @ degraded;
               }
       end
 
-let run_batch ?optimize ?force ?jobs ?cache corpus queries =
+let run_batch ?optimize ?force ?jobs ?cache ?fail_policy corpus queries =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     List.map
@@ -181,10 +337,33 @@ let run_batch ?optimize ?force ?jobs ?cache corpus queries =
       queries
   else
     Pool.with_pool ~jobs @@ fun pool ->
+    (* A duplicate of an in-flight query waits for the first occurrence
+       before probing the cache, so intra-batch duplicates hit
+       deterministically instead of racing the original's insert.  The
+       wait cannot deadlock: the queue is FIFO, so the first occurrence
+       is dequeued (and its handle eventually completed) strictly
+       before any task that waits on it starts. *)
+    let fingerprint = lazy (Rcache.fingerprint corpus) in
+    let seen = Hashtbl.create 8 in
     let handles =
       List.map
         (fun q ->
-          (q, Pool.submit pool (fun () -> run_one ?optimize ?force ?cache corpus q)))
+          let key =
+            match cache with
+            | None -> None
+            | Some _ ->
+                Some (Rcache.key ~query:q ~fingerprint:(Lazy.force fingerprint))
+          in
+          let first = Option.bind key (Hashtbl.find_opt seen) in
+          let h =
+            Pool.submit pool (fun () ->
+                Option.iter (fun first -> ignore (Pool.await first)) first;
+                run_one ?optimize ?force ?cache ?fail_policy corpus q)
+          in
+          (match (key, first) with
+          | Some k, None -> Hashtbl.replace seen k h
+          | _ -> ());
+          (q, h))
         queries
     in
     List.map

@@ -17,11 +17,36 @@ type shard_report = {
   elapsed_ms : float;
 }
 
+type fail_policy =
+  | Fail_fast
+      (** any failure fails the query, naming the earliest failing
+          file in corpus order (the historical behaviour) *)
+  | Partial
+      (** failed files are excluded; the outcome carries a
+          {!Oqf.Degrade} report saying which and why *)
+  | Degrade
+      (** per-file recovery ladder before giving up: the failed shard
+          is re-evaluated on the coordinator, a still-failing file
+          falls back to a naive scan of its raw bytes
+          ({!Oqf.Execute.run_naive}), and only a file with no
+          remaining path to its data is excluded.  A per-source
+          circuit breaker ({!Stdx.Retry.Breaker}) stops a flapping
+          file from burning the retry budget on every query.  Rows
+          are byte-identical to a fault-free run whenever every file
+          still has some path to its data. *)
+
+val fail_policy_of_string : string -> (fail_policy, string) result
+(** ["fail-fast"], ["partial"] or ["degrade"]. *)
+
+val fail_policy_to_string : fail_policy -> string
+
 type outcome = {
   rows : (string * Odb.Query_eval.row) list;
       (** answer rows tagged with their file, in corpus order *)
   per_file : (string * Oqf.Execute.outcome) list;
-      (** corpus order; empty when served from the cache *)
+      (** corpus order; empty when served from the cache.  Only files
+          answered from their index appear — naive-fallback files are
+          in [rows] and [degraded] instead. *)
   per_shard : shard_report list;
       (** shard timings; empty when sequential or cached *)
   stats : Stdx.Stats.t;
@@ -30,6 +55,10 @@ type outcome = {
           include neighbouring shards' work; this field diffs around
           the whole fan-out and stays exact. *)
   from_cache : bool;
+  degraded : Oqf.Degrade.t list;
+      (** every recovery action taken, in corpus order (shard-level
+          retries first); [[]] for a clean run.  A degraded outcome is
+          never written to the result cache. *)
 }
 
 val default_jobs : unit -> int
@@ -42,6 +71,7 @@ val run_parallel :
   ?jobs:int ->
   ?cache:Rcache.t ->
   ?timeout_ms:float ->
+  ?fail_policy:fail_policy ->
   Oqf.Corpus.t ->
   Odb.Query.t ->
   (outcome, string) result
@@ -50,30 +80,41 @@ val run_parallel :
     bounds each shard task (expiry fails the query with a timeout
     message).  [force] reaches {!Oqf.Execute.run}: execute despite
     error-severity static-analysis findings.  With [cache], a hit skips evaluation entirely and a
-    successful run populates the cache.  Errors name the failing file
-    — deterministically the earliest one in corpus order.  [jobs < 1]
-    is rejected as an error. *)
+    successful non-degraded run populates the cache.  [fail_policy]
+    (default {!Fail_fast}) decides what a failure does; under
+    [Fail_fast] errors name the failing file — deterministically the
+    earliest one in corpus order.  A query-level defect (validation
+    failure, unknown class) fails the query under every policy: it
+    would fail identically on every file, and degrading it away would
+    silently return nothing.  [jobs < 1] is rejected as an error. *)
 
 val run_one :
   ?optimize:bool ->
   ?force:bool ->
   ?cache:Rcache.t ->
+  ?fail_policy:fail_policy ->
   Oqf.Corpus.t ->
   Odb.Query.t ->
   (outcome, string) result
 (** Sequential {!Oqf.Corpus.run} behind the same cache protocol —
-    the per-task body of {!run_batch}. *)
+    the per-task body of {!run_batch}.  [fail_policy] as in
+    {!run_parallel} (minus the shard-retry rung — there are no
+    shards). *)
 
 val run_batch :
   ?optimize:bool ->
   ?force:bool ->
   ?jobs:int ->
   ?cache:Rcache.t ->
+  ?fail_policy:fail_policy ->
   Oqf.Corpus.t ->
   Odb.Query.t list ->
   (Odb.Query.t * (outcome, string) result) list
 (** Run every query through a [jobs]-worker pool (inter-query
     parallelism; each query evaluates sequentially within its task),
-    returning results in input order. *)
+    returning results in input order.  With [cache], a query repeated
+    within the batch waits for its first occurrence before probing, so
+    duplicates hit deterministically rather than racing the original's
+    insert. *)
 
 val pp_shard_report : Format.formatter -> shard_report -> unit

@@ -6,6 +6,8 @@
 let tasks_completed = Obs.Metrics.counter "exec.pool.tasks_completed"
 let tasks_failed = Obs.Metrics.counter "exec.pool.tasks_failed"
 let tasks_timed_out = Obs.Metrics.counter "exec.pool.tasks_timed_out"
+let task_escapes = Obs.Metrics.counter "exec.pool.task_escapes"
+let worker_deaths = Obs.Metrics.counter "exec.pool.worker_deaths"
 let queue_depth = Obs.Metrics.histogram "exec.pool.queue_depth"
 
 type t = {
@@ -50,11 +52,17 @@ let worker t index =
     match task with
     | None -> ()
     | Some task ->
-        if Obs.Trace.enabled () then
-          Obs.Trace.with_span "exec.task"
-            ~attrs:(fun () -> [ ("worker", Obs.Trace.Int index) ])
-            task
-        else task ();
+        (* A task closure normally captures its own failures into its
+           handle; if one still lets an exception escape, the worker
+           must survive it — a dead worker would strand every queued
+           task and hang the awaiting callers. *)
+        (try
+           if Obs.Trace.enabled () then
+             Obs.Trace.with_span "exec.task"
+               ~attrs:(fun () -> [ ("worker", Obs.Trace.Int index) ])
+               task
+           else task ()
+         with _ -> Obs.Metrics.incr task_escapes);
         loop ()
   in
   loop ()
@@ -86,23 +94,28 @@ let complete h result =
 let submit ?timeout_ms t f =
   let h = { h_lock = Mutex.create (); h_done = Condition.create (); state = Pending } in
   let run () =
-    let result =
-      match
-        match timeout_ms with
-        | None -> f ()
-        | Some ms -> Obs.Deadline.with_timeout_ms ms f
-      with
-      | v ->
-          Obs.Metrics.incr tasks_completed;
-          Ok v
-      | exception Obs.Deadline.Expired budget ->
-          Obs.Metrics.incr tasks_timed_out;
-          Error (Printf.sprintf "task timed out after %.0f ms" budget)
-      | exception e ->
-          Obs.Metrics.incr tasks_failed;
-          Error (Printexc.to_string e)
-    in
-    complete h result
+    (* The handle is completed no matter how this closure exits — even
+       an exception from the metrics/trace plumbing cannot leave an
+       awaiting caller blocked forever. *)
+    let result = ref (Error "task abandoned by its worker") in
+    Fun.protect
+      ~finally:(fun () -> complete h !result)
+      (fun () ->
+        result :=
+          (match
+             match timeout_ms with
+             | None -> f ()
+             | Some ms -> Obs.Deadline.with_timeout_ms ms f
+           with
+          | v ->
+              Obs.Metrics.incr tasks_completed;
+              Ok v
+          | exception Obs.Deadline.Expired budget ->
+              Obs.Metrics.incr tasks_timed_out;
+              Error (Printf.sprintf "task timed out after %.0f ms" budget)
+          | exception e ->
+              Obs.Metrics.incr tasks_failed;
+              Error (Printexc.to_string e)))
   in
   locked t.lock (fun () ->
       if t.closing then invalid_arg "Exec.Pool.submit: pool is shut down";
@@ -139,7 +152,12 @@ let shutdown t =
         t.workers <- [];
         ws)
   in
-  List.iter Domain.join workers
+  (* Join every domain even if one died abnormally: shutdown must not
+     leak the remaining workers or re-raise mid-join. *)
+  List.iter
+    (fun d ->
+      try Domain.join d with _ -> Obs.Metrics.incr worker_deaths)
+    workers
 
 let with_pool ?queue_capacity ~jobs f =
   let t = create ?queue_capacity ~jobs () in

@@ -11,7 +11,14 @@
     Shutdown is graceful: already-queued tasks are drained and their
     handles completed before the workers exit.  All operations are
     safe to call from any domain except {!await} from inside a pool
-    task of the same pool (the worker would wait on itself). *)
+    task of the same pool (the worker would wait on itself).
+
+    Failure containment: a task's handle is completed no matter how
+    the task exits (exception capture runs under [Fun.protect]), a
+    worker survives an exception that escapes a task closure (counted
+    in [exec.pool.task_escapes]), and {!shutdown} joins every domain
+    even when one died abnormally ([exec.pool.worker_deaths]) — no
+    failure mode leaves {!await} blocked forever. *)
 
 type t
 

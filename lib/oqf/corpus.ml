@@ -28,11 +28,42 @@ let of_catalog catalog ~schema =
               | Error msg -> Error (Printf.sprintf "%s: %s" e.source msg)
               | Ok instance ->
                   go
-                    ((e.source, Execute.source_of_instance view instance) :: acc)
+                    (( e.source,
+                       Execute.source_of_instance ~origin:Execute.Disk view
+                         instance )
+                    :: acc)
                     rest
             end
       in
       go [] (Oqf_catalog.Catalog.entries catalog)
+
+(* Like [of_catalog], but an entry that cannot be served any more
+   (index dead, source gone — Catalog.load already tried to heal) is
+   excluded with a degradation note instead of failing the corpus. *)
+let of_catalog_robust catalog ~schema =
+  match Oqf_catalog.Schemas.find_result schema with
+  | Error e -> Error e
+  | Ok view ->
+      let sources, degraded =
+        List.fold_left
+          (fun (srcs, degs) (e : Oqf_catalog.Catalog.entry) ->
+            if e.Oqf_catalog.Catalog.schema <> schema then (srcs, degs)
+            else begin
+              match Oqf_catalog.Catalog.load catalog e.source with
+              | Ok instance ->
+                  ( ( e.source,
+                      Execute.source_of_instance ~origin:Execute.Disk view
+                        instance )
+                    :: srcs,
+                    degs )
+              | Error msg ->
+                  ( srcs,
+                    Degrade.make ~file:e.source Degrade.Excluded msg :: degs )
+            end)
+          ([], [])
+          (Oqf_catalog.Catalog.entries catalog)
+      in
+      Ok ({ sources = List.rev sources }, List.rev degraded)
 
 let of_sources sources = { sources }
 let files t = List.map fst t.sources

@@ -32,6 +32,16 @@ val of_catalog : Oqf_catalog.Catalog.t -> schema:string -> (t, string) result
     {!Oqf_catalog.Catalog.refresh_all} first; entries are loaded as
     persisted. *)
 
+val of_catalog_robust :
+  Oqf_catalog.Catalog.t ->
+  schema:string ->
+  (t * Degrade.t list, string) result
+(** Like {!of_catalog}, but an entry that cannot be served any more —
+    its index is dead and {!Oqf_catalog.Catalog.load}'s self-healing
+    could not rebuild it — is excluded from the corpus with a
+    {!Degrade.Excluded} note instead of failing the whole corpus.
+    Fails only for an unknown schema. *)
+
 val of_sources : (string * Execute.source) list -> t
 (** Wrap already-built sources (e.g. a single file the CLI just
     indexed) without re-indexing anything. *)

@@ -1,12 +1,15 @@
+type origin = Memory | Disk
+
 type source = {
   view : Fschema.View.t;
   text : Pat.Text.t;
   instance : Pat.Instance.t;
   env : Compile.env;
   query_rig : Ralg.Rig.t;
+  origin : origin;
 }
 
-let make_source view text ~index =
+let make_source ?(origin = Memory) view text ~index =
   match Fschema.View.index_file view text ~keep:index with
   | Error e -> Error e
   | Ok instance ->
@@ -18,13 +21,14 @@ let make_source view text ~index =
           instance;
           env;
           query_rig = Ralg.Rig.partial env.Compile.full_rig ~keep:index;
+          origin;
         }
 
 let make_source_full view text =
   make_source view text
     ~index:(Fschema.Grammar.indexable view.Fschema.View.grammar)
 
-let source_of_instance view instance =
+let source_of_instance ?(origin = Memory) view instance =
   let index = Pat.Instance.names instance in
   let env = Compile.env view ~index in
   {
@@ -33,6 +37,7 @@ let source_of_instance view instance =
     instance;
     env;
     query_rig = Ralg.Rig.partial env.Compile.full_rig ~keep:index;
+    origin;
   }
 
 type outcome = {
@@ -473,10 +478,9 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
       with Fail e -> Error e
     end
 
-let run_baseline view text q =
-  let before = Stdx.Stats.snapshot () in
-  (* mirror the planner's validation: the baseline must reject a query
-     it cannot answer, not return an empty extent with exit 0 *)
+(* A query-level defect: the query would fail identically on every
+   file, so degradation must surface it instead of excluding files. *)
+let semantic_error view (q : Odb.Query.t) =
   let unknown =
     List.find_map
       (fun (cls, _) ->
@@ -486,13 +490,55 @@ let run_baseline view text q =
       q.Odb.Query.from_
   in
   match (Odb.Query.validate q, unknown) with
-  | Error e, _ -> Error e
-  | Ok (), Some cls -> Error ("unknown class: " ^ cls)
-  | Ok (), None -> begin
+  | Error e, _ -> Some e
+  | Ok (), Some cls -> Some ("unknown class: " ^ cls)
+  | Ok (), None -> None
+
+let run_baseline view text q =
+  let before = Stdx.Stats.snapshot () in
+  (* mirror the planner's validation: the baseline must reject a query
+     it cannot answer, not return an empty extent with exit 0 *)
+  match semantic_error view q with
+  | Some e -> Error e
+  | None -> begin
       match Fschema.View.load_file view text with
       | Error e -> Error e
       | Ok db ->
           let rows = Odb.Query_eval.eval db q in
           let after = Stdx.Stats.snapshot () in
           Ok (rows, Stdx.Stats.diff ~before ~after)
+    end
+
+let fallback_naive = Obs.Metrics.counter "fallback.naive"
+
+(* The §3.1 degradation fallback: answer from the raw file, no index.
+   Disk-backed sources are re-read (their in-memory text came from a
+   possibly-damaged index); a source that cannot be read any more has
+   no remaining path to its data. *)
+let run_naive ~file src q =
+  let text =
+    match src.origin with
+    | Memory -> Ok src.text
+    | Disk ->
+        if not (Sys.file_exists file) then
+          Error (file ^ ": source file is unreadable")
+        else begin
+          match Pat.Text.of_file file with
+          | text -> Ok text
+          | exception Sys_error e -> Error e
+          | exception Stdx.Fault.Injected _ ->
+              Error (file ^ ": source file is unreadable")
+        end
+  in
+  match text with
+  | Error _ as e -> e
+  | Ok text -> begin
+      match run_baseline src.view text q with
+      | Error _ as e -> e
+      | Ok (rows, _stats) ->
+          Obs.Metrics.incr fallback_naive;
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant "fallback.naive"
+              ~attrs:[ ("file", Obs.Trace.Str file) ];
+          Ok rows
     end

@@ -6,6 +6,12 @@
     them with the database evaluator.  Index-only projections skip
     parsing entirely. *)
 
+type origin = Memory | Disk
+(** Where a source's bytes authoritatively live: [Memory] sources own
+    their text (generated corpora, tests), [Disk] sources mirror a
+    file that can be re-read — the degradation fallback re-reads it,
+    and treats a vanished file as data loss. *)
+
 type source = {
   view : Fschema.View.t;
   text : Pat.Text.t;
@@ -13,20 +19,24 @@ type source = {
   env : Compile.env;
   query_rig : Ralg.Rig.t;  (** the RIG of the indexed names, used by the
                                optimizer *)
+  origin : origin;
 }
 
 val make_source :
+  ?origin:origin ->
   Fschema.View.t -> Pat.Text.t -> index:string list -> (source, string) result
 (** Parse the text once (index construction may scan) and build the
-    word and region indices for [index]. *)
+    word and region indices for [index].  [origin] defaults to
+    [Memory]. *)
 
 val make_source_full : Fschema.View.t -> Pat.Text.t -> (source, string) result
 (** Index every non-root non-terminal. *)
 
-val source_of_instance : Fschema.View.t -> Pat.Instance.t -> source
+val source_of_instance :
+  ?origin:origin -> Fschema.View.t -> Pat.Instance.t -> source
 (** Build a source from an already-constructed (e.g. persisted and
     reloaded) instance; the index names are the instance's region
-    names. *)
+    names.  [origin] defaults to [Memory]. *)
 
 type outcome = {
   rows : Odb.Query_eval.row list;
@@ -87,3 +97,18 @@ val run_baseline :
   (Odb.Query_eval.row list * Stdx.Stats.t, string) result
 (** The standard database implementation: parse the whole file, load
     every extent, evaluate in the database.  No indices. *)
+
+val semantic_error : Fschema.View.t -> Odb.Query.t -> string option
+(** A defect in the query itself (fails validation, or names a class
+    the view does not have) — it would fail identically on every
+    file, so degradation policies surface it as a query error instead
+    of excluding files one by one. *)
+
+val run_naive : file:string -> source -> Odb.Query.t ->
+  (Odb.Query_eval.row list, string) result
+(** The degradation fallback: answer [q] from the raw file with
+    {!run_baseline} (semantics-equivalent to the indexed plan, §2/§5).
+    [Disk] sources are re-read from [file]; a [Disk] source whose
+    file is gone or unreadable is an error — no remaining path to the
+    data.  Successful fallbacks count in the [fallback.naive]
+    metric. *)

@@ -43,13 +43,19 @@ let save ~path instance =
     { contents = Text.unsafe_contents (Instance.text instance); bindings }
   in
   let body = Marshal.to_string payload [] in
-  let oc = open_out_bin path in
+  (* Write-then-rename so a crash mid-write never leaves a torn file
+     under the final name: readers see the old image or the new one. *)
+  Stdx.Retry.io ~site:"index.write" @@ fun () ->
+  Stdx.Fault.hit "index.write";
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc (magic_prefix ^ string_of_int format_version ^ "\n");
       Digest.output oc (Digest.string body);
-      output_string oc body)
+      output_string oc body);
+  Sys.rename tmp path
 
 (* The version digits run up to the '\n' terminator.  A version-1 file
    has a '1' followed by raw marshal bytes instead of the terminator;
@@ -78,67 +84,88 @@ let read_header ic path =
         Error (Version_mismatch { path; found = v; expected = format_version })
   end
 
+(* Transient read failures (including injected ones) are retried under
+   the [index.load] budget; an exhausted budget degrades to a [Corrupt]
+   result so callers fall into the heal path rather than crashing. *)
 let load_result ~path =
-  let ic = try Ok (open_in_bin path) with Sys_error e -> Error (Corrupt { path; reason = e }) in
-  match ic with
-  | Error e -> Error e
-  | Ok ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match read_header ic path with
-          | Error e -> Error e
-          | Ok () -> begin
-              match
-                let stored = Digest.input ic in
-                let body =
-                  really_input_string ic
-                    (in_channel_length ic - pos_in ic)
-                in
-                (stored, body)
-              with
-              | exception End_of_file ->
-                  Error (Corrupt { path; reason = "truncated" })
-              | stored, body ->
-                  if not (Digest.equal stored (Digest.string body)) then
-                    Error (Corrupt { path; reason = "checksum mismatch" })
-                  else begin
-                    match (Marshal.from_string body 0 : payload) with
-                    | exception _ ->
-                        Error (Corrupt { path; reason = "undecodable payload" })
-                    | payload ->
-                        let text = Text.of_string payload.contents in
-                        Ok
-                          (Instance.create text
-                             (List.map
-                                (fun (name, pairs) ->
-                                  (name, Region_set.of_pairs pairs))
-                                payload.bindings))
-                  end
-            end)
+  if not (Sys.file_exists path) then
+    Error (Corrupt { path; reason = path ^ ": No such file or directory" })
+  else
+    match
+      Stdx.Retry.io ~site:"index.load" (fun () ->
+          Stdx.Fault.hit "index.load";
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match read_header ic path with
+              | Error e -> Error e
+              | Ok () -> begin
+                  match
+                    let stored = Digest.input ic in
+                    let body =
+                      really_input_string ic
+                        (in_channel_length ic - pos_in ic)
+                    in
+                    (stored, Stdx.Fault.corrupting "index.load" body)
+                  with
+                  | exception End_of_file ->
+                      Error (Corrupt { path; reason = "truncated" })
+                  | stored, body ->
+                      if not (Digest.equal stored (Digest.string body)) then
+                        Error (Corrupt { path; reason = "checksum mismatch" })
+                      else begin
+                        match (Marshal.from_string body 0 : payload) with
+                        | exception _ ->
+                            Error
+                              (Corrupt { path; reason = "undecodable payload" })
+                        | payload ->
+                            let text = Text.of_string payload.contents in
+                            Ok
+                              (Instance.create text
+                                 (List.map
+                                    (fun (name, pairs) ->
+                                      (name, Region_set.of_pairs pairs))
+                                    payload.bindings))
+                      end
+                end))
+    with
+    | result -> result
+    | exception Sys_error e -> Error (Corrupt { path; reason = e })
+    | exception Stdx.Fault.Injected _ ->
+        Error (Corrupt { path; reason = "i/o fault reading index" })
 
 let verify ~path =
-  match open_in_bin path with
-  | exception Sys_error e -> Error (Corrupt { path; reason = e })
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match read_header ic path with
-          | Error e -> Error e
-          | Ok () -> begin
-              match
-                let stored = Digest.input ic in
-                let body =
-                  really_input_string ic (in_channel_length ic - pos_in ic)
-                in
-                Digest.equal stored (Digest.string body)
-              with
-              | exception End_of_file ->
-                  Error (Corrupt { path; reason = "truncated" })
-              | true -> Ok ()
-              | false -> Error (Corrupt { path; reason = "checksum mismatch" })
-            end)
+  if not (Sys.file_exists path) then
+    Error (Corrupt { path; reason = path ^ ": No such file or directory" })
+  else
+    match
+      Stdx.Retry.io ~site:"index.load" (fun () ->
+          Stdx.Fault.hit "index.load";
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match read_header ic path with
+              | Error e -> Error e
+              | Ok () -> begin
+                  match
+                    let stored = Digest.input ic in
+                    let body =
+                      really_input_string ic (in_channel_length ic - pos_in ic)
+                    in
+                    Digest.equal stored (Digest.string body)
+                  with
+                  | exception End_of_file ->
+                      Error (Corrupt { path; reason = "truncated" })
+                  | true -> Ok ()
+                  | false -> Error (Corrupt { path; reason = "checksum mismatch" })
+                end))
+    with
+    | result -> result
+    | exception Sys_error e -> Error (Corrupt { path; reason = e })
+    | exception Stdx.Fault.Injected _ ->
+        Error (Corrupt { path; reason = "i/o fault reading index" })
 
 let load ~path =
   match load_result ~path with

@@ -3,6 +3,8 @@ type t = { contents : string }
 let of_string contents = { contents }
 
 let of_file path =
+  Stdx.Retry.io ~site:"source.read" @@ fun () ->
+  Stdx.Fault.hit "source.read";
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)

@@ -1,0 +1,136 @@
+type policy = {
+  attempts : int;
+  base_delay_ms : float;
+  max_delay_ms : float;
+}
+
+let default_policy = { attempts = 5; base_delay_ms = 0.2; max_delay_ms = 20.0 }
+
+let lock = Mutex.create ()
+let site_policies : (string, policy) Hashtbl.t = Hashtbl.create 8
+
+let set_site_policy site p =
+  Mutex.lock lock;
+  Hashtbl.replace site_policies site p;
+  Mutex.unlock lock
+
+let policy_for site =
+  Mutex.lock lock;
+  let p =
+    try Hashtbl.find site_policies site with Not_found -> default_policy
+  in
+  Mutex.unlock lock;
+  p
+
+let classify_exn = function
+  | Fault.Injected { kind; _ } -> kind
+  | Sys_error _ -> Fault.Transient
+  | _ -> Fault.Permanent
+
+let retry_attempts = Obs.Metrics.counter "retry.attempts"
+let retry_exhausted = Obs.Metrics.counter "retry.exhausted"
+
+let spin_ms ms =
+  if ms > 0. then begin
+    let t0 = Obs.Trace.now_ms () in
+    while Obs.Trace.now_ms () -. t0 < ms do
+      Domain.cpu_relax ()
+    done
+  end
+
+let io ?policy ~site f =
+  let p = match policy with Some p -> p | None -> policy_for site in
+  (* Deterministic per-site jitter stream: backoff schedules are
+     reproducible, which the schedule tests rely on. *)
+  let rng = lazy (Prng.create (Hashtbl.hash site lxor 0x9e37)) in
+  let rec go attempt prev_delay =
+    match f () with
+    | v -> v
+    | exception e -> (
+        match classify_exn e with
+        | Fault.Transient when attempt < p.attempts ->
+            Obs.Metrics.incr retry_attempts;
+            if Obs.Trace.enabled () then
+              Obs.Trace.instant "retry"
+                ~attrs:
+                  [
+                    ("site", Obs.Trace.Str site);
+                    ("attempt", Obs.Trace.Int attempt);
+                  ];
+            let delay =
+              if p.base_delay_ms <= 0. then 0.
+              else begin
+                let hi = Float.max p.base_delay_ms (prev_delay *. 3.) in
+                let span = hi -. p.base_delay_ms in
+                let d =
+                  if span <= 0. then p.base_delay_ms
+                  else p.base_delay_ms +. Prng.float (Lazy.force rng) span
+                in
+                Float.min p.max_delay_ms d
+              end
+            in
+            spin_ms delay;
+            go (attempt + 1) (Float.max delay p.base_delay_ms)
+        | Fault.Transient ->
+            Obs.Metrics.incr retry_exhausted;
+            raise e
+        | Fault.Permanent | Fault.Corruption -> raise e)
+  in
+  go 1 0.
+
+(* Deterministic backoff schedule preview, used by tests to pin the
+   decorrelated-jitter shape without sleeping. *)
+let backoff_schedule ?(policy = default_policy) site =
+  let rng = Prng.create (Hashtbl.hash site lxor 0x9e37) in
+  let rec go attempt prev acc =
+    if attempt >= policy.attempts then List.rev acc
+    else begin
+      let delay =
+        if policy.base_delay_ms <= 0. then 0.
+        else begin
+          let hi = Float.max policy.base_delay_ms (prev *. 3.) in
+          let span = hi -. policy.base_delay_ms in
+          let d =
+            if span <= 0. then policy.base_delay_ms
+            else policy.base_delay_ms +. Prng.float rng span
+          in
+          Float.min policy.max_delay_ms d
+        end
+      in
+      go (attempt + 1) (Float.max delay policy.base_delay_ms) (delay :: acc)
+    end
+  in
+  go 1 0. []
+
+module Breaker = struct
+  let threshold = 3
+
+  type state = Closed | Open
+
+  let lock = Mutex.create ()
+  let failures : (string, int) Hashtbl.t = Hashtbl.create 16
+  let opened = Obs.Metrics.counter "breaker.opened"
+
+  let failure key =
+    Mutex.lock lock;
+    let n = (try Hashtbl.find failures key with Not_found -> 0) + 1 in
+    Hashtbl.replace failures key n;
+    if n = threshold then Obs.Metrics.incr opened;
+    Mutex.unlock lock
+
+  let success key =
+    Mutex.lock lock;
+    Hashtbl.remove failures key;
+    Mutex.unlock lock
+
+  let state key =
+    Mutex.lock lock;
+    let n = try Hashtbl.find failures key with Not_found -> 0 in
+    Mutex.unlock lock;
+    if n >= threshold then Open else Closed
+
+  let reset_all () =
+    Mutex.lock lock;
+    Hashtbl.reset failures;
+    Mutex.unlock lock
+end

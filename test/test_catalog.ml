@@ -440,10 +440,179 @@ let catalog_tests =
         | Error _ -> ());
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Crash safety, self-healing and offline repair                       *)
+
+let manifest_path cat =
+  Filename.concat (Oqf_catalog.Catalog.dir cat) "CATALOG"
+
+let index_path cat source =
+  let e = Option.get (Oqf_catalog.Catalog.find cat source) in
+  Filename.concat (Oqf_catalog.Catalog.dir cat) e.Oqf_catalog.Catalog.index_file
+
+(* damage an index file in a checksum-detectable way: flip one byte in
+   the marshalled payload *)
+let bit_flip_index cat source =
+  let idx = index_path cat source in
+  let raw = Bytes.of_string (read_file idx) in
+  let pos = Bytes.length raw - 7 in
+  Bytes.set raw pos (Char.chr (Char.code (Bytes.get raw pos) lxor 0x01));
+  write_file idx (Bytes.to_string raw);
+  Oqf_catalog.Instance_cache.remove (Oqf_catalog.Catalog.cache cat) source
+
+let setup_two_file_catalog () =
+  let dir = temp_dir () in
+  let a = Filename.concat dir "a.log" in
+  let b = Filename.concat dir "b.log" in
+  write_file a (log_text 8);
+  write_file b (log_text 5);
+  let cat = or_fail (Oqf_catalog.Catalog.init (Filename.concat dir "cat")) in
+  let (_ : Oqf_catalog.Catalog.entry) =
+    or_fail (Oqf_catalog.Catalog.add cat ~schema:"log" a)
+  in
+  let (_ : Oqf_catalog.Catalog.entry) =
+    or_fail (Oqf_catalog.Catalog.add cat ~schema:"log" b)
+  in
+  (dir, a, b, cat)
+
+let healed_counter = Obs.Metrics.counter "catalog.healed"
+
+let robustness_tests =
+  [
+    Alcotest.test_case "torn manifest: salvage, warn, rewrite" `Quick
+      (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        let manifest = manifest_path cat in
+        let raw = read_file manifest in
+        (* cut into the second entry's block, as a crash without atomic
+           rename would *)
+        write_file manifest (String.sub raw 0 (String.length raw - 15));
+        let reopened =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        (match Oqf_catalog.Catalog.entries reopened with
+        | [ e ] ->
+            Alcotest.(check string) "first entry survives" a
+              e.Oqf_catalog.Catalog.source
+        | es -> Alcotest.failf "expected 1 salvaged entry, got %d" (List.length es));
+        (match Oqf_catalog.Catalog.recovery_warnings reopened with
+        | [ _ ] -> ()
+        | _ -> Alcotest.fail "recovery must be reported");
+        (* the salvaged manifest was rewritten at once: a second open
+           is clean *)
+        let again =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        Alcotest.(check (list string))
+          "second open clean" []
+          (Oqf_catalog.Catalog.recovery_warnings again));
+    Alcotest.test_case "not-a-manifest still fails to open" `Quick (fun () ->
+        let _, _, _, cat = setup_two_file_catalog () in
+        write_file (manifest_path cat) "something else entirely\n";
+        match Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat) with
+        | Ok _ -> Alcotest.fail "bad magic must not open"
+        | Error _ -> ());
+    Alcotest.test_case "load self-heals a bit-flipped index" `Quick (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        bit_flip_index cat a;
+        let healed_before = Obs.Metrics.value healed_counter in
+        let loaded = or_fail (Oqf_catalog.Catalog.load cat a) in
+        Alcotest.(check bool)
+          "catalog.healed incremented" true
+          (Obs.Metrics.value healed_counter > healed_before);
+        let full =
+          full_instance Fschema.Log_schema.view log_keep (Pat.Text.of_file a)
+        in
+        check_equal_instances ~msg:"healed instance equals rebuild" loaded full;
+        (* the rewritten index is valid: a fresh open loads it without
+           healing again *)
+        let reopened =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        let healed_now = Obs.Metrics.value healed_counter in
+        let (_ : Pat.Instance.t) = or_fail (Oqf_catalog.Catalog.load reopened a) in
+        Alcotest.(check int) "no second heal" healed_now
+          (Obs.Metrics.value healed_counter));
+    Alcotest.test_case "load cannot heal when the source is gone" `Quick
+      (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        bit_flip_index cat a;
+        Sys.remove a;
+        match Oqf_catalog.Catalog.load cat a with
+        | Ok _ -> Alcotest.fail "no path to the data: load must fail"
+        | Error e ->
+            Alcotest.(check bool)
+              "error names the missing source" true
+              (let needle = "source file is missing" in
+               let nh = String.length e and nn = String.length needle in
+               let rec go i =
+                 if i + nn > nh then false
+                 else String.sub e i nn = needle || go (i + 1)
+               in
+               go 0));
+    Alcotest.test_case "repair heals a corrupt index in place" `Quick
+      (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        bit_flip_index cat a;
+        (match Oqf_catalog.Catalog.repair cat with
+        | [ (src, Oqf_catalog.Catalog.Healed _) ] ->
+            Alcotest.(check string) "keyed by source" a src
+        | acts -> Alcotest.failf "expected one heal, got %d actions" (List.length acts));
+        match Oqf_catalog.Catalog.status cat with
+        | [ (_, Oqf_catalog.Catalog.Fresh); (_, Oqf_catalog.Catalog.Fresh) ] -> ()
+        | _ -> Alcotest.fail "everything fresh after repair");
+    Alcotest.test_case "repair quarantines a sourceless entry and sweeps \
+                        its orphan index" `Quick (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        Sys.remove a;
+        let actions = Oqf_catalog.Catalog.repair cat in
+        let quarantined, orphans =
+          List.partition
+            (fun (_, act) ->
+              match act with
+              | Oqf_catalog.Catalog.Quarantined _ -> true
+              | _ -> false)
+            actions
+        in
+        Alcotest.(check int) "one quarantine" 1 (List.length quarantined);
+        Alcotest.(check string) "the sourceless entry" a (fst (List.hd quarantined));
+        Alcotest.(check int) "its index swept as orphan" 1 (List.length orphans);
+        (match Oqf_catalog.Catalog.entries cat with
+        | [ e ] ->
+            Alcotest.(check bool) "survivor is the other file" true
+              (e.Oqf_catalog.Catalog.source <> a)
+        | _ -> Alcotest.fail "one entry must survive");
+        Alcotest.(check (list string))
+          "no orphan files remain" []
+          (Oqf_catalog.Catalog.orphan_index_files cat));
+    Alcotest.test_case "repair on a healthy catalog is a no-op" `Quick
+      (fun () ->
+        let _, _, _, cat = setup_two_file_catalog () in
+        Alcotest.(check int) "no actions" 0
+          (List.length (Oqf_catalog.Catalog.repair cat)));
+    Alcotest.test_case "robust corpus excludes only dead entries" `Quick
+      (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        bit_flip_index cat a;
+        Sys.remove a;
+        let corpus, degraded =
+          or_fail (Oqf.Corpus.of_catalog_robust cat ~schema:"log")
+        in
+        Alcotest.(check int) "one file served" 1
+          (List.length (Oqf.Corpus.files corpus));
+        match degraded with
+        | [ d ] ->
+            Alcotest.(check string) "the dead entry" a d.Oqf.Degrade.file;
+            Alcotest.(check bool) "excluded" true
+              (d.Oqf.Degrade.action = Oqf.Degrade.Excluded)
+        | _ -> Alcotest.fail "one exclusion note expected");
+  ]
+
 let suites =
   [
     ("catalog.incremental", incremental_tests);
     ("catalog.index_store", index_store_tests);
     ("catalog.cache", cache_tests);
     ("catalog.catalog", catalog_tests);
+    ("catalog.robustness", robustness_tests);
   ]

@@ -548,6 +548,238 @@ let workload_labelled_histograms () =
     "unlabelled alias still recorded" true
     (List.mem "query.latency_ms" names)
 
+(* ------------------------------------------------------------------ *)
+(* Fail policies and fault recovery                                    *)
+
+let with_faults spec f =
+  match Stdx.Fault.parse spec with
+  | Error e -> Alcotest.failf "fault spec %S rejected: %s" spec e
+  | Ok config ->
+      Stdx.Fault.set (Some config);
+      Stdx.Retry.Breaker.reset_all ();
+      Fun.protect
+        ~finally:(fun () ->
+          Stdx.Fault.set None;
+          Stdx.Retry.Breaker.reset_all ())
+        f
+
+let error_query = {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+
+let pool_worker_survives_raising_tasks () =
+  (* one worker, raising tasks interleaved with good ones: if the
+     worker died on the first failure, the later awaits would hang *)
+  Exec.Pool.with_pool ~jobs:1 @@ fun pool ->
+  match
+    Exec.Pool.run_all pool
+      [
+        (fun () -> failwith "task 1 dies");
+        (fun () -> 42);
+        (fun () -> raise Not_found);
+        (fun () -> 7);
+      ]
+  with
+  | [ Error _; Ok 42; Error _; Ok 7 ] -> ()
+  | rs -> Alcotest.failf "unexpected results (%d)" (List.length rs)
+
+let degrade_falls_back_to_naive () =
+  let corpus = log_corpus [ 10; 6 ] in
+  let q = Odb.Query_parser.parse_exn error_query in
+  let reference = or_fail (Oqf.Corpus.run corpus q) in
+  with_faults "permanent:1.0,only:pool.task" (fun () ->
+      (* every pool task and the coordinator's shard retry fail, so
+         every file must come back through the naive scan — with the
+         same rows as the fault-free run *)
+      let out =
+        or_fail
+          (Exec.Driver.run_parallel ~jobs:2
+             ~fail_policy:Exec.Driver.Degrade corpus q)
+      in
+      Alcotest.check rows_t "rows identical to fault-free"
+        reference.Oqf.Corpus.rows out.Exec.Driver.rows;
+      Alcotest.(check bool) "degradation reported" true
+        (out.Exec.Driver.degraded <> []);
+      Alcotest.(check bool) "naive fallbacks present" true
+        (List.exists
+           (fun d -> d.Oqf.Degrade.action = Oqf.Degrade.Naive_fallback)
+           out.Exec.Driver.degraded))
+
+let partial_excludes_failed_files () =
+  let corpus = log_corpus [ 10; 6 ] in
+  let q = Odb.Query_parser.parse_exn error_query in
+  with_faults "permanent:1.0,only:pool.task" (fun () ->
+      let out =
+        or_fail
+          (Exec.Driver.run_parallel ~jobs:2
+             ~fail_policy:Exec.Driver.Partial corpus q)
+      in
+      Alcotest.check rows_t "no rows survive" [] out.Exec.Driver.rows;
+      Alcotest.(check bool) "every file excluded" true
+        (List.for_all
+           (fun d ->
+             d.Oqf.Degrade.action = Oqf.Degrade.Excluded
+             || d.Oqf.Degrade.action = Oqf.Degrade.Shard_retried)
+           out.Exec.Driver.degraded
+        && List.exists
+             (fun d -> d.Oqf.Degrade.action = Oqf.Degrade.Excluded)
+             out.Exec.Driver.degraded))
+
+let fail_fast_still_fails () =
+  let corpus = log_corpus [ 10; 6 ] in
+  let q = Odb.Query_parser.parse_exn error_query in
+  with_faults "permanent:1.0,only:pool.task" (fun () ->
+      match Exec.Driver.run_parallel ~jobs:2 corpus q with
+      | Ok _ -> Alcotest.fail "fail-fast must surface the task failure"
+      | Error e ->
+          Alcotest.(check bool) "attributed to a shard" true
+            (Astring.String.is_infix ~affix:"shard" e))
+
+let degrade_aborts_query_defects () =
+  (* a query-level defect fails under every policy: degrading it away
+     would silently return nothing *)
+  let corpus = log_corpus [ 4 ] in
+  let q = Odb.Query_parser.parse_exn {|SELECT x FROM Nope x|} in
+  match
+    Exec.Driver.run_parallel ~jobs:2 ~fail_policy:Exec.Driver.Degrade corpus q
+  with
+  | Ok _ -> Alcotest.fail "expected a query-level failure"
+  | Error e ->
+      Alcotest.(check bool) "names the unknown class" true
+        (Astring.String.is_infix ~affix:"unknown class" e)
+
+let transient_faults_are_invisible () =
+  (* a recoverable schedule (burst < retry budget) is fully masked by
+     the retry layer: same rows, no degradation, even under fail-fast *)
+  let corpus = log_corpus [ 8; 5; 3 ] in
+  let q = Odb.Query_parser.parse_exn error_query in
+  let reference = or_fail (Oqf.Corpus.run corpus q) in
+  with_faults "transient:0.4,burst:2,seed:11" (fun () ->
+      let out = or_fail (Exec.Driver.run_parallel ~jobs:3 corpus q) in
+      Alcotest.check rows_t "rows identical" reference.Oqf.Corpus.rows
+        out.Exec.Driver.rows;
+      Alcotest.(check (list string))
+        "nothing degraded" []
+        (List.map (fun d -> d.Oqf.Degrade.file) out.Exec.Driver.degraded))
+
+(* Disk-backed equivalence: build a catalog on disk, corrupt an index,
+   arm a recoverable fault schedule, and check a Degrade run still
+   returns the fault-free sequential rows at any shard count. *)
+
+let temp_dir () =
+  let path = Filename.temp_file "oqf_exec_fault" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let degrade_equals_fault_free_qcheck =
+  QCheck.Test.make ~count:12
+    ~name:"degrade under recoverable faults == fault-free run (disk catalog)"
+    QCheck.(
+      quad
+        (int_range 1 3)  (* number of files *)
+        (int_range 3 10)  (* entries per file *)
+        (int_range 1 8)  (* jobs / shard count *)
+        (int_range 0 999) (* fault schedule seed *))
+    (fun (n_files, size, jobs, seed) ->
+      (* clamp against shrinker excursions outside the range *)
+      let n_files = max 1 (min 3 n_files) in
+      let size = max 3 (min 10 size) in
+      let jobs = max 1 (min 8 jobs) in
+      let dir = temp_dir () in
+      let cat =
+        match Oqf_catalog.Catalog.init (Filename.concat dir "cat") with
+        | Ok cat -> cat
+        | Error e -> QCheck.Test.fail_reportf "init failed: %s" e
+      in
+      for i = 0 to n_files - 1 do
+        let path = Filename.concat dir (Printf.sprintf "n%d.log" i) in
+        write_file path
+          (Workload.Log_gen.generate
+             { (Workload.Log_gen.with_size (size + (i * 2))) with
+               seed = 3000 + i
+             });
+        match Oqf_catalog.Catalog.add cat ~schema:"log" path with
+        | Ok _ -> ()
+        | Error e -> QCheck.Test.fail_reportf "add failed: %s" e
+      done;
+      let q = Odb.Query_parser.parse_exn error_query in
+      let run_rows corpus fail_policy =
+        match Exec.Driver.run_parallel ~jobs:1 ~fail_policy corpus q with
+        | Ok out -> out.Exec.Driver.rows
+        | Error e -> QCheck.Test.fail_reportf "reference run failed: %s" e
+      in
+      let reference =
+        match Oqf.Corpus.of_catalog cat ~schema:"log" with
+        | Ok corpus -> run_rows corpus Exec.Driver.Fail_fast
+        | Error e -> QCheck.Test.fail_reportf "of_catalog failed: %s" e
+      in
+      (* damage the first index on disk, then run from a fresh open
+         under a recoverable schedule *)
+      (match Oqf_catalog.Catalog.entries cat with
+      | e :: _ ->
+          let idx =
+            Filename.concat (Oqf_catalog.Catalog.dir cat)
+              e.Oqf_catalog.Catalog.index_file
+          in
+          let ic = open_in_bin idx in
+          let raw = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          write_file idx (String.sub raw 0 (String.length raw * 2 / 3))
+      | [] -> QCheck.Test.fail_reportf "catalog unexpectedly empty");
+      let spec = Printf.sprintf "transient:0.2,burst:2,seed:%d" seed in
+      let config =
+        match Stdx.Fault.parse spec with
+        | Ok c -> c
+        | Error e -> QCheck.Test.fail_reportf "spec rejected: %s" e
+      in
+      Stdx.Fault.set (Some config);
+      Stdx.Retry.Breaker.reset_all ();
+      Fun.protect
+        ~finally:(fun () ->
+          Stdx.Fault.set None;
+          Stdx.Retry.Breaker.reset_all ())
+        (fun () ->
+          let cat2 =
+            match
+              Oqf_catalog.Catalog.open_dir (Filename.concat dir "cat")
+            with
+            | Ok cat -> cat
+            | Error e -> QCheck.Test.fail_reportf "reopen failed: %s" e
+          in
+          let corpus, lost =
+            match Oqf.Corpus.of_catalog_robust cat2 ~schema:"log" with
+            | Ok r -> r
+            | Error e ->
+                QCheck.Test.fail_reportf "robust corpus failed: %s" e
+          in
+          if lost <> [] then
+            QCheck.Test.fail_reportf
+              "the corrupt index must heal, not exclude (seed=%d)" seed;
+          let out =
+            match
+              Exec.Driver.run_parallel ~jobs
+                ~fail_policy:Exec.Driver.Degrade corpus q
+            with
+            | Ok out -> out
+            | Error e ->
+                QCheck.Test.fail_reportf "degrade run failed: %s" e
+          in
+          if
+            not
+              (List.equal
+                 (fun (f1, r1) (f2, r2) ->
+                   String.equal f1 f2 && List.equal Odb.Value.equal r1 r2)
+                 reference out.Exec.Driver.rows)
+          then
+            QCheck.Test.fail_reportf
+              "rows differ (files=%d size=%d jobs=%d seed=%d)" n_files size
+              jobs seed;
+          true))
+
 let suites =
   [
     ( "exec.shard",
@@ -602,5 +834,20 @@ let suites =
           batch_runs_all_queries;
         Alcotest.test_case "workload-labelled histograms" `Quick
           workload_labelled_histograms;
+      ] );
+    ( "exec.robustness",
+      [
+        Alcotest.test_case "worker survives raising tasks" `Quick
+          pool_worker_survives_raising_tasks;
+        Alcotest.test_case "degrade falls back to naive scan" `Quick
+          degrade_falls_back_to_naive;
+        Alcotest.test_case "partial excludes failed files" `Quick
+          partial_excludes_failed_files;
+        Alcotest.test_case "fail-fast still fails" `Quick fail_fast_still_fails;
+        Alcotest.test_case "query defects abort under degrade" `Quick
+          degrade_aborts_query_defects;
+        Alcotest.test_case "recoverable faults are invisible" `Quick
+          transient_faults_are_invisible;
+        QCheck_alcotest.to_alcotest degrade_equals_fault_free_qcheck;
       ] );
   ]

@@ -325,6 +325,175 @@ let stats_tests =
         Alcotest.(check int) "bytes_scanned" 17 d.Stdx.Stats.bytes_scanned);
   ]
 
+(* --- fault injection and retry ------------------------------------- *)
+
+let with_faults spec f =
+  match Stdx.Fault.parse spec with
+  | Error e -> Alcotest.failf "fault spec %S rejected: %s" spec e
+  | Ok config ->
+      Stdx.Fault.set (Some config);
+      Fun.protect ~finally:(fun () -> Stdx.Fault.set None) f
+
+(* how many of [n] visits to [site] inject, resetting nothing *)
+let injected_count site n =
+  let hits = ref 0 in
+  for _ = 1 to n do
+    match Stdx.Fault.hit site with
+    | () -> ()
+    | exception Stdx.Fault.Injected _ -> incr hits
+  done;
+  !hits
+
+let fault_tests =
+  [
+    Alcotest.test_case "parse rejects malformed directives" `Quick (fun () ->
+        List.iter
+          (fun spec ->
+            match Stdx.Fault.parse spec with
+            | Ok _ -> Alcotest.failf "spec %S should not parse" spec
+            | Error _ -> ())
+          [
+            ""; "transient"; "transient:nope"; "transient:1.5"; "bogus:1";
+            "crash:site"; "delay:0.5"; "burst:0"; "seed:x";
+          ]);
+    Alcotest.test_case "parse accepts the documented forms" `Quick (fun () ->
+        List.iter
+          (fun spec ->
+            match Stdx.Fault.parse spec with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "spec %S rejected: %s" spec e)
+          [
+            "transient:0.05,seed:42"; "permanent:1.0,only:pool.task";
+            "corrupt:0.1,burst:2"; "delay:0.5@3"; "crash:catalog.write@1";
+          ]);
+    Alcotest.test_case "equal seeds replay equal schedules" `Quick (fun () ->
+        let run () =
+          with_faults "transient:0.3,seed:9" (fun () -> injected_count "t.site" 200)
+        in
+        let a = run () and b = run () in
+        Alcotest.(check bool) "some injections" true (a > 0 && a < 200);
+        Alcotest.(check int) "replayed" a b);
+    Alcotest.test_case "burst caps consecutive injections" `Quick (fun () ->
+        with_faults "transient:1.0,burst:2,seed:1" (fun () ->
+            (* p=1 without the cap would inject every visit; with
+               burst:2 every third visit must get through *)
+            let consec = ref 0 and worst = ref 0 in
+            for _ = 1 to 50 do
+              match Stdx.Fault.hit "t.burst" with
+              | () -> consec := 0
+              | exception Stdx.Fault.Injected _ ->
+                  incr consec;
+                  if !consec > !worst then worst := !consec
+            done;
+            Alcotest.(check int) "longest run" 2 !worst));
+    Alcotest.test_case "only: restricts the site" `Quick (fun () ->
+        with_faults "permanent:1.0,only:t.a" (fun () ->
+            Alcotest.(check int) "other site clean" 0 (injected_count "t.b" 50);
+            Alcotest.(check bool) "named site injects" true
+              (injected_count "t.a" 5 > 0)));
+    Alcotest.test_case "corrupting flips one byte under corrupt:1" `Quick
+      (fun () ->
+        let payload = String.make 64 'x' in
+        with_faults "corrupt:1.0" (fun () ->
+            let damaged = Stdx.Fault.corrupting "t.c" payload in
+            Alcotest.(check bool) "changed" true (damaged <> payload);
+            Alcotest.(check int) "same length" (String.length payload)
+              (String.length damaged));
+        Alcotest.(check string) "disabled is identity" payload
+          (Stdx.Fault.corrupting "t.c" payload));
+  ]
+
+let quick_policy =
+  { Stdx.Retry.attempts = 4; base_delay_ms = 0.01; max_delay_ms = 0.05 }
+
+let retry_tests =
+  [
+    Alcotest.test_case "classify_exn follows the taxonomy" `Quick (fun () ->
+        let k = Stdx.Retry.classify_exn in
+        Alcotest.(check bool) "injected transient" true
+          (k (Stdx.Fault.Injected { site = "s"; kind = Stdx.Fault.Transient })
+          = Stdx.Fault.Transient);
+        Alcotest.(check bool) "injected corruption" true
+          (k (Stdx.Fault.Injected { site = "s"; kind = Stdx.Fault.Corruption })
+          = Stdx.Fault.Corruption);
+        Alcotest.(check bool) "sys_error transient" true
+          (k (Sys_error "eintr") = Stdx.Fault.Transient);
+        Alcotest.(check bool) "anything else permanent" true
+          (k (Failure "boom") = Stdx.Fault.Permanent));
+    Alcotest.test_case "io masks transients within the budget" `Quick
+      (fun () ->
+        with_faults "transient:1.0,burst:2,seed:3" (fun () ->
+            let calls = ref 0 in
+            let v =
+              Stdx.Retry.io ~policy:quick_policy ~site:"t.retry" (fun () ->
+                  incr calls;
+                  Stdx.Fault.hit "t.retry";
+                  41 + 1)
+            in
+            Alcotest.(check int) "value" 42 v;
+            Alcotest.(check int) "third try got through" 3 !calls));
+    Alcotest.test_case "io re-raises once the budget is spent" `Quick
+      (fun () ->
+        with_faults "transient:1.0,seed:3" (fun () ->
+            let calls = ref 0 in
+            match
+              Stdx.Retry.io ~policy:quick_policy ~site:"t.spent" (fun () ->
+                  incr calls;
+                  Stdx.Fault.hit "t.spent")
+            with
+            | () -> Alcotest.fail "should have raised"
+            | exception Stdx.Fault.Injected _ ->
+                Alcotest.(check int) "all attempts used"
+                  quick_policy.Stdx.Retry.attempts !calls));
+    Alcotest.test_case "io does not retry permanent failures" `Quick
+      (fun () ->
+        with_faults "permanent:1.0,seed:3" (fun () ->
+            let calls = ref 0 in
+            match
+              Stdx.Retry.io ~policy:quick_policy ~site:"t.perm" (fun () ->
+                  incr calls;
+                  Stdx.Fault.hit "t.perm")
+            with
+            | () -> Alcotest.fail "should have raised"
+            | exception Stdx.Fault.Injected _ ->
+                Alcotest.(check int) "single attempt" 1 !calls));
+    Alcotest.test_case "backoff schedule has the decorrelated shape" `Quick
+      (fun () ->
+        let policy =
+          { Stdx.Retry.attempts = 6; base_delay_ms = 1.0; max_delay_ms = 8.0 }
+        in
+        let delays = Stdx.Retry.backoff_schedule ~policy "t.shape" in
+        Alcotest.(check int) "one sleep per retry" 5 (List.length delays);
+        let prev = ref policy.Stdx.Retry.base_delay_ms in
+        List.iter
+          (fun d ->
+            let hi = Float.min policy.Stdx.Retry.max_delay_ms (3.0 *. !prev) in
+            if d < policy.Stdx.Retry.base_delay_ms || d > hi then
+              Alcotest.failf "delay %.3f outside [%.3f, %.3f]" d
+                policy.Stdx.Retry.base_delay_ms hi;
+            prev := d)
+          delays;
+        Alcotest.(check (list (float 0.)))
+          "reproducible" delays
+          (Stdx.Retry.backoff_schedule ~policy "t.shape"));
+    Alcotest.test_case "breaker opens at the threshold and resets" `Quick
+      (fun () ->
+        Stdx.Retry.Breaker.reset_all ();
+        Fun.protect ~finally:Stdx.Retry.Breaker.reset_all (fun () ->
+            let key = "t.breaker" in
+            for _ = 1 to Stdx.Retry.Breaker.threshold - 1 do
+              Stdx.Retry.Breaker.failure key
+            done;
+            Alcotest.(check bool) "still closed" true
+              (Stdx.Retry.Breaker.state key = Stdx.Retry.Breaker.Closed);
+            Stdx.Retry.Breaker.failure key;
+            Alcotest.(check bool) "open" true
+              (Stdx.Retry.Breaker.state key = Stdx.Retry.Breaker.Open);
+            Stdx.Retry.Breaker.success key;
+            Alcotest.(check bool) "success closes" true
+              (Stdx.Retry.Breaker.state key = Stdx.Retry.Breaker.Closed)));
+  ]
+
 let suites =
   [
     ("stdx.prng", prng_tests);
@@ -334,4 +503,6 @@ let suites =
     ("stdx.range_minmax", List.map QCheck_alcotest.to_alcotest range_minmax_tests);
     ("stdx.zipf", zipf_tests);
     ("stdx.stats", stats_tests);
+    ("stdx.fault", fault_tests);
+    ("stdx.retry", retry_tests);
   ]
