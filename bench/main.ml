@@ -939,12 +939,224 @@ let run_bechamel () =
         (Test.elements test))
     (bechamel_tests ())
 
+(* ------------------------------------------------------------------ *)
+(* S1 — serving queries: a warm `oqf serve` daemon vs repeated CLI
+   invocation.  The daemon opens the catalog once and keeps the
+   instance and result caches warm across requests; every CLI
+   invocation pays process start, catalog open and cache warm-up.
+   Measured client-side over the Unix-domain socket at 1/8/64
+   concurrent clients, plus an overload run (max_active=1, queue=0)
+   showing a full admission queue answers typed rejections, not
+   hangs. *)
+
+let s1_queries =
+  [|
+    {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|};
+    {|SELECT e.Service FROM Entries e WHERE e.Level = "WARN"|};
+    {|SELECT e FROM Entries e WHERE e.Level = "FATAL"|};
+  |]
+
+let s1_pct sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let s1_fail = function Ok x -> x | Error e -> failwith e
+
+let s1_setup () =
+  let dir = fresh_dir () in
+  let catdir = Filename.concat dir "cat" in
+  let cat = s1_fail (Oqf_catalog.Catalog.init catdir) in
+  for i = 0 to 3 do
+    let p = Filename.concat dir (Printf.sprintf "node%d.log" i) in
+    write_file p
+      (Workload.Log_gen.generate
+         { (Workload.Log_gen.with_size 600) with seed = 7000 + i });
+    ignore (s1_fail (Oqf_catalog.Catalog.add cat ~schema:"log" p))
+  done;
+  (dir, catdir)
+
+let s1_query_req text =
+  Serve.Protocol.Query
+    { schema = "log"; text; timeout_ms = None; fail_policy = None; force = false }
+
+(* [clients] threads, [reps] requests each; returns (sorted latencies
+   in ms, wall-clock ms for the whole level) *)
+let s1_run_daemon ~socket ~clients ~reps =
+  let lats = Array.make clients [] in
+  let t0 = Obs.Trace.now_ms () in
+  let threads =
+    List.init clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let c = s1_fail (Serve.Client.connect ~wait_ms:5000. socket) in
+            let acc = ref [] in
+            for r = 0 to reps - 1 do
+              let q = s1_queries.((ci + r) mod Array.length s1_queries) in
+              let t = Obs.Trace.now_ms () in
+              ignore (s1_fail (Serve.Client.request c (s1_query_req q)));
+              acc := (Obs.Trace.now_ms () -. t) :: !acc
+            done;
+            Serve.Client.close c;
+            lats.(ci) <- !acc)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Obs.Trace.now_ms () -. t0 in
+  let all = Array.of_list (List.concat (Array.to_list lats)) in
+  Array.sort compare all;
+  (all, wall)
+
+let s1_cli_exe () =
+  let p =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/oqf_cli.exe"
+  in
+  if Sys.file_exists p then Some p else None
+
+let s1_run_cli ~exe ~catdir ~clients ~reps =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let lats = Array.make clients [] in
+  let t0 = Obs.Trace.now_ms () in
+  let threads =
+    List.init clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let acc = ref [] in
+            for r = 0 to reps - 1 do
+              let q = s1_queries.((ci + r) mod Array.length s1_queries) in
+              let t = Obs.Trace.now_ms () in
+              let pid =
+                Unix.create_process exe
+                  [| exe; "catalog"; "query"; "-c"; catdir; "-s"; "log"; q |]
+                  Unix.stdin devnull devnull
+              in
+              ignore (Unix.waitpid [] pid);
+              acc := (Obs.Trace.now_ms () -. t) :: !acc
+            done;
+            lats.(ci) <- !acc)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Obs.Trace.now_ms () -. t0 in
+  Unix.close devnull;
+  let all = Array.of_list (List.concat (Array.to_list lats)) in
+  Array.sort compare all;
+  (all, wall)
+
+let s1_overload ~catdir dir =
+  let socket = Filename.concat dir "ovl.sock" in
+  let config =
+    {
+      (Serve.Server.default_config ~catalog_dir:catdir ~socket_path:socket)
+      with
+      Serve.Server.max_active = 1;
+      max_queue = 0;
+      jobs = 1;
+    }
+  in
+  let server = s1_fail (Serve.Server.start config) in
+  let served = Atomic.make 0 and rejected = Atomic.make 0 in
+  let threads =
+    List.init 8 (fun ci ->
+        Thread.create
+          (fun () ->
+            let c = s1_fail (Serve.Client.connect ~wait_ms:5000. socket) in
+            for r = 0 to 49 do
+              let q = s1_queries.((ci + r) mod Array.length s1_queries) in
+              match s1_fail (Serve.Client.request c (s1_query_req q)) with
+              | events -> (
+                  match List.rev events with
+                  | Serve.Protocol.Done _ :: _ -> Atomic.incr served
+                  | Serve.Protocol.Overloaded _ :: _ -> Atomic.incr rejected
+                  | _ -> ())
+            done;
+            Serve.Client.close c)
+          ())
+  in
+  List.iter Thread.join threads;
+  Serve.Server.request_shutdown server;
+  Serve.Server.wait server;
+  (Atomic.get served, Atomic.get rejected)
+
+let s1 () =
+  heading "S1" "oqf serve: warm daemon vs repeated CLI invocation";
+  let dir, catdir = s1_setup () in
+  let socket = Filename.concat dir "oqf.sock" in
+  let config =
+    {
+      (Serve.Server.default_config ~catalog_dir:catdir ~socket_path:socket)
+      with
+      Serve.Server.max_active = 128;
+      max_queue = 256;
+      jobs = 4;
+    }
+  in
+  let server = s1_fail (Serve.Server.start config) in
+  (* warm: touch every query once so the daemon's caches are hot *)
+  ignore (s1_run_daemon ~socket ~clients:1 ~reps:(Array.length s1_queries));
+  say "%10s | %8s | %10s | %10s | %10s@." "mode" "clients" "p50 ms"
+    "p99 ms" "qps";
+  let daemon_p50_c8 = ref 0. in
+  List.iter
+    (fun (clients, reps) ->
+      let lats, wall = s1_run_daemon ~socket ~clients ~reps in
+      let p50 = s1_pct lats 50. and p99 = s1_pct lats 99. in
+      let qps = float_of_int (Array.length lats) /. (wall /. 1000.) in
+      if clients = 8 then daemon_p50_c8 := p50;
+      record (Printf.sprintf "S1_daemon_p50_ms_c%d" clients) p50;
+      record (Printf.sprintf "S1_daemon_p99_ms_c%d" clients) p99;
+      record (Printf.sprintf "S1_daemon_qps_c%d" clients) qps;
+      say "%10s | %8d | %10.3f | %10.3f | %10.0f@." "daemon" clients p50 p99
+        qps)
+    [ (1, 100); (8, 40); (64, 8) ];
+  Serve.Server.request_shutdown server;
+  Serve.Server.wait server;
+  (match s1_cli_exe () with
+  | None -> say "(oqf_cli.exe not found next to the bench; skipping CLI baseline)@."
+  | Some exe ->
+      List.iter
+        (fun (clients, reps) ->
+          let lats, wall = s1_run_cli ~exe ~catdir ~clients ~reps in
+          let p50 = s1_pct lats 50. and p99 = s1_pct lats 99. in
+          let qps = float_of_int (Array.length lats) /. (wall /. 1000.) in
+          record (Printf.sprintf "S1_cli_p50_ms_c%d" clients) p50;
+          record (Printf.sprintf "S1_cli_p99_ms_c%d" clients) p99;
+          record (Printf.sprintf "S1_cli_qps_c%d" clients) qps;
+          if clients = 8 && !daemon_p50_c8 > 0. then begin
+            let speedup = p50 /. !daemon_p50_c8 in
+            record "S1_speedup_p50_c8" speedup;
+            say "%10s | %8d | %10.3f | %10.3f | %10.0f@." "cli" clients p50
+              p99 qps;
+            say "warm daemon p50 at 8 clients is %.1fx better than repeated CLI%s@."
+              speedup
+              (if speedup >= 5. then " (>= 5x)" else " (< 5x!)")
+          end
+          else
+            say "%10s | %8d | %10.3f | %10.3f | %10.0f@." "cli" clients p50
+              p99 qps)
+        [ (1, 5); (8, 3) ]);
+  let served, rejected = s1_overload ~catdir dir in
+  record "S1_overload_served" (float_of_int served);
+  record "S1_overload_rejected" (float_of_int rejected);
+  say
+    "overload (max_active=1, queue=0, 8 clients x 50): %d served, %d typed \
+     rejections, 0 hangs@."
+    served rejected
+
 let () =
   say "Reproduction benches for 'Optimizing Queries on Files' (SIGMOD 1994)@.";
   (* `main.exe r1` runs just the robustness bench — the CI gate *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "r1" then begin
     r1 ();
     emit_json ~only_prefix:"R1_" "BENCH_robust.json"
+  end
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "s1" then begin
+    s1 ();
+    emit_json ~only_prefix:"S1_" "BENCH_serve.json"
   end
   else begin
     e1 ();
@@ -960,10 +1172,12 @@ let () =
     o1 ();
     p1 ();
     r1 ();
+    s1 ();
     run_bechamel ();
     emit_json ~only_prefix:"C1_" "BENCH_catalog.json";
     emit_json ~only_prefix:"O1_" "BENCH_obs.json";
     emit_json ~only_prefix:"P1_" "BENCH_parallel.json";
-    emit_json ~only_prefix:"R1_" "BENCH_robust.json"
+    emit_json ~only_prefix:"R1_" "BENCH_robust.json";
+    emit_json ~only_prefix:"S1_" "BENCH_serve.json"
   end;
   say "@.done.@."

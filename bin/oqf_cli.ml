@@ -1082,6 +1082,194 @@ let advise_cmd =
        ~doc:"Compute a sufficient index set for a query workload (§7).")
     Term.(const run $ schema_arg $ queries)
 
+(* --- serve / client ------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let http_port =
+    let doc = "Also serve the protocol over HTTP on 127.0.0.1:$(docv)." in
+    Arg.(value & opt (some int) None & info [ "http" ] ~docv:"PORT" ~doc)
+  in
+  let max_active =
+    let doc = "Concurrently executing requests (admission slots)." in
+    Arg.(value & opt int 8 & info [ "max-active" ] ~docv:"N" ~doc)
+  in
+  let max_queue =
+    let doc =
+      "Admission queue bound; a request arriving with the queue full is \
+       answered with a typed $(b,overloaded) event instead of waiting."
+    in
+    Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let timeout =
+    let doc =
+      "Default per-file deadline in milliseconds for requests that carry \
+       none."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let drain =
+    let doc = "Shutdown grace for in-flight requests (milliseconds)." in
+    Arg.(value & opt float 2000. & info [ "drain-ms" ] ~docv:"MS" ~doc)
+  in
+  let run catalog_dir socket http_port jobs max_active max_queue timeout
+      fail_policy drain faults metrics =
+    install_faults faults;
+    let jobs = resolve_jobs jobs in
+    let fail_policy = resolve_fail_policy fail_policy in
+    let config =
+      {
+        Serve.Server.socket_path = socket;
+        http_port;
+        catalog_dir;
+        jobs;
+        max_active;
+        max_queue;
+        default_timeout_ms = timeout;
+        default_fail_policy = fail_policy;
+        drain_ms = drain;
+      }
+    in
+    or_die (Serve.Server.run config);
+    dump_metrics_if metrics
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived query daemon: load the catalog once, keep its \
+          caches warm, admit concurrent clients onto a shared worker pool \
+          and stream each file's answer rows while later files are still \
+          scanning.  Speaks newline-delimited JSON over a Unix-domain \
+          socket (and optionally HTTP).  SIGINT/SIGTERM drain in-flight \
+          requests before exiting.")
+    Term.(
+      const run $ catalog_dir_arg $ socket_arg $ http_port $ jobs_arg
+      $ max_active $ max_queue $ timeout $ fail_policy_arg $ drain
+      $ faults_arg $ metrics_arg)
+
+let client_cmd =
+  let op_arg =
+    let doc =
+      "Operation: $(b,ping), $(b,query), $(b,rexpr), $(b,stats) or \
+       $(b,shutdown)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let text_arg =
+    let doc = "The query (for $(b,query)) or region expression (for \
+               $(b,rexpr))." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"TEXT" ~doc)
+  in
+  let schema_opt =
+    let doc = "Structuring schema of the corpus to query." in
+    Arg.(value & opt (some string) None & info [ "s"; "schema" ] ~doc)
+  in
+  let timeout =
+    let doc = "Per-file deadline in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let connect_wait =
+    let doc =
+      "Keep retrying the connection for $(docv) ms before failing — covers \
+       racing a daemon that is still starting."
+    in
+    Arg.(value & opt float 2000. & info [ "connect-wait-ms" ] ~docv:"MS" ~doc)
+  in
+  let fail_policy_opt =
+    let doc = "Per-request failure policy (defaults to the server's)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fail-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let run socket op text schema timeout fail_policy force connect_wait =
+    let conn = or_die (Serve.Client.connect ~wait_ms:connect_wait socket) in
+    let query_req () =
+      let schema =
+        match schema with
+        | Some s -> s
+        | None -> or_die (Error "missing --schema")
+      in
+      let text =
+        match text with
+        | Some t -> t
+        | None -> or_die (Error ("missing " ^ op ^ " text argument"))
+      in
+      {
+        Serve.Protocol.schema;
+        text;
+        timeout_ms = timeout;
+        fail_policy =
+          Option.map
+            (fun p -> or_die (Exec.Driver.fail_policy_of_string p))
+            fail_policy;
+        force;
+      }
+    in
+    let req =
+      match op with
+      | "ping" -> Serve.Protocol.Ping
+      | "stats" -> Serve.Protocol.Stats
+      | "shutdown" -> Serve.Protocol.Shutdown
+      | "query" -> Serve.Protocol.Query (query_req ())
+      | "rexpr" -> Serve.Protocol.Rexpr (query_req ())
+      | op -> or_die (Error (Printf.sprintf "unknown operation %S" op))
+    in
+    let rows = ref 0 in
+    let failed = ref false in
+    let on_event (ev : Serve.Protocol.response) =
+      match ev with
+      | Serve.Protocol.Row { file; values; _ } ->
+          incr rows;
+          Printf.printf "%s: %s\n" file (String.concat " | " values)
+      | Serve.Protocol.Region { file; start; stop; _ } ->
+          incr rows;
+          Printf.printf "%s: [%d,%d]\n" file start stop
+      | Serve.Protocol.Done { rows; cached; degraded; _ } ->
+          List.iter
+            (fun (file, action, detail) ->
+              Printf.eprintf "oqf: degraded %s: %s: %s\n" file action detail)
+            degraded;
+          Printf.printf "-- %d %s%s\n" rows
+            (if op = "rexpr" then "regions" else "rows")
+            (if cached then " (cached)" else "")
+      | Serve.Protocol.Diagnostics { diagnostics; _ } ->
+          List.iter
+            (fun d -> print_endline (Serve.Jsonx.to_string d))
+            diagnostics;
+          failed := true
+      | Serve.Protocol.Overloaded { active; queued; _ } ->
+          Printf.eprintf "oqf: overloaded (active=%d queued=%d)\n" active
+            queued;
+          failed := true
+      | Serve.Protocol.Failed { message; _ } ->
+          Printf.eprintf "oqf: %s\n" message;
+          failed := true
+      | Serve.Protocol.Pong _ -> print_endline "pong"
+      | Serve.Protocol.Stats_reply { payload; _ } ->
+          print_endline (Serve.Jsonx.to_string payload)
+      | Serve.Protocol.Bye _ -> print_endline "bye"
+    in
+    (match Serve.Client.stream conn req ~on_event with
+    | Ok _ -> ()
+    | Error e ->
+        Serve.Client.close conn;
+        or_die (Error e));
+    Serve.Client.close conn;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running $(b,oqf serve) daemon: ping it, stream a query \
+          or region expression, read its metrics, or ask it to shut down.")
+    Term.(
+      const run $ socket_arg $ op_arg $ text_arg $ schema_opt $ timeout
+      $ fail_policy_opt $ force_arg $ connect_wait)
+
 let () =
   let info =
     Cmd.info "oqf" ~version:"1.0.0"
@@ -1092,6 +1280,7 @@ let () =
       [
         generate_cmd; index_cmd; query_cmd; explain_cmd; check_cmd;
         advise_cmd; schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd; batch_cmd;
+        serve_cmd; client_cmd;
       ]
   in
   (* [~catch:false] so engine exceptions become one-line errors with

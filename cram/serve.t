@@ -1,0 +1,62 @@
+The query daemon, end to end: start `oqf serve` on a catalog, stream
+queries and region expressions from a client over the Unix-domain
+socket, and shut it down gracefully.
+
+Build a catalog of two log files:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 8 --seed 5 -o app.log
+  wrote 829 bytes to app.log
+  $ ../bin/oqf_cli.exe generate -k log -n 6 --seed 9 -o web.log
+  wrote 623 bytes to web.log
+  $ ../bin/oqf_cli.exe catalog init cat
+  initialized empty catalog in cat
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log app.log
+  added app.log (schema log): 5 region names indexed
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log web.log
+  added web.log (schema log): 5 region names indexed
+
+Start the daemon in the background; the client waits for the socket:
+
+  $ ../bin/oqf_cli.exe serve -c cat --socket oqf.sock > server.log 2>&1 &
+
+  $ ../bin/oqf_cli.exe client ping --socket oqf.sock
+  pong
+
+Queries stream rows as each file settles; a repeat is answered from
+the daemon's warm result cache:
+
+  $ ../bin/oqf_cli.exe client query 'SELECT e.Service FROM Entries e WHERE e.Level = "WARN"' -s log --socket oqf.sock
+  web.log: db
+  -- 1 rows
+  $ ../bin/oqf_cli.exe client query 'SELECT e.Service FROM Entries e WHERE e.Level = "WARN"' -s log --socket oqf.sock
+  web.log: db
+  -- 1 rows (cached)
+
+Region expressions stream raw regions through the lazy evaluator:
+
+  $ ../bin/oqf_cli.exe client rexpr 'sigma["db"](Service)' -s log --socket oqf.sock
+  app.log: [359,361]
+  web.log: [145,147]
+  -- 2 regions
+
+A query that does not parse answers structured diagnostics instead of
+killing the connection; the daemon survives:
+
+  $ ../bin/oqf_cli.exe client query 'SELECT FROM nonsense' -s log --socket oqf.sock
+  {"code":"OQF000","severity":"error","message":"query parse error at 7: expected a variable"}
+  [1]
+  $ ../bin/oqf_cli.exe client ping --socket oqf.sock
+  pong
+
+Shutdown drains in-flight work and unlinks the socket:
+
+  $ ../bin/oqf_cli.exe client shutdown --socket oqf.sock
+  bye
+  $ wait
+  $ cat server.log
+  oqf serve: listening on oqf.sock
+  oqf serve: shutdown requested; draining
+  oqf serve: drained; bye
+  $ ls oqf.sock
+  ls: cannot access 'oqf.sock': No such file or directory
+  [2]

@@ -240,6 +240,27 @@ let orphan_index_files t =
              if List.mem rel referenced then None else Some rel)
       |> List.sort compare
 
+(* The cheap pre-check a long-lived server runs per request: two
+   [stat] calls, no reads, no hashing.  [false] means provably not
+   worth a refresh under the recorded metadata — the source still has
+   the recorded length and is older than its index.  [true] means the
+   full {!staleness} fingerprint (which reads and hashes the file)
+   could find something, so the caller should refresh.  The one lie
+   this can tell is a same-length in-place edit with a backdated
+   mtime; the full fingerprint path still catches that on the next
+   explicit refresh. *)
+let possibly_stale t e =
+  match Unix.stat e.source with
+  | exception Unix.Unix_error _ -> true (* source missing/unreadable *)
+  | src ->
+      if src.Unix.st_size <> e.length then true
+      else if e.version <> Pat.Index_store.format_version then true
+      else begin
+        match Unix.stat (index_path t e) with
+        | exception Unix.Unix_error _ -> true (* index missing *)
+        | idx -> src.Unix.st_mtime > idx.Unix.st_mtime
+      end
+
 let staleness t e =
   if not (Sys.file_exists e.source) then Source_missing
   else begin

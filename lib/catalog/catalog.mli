@@ -78,6 +78,17 @@ type staleness =
 val staleness : t -> entry -> staleness
 (** Fingerprint one source file against its entry. *)
 
+val possibly_stale : t -> entry -> bool
+(** A cheap, stat-only pre-check for long-lived processes: [true] when
+    the entry {e might} be stale (source or index missing, recorded
+    length or index format version differ, or the source is newer than
+    its index) and a {!refresh} is worth running; [false] when the
+    entry is provably current under the recorded metadata.  Unlike
+    {!staleness} this never reads or hashes file contents, so the
+    serve daemon can afford it on every request.  A same-length
+    in-place edit with a backdated mtime can fool it; an explicit
+    refresh still catches that case via the full fingerprint. *)
+
 val status : t -> (entry * staleness) list
 val pp_staleness : Format.formatter -> staleness -> unit
 

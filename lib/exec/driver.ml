@@ -329,6 +329,138 @@ let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms
               }
       end
 
+(* --- streaming execution: the serve daemon's per-client path ------- *)
+
+(* Cached payloads are (file, row) pairs in corpus order; re-group the
+   consecutive runs so a cache hit still streams per-file blocks. *)
+let rec emit_blocks on_rows = function
+  | [] -> ()
+  | (file, row) :: rest ->
+      let rec take acc = function
+        | (f, r) :: tl when String.equal f file -> take (r :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let file_rows, rest = take [ row ] rest in
+      on_rows ~file file_rows;
+      emit_blocks on_rows rest
+
+let run_streaming ?optimize ?force ?(lazy_phase1 = true) ?cache ?timeout_ms
+    ?(fail_policy = Fail_fast) ~pool ~on_rows corpus q =
+  let key =
+    match cache with
+    | None -> None
+    | Some c ->
+        Some (c, Rcache.key ~query:q ~fingerprint:(Rcache.fingerprint corpus))
+  in
+  match Option.bind key (fun (c, k) -> Rcache.find c k) with
+  | Some payload ->
+      emit_blocks on_rows payload;
+      Ok (cached_outcome payload)
+  | None ->
+      let before = Stdx.Stats.snapshot () in
+      let sources = Oqf.Corpus.sources corpus in
+      (* one task per file — finer than the shard-per-worker batch
+         path on purpose: file k's rows go to the client as soon as
+         its own task resolves, while later files are still scanning
+         on other workers.  The shared pool's FIFO queue is what
+         arbitrates between concurrent clients. *)
+      let handles =
+        List.map
+          (fun (name, src) ->
+            let task () =
+              Stdx.Retry.io ~site:"pool.task" (fun () ->
+                  Stdx.Fault.hit "pool.task";
+                  Oqf.Execute.run ?optimize ?force ~lazy_phase1 src q)
+            in
+            (name, src, Pool.submit ?timeout_ms pool task))
+          sources
+      in
+      let exception Abort of string in
+      let breaker_key name = "source:" ^ name in
+      let rows = ref [] in
+      let per_file = ref [] in
+      let degraded = ref [] in
+      let note d = degraded := d :: !degraded in
+      let emit name file_rows =
+        if file_rows <> [] then begin
+          rows :=
+            List.rev_append (List.map (fun r -> (name, r)) file_rows) !rows;
+          on_rows ~file:name file_rows
+        end
+      in
+      (* await in corpus order; the recovery ladder per file mirrors
+         [resolve], but rows stream as each file settles *)
+      (try
+         List.iter
+           (fun (name, (src : Oqf.Execute.source), h) ->
+             let result =
+               match Pool.await h with
+               | Ok (Ok o) -> Ok o
+               | Ok (Error e) -> Error e
+               | Error e -> Error e (* task death or deadline expiry *)
+             in
+             match result with
+             | Ok (o : Oqf.Execute.outcome) ->
+                 Stdx.Retry.Breaker.success (breaker_key name);
+                 emit name o.Oqf.Execute.rows;
+                 per_file := (name, o) :: !per_file
+             | Error e -> begin
+                 match fail_policy with
+                 | Fail_fast ->
+                     raise (Abort (Printf.sprintf "%s: %s" name e))
+                 | Partial ->
+                     Obs.Metrics.incr shard_quarantined;
+                     note (Oqf.Degrade.make ~file:name Oqf.Degrade.Excluded e)
+                 | Degrade ->
+                     if
+                       Stdx.Retry.Breaker.state (breaker_key name)
+                       = Stdx.Retry.Breaker.Open
+                     then begin
+                       Obs.Metrics.incr shard_quarantined;
+                       note
+                         (Oqf.Degrade.make ~file:name Oqf.Degrade.Excluded
+                            ("circuit open; " ^ e))
+                     end
+                     else begin
+                       match Oqf.Execute.semantic_error src.Oqf.Execute.view q with
+                       | Some se ->
+                           raise (Abort (Printf.sprintf "%s: %s" name se))
+                       | None -> begin
+                           match Oqf.Execute.run_naive ~file:name src q with
+                           | Ok nrows ->
+                               Stdx.Retry.Breaker.success (breaker_key name);
+                               emit name nrows;
+                               note
+                                 (Oqf.Degrade.make ~file:name
+                                    Oqf.Degrade.Naive_fallback e)
+                           | Error ne ->
+                               Stdx.Retry.Breaker.failure (breaker_key name);
+                               Obs.Metrics.incr shard_quarantined;
+                               note
+                                 (Oqf.Degrade.make ~file:name
+                                    Oqf.Degrade.Excluded (e ^ "; " ^ ne))
+                         end
+                     end
+               end)
+           handles;
+         let after = Stdx.Stats.snapshot () in
+         let outcome =
+           {
+             rows = List.rev !rows;
+             per_file = List.rev !per_file;
+             per_shard = [];
+             stats = Stdx.Stats.diff ~before ~after;
+             from_cache = false;
+             degraded = List.rev !degraded;
+           }
+         in
+         (match key with
+         | Some (c, k) when outcome.degraded = [] ->
+             Rcache.add c k outcome.rows
+         | _ -> ());
+         Ok outcome
+       with Abort e -> Error e)
+
 let run_batch ?optimize ?force ?jobs ?cache ?fail_policy corpus queries =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then

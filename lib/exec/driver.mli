@@ -101,6 +101,38 @@ val run_one :
     {!run_parallel} (minus the shard-retry rung — there are no
     shards). *)
 
+val run_streaming :
+  ?optimize:bool ->
+  ?force:bool ->
+  ?lazy_phase1:bool ->
+  ?cache:Rcache.t ->
+  ?timeout_ms:float ->
+  ?fail_policy:fail_policy ->
+  pool:Pool.t ->
+  on_rows:(file:string -> Odb.Query_eval.row list -> unit) ->
+  Oqf.Corpus.t ->
+  Odb.Query.t ->
+  (outcome, string) result
+(** The serve daemon's per-request path: submit one task per corpus
+    file to a {e shared} long-lived [pool] (so concurrent requests
+    interleave at file granularity instead of monopolising workers),
+    then await the handles in corpus order, calling [on_rows] with
+    each file's rows as soon as that file settles — the client streams
+    file [k]'s answers while later files are still scanning.
+    [on_rows] runs on the caller's thread and is never called with an
+    empty row list.  Phase 1 defaults to the pull-based
+    {!Ralg.Lazy_eval} ([lazy_phase1], default [true]).
+
+    The returned outcome's [rows] are identical to {!run_parallel}'s
+    for the same corpus and query (qcheck-verified).  The cache
+    protocol matches {!run_parallel}, and a hit replays the payload
+    through [on_rows] in per-file blocks.  [timeout_ms] bounds each
+    file task individually.  [fail_policy] applies the same per-file
+    ladder as {!run_parallel}; note that under [Fail_fast] an error
+    can arrive {e after} rows have already been streamed — the wire
+    protocol surfaces this as an error event terminating the row
+    stream. *)
+
 val run_batch :
   ?optimize:bool ->
   ?force:bool ->

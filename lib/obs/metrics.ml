@@ -64,7 +64,14 @@ let observe h x =
   h.values.(h.len) <- x;
   h.len <- h.len + 1
 
-type summary = { count : int; sum : float; p50 : float; p95 : float; max : float }
+type summary = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
 
 (* Nearest-rank percentile on a sorted copy of the observations. *)
 let summarize_unlocked h =
@@ -80,6 +87,7 @@ let summarize_unlocked h =
         sum = Array.fold_left ( +. ) 0.0 sorted;
         p50 = sorted.(rank 0.5);
         p95 = sorted.(rank 0.95);
+        p99 = sorted.(rank 0.99);
         max = sorted.(n - 1);
       }
   end
@@ -116,8 +124,8 @@ let dump ppf () =
           | None -> Format.fprintf ppf "%s = (no observations)@." name
           | Some s ->
               Format.fprintf ppf
-                "%s = count=%d sum=%.3f p50=%.3f p95=%.3f max=%.3f@." name
-                s.count s.sum s.p50 s.p95 s.max
+                "%s = count=%d sum=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f@."
+                name s.count s.sum s.p50 s.p95 s.p99 s.max
         end)
     (sorted_items ())
 

@@ -48,6 +48,9 @@ type summary = {
   sum : float;
   p50 : float;  (** median, nearest-rank *)
   p95 : float;  (** 95th percentile, nearest-rank *)
+  p99 : float;  (** 99th percentile, nearest-rank — tail latency under
+                    sustained serving load (the serve daemon's SLO
+                    quantile) *)
   max : float;
 }
 

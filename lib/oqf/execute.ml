@@ -264,7 +264,7 @@ let materialize_region src ~symbol (r : Pat.Region.t) =
   end
 
 let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
-    ?(force = false) src (q : Odb.Query.t) =
+    ?(force = false) ?(lazy_phase1 = false) src (q : Odb.Query.t) =
   let before = Stdx.Stats.snapshot () in
   let t0 = Obs.Trace.now_ms () in
   let root =
@@ -321,6 +321,10 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
           annots := (label, a) :: !annots;
           r
         end
+        else if lazy_phase1 then
+          (* the serve daemon's pull-based path; byte-identical to
+             eval_shared (qcheck), minus subexpression sharing *)
+          Ralg.Lazy_eval.to_set (Ralg.Lazy_eval.eval src.instance e)
         else Ralg.Eval.eval_shared src.instance e
       in
       let exception Fail of string in

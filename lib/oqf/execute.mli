@@ -67,6 +67,7 @@ val run :
   ?join_assist:bool ->
   ?explain:bool ->
   ?force:bool ->
+  ?lazy_phase1:bool ->
   source ->
   Odb.Query.t ->
   (outcome, string) result
@@ -75,7 +76,11 @@ val run :
     [false] to skip the §5.2 join refinement (benchmark E6).
     [explain] (default [false]) evaluates phase 1 through
     {!Ralg.Eval.eval_shared_annotated} and fills [annotations] — the
-    EXPLAIN ANALYZE path.
+    EXPLAIN ANALYZE path.  [lazy_phase1] (default [false]) evaluates
+    phase 1 through the pull-based {!Ralg.Lazy_eval} instead of the
+    materialized shared evaluator — same rows (qcheck-verified), no
+    common-subexpression sharing; the serve daemon's path.  Ignored
+    under [explain].
 
     Static analysis ({!Check.plan_diagnostics}) runs between compiling
     and phase 1.  Error-severity findings — the plan is provably empty

@@ -1,0 +1,315 @@
+(* Pull-based evaluation of region expressions.
+
+   GC-lists are sorted streams by construction (paper §3–§4): every
+   operator consumes and produces regions in {!Pat.Region.compare}
+   order (start ascending, stop descending).  This module mirrors
+   {!Eval} as [Seq]-style iterators so a consumer — the serve daemon's
+   streaming encoder — sees the first regions while the rest of the
+   stream is still being computed, without ever materializing the
+   intermediate GC-lists.
+
+   Streaming invariant: every stream below is strictly increasing under
+   [Region.compare], exactly like the arrays of {!Pat.Region_set}, so
+   [to_set] of any stream equals the materialized evaluator's result
+   set element for element (qcheck-verified in the test suite).
+
+   The order is load-bearing for the one-pass operators:
+   - an {e outermost} region is one whose predecessors' running maximum
+     stop falls short of its own stop — every region that includes [r]
+     precedes [r] in the order (smaller start, or equal start with
+     larger stop);
+   - dually, every region {e included in} [r] follows it, so innermost
+     runs with a bounded pending buffer: an arriving region kills the
+     pending regions that include it, and a pending region whose stop
+     precedes the arriving start can never contain a future region and
+     is safe to emit;
+   - inclusion joins keep a window of right-operand regions whose
+     starts lie within the current left region.
+
+   Direct inclusion and depth-counted inclusion are the exception: they
+   are decided against the instance universe (the paper calls ⊃d
+   "significantly more expensive than the simple inclusion operation"),
+   and the blocking test needs the full context window between the two
+   operands.  Those nodes materialize their operands and re-stream the
+   materialized result — laziness at node granularity, exactness
+   everywhere. *)
+
+module R = Pat.Region
+module Rs = Pat.Region_set
+
+type stream = R.t Seq.t
+
+let of_set set : stream =
+  let arr = Rs.to_array set in
+  let n = Array.length arr in
+  let rec from i () = if i >= n then Seq.Nil else Seq.Cons (arr.(i), from (i + 1)) in
+  from 0
+
+let to_set (s : stream) = Rs.of_list (List.of_seq s)
+
+(* ---------------- set-theoretic merges ---------------- *)
+
+(* Node-level merges: each function takes forced [Seq.node]s so no
+   thunk is forced twice (pulls carry deadline polls and counters). *)
+
+let rec union_n a b =
+  match (a, b) with
+  | Seq.Nil, n | n, Seq.Nil -> n
+  | Seq.Cons (x, a'), Seq.Cons (y, b') ->
+      let c = R.compare x y in
+      if c < 0 then Seq.Cons (x, fun () -> union_n (a' ()) b)
+      else if c > 0 then Seq.Cons (y, fun () -> union_n a (b' ()))
+      else Seq.Cons (x, fun () -> union_n (a' ()) (b' ()))
+
+let rec inter_n a b =
+  match (a, b) with
+  | Seq.Nil, _ | _, Seq.Nil -> Seq.Nil
+  | Seq.Cons (x, a'), Seq.Cons (y, b') ->
+      let c = R.compare x y in
+      if c < 0 then inter_n (a' ()) b
+      else if c > 0 then inter_n a (b' ())
+      else Seq.Cons (x, fun () -> inter_n (a' ()) (b' ()))
+
+let rec diff_n a b =
+  match (a, b) with
+  | Seq.Nil, _ -> Seq.Nil
+  | n, Seq.Nil -> n
+  | Seq.Cons (x, a'), Seq.Cons (y, b') ->
+      let c = R.compare x y in
+      if c < 0 then Seq.Cons (x, fun () -> diff_n (a' ()) b)
+      else if c > 0 then diff_n a (b' ())
+      else diff_n (a' ()) (b' ())
+
+let union a b : stream = fun () -> union_n (a ()) (b ())
+let inter a b : stream = fun () -> inter_n (a ()) (b ())
+let diff a b : stream = fun () -> diff_n (a ()) (b ())
+
+(* ---------------- word selections ---------------- *)
+
+(* The predicates replicate {!Pat.Region_set.containing_match},
+   [matching_exact] and [matching_prefix] verbatim; the match points
+   are fetched once, on the first pull. *)
+
+let select_containing wi w (s : stream) : stream =
+  let len = String.length w in
+  let pos = lazy (Pat.Word_index.match_points wi w) in
+  Seq.filter
+    (fun (reg : R.t) ->
+      let positions = Lazy.force pos in
+      let i =
+        Stdx.Sorted_array.lower_bound ~cmp:Int.compare positions reg.R.start
+      in
+      i < Array.length positions && positions.(i) + len <= reg.R.stop)
+    s
+
+let select_exact wi w (s : stream) : stream =
+  let len = String.length w in
+  let pos = lazy (Pat.Word_index.match_points wi w) in
+  Seq.filter
+    (fun (reg : R.t) ->
+      R.length reg = len
+      && Stdx.Sorted_array.mem ~cmp:Int.compare (Lazy.force pos) reg.R.start)
+    s
+
+let select_prefix wi w (s : stream) : stream =
+  let len = String.length w in
+  let pos = lazy (Pat.Word_index.prefix_points wi w) in
+  Seq.filter
+    (fun (reg : R.t) ->
+      R.length reg >= len
+      && Stdx.Sorted_array.mem ~cmp:Int.compare (Lazy.force pos) reg.R.start)
+    s
+
+(* ---------------- ι and ω ---------------- *)
+
+let outermost (s : stream) : stream =
+  (* every region including [r] precedes [r], so [r] is outermost iff
+     the running maximum stop of its predecessors is below its own *)
+  let rec go max_stop node =
+    match node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (r, rest) ->
+        if r.R.stop > max_stop then
+          Seq.Cons (r, fun () -> go r.R.stop (rest ()))
+        else go max_stop (rest ())
+  in
+  fun () -> go min_int (s ())
+
+let innermost (s : stream) : stream =
+  (* pending: regions in stream order whose innermost-ness is still
+     undecided.  An arriving region kills every pending region that
+     includes it; a pending region whose stop precedes the arriving
+     start can no longer contain a future region (future starts only
+     grow) and is emitted once it reaches the front. *)
+  let rec split_safe acc pending start =
+    match pending with
+    | (p : R.t) :: rest when p.R.stop < start ->
+        split_safe (p :: acc) rest start
+    | _ -> (List.rev acc, pending)
+  in
+  let rec emit ready pending node =
+    match ready with
+    | r :: rest -> Seq.Cons (r, fun () -> emit rest pending node)
+    | [] -> (
+        match (node, pending) with
+        | Seq.Nil, [] -> Seq.Nil
+        | Seq.Nil, _ ->
+            (* stream exhausted: nothing can kill the survivors *)
+            emit pending [] Seq.Nil
+        | _ -> step pending node)
+  and step pending node =
+    match node with
+    | Seq.Nil -> emit pending [] Seq.Nil
+    | Seq.Cons (r, rest) ->
+        let pending = List.filter (fun p -> not (R.includes p r)) pending in
+        let safe, undecided = split_safe [] pending r.R.start in
+        emit safe (undecided @ [ r ]) (rest ())
+  in
+  fun () -> step [] (s ())
+
+(* ---------------- inclusion joins ---------------- *)
+
+let included ~strict (a : stream) (b : stream) : stream =
+  (* [r ⊂ s-stream]: a witness has start ≤ r.start, so it was already
+     consumed from [b] when [r] arrives.  Two running maxima suffice:
+     [m_lt] over witnesses starting strictly before [r], [m_eq] over
+     those sharing its start — the strict variant needs the split
+     because a same-start witness with the same stop is [r] itself. *)
+  let rec go ~cur_start ~m_lt ~m_eq a_node b_node =
+    match a_node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons ((r : R.t), a') ->
+        let m_lt, m_eq =
+          if r.R.start > cur_start then (max m_lt m_eq, min_int)
+          else (m_lt, m_eq)
+        in
+        let rec pull m_lt m_eq b_node =
+          match b_node with
+          | Seq.Cons ((s : R.t), b') when s.R.start < r.R.start ->
+              pull (max m_lt s.R.stop) m_eq (b' ())
+          | Seq.Cons (s, b') when s.R.start = r.R.start ->
+              pull m_lt (max m_eq s.R.stop) (b' ())
+          | _ -> (m_lt, m_eq, b_node)
+        in
+        let m_lt, m_eq, b_node = pull m_lt m_eq b_node in
+        let keep =
+          m_lt >= r.R.stop
+          || (if strict then m_eq > r.R.stop else m_eq >= r.R.stop)
+        in
+        let continue_ () =
+          go ~cur_start:r.R.start ~m_lt ~m_eq (a' ()) b_node
+        in
+        if keep then Seq.Cons (r, continue_) else continue_ ()
+  in
+  fun () -> go ~cur_start:min_int ~m_lt:min_int ~m_eq:min_int (a ()) (b ())
+
+let including ~strict (a : stream) (b : stream) : stream =
+  (* [r ⊃ s-stream]: a witness starts within [r]'s extent.  Keep a
+     queue (front, reversed back) of consumed [b]-regions; sortedness
+     means pruning the front is enough — if the front starts at or
+     after [r.start], so does everything behind it. *)
+  let rec go front back a_node b_node =
+    match a_node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons ((r : R.t), a') ->
+        let rec prune front back =
+          match front with
+          | (s : R.t) :: front' when s.R.start < r.R.start -> prune front' back
+          | [] when back <> [] -> prune (List.rev back) []
+          | _ -> (front, back)
+        in
+        let front, back = prune front back in
+        let rec pull back b_node =
+          match b_node with
+          | Seq.Cons ((s : R.t), b') when s.R.start <= r.R.stop ->
+              if s.R.start < r.R.start then pull back (b' ())
+              else pull (s :: back) (b' ())
+          | _ -> (back, b_node)
+        in
+        let back, b_node = pull back b_node in
+        let witness (s : R.t) =
+          s.R.stop <= r.R.stop && ((not strict) || not (R.equal s r))
+        in
+        let keep = List.exists witness front || List.exists witness back in
+        if keep then Seq.Cons (r, fun () -> go front back (a' ()) b_node)
+        else go front back (a' ()) b_node
+  in
+  fun () -> go [] [] (a ()) (b ())
+
+(* ---------------- materializing nodes ---------------- *)
+
+(* Direct and depth-counted inclusion need the full context window
+   between their operands; evaluate through {!Pat.Region_set} and
+   re-stream, deferring the materialization to the first pull. *)
+let via_set f (a : stream) (b : stream) : stream =
+ fun () -> of_set (f (to_set a) (to_set b)) ()
+
+(* ---------------- the evaluator ---------------- *)
+
+let build_select inst sel s =
+  let wi = Pat.Instance.word_index inst in
+  match sel with
+  | Expr.Contains_word w -> select_containing wi w s
+  | Expr.Exactly_word w -> select_exact wi w s
+  | Expr.Prefix_word w -> select_prefix wi w s
+
+let rec build inst expr : stream =
+  match expr with
+  | Expr.Name n -> begin
+      match Pat.Instance.find_opt inst n with
+      | Some set -> of_set set
+      | None -> raise (Eval.Unknown_region n)
+    end
+  | Expr.Select (sel, e) -> build_select inst sel (build inst e)
+  | Expr.Setop (Expr.Union, a, b) -> union (build inst a) (build inst b)
+  | Expr.Setop (Expr.Inter, a, b) -> inter (build inst a) (build inst b)
+  | Expr.Setop (Expr.Diff, a, b) -> diff (build inst a) (build inst b)
+  | Expr.Innermost e -> innermost (build inst e)
+  | Expr.Outermost e -> outermost (build inst e)
+  | Expr.Chain (a, op, b) -> begin
+      let sa = build inst a and sb = build inst b in
+      match op with
+      | Expr.Including -> including ~strict:false sa sb
+      | Expr.Included -> included ~strict:false sa sb
+      | Expr.Directly_including ->
+          via_set
+            (Rs.directly_including ~context:(Pat.Instance.universe inst))
+            sa sb
+      | Expr.Directly_included ->
+          via_set
+            (Rs.directly_included ~context:(Pat.Instance.universe inst))
+            sa sb
+    end
+  | Expr.Chain_strict (a, op, b) -> begin
+      let sa = build inst a and sb = build inst b in
+      match op with
+      | Expr.Including -> including ~strict:true sa sb
+      | Expr.Included -> included ~strict:true sa sb
+      | Expr.Directly_including ->
+          via_set
+            (Rs.directly_including_strict
+               ~context:(Pat.Instance.universe inst))
+            sa sb
+      | Expr.Directly_included ->
+          via_set
+            (Rs.directly_included_strict
+               ~context:(Pat.Instance.universe inst))
+            sa sb
+    end
+  | Expr.At_depth (n, a, b) ->
+      via_set
+        (Rs.including_at_depth ~context:(Pat.Instance.universe inst) ~depth:n)
+        (build inst a) (build inst b)
+
+let pulled = Obs.Metrics.counter "ralg.lazy.pulled"
+
+let eval inst expr : stream =
+  let s = build inst expr in
+  (* one deadline poll per pulled region: a streaming request with a
+     budget aborts between rows rather than between operators *)
+  Seq.map
+    (fun r ->
+      Obs.Deadline.check ();
+      Obs.Metrics.incr pulled;
+      r)
+    s

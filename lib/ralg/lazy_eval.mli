@@ -1,0 +1,35 @@
+(** Pull-based (iterator) evaluation of region expressions.
+
+    The lazy twin of {!Eval}: the same operators, computed as sorted
+    [Seq] streams so a consumer sees the first result regions while
+    the rest of the expression is still being evaluated.  Streams are
+    strictly increasing under {!Pat.Region.compare} — the GC-list
+    order — and [to_set (eval inst e)] equals [Eval.eval inst e]
+    (qcheck-verified), so the serve daemon can stream rows without
+    changing what a query means.
+
+    Union, intersection, difference, the word selections, ι/ω and the
+    plain inclusion chains stream in one pass with bounded lookahead.
+    Direct inclusion ([⊃d]/[⊂d]) and depth-counted inclusion
+    materialize their operands (they are decided against the full
+    instance universe) and re-stream the result — laziness at node
+    granularity.
+
+    A deadline armed via {!Obs.Deadline} is polled once per pulled
+    region, so a streaming request with a budget aborts between rows. *)
+
+type stream = Pat.Region.t Seq.t
+(** Regions in {!Pat.Region.compare} order, duplicate-free. *)
+
+val eval : Pat.Instance.t -> Expr.t -> stream
+(** Build the iterator tree for an expression.  Region-name lookup
+    happens during the call (raising {!Eval.Unknown_region} like the
+    materialized evaluator); all other work is deferred to pulls.
+    Each pulled region polls {!Obs.Deadline.check} and ticks the
+    [ralg.lazy.pulled] counter. *)
+
+val to_set : stream -> Pat.Region_set.t
+(** Drain a stream into a materialized region set. *)
+
+val of_set : Pat.Region_set.t -> stream
+(** Stream a materialized set in order. *)

@@ -1,0 +1,90 @@
+type t = {
+  max_active : int;
+  max_queue : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable active : int;
+  mutable queued : int;
+  mutable closed : bool;
+}
+
+let admitted = Obs.Metrics.counter "serve.admitted"
+let rejected = Obs.Metrics.counter "serve.rejected"
+let active_gauge = Obs.Metrics.counter "serve.active"
+let queue_gauge = Obs.Metrics.counter "serve.queue_depth"
+
+let gauges t =
+  Obs.Metrics.set active_gauge t.active;
+  Obs.Metrics.set queue_gauge t.queued
+
+let make ~max_active ~max_queue =
+  {
+    max_active = max 1 max_active;
+    max_queue = max 0 max_queue;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    active = 0;
+    queued = 0;
+    closed = false;
+  }
+
+let acquire t =
+  Mutex.lock t.mutex;
+  let result =
+    if t.closed then `Closed
+    else if t.active < t.max_active then begin
+      t.active <- t.active + 1;
+      `Admitted
+    end
+    else if t.queued >= t.max_queue then `Overloaded (t.active, t.queued)
+    else begin
+      t.queued <- t.queued + 1;
+      gauges t;
+      let rec wait () =
+        Condition.wait t.cond t.mutex;
+        if t.closed then begin
+          t.queued <- t.queued - 1;
+          `Closed
+        end
+        else if t.active < t.max_active then begin
+          t.queued <- t.queued - 1;
+          t.active <- t.active + 1;
+          `Admitted
+        end
+        else wait ()
+      in
+      wait ()
+    end
+  in
+  (match result with
+  | `Admitted -> Obs.Metrics.incr admitted
+  | `Overloaded _ -> Obs.Metrics.incr rejected
+  | `Closed -> ());
+  gauges t;
+  Mutex.unlock t.mutex;
+  result
+
+let release t =
+  Mutex.lock t.mutex;
+  t.active <- max 0 (t.active - 1);
+  gauges t;
+  Condition.signal t.cond;
+  Mutex.unlock t.mutex
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let active t =
+  Mutex.lock t.mutex;
+  let v = t.active in
+  Mutex.unlock t.mutex;
+  v
+
+let queued t =
+  Mutex.lock t.mutex;
+  let v = t.queued in
+  Mutex.unlock t.mutex;
+  v

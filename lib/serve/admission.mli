@@ -1,0 +1,29 @@
+(** Bounded admission control for concurrent requests.
+
+    A request must {!acquire} a slot before it may touch the pool.  At
+    most [max_active] requests run at once; up to [max_queue] more
+    wait on a condition variable.  A request arriving with the queue
+    full is rejected immediately — the caller answers with the typed
+    [overloaded] event instead of blocking or dying — so the daemon
+    sheds load predictably under burst.
+
+    Metrics: [serve.admitted] / [serve.rejected] counters and the
+    [serve.active] / [serve.queue_depth] gauges. *)
+
+type t
+
+val make : max_active:int -> max_queue:int -> t
+
+val acquire : t -> [ `Admitted | `Overloaded of int * int | `Closed ]
+(** Blocks while the queue has room; [`Overloaded (active, queued)]
+    when it does not.  [`Closed] after {!close} — the daemon is
+    draining and accepts no new work. *)
+
+val release : t -> unit
+(** Give the slot back; wakes one queued waiter. *)
+
+val close : t -> unit
+(** Reject all future and currently-queued acquisitions. *)
+
+val active : t -> int
+val queued : t -> int

@@ -1,0 +1,303 @@
+let max_line = 65536
+
+type query_req = {
+  schema : string;
+  text : string;
+  timeout_ms : float option;
+  fail_policy : Exec.Driver.fail_policy option;
+  force : bool;
+}
+
+type request =
+  | Query of query_req
+  | Rexpr of query_req
+  | Ping
+  | Stats
+  | Shutdown
+
+type response =
+  | Row of { id : int; file : string; values : string list }
+  | Region of { id : int; file : string; start : int; stop : int }
+  | Done of {
+      id : int;
+      rows : int;
+      cached : bool;
+      degraded : (string * string * string) list;
+    }
+  | Diagnostics of { id : int; diagnostics : Jsonx.t list }
+  | Overloaded of { id : int; active : int; queued : int }
+  | Failed of { id : int; message : string }
+  | Pong of { id : int }
+  | Stats_reply of { id : int; payload : Jsonx.t }
+  | Bye of { id : int }
+
+(* --- requests ------------------------------------------------------ *)
+
+let parse_request line =
+  match Jsonx.parse line with
+  | Error e -> Error (0, e)
+  | Ok json -> (
+      let id =
+        match Option.bind (Jsonx.member "id" json) Jsonx.num with
+        | Some f -> int_of_float f
+        | None -> 0
+      in
+      let fail id fmt = Printf.ksprintf (fun m -> Error (id, m)) fmt in
+      let query_req ~text_key =
+        match
+          ( Option.bind (Jsonx.member "schema" json) Jsonx.str,
+            Option.bind (Jsonx.member text_key json) Jsonx.str )
+        with
+        | None, _ -> fail id "missing string member \"schema\""
+        | _, None -> fail id "missing string member %S" text_key
+        | Some schema, Some text -> (
+            let timeout_ms =
+              Option.bind (Jsonx.member "timeout_ms" json) Jsonx.num
+            in
+            let force =
+              Option.value ~default:false
+                (Option.bind (Jsonx.member "force" json) Jsonx.bool)
+            in
+            match Option.bind (Jsonx.member "fail_policy" json) Jsonx.str with
+            | None -> Ok { schema; text; timeout_ms; fail_policy = None; force }
+            | Some p -> (
+                match Exec.Driver.fail_policy_of_string p with
+                | Ok fp ->
+                    Ok { schema; text; timeout_ms; fail_policy = Some fp; force }
+                | Error e -> fail id "%s" e))
+      in
+      match Option.bind (Jsonx.member "op" json) Jsonx.str with
+      | None -> fail id "missing string member \"op\""
+      | Some "ping" -> Ok (id, Ping)
+      | Some "stats" -> Ok (id, Stats)
+      | Some "shutdown" -> Ok (id, Shutdown)
+      | Some "query" -> (
+          match query_req ~text_key:"q" with
+          | Ok q -> Ok (id, Query q)
+          | Error e -> Error e)
+      | Some "rexpr" -> (
+          match query_req ~text_key:"expr" with
+          | Ok q -> Ok (id, Rexpr q)
+          | Error e -> Error e)
+      | Some op -> fail id "unknown op %S" op)
+
+let render_request id req =
+  let base op = [ ("id", Jsonx.Num (float_of_int id)); ("op", Jsonx.Str op) ] in
+  let query op text_key (q : query_req) =
+    base op
+    @ [ ("schema", Jsonx.Str q.schema); (text_key, Jsonx.Str q.text) ]
+    @ (match q.timeout_ms with
+      | Some t -> [ ("timeout_ms", Jsonx.Num t) ]
+      | None -> [])
+    @ (match q.fail_policy with
+      | Some fp ->
+          [ ("fail_policy", Jsonx.Str (Exec.Driver.fail_policy_to_string fp)) ]
+      | None -> [])
+    @ if q.force then [ ("force", Jsonx.Bool true) ] else []
+  in
+  Jsonx.to_string
+    (Jsonx.Obj
+       (match req with
+       | Ping -> base "ping"
+       | Stats -> base "stats"
+       | Shutdown -> base "shutdown"
+       | Query q -> query "query" "q" q
+       | Rexpr q -> query "rexpr" "expr" q))
+
+(* --- responses ----------------------------------------------------- *)
+
+let render_response resp =
+  let obj id ev rest =
+    Jsonx.Obj
+      (("id", Jsonx.Num (float_of_int id)) :: ("ev", Jsonx.Str ev) :: rest)
+  in
+  Jsonx.to_string
+    (match resp with
+    | Row { id; file; values } ->
+        obj id "row"
+          [
+            ("file", Jsonx.Str file);
+            ("values", Jsonx.Arr (List.map (fun v -> Jsonx.Str v) values));
+          ]
+    | Region { id; file; start; stop } ->
+        obj id "region"
+          [
+            ("file", Jsonx.Str file);
+            ("start", Jsonx.Num (float_of_int start));
+            ("stop", Jsonx.Num (float_of_int stop));
+          ]
+    | Done { id; rows; cached; degraded } ->
+        obj id "done"
+          [
+            ("rows", Jsonx.Num (float_of_int rows));
+            ("cached", Jsonx.Bool cached);
+            ( "degraded",
+              Jsonx.Arr
+                (List.map
+                   (fun (file, action, detail) ->
+                     Jsonx.Obj
+                       [
+                         ("file", Jsonx.Str file);
+                         ("action", Jsonx.Str action);
+                         ("detail", Jsonx.Str detail);
+                       ])
+                   degraded) );
+          ]
+    | Diagnostics { id; diagnostics } ->
+        obj id "diagnostics" [ ("diagnostics", Jsonx.Arr diagnostics) ]
+    | Overloaded { id; active; queued } ->
+        obj id "overloaded"
+          [
+            ("active", Jsonx.Num (float_of_int active));
+            ("queued", Jsonx.Num (float_of_int queued));
+          ]
+    | Failed { id; message } -> obj id "error" [ ("message", Jsonx.Str message) ]
+    | Pong { id } -> obj id "pong" []
+    | Stats_reply { id; payload } -> obj id "stats" [ ("payload", payload) ]
+    | Bye { id } -> obj id "bye" [])
+
+let parse_response line =
+  match Jsonx.parse line with
+  | Error e -> Error e
+  | Ok json -> (
+      let id =
+        match Option.bind (Jsonx.member "id" json) Jsonx.num with
+        | Some f -> int_of_float f
+        | None -> 0
+      in
+      let str_member k =
+        match Option.bind (Jsonx.member k json) Jsonx.str with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "missing string member %S" k)
+      in
+      let int_member k =
+        match Option.bind (Jsonx.member k json) Jsonx.num with
+        | Some f -> Ok (int_of_float f)
+        | None -> Error (Printf.sprintf "missing number member %S" k)
+      in
+      let ( let* ) = Result.bind in
+      match Option.bind (Jsonx.member "ev" json) Jsonx.str with
+      | None -> Error "missing string member \"ev\""
+      | Some "row" ->
+          let* file = str_member "file" in
+          let values =
+            match Jsonx.member "values" json with
+            | Some (Jsonx.Arr vs) -> List.filter_map Jsonx.str vs
+            | _ -> []
+          in
+          Ok (Row { id; file; values })
+      | Some "region" ->
+          let* file = str_member "file" in
+          let* start = int_member "start" in
+          let* stop = int_member "stop" in
+          Ok (Region { id; file; start; stop })
+      | Some "done" ->
+          let* rows = int_member "rows" in
+          let cached =
+            Option.value ~default:false
+              (Option.bind (Jsonx.member "cached" json) Jsonx.bool)
+          in
+          let degraded =
+            match Jsonx.member "degraded" json with
+            | Some (Jsonx.Arr ds) ->
+                List.filter_map
+                  (fun d ->
+                    match
+                      ( Option.bind (Jsonx.member "file" d) Jsonx.str,
+                        Option.bind (Jsonx.member "action" d) Jsonx.str,
+                        Option.bind (Jsonx.member "detail" d) Jsonx.str )
+                    with
+                    | Some f, Some a, Some det -> Some (f, a, det)
+                    | _ -> None)
+                  ds
+            | _ -> []
+          in
+          Ok (Done { id; rows; cached; degraded })
+      | Some "diagnostics" ->
+          let diagnostics =
+            match Jsonx.member "diagnostics" json with
+            | Some (Jsonx.Arr ds) -> ds
+            | _ -> []
+          in
+          Ok (Diagnostics { id; diagnostics })
+      | Some "overloaded" ->
+          let* active = int_member "active" in
+          let* queued = int_member "queued" in
+          Ok (Overloaded { id; active; queued })
+      | Some "error" ->
+          let* message = str_member "message" in
+          Ok (Failed { id; message })
+      | Some "pong" -> Ok (Pong { id })
+      | Some "stats" ->
+          let payload =
+            Option.value ~default:Jsonx.Null (Jsonx.member "payload" json)
+          in
+          Ok (Stats_reply { id; payload })
+      | Some "bye" -> Ok (Bye { id })
+      | Some ev -> Error (Printf.sprintf "unknown event %S" ev))
+
+(* --- bounded line framing ------------------------------------------ *)
+
+type reader = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable buf : Buffer.t;
+  mutable pending : string;  (** bytes read past the last newline *)
+  mutable eof : bool;
+}
+
+let reader fd =
+  {
+    fd;
+    chunk = Bytes.create 4096;
+    buf = Buffer.create 256;
+    pending = "";
+    eof = false;
+  }
+
+let read_line t =
+  let result = ref None in
+  (* consume [s], appending to the current line until its newline;
+     stash the rest in [pending] *)
+  let feed s =
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.add_substring t.buf s 0 i;
+        t.pending <- String.sub s (i + 1) (String.length s - i - 1);
+        let line = Buffer.contents t.buf in
+        Buffer.clear t.buf;
+        if String.length line > max_line then result := Some `Overflow
+        else result := Some (`Line line)
+    | None ->
+        (* no newline yet: grow the line, but give up buffering once
+           past the cap — keep only a sentinel length so the eventual
+           newline still reports overflow without holding the bytes *)
+        if Buffer.length t.buf <= max_line then Buffer.add_string t.buf s
+        else begin
+          Buffer.clear t.buf;
+          Buffer.add_string t.buf (String.make (max_line + 1) ' ')
+        end
+  in
+  (if t.pending <> "" then begin
+     let s = t.pending in
+     t.pending <- "";
+     feed s
+   end);
+  while !result = None && not t.eof do
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0
+    | (exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)) ->
+        t.eof <- true;
+        if Buffer.length t.buf > 0 then begin
+          (* final unterminated line *)
+          let line = Buffer.contents t.buf in
+          Buffer.clear t.buf;
+          if String.length line > max_line then result := Some `Overflow
+          else result := Some (`Line line)
+        end
+        else result := Some `Eof
+    | len -> feed (Bytes.sub_string t.chunk 0 len)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  match !result with None -> `Eof | Some r -> r

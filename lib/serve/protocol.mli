@@ -1,0 +1,95 @@
+(** The serve wire protocol: newline-delimited JSON over a stream.
+
+    Each request is one JSON object on one line; each response event
+    is one JSON object on one line.  A query's answer is a stream —
+    zero or more [row] (or [region]) events followed by exactly one
+    terminal event ([done], [diagnostics], [error] or [overloaded]) —
+    so a client reads until it sees a terminal event for its id.
+
+    {b Requests}
+
+    {v
+    {"id":1,"op":"ping"}
+    {"id":2,"op":"query","schema":"bibtex","q":"select ...",
+     "timeout_ms":2000,"fail_policy":"degrade","force":false}
+    {"id":3,"op":"rexpr","schema":"bibtex","expr":"Entry > [author]"}
+    {"id":4,"op":"stats"}
+    {"id":5,"op":"shutdown"}
+    v}
+
+    {b Responses} (the [ev] member discriminates)
+
+    {v
+    {"id":2,"ev":"row","file":"a.bib","values":["..."]}
+    {"id":3,"ev":"region","file":"a.bib","start":10,"stop":42}
+    {"id":2,"ev":"done","rows":7,"cached":false,"degraded":[...]}
+    {"id":2,"ev":"diagnostics","diagnostics":[{...OQF codes...}]}
+    {"id":2,"ev":"overloaded","active":8,"queued":16}
+    {"id":2,"ev":"error","message":"..."}
+    {"id":1,"ev":"pong"}   {"id":4,"ev":"stats","payload":{...}}
+    {"id":5,"ev":"bye"}
+    v}
+
+    Under fail-fast an [error] event can follow [row] events already
+    streamed for the same id; the error terminates the stream and the
+    rows must be considered partial. *)
+
+val max_line : int
+(** Longest accepted request line in bytes (65536).  A longer line is
+    discarded up to its newline and answered with an [error] event;
+    the connection survives. *)
+
+type query_req = {
+  schema : string;
+  text : string;  (** the query (or region expression) source text *)
+  timeout_ms : float option;
+  fail_policy : Exec.Driver.fail_policy option;  (** [None]: server default *)
+  force : bool;  (** execute despite error-severity analysis findings *)
+}
+
+type request =
+  | Query of query_req
+  | Rexpr of query_req
+  | Ping
+  | Stats
+  | Shutdown
+
+type response =
+  | Row of { id : int; file : string; values : string list }
+  | Region of { id : int; file : string; start : int; stop : int }
+  | Done of {
+      id : int;
+      rows : int;
+      cached : bool;
+      degraded : (string * string * string) list;
+          (** (file, action, detail) per {!Oqf.Degrade} entry *)
+    }
+  | Diagnostics of { id : int; diagnostics : Jsonx.t list }
+  | Overloaded of { id : int; active : int; queued : int }
+  | Failed of { id : int; message : string }
+  | Pong of { id : int }
+  | Stats_reply of { id : int; payload : Jsonx.t }
+  | Bye of { id : int }
+
+val parse_request : string -> (int * request, int * string) result
+(** Parse one request line.  Errors carry the request id when the
+    line parsed far enough to reveal one (0 otherwise) so the error
+    event can still be correlated. *)
+
+val render_request : int -> request -> string
+(** One line, no trailing newline (the client's encoder). *)
+
+val render_response : response -> string
+(** One line, no trailing newline. *)
+
+val parse_response : string -> (response, string) result
+(** The client's decoder. *)
+
+(** Bounded line framing over a file descriptor.  [`Overflow] means a
+    line exceeded {!max_line}: the reader consumed and discarded it
+    through its newline, and the next call reads the next line. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+val read_line : reader -> [ `Line of string | `Overflow | `Eof ]

@@ -1,0 +1,714 @@
+module Catalog = Oqf_catalog.Catalog
+
+type config = {
+  socket_path : string;
+  http_port : int option;
+  catalog_dir : string;
+  jobs : int;
+  max_active : int;
+  max_queue : int;
+  default_timeout_ms : float option;
+  default_fail_policy : Exec.Driver.fail_policy;
+  drain_ms : float;
+}
+
+let default_config ~catalog_dir ~socket_path =
+  {
+    socket_path;
+    http_port = None;
+    catalog_dir;
+    jobs = 2;
+    max_active = 8;
+    max_queue = 16;
+    default_timeout_ms = None;
+    default_fail_policy = Exec.Driver.Degrade;
+    drain_ms = 2000.;
+  }
+
+type t = {
+  config : config;
+  catalog : Catalog.t;
+  catalog_lock : Mutex.t;
+  corpora : (string, string * Oqf.Corpus.t) Hashtbl.t;
+      (** per schema: (entry fingerprint when built, corpus) *)
+  pool : Exec.Pool.t;
+  rcache : Exec.Rcache.t;
+  adm : Admission.t;
+  listen_fd : Unix.file_descr;
+  http_fd : Unix.file_descr option;
+  shutting_down : bool Atomic.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable next_conn : int;
+  mutable conn_threads : Thread.t list;
+  mutable accept_threads : Thread.t list;
+  done_signal : Mutex.t * Condition.t;
+  mutable finished : bool;
+}
+
+let requests_c = Obs.Metrics.counter "serve.requests"
+let connections_c = Obs.Metrics.counter "serve.connections"
+let drained_c = Obs.Metrics.counter "serve.drained"
+let reloads_c = Obs.Metrics.counter "serve.catalog_reloads"
+let latency_h = Obs.Metrics.histogram "serve.request_latency_ms"
+
+(* --- plumbing ------------------------------------------------------ *)
+
+exception Closed_connection
+
+let write_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        ->
+          raise Closed_connection
+  in
+  go 0
+
+let send fd resp = write_line fd (Protocol.render_response resp)
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* --- per-request catalog staleness check --------------------------- *)
+
+(* Serve the corpus for [schema], stat-checking every entry of that
+   schema first and refreshing the ones that might have changed.  The
+   corpus is cached per schema and rebuilt only when the entry
+   fingerprints moved — so the steady state is one [stat] per entry
+   per request, no loading. *)
+let corpus_for t schema =
+  with_lock t.catalog_lock @@ fun () ->
+  let entries () =
+    List.filter
+      (fun (e : Catalog.entry) -> String.equal e.schema schema)
+      (Catalog.entries t.catalog)
+  in
+  let reloaded = ref false in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      if Catalog.possibly_stale t.catalog e then begin
+        match Catalog.refresh t.catalog e.source with
+        | Ok Catalog.Unchanged -> ()
+        | Ok _ ->
+            reloaded := true;
+            Obs.Metrics.incr reloads_c
+        | Error _ ->
+            (* leave it; corpus building degrades or reports it *)
+            reloaded := true
+      end)
+    (entries ());
+  let fingerprint =
+    String.concat ";"
+      (List.map
+         (fun (e : Catalog.entry) ->
+           Printf.sprintf "%s:%d:%s" e.source e.length e.digest)
+         (entries ()))
+  in
+  match Hashtbl.find_opt t.corpora schema with
+  | Some (fp, corpus) when String.equal fp fingerprint && not !reloaded ->
+      Ok corpus
+  | _ -> (
+      match Oqf.Corpus.of_catalog_robust t.catalog ~schema with
+      | Ok (corpus, _notes) ->
+          Hashtbl.replace t.corpora schema (fingerprint, corpus);
+          Ok corpus
+      | Error e -> Error e)
+
+(* --- request handlers ---------------------------------------------- *)
+
+let diagnostics_payload ds =
+  List.map
+    (fun d ->
+      match Jsonx.parse (Analysis.Diagnostic.to_json d) with
+      | Ok j -> j
+      | Error _ -> Jsonx.Str (Analysis.Diagnostic.to_string d))
+    ds
+
+let parse_diagnostic pp e =
+  [
+    Analysis.Diagnostic.make ~code:"OQF000" ~severity:Analysis.Diagnostic.Error
+      (Format.asprintf "%a" pp e);
+  ]
+
+let degraded_triples ds =
+  List.map
+    (fun (d : Oqf.Degrade.t) ->
+      (d.file, Oqf.Degrade.action_to_string d.action, d.detail))
+    ds
+
+let handle_query t fd id (q : Protocol.query_req) =
+  let timeout_ms =
+    match q.timeout_ms with
+    | Some _ as s -> s
+    | None -> t.config.default_timeout_ms
+  in
+  let fail_policy =
+    Option.value ~default:t.config.default_fail_policy q.fail_policy
+  in
+  match corpus_for t q.schema with
+  | Error e -> send fd (Protocol.Failed { id; message = e })
+  | Ok corpus -> (
+      match Odb.Query_parser.parse q.text with
+      | Error e ->
+          send fd
+            (Protocol.Diagnostics
+               {
+                 id;
+                 diagnostics =
+                   diagnostics_payload
+                     (parse_diagnostic Odb.Query_parser.pp_error e);
+               })
+      | Ok query -> (
+          let sources = Oqf.Corpus.sources corpus in
+          let gate =
+            match sources with
+            | [] -> []
+            | (_, (src : Oqf.Execute.source)) :: _ ->
+                (Oqf.Check.query ~text:q.text src.env
+                   ~query_rig:src.query_rig query)
+                  .Oqf.Check.diagnostics
+          in
+          if Analysis.Diagnostic.has_errors gate && not q.force then
+            send fd
+              (Protocol.Diagnostics
+                 { id; diagnostics = diagnostics_payload gate })
+          else
+            let on_rows ~file rows =
+              List.iter
+                (fun row ->
+                  send fd
+                    (Protocol.Row
+                       {
+                         id;
+                         file;
+                         values = List.map Odb.Value.to_display_string row;
+                       }))
+                rows
+            in
+            match
+              Exec.Driver.run_streaming ~force:q.force ~cache:t.rcache
+                ?timeout_ms ~fail_policy ~pool:t.pool ~on_rows corpus query
+            with
+            | Ok outcome ->
+                send fd
+                  (Protocol.Done
+                     {
+                       id;
+                       rows = List.length outcome.Exec.Driver.rows;
+                       cached = outcome.Exec.Driver.from_cache;
+                       degraded =
+                         degraded_triples outcome.Exec.Driver.degraded;
+                     })
+            | Error e -> send fd (Protocol.Failed { id; message = e })))
+
+let handle_rexpr t fd id (q : Protocol.query_req) =
+  let timeout_ms =
+    match q.timeout_ms with
+    | Some _ as s -> s
+    | None -> t.config.default_timeout_ms
+  in
+  match corpus_for t q.schema with
+  | Error e -> send fd (Protocol.Failed { id; message = e })
+  | Ok corpus -> (
+      match Ralg.Expr_parser.parse q.text with
+      | Error e ->
+          send fd
+            (Protocol.Diagnostics
+               {
+                 id;
+                 diagnostics =
+                   diagnostics_payload
+                     (parse_diagnostic Ralg.Expr_parser.pp_error e);
+               })
+      | Ok expr -> (
+          (* connection threads share the main domain, so
+             [Obs.Deadline] (domain-local) cannot arbitrate between
+             them — each pulled region checks the wall clock
+             instead *)
+          let deadline =
+            Option.map (fun ms -> Obs.Trace.now_ms () +. ms) timeout_ms
+          in
+          let exception Timed_out in
+          let count = ref 0 in
+          match
+            List.iter
+              (fun (file, (src : Oqf.Execute.source)) ->
+                Seq.iter
+                  (fun (r : Pat.Region.t) ->
+                    (match deadline with
+                    | Some d when Obs.Trace.now_ms () > d -> raise Timed_out
+                    | _ -> ());
+                    incr count;
+                    send fd
+                      (Protocol.Region
+                         { id; file; start = r.start; stop = r.stop }))
+                  (Ralg.Lazy_eval.eval src.instance expr))
+              (Oqf.Corpus.sources corpus)
+          with
+          | () ->
+              send fd
+                (Protocol.Done
+                   { id; rows = !count; cached = false; degraded = [] })
+          | exception Timed_out ->
+              send fd
+                (Protocol.Failed
+                   {
+                     id;
+                     message =
+                       Printf.sprintf "request timed out after %g ms"
+                         (Option.value ~default:0. timeout_ms);
+                   })
+          | exception Ralg.Eval.Unknown_region name ->
+              send fd
+                (Protocol.Failed
+                   { id; message = "unknown region name " ^ name })))
+
+let stats_payload () =
+  let counters = Obs.Metrics.counters () in
+  let histograms = Obs.Metrics.histograms () in
+  Jsonx.Obj
+    [
+      ( "counters",
+        Jsonx.Obj
+          (List.map
+             (fun (n, v) -> (n, Jsonx.Num (float_of_int v)))
+             counters) );
+      ( "histograms",
+        Jsonx.Obj
+          (List.map
+             (fun (n, (s : Obs.Metrics.summary)) ->
+               ( n,
+                 Jsonx.Obj
+                   [
+                     ("count", Jsonx.Num (float_of_int s.count));
+                     ("p50", Jsonx.Num s.p50);
+                     ("p95", Jsonx.Num s.p95);
+                     ("p99", Jsonx.Num s.p99);
+                     ("max", Jsonx.Num s.max);
+                   ] ))
+             histograms) );
+    ]
+
+(* Run [body] under an admission slot, observing request latency; the
+   caller streams its own response events. *)
+let admitted t fd id body =
+  match Admission.acquire t.adm with
+  | `Overloaded (active, queued) ->
+      send fd (Protocol.Overloaded { id; active; queued })
+  | `Closed ->
+      send fd (Protocol.Failed { id; message = "server is shutting down" })
+  | `Admitted ->
+      Fun.protect
+        ~finally:(fun () ->
+          Admission.release t.adm;
+          if Atomic.get t.shutting_down then Obs.Metrics.incr drained_c)
+        (fun () ->
+          Obs.Metrics.incr requests_c;
+          let t0 = Obs.Trace.now_ms () in
+          Obs.Trace.with_span "serve.request" body;
+          Obs.Metrics.observe latency_h (Obs.Trace.now_ms () -. t0))
+
+let handle_request t fd id req =
+  match req with
+  | Protocol.Ping ->
+      send fd (Protocol.Pong { id });
+      `Continue
+  | Protocol.Stats ->
+      send fd (Protocol.Stats_reply { id; payload = stats_payload () });
+      `Continue
+  | Protocol.Shutdown ->
+      send fd (Protocol.Bye { id });
+      `Shutdown
+  | Protocol.Query q ->
+      admitted t fd id (fun () -> handle_query t fd id q);
+      `Continue
+  | Protocol.Rexpr q ->
+      admitted t fd id (fun () -> handle_rexpr t fd id q);
+      `Continue
+
+(* --- connection loops ---------------------------------------------- *)
+
+let initiate_shutdown t =
+  if not (Atomic.exchange t.shutting_down true) then begin
+    Printf.printf "oqf serve: shutdown requested; draining\n%!";
+    Admission.close t.adm
+  end
+
+let serve_connection t fd =
+  let reader = Protocol.reader fd in
+  let rec loop () =
+    if Atomic.get t.shutting_down then ()
+    else
+      match Protocol.read_line reader with
+      | `Eof -> ()
+      | `Overflow ->
+          send fd
+            (Protocol.Failed
+               {
+                 id = 0;
+                 message =
+                   Printf.sprintf "request line exceeds %d bytes"
+                     Protocol.max_line;
+               });
+          loop ()
+      | `Line "" -> loop ()
+      | `Line line -> (
+          match Protocol.parse_request line with
+          | Error (id, message) ->
+              send fd (Protocol.Failed { id; message });
+              loop ()
+          | Ok (id, req) -> (
+              match handle_request t fd id req with
+              | `Continue -> loop ()
+              | `Shutdown -> initiate_shutdown t))
+  in
+  try loop () with Closed_connection -> ()
+
+(* --- a minimal HTTP facade ----------------------------------------- *)
+
+let http_headers_end = "\r\n\r\n"
+
+(* first occurrence of [sub] in [s], naive scan *)
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let read_http_request fd =
+  (* read head + body; bounded like the line protocol *)
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 2048 in
+  let rec head () =
+    let s = Buffer.contents buf in
+    match find_sub s http_headers_end with
+    | Some i -> Some (String.sub s 0 i, String.sub s (i + 4) (String.length s - i - 4))
+    | None ->
+        if Buffer.length buf > Protocol.max_line then None
+        else begin
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              head ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> head ()
+        end
+  in
+  match head () with
+  | None -> None
+  | Some (head, partial_body) -> (
+      match String.split_on_char ' ' (List.hd (String.split_on_char '\r' head)) with
+      | meth :: path :: _ ->
+          let content_length =
+            List.fold_left
+              (fun acc line ->
+                match String.index_opt line ':' with
+                | Some i
+                  when String.lowercase_ascii (String.sub line 0 i)
+                       = "content-length" -> (
+                    let v =
+                      String.trim
+                        (String.sub line (i + 1) (String.length line - i - 1))
+                    in
+                    match int_of_string_opt v with Some n -> n | None -> acc)
+                | _ -> acc)
+              0
+              (String.split_on_char '\n' head)
+          in
+          let body = Buffer.create (max 16 content_length) in
+          Buffer.add_string body partial_body;
+          let rec fill () =
+            if Buffer.length body < content_length then begin
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n ->
+                  Buffer.add_subbytes body chunk 0 n;
+                  fill ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+            end
+          in
+          fill ();
+          Some (meth, path, Buffer.contents body)
+      | _ -> None)
+
+let http_respond fd status content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nConnection: close\r\n\r\n" status
+      content_type
+  in
+  let all = head ^ body in
+  let b = Bytes.of_string all in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+let serve_http_connection t fd =
+  match read_http_request fd with
+  | None -> http_respond fd "400 Bad Request" "text/plain" "bad request\n"
+  | Some ("GET", "/health", _) -> http_respond fd "200 OK" "text/plain" "ok\n"
+  | Some ("POST", _, body) -> (
+      match Protocol.parse_request (String.trim body) with
+      | Error (_, msg) ->
+          http_respond fd "400 Bad Request" "text/plain" (msg ^ "\n")
+      | Ok (id, req) -> (
+          (* stream the same ndjson events as the socket protocol;
+             connection close delimits the stream *)
+          match req with
+          | Protocol.Query _ | Protocol.Rexpr _ | Protocol.Ping
+          | Protocol.Stats -> (
+              match Admission.acquire t.adm with
+              | `Overloaded (active, queued) ->
+                  http_respond fd "503 Service Unavailable"
+                    "application/x-ndjson"
+                    (Protocol.render_response
+                       (Protocol.Overloaded { id; active; queued })
+                    ^ "\n")
+              | `Closed ->
+                  http_respond fd "503 Service Unavailable" "text/plain"
+                    "shutting down\n"
+              | `Admitted ->
+                  Fun.protect
+                    ~finally:(fun () ->
+                      Admission.release t.adm;
+                      if Atomic.get t.shutting_down then
+                        Obs.Metrics.incr drained_c)
+                    (fun () ->
+                      Obs.Metrics.incr requests_c;
+                      let t0 = Obs.Trace.now_ms () in
+                      http_respond fd "200 OK" "application/x-ndjson" "";
+                      (try
+                         match req with
+                         | Protocol.Query q -> handle_query t fd id q
+                         | Protocol.Rexpr q -> handle_rexpr t fd id q
+                         | Protocol.Ping -> send fd (Protocol.Pong { id })
+                         | Protocol.Stats ->
+                             send fd
+                               (Protocol.Stats_reply
+                                  { id; payload = stats_payload () })
+                         | _ -> ()
+                       with Closed_connection -> ());
+                      Obs.Metrics.observe latency_h
+                        (Obs.Trace.now_ms () -. t0)))
+          | Protocol.Shutdown ->
+              http_respond fd "200 OK" "application/x-ndjson"
+                (Protocol.render_response (Protocol.Bye { id }) ^ "\n");
+              initiate_shutdown t))
+  | Some _ ->
+      http_respond fd "405 Method Not Allowed" "text/plain"
+        "method not allowed\n"
+
+(* --- lifecycle ----------------------------------------------------- *)
+
+let register_conn t fd =
+  with_lock t.conns_lock @@ fun () ->
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  Hashtbl.replace t.conns id fd;
+  id
+
+let unregister_conn t id =
+  with_lock t.conns_lock @@ fun () ->
+  (match Hashtbl.find_opt t.conns id with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  Hashtbl.remove t.conns id
+
+let accept_loop t listen_fd handler =
+  let rec loop () =
+    if Atomic.get t.shutting_down then ()
+    else begin
+      (match Unix.select [ listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept listen_fd with
+          | fd, _ ->
+              Obs.Metrics.incr connections_c;
+              let cid = register_conn t fd in
+              let th =
+                Thread.create
+                  (fun () ->
+                    Fun.protect
+                      ~finally:(fun () -> unregister_conn t cid)
+                      (fun () -> handler t fd))
+                  ()
+              in
+              with_lock t.conns_lock (fun () ->
+                  t.conn_threads <- th :: t.conn_threads)
+          | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let bind_unix_socket path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64
+  with
+  | () -> Ok fd
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message err))
+
+let bind_http_socket port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  match
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64
+  with
+  | () -> Ok fd
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot bind 127.0.0.1:%d: %s" port
+           (Unix.error_message err))
+
+let start config =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match Catalog.open_dir config.catalog_dir with
+  | Error e -> Error (Printf.sprintf "cannot open catalog: %s" e)
+  | Ok catalog -> (
+      match bind_unix_socket config.socket_path with
+      | Error e -> Error e
+      | Ok listen_fd -> (
+          let http =
+            match config.http_port with
+            | None -> Ok None
+            | Some port -> Result.map Option.some (bind_http_socket port)
+          in
+          match http with
+          | Error e ->
+              (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+              Error e
+          | Ok http_fd ->
+              let t =
+                {
+                  config;
+                  catalog;
+                  catalog_lock = Mutex.create ();
+                  corpora = Hashtbl.create 4;
+                  pool =
+                    Exec.Pool.create ~jobs:(max 1 config.jobs) ();
+                  rcache = Exec.Rcache.create ();
+                  adm =
+                    Admission.make ~max_active:config.max_active
+                      ~max_queue:config.max_queue;
+                  listen_fd;
+                  http_fd;
+                  shutting_down = Atomic.make false;
+                  conns = Hashtbl.create 16;
+                  conns_lock = Mutex.create ();
+                  next_conn = 0;
+                  conn_threads = [];
+                  accept_threads = [];
+                  done_signal = (Mutex.create (), Condition.create ());
+                  finished = false;
+                }
+              in
+              let threads =
+                Thread.create (fun () -> accept_loop t listen_fd serve_connection) ()
+                ::
+                (match http_fd with
+                | Some fd ->
+                    [
+                      Thread.create
+                        (fun () -> accept_loop t fd serve_http_connection)
+                        ();
+                    ]
+                | None -> [])
+              in
+              t.accept_threads <- threads;
+              Printf.printf "oqf serve: listening on %s\n%!"
+                config.socket_path;
+              (match config.http_port with
+              | Some port ->
+                  Printf.printf "oqf serve: http on 127.0.0.1:%d\n%!" port
+              | None -> ());
+              Ok t))
+
+let request_shutdown t = initiate_shutdown t
+
+let wait t =
+  (* Block until shutdown is requested, then drain and tear down.
+     Multiple callers are fine: the first does the teardown, the rest
+     wait on [done_signal]. *)
+  let m, c = t.done_signal in
+  while not (Atomic.get t.shutting_down) do
+    Thread.delay 0.05
+  done;
+  Mutex.lock m;
+  if t.finished then begin
+    Mutex.unlock m;
+    ()
+  end
+  else begin
+    Mutex.unlock m;
+    List.iter Thread.join t.accept_threads;
+    (* drain in-flight requests, bounded *)
+    let deadline = Obs.Trace.now_ms () +. t.config.drain_ms in
+    while Admission.active t.adm > 0 && Obs.Trace.now_ms () < deadline do
+      Thread.delay 0.01
+    done;
+    (* cut off every connection; readers see EOF/EBADF and exit *)
+    with_lock t.conns_lock (fun () ->
+        Hashtbl.iter
+          (fun _ fd ->
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+             with Unix.Unix_error _ -> ());
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          t.conns;
+        Hashtbl.reset t.conns);
+    List.iter Thread.join t.conn_threads;
+    Exec.Pool.shutdown t.pool;
+    (match Obs.Trace.sink () with Some s -> s.Obs.Trace.flush () | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.http_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ());
+    Printf.printf "oqf serve: drained; bye\n%!";
+    Mutex.lock m;
+    t.finished <- true;
+    Condition.broadcast c;
+    Mutex.unlock m
+  end;
+  Mutex.lock m;
+  while not t.finished do
+    Condition.wait c m
+  done;
+  Mutex.unlock m
+
+let run config =
+  match start config with
+  | Error _ as e -> e
+  | Ok t ->
+      let on_signal _ = request_shutdown t in
+      (try
+         Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+         Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+       with Invalid_argument _ -> ());
+      wait t;
+      Ok ()

@@ -1,0 +1,72 @@
+(** The [oqf serve] daemon.
+
+    A long-lived process that opens the catalog {e once}, keeps its
+    instance cache and the shared result cache warm, and serves the
+    {!Protocol} over a Unix-domain socket (and optionally a minimal
+    HTTP endpoint).  Per request:
+
+    + {b admission} — a slot is acquired from {!Admission}; a full
+      queue answers the typed [overloaded] event immediately;
+    + {b staleness} — every catalog entry of the request's schema is
+      re-checked with the stat-only {!Oqf_catalog.Catalog.possibly_stale}
+      and refreshed when it might have changed, so a daemon never
+      serves a stale instance cache (the [serve.catalog_reloads]
+      counter says how often this fires);
+    + {b analysis gate} — the query is parsed and statically checked
+      ({!Oqf.Check}); parse failures and error-severity findings
+      answer a [diagnostics] event (same JSON shape as
+      [oqf check --format json]) instead of killing the connection,
+      and [force] overrides the gate like [--force] does;
+    + {b lazy streaming evaluation} — {!Exec.Driver.run_streaming}
+      submits one task per file to the shared worker pool (phase 1
+      runs the pull-based {!Ralg.Lazy_eval}) and each file's rows go
+      to the client as soon as that file settles, while later files
+      are still scanning.
+
+    Shutdown (SIGINT/SIGTERM under {!run}, {!request_shutdown} from
+    code) drains: no new requests are admitted, in-flight requests
+    finish (bounded by [drain_ms] — stragglers are cut off), sinks are
+    flushed, the pool is joined and the socket unlinked.  Requests
+    that complete during the drain count in [serve.drained].
+
+    Metrics: [serve.requests], [serve.admitted], [serve.rejected],
+    [serve.active], [serve.queue_depth], [serve.connections],
+    [serve.drained], [serve.catalog_reloads] and the
+    [serve.request_latency_ms] histogram (p50/p95/p99). *)
+
+type config = {
+  socket_path : string;
+  http_port : int option;  (** also serve HTTP on localhost:port *)
+  catalog_dir : string;
+  jobs : int;  (** worker domains in the shared pool *)
+  max_active : int;  (** concurrently executing requests *)
+  max_queue : int;  (** admission queue bound; 0 = reject when busy *)
+  default_timeout_ms : float option;
+      (** per-file deadline applied when a request carries none *)
+  default_fail_policy : Exec.Driver.fail_policy;
+      (** applied when a request carries none *)
+  drain_ms : float;  (** shutdown grace for in-flight requests *)
+}
+
+val default_config : catalog_dir:string -> socket_path:string -> config
+(** jobs 2, max_active 8, max_queue 16, no default timeout,
+    fail-policy degrade, drain 2000 ms, no HTTP. *)
+
+type t
+
+val start : config -> (t, string) result
+(** Open the catalog, bind the socket(s), spawn the accept loop and
+    return.  Fails if the catalog cannot be opened or the socket
+    cannot be bound (a stale socket file from a dead daemon is
+    replaced). *)
+
+val request_shutdown : t -> unit
+(** Begin the drain; idempotent.  Returns immediately. *)
+
+val wait : t -> unit
+(** Block until the daemon has fully shut down (accept loop exited,
+    connections drained, pool joined, socket unlinked). *)
+
+val run : config -> (unit, string) result
+(** [start], install SIGINT/SIGTERM handlers that call
+    {!request_shutdown}, then {!wait}.  The CLI's entry point. *)

@@ -54,6 +54,7 @@ let metrics_tests =
             Alcotest.(check (float 0.001)) "sum" 5050.0 s.Obs.Metrics.sum;
             Alcotest.(check (float 0.001)) "p50" 50.0 s.Obs.Metrics.p50;
             Alcotest.(check (float 0.001)) "p95" 95.0 s.Obs.Metrics.p95;
+            Alcotest.(check (float 0.001)) "p99" 99.0 s.Obs.Metrics.p99;
             Alcotest.(check (float 0.001)) "max" 100.0 s.Obs.Metrics.max);
     Alcotest.test_case "empty histogram has no summary" `Quick (fun () ->
         Alcotest.(check bool)

@@ -1,0 +1,640 @@
+(* The serve subsystem: protocol codec, admission control, the
+   streaming driver path, and a live daemon over a Unix-domain
+   socket. *)
+
+let or_fail = function Ok x -> x | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* jsonx                                                               *)
+
+let jsonx_tests =
+  let module J = Serve.Jsonx in
+  [
+    Alcotest.test_case "print/parse round-trip" `Quick (fun () ->
+        let v =
+          J.Obj
+            [
+              ("id", J.Num 7.);
+              ("op", J.Str "query");
+              ("nested", J.Arr [ J.Null; J.Bool true; J.Num 2.5 ]);
+              ("text", J.Str "a \"b\"\n\tc\\d");
+            ]
+        in
+        let s = J.to_string v in
+        Alcotest.(check bool) "single line" false (String.contains s '\n');
+        match J.parse s with
+        | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "escapes decode" `Quick (fun () ->
+        match J.parse {|"A\n\"\\"|} with
+        | Ok (J.Str s) -> Alcotest.(check string) "decoded" "A\n\"\\" s
+        | Ok _ -> Alcotest.fail "expected a string"
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "errors carry an offset" `Quick (fun () ->
+        (match J.parse "{\"a\": }" with
+        | Error e ->
+            Alcotest.(check bool) ("offset in: " ^ e) true
+              (Astring.String.is_infix ~affix:"at byte" e)
+        | Ok _ -> Alcotest.fail "expected parse error");
+        match J.parse "1 trailing" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "trailing garbage accepted");
+    Alcotest.test_case "integral numbers print without a point" `Quick
+      (fun () ->
+        Alcotest.(check string) "int" "42" (J.to_string (J.Num 42.));
+        Alcotest.(check string) "float" "2.5" (J.to_string (J.Num 2.5)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* protocol                                                            *)
+
+let protocol_tests =
+  let module P = Serve.Protocol in
+  let roundtrip_request id req =
+    match P.parse_request (P.render_request id req) with
+    | Ok (id', req') ->
+        Alcotest.(check int) "id" id id';
+        Alcotest.(check bool) "request round-trips" true (req = req')
+    | Error (_, e) -> Alcotest.fail e
+  in
+  let roundtrip_response resp =
+    match P.parse_response (P.render_response resp) with
+    | Ok resp' ->
+        Alcotest.(check bool) "response round-trips" true (resp = resp')
+    | Error e -> Alcotest.fail e
+  in
+  [
+    Alcotest.test_case "request codec round-trips" `Quick (fun () ->
+        roundtrip_request 1 P.Ping;
+        roundtrip_request 2 P.Stats;
+        roundtrip_request 3 P.Shutdown;
+        roundtrip_request 4
+          (P.Query
+             {
+               schema = "log";
+               text = {|SELECT e FROM Entries e WHERE e.Level = "ERROR"|};
+               timeout_ms = Some 250.;
+               fail_policy = Some Exec.Driver.Degrade;
+               force = true;
+             });
+        roundtrip_request 5
+          (P.Rexpr
+             {
+               schema = "bibtex";
+               text = {|sigma["Chang"](Last_Name)|};
+               timeout_ms = None;
+               fail_policy = None;
+               force = false;
+             }));
+    Alcotest.test_case "response codec round-trips" `Quick (fun () ->
+        roundtrip_response (P.Pong { id = 1 });
+        roundtrip_response (P.Bye { id = 9 });
+        roundtrip_response
+          (P.Row { id = 2; file = "a.log"; values = [ "x"; "y | z" ] });
+        roundtrip_response (P.Region { id = 3; file = "b.log"; start = 4; stop = 17 });
+        roundtrip_response
+          (P.Done
+             {
+               id = 2;
+               rows = 7;
+               cached = true;
+               degraded = [ ("c.log", "naive-fallback", "injected fault") ];
+             });
+        roundtrip_response (P.Overloaded { id = 5; active = 8; queued = 16 });
+        roundtrip_response (P.Failed { id = 6; message = "boom \"quoted\"" }));
+    Alcotest.test_case "parse errors name the problem, keep the id" `Quick
+      (fun () ->
+        (match P.parse_request "{not json" with
+        | Error (0, _) -> ()
+        | _ -> Alcotest.fail "expected id-0 parse error");
+        (match P.parse_request {|{"id":12,"op":"frobnicate"}|} with
+        | Error (12, e) ->
+            Alcotest.(check bool) ("mentions op: " ^ e) true
+              (Astring.String.is_infix ~affix:"frobnicate" e)
+        | _ -> Alcotest.fail "expected id-12 error");
+        (match P.parse_request {|{"id":3,"op":"query","schema":"log"}|} with
+        | Error (3, e) ->
+            Alcotest.(check bool) ("names the member: " ^ e) true
+              (Astring.String.is_infix ~affix:"\"q\"" e)
+        | _ -> Alcotest.fail "expected missing-member error");
+        match
+          P.parse_request
+            {|{"id":4,"op":"query","schema":"log","q":"x","fail_policy":"yolo"}|}
+        with
+        | Error (4, _) -> ()
+        | _ -> Alcotest.fail "expected bad fail_policy error");
+    Alcotest.test_case "reader: framing, overflow, eof" `Quick (fun () ->
+        let r, w = Unix.pipe () in
+        (* the oversized line exceeds the pipe buffer: write from a
+           thread so the writer can block while we read *)
+        let writer =
+          Thread.create
+            (fun () ->
+              let write s =
+                let b = Bytes.of_string s in
+                let n = Bytes.length b in
+                let rec go off =
+                  if off < n then go (off + Unix.write w b off (n - off))
+                in
+                go 0
+              in
+              write "{\"id\":1}\n";
+              write (String.make (P.max_line + 10) 'x');
+              write "\n{\"id\":2}\n";
+              Unix.close w)
+            ()
+        in
+        let reader = P.reader r in
+        (match P.read_line reader with
+        | `Line l -> Alcotest.(check string) "first line" "{\"id\":1}" l
+        | _ -> Alcotest.fail "expected first line");
+        (match P.read_line reader with
+        | `Overflow -> ()
+        | _ -> Alcotest.fail "expected overflow");
+        (match P.read_line reader with
+        | `Line l ->
+            Alcotest.(check string) "line after overflow" "{\"id\":2}" l
+        | _ -> Alcotest.fail "connection should survive overflow");
+        (match P.read_line reader with
+        | `Eof -> ()
+        | _ -> Alcotest.fail "expected eof");
+        Thread.join writer;
+        Unix.close r);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* admission                                                           *)
+
+let admission_tests =
+  [
+    Alcotest.test_case "bounded admission rejects past the queue" `Quick
+      (fun () ->
+        let adm = Serve.Admission.make ~max_active:2 ~max_queue:0 in
+        Alcotest.(check bool) "1st" true (Serve.Admission.acquire adm = `Admitted);
+        Alcotest.(check bool) "2nd" true (Serve.Admission.acquire adm = `Admitted);
+        (match Serve.Admission.acquire adm with
+        | `Overloaded (active, queued) ->
+            Alcotest.(check int) "active" 2 active;
+            Alcotest.(check int) "queued" 0 queued
+        | _ -> Alcotest.fail "expected overloaded");
+        Serve.Admission.release adm;
+        Alcotest.(check bool) "slot freed" true
+          (Serve.Admission.acquire adm = `Admitted));
+    Alcotest.test_case "queued waiter runs when a slot frees" `Quick (fun () ->
+        let adm = Serve.Admission.make ~max_active:1 ~max_queue:1 in
+        Alcotest.(check bool) "occupied" true
+          (Serve.Admission.acquire adm = `Admitted);
+        let got = Atomic.make (`Pending : [ `Pending | `Admitted | `Closed | `Overloaded of int * int ]) in
+        let th =
+          Thread.create
+            (fun () ->
+              Atomic.set got
+                (Serve.Admission.acquire adm
+                  :> [ `Pending | `Admitted | `Closed | `Overloaded of int * int ]))
+            ()
+        in
+        Thread.delay 0.05;
+        Alcotest.(check bool) "still waiting" true (Atomic.get got = `Pending);
+        Serve.Admission.release adm;
+        Thread.join th;
+        Alcotest.(check bool) "admitted after release" true
+          (Atomic.get got = `Admitted));
+    Alcotest.test_case "close drains waiters with `Closed" `Quick (fun () ->
+        let adm = Serve.Admission.make ~max_active:1 ~max_queue:4 in
+        Alcotest.(check bool) "occupied" true
+          (Serve.Admission.acquire adm = `Admitted);
+        let got = Atomic.make (`Pending : [ `Pending | `Admitted | `Closed | `Overloaded of int * int ]) in
+        let th =
+          Thread.create
+            (fun () ->
+              Atomic.set got
+                (Serve.Admission.acquire adm
+                  :> [ `Pending | `Admitted | `Closed | `Overloaded of int * int ]))
+            ()
+        in
+        Thread.delay 0.05;
+        Serve.Admission.close adm;
+        Thread.join th;
+        Alcotest.(check bool) "waiter closed" true (Atomic.get got = `Closed);
+        Alcotest.(check bool) "new arrivals closed" true
+          (Serve.Admission.acquire adm = `Closed));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* the streaming driver path                                           *)
+
+let bibtex_corpus sizes =
+  let files =
+    List.mapi
+      (fun i n ->
+        ( Printf.sprintf "refs%d.bib" i,
+          Pat.Text.of_string
+            (Workload.Bibtex_gen.generate
+               { (Workload.Bibtex_gen.with_size n) with seed = 1000 + i }) ))
+      sizes
+  in
+  or_fail (Oqf.Corpus.make_full Fschema.Bibtex_schema.view files)
+
+let log_corpus sizes =
+  let files =
+    List.mapi
+      (fun i n ->
+        ( Printf.sprintf "node%d.log" i,
+          Pat.Text.of_string
+            (Workload.Log_gen.generate
+               { (Workload.Log_gen.with_size n) with seed = 2000 + i }) ))
+      sizes
+  in
+  or_fail (Oqf.Corpus.make_full Fschema.Log_schema.view files)
+
+let bibtex_queries =
+  [
+    {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|};
+    {|SELECT r.Key FROM References r|};
+    {|SELECT r FROM References r WHERE r.Abstract CONTAINS "derivation"|};
+  ]
+
+let log_queries =
+  [
+    {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|};
+    {|SELECT e FROM Entries e WHERE e.Level = "WARN"|};
+  ]
+
+let rows_equal =
+  List.equal (fun (f1, r1) (f2, r2) ->
+      String.equal f1 f2 && List.equal Odb.Value.equal r1 r2)
+
+let run_streaming_collect ?cache ?timeout_ms ?fail_policy ~pool corpus q =
+  let blocks = ref [] in
+  let result =
+    Exec.Driver.run_streaming ?cache ?timeout_ms ?fail_policy ~pool
+      ~on_rows:(fun ~file rows -> blocks := (file, rows) :: !blocks)
+      corpus q
+  in
+  (result, List.rev !blocks)
+
+let streaming_matches_parallel corpus q_text jobs =
+  let q = Odb.Query_parser.parse_exn q_text in
+  let reference = or_fail (Exec.Driver.run_parallel ~jobs corpus q) in
+  Exec.Pool.with_pool ~jobs (fun pool ->
+      let result, blocks = run_streaming_collect ~pool corpus q in
+      let outcome = or_fail result in
+      Alcotest.(check bool)
+        (Printf.sprintf "rows == run_parallel at jobs=%d: %s" jobs q_text)
+        true
+        (rows_equal reference.Exec.Driver.rows outcome.Exec.Driver.rows);
+      (* the streamed blocks concatenate to exactly the outcome rows,
+         in corpus order *)
+      let streamed =
+        List.concat_map
+          (fun (file, rows) -> List.map (fun r -> (file, r)) rows)
+          blocks
+      in
+      Alcotest.(check bool) "streamed blocks == outcome rows" true
+        (rows_equal streamed outcome.Exec.Driver.rows);
+      List.iter
+        (fun (_, rows) ->
+          Alcotest.(check bool) "no empty blocks" true (rows <> []))
+        blocks)
+
+let streaming_qcheck =
+  QCheck.Test.make ~count:20
+    ~name:"run_streaming == run_parallel (lazy phase 1, any shard count)"
+    QCheck.(
+      quad (int_range 1 4) (int_range 3 14) (int_range 1 8)
+        (pair bool (int_range 0 9)))
+    (fun (n_files, size, jobs, (use_log, q_pick)) ->
+      let sizes = List.init n_files (fun i -> size + (i * 3)) in
+      let corpus, queries =
+        if use_log then (log_corpus sizes, log_queries)
+        else (bibtex_corpus sizes, bibtex_queries)
+      in
+      let q_text = List.nth queries (q_pick mod List.length queries) in
+      let q = Odb.Query_parser.parse_exn q_text in
+      let reference =
+        match Exec.Driver.run_parallel ~jobs corpus q with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_reportf "parallel failed: %s" e
+      in
+      Exec.Pool.with_pool ~jobs (fun pool ->
+          let result, _ = run_streaming_collect ~pool corpus q in
+          match result with
+          | Error e -> QCheck.Test.fail_reportf "streaming failed: %s" e
+          | Ok outcome ->
+              if
+                not
+                  (rows_equal reference.Exec.Driver.rows
+                     outcome.Exec.Driver.rows)
+              then
+                QCheck.Test.fail_reportf
+                  "rows differ (files=%d size=%d jobs=%d log=%b q=%s)" n_files
+                  size jobs use_log q_text;
+              true))
+
+let streaming_tests =
+  [
+    Alcotest.test_case "streamed rows == run_parallel (battery)" `Quick
+      (fun () ->
+        let corpus = bibtex_corpus [ 12; 4; 8 ] in
+        List.iter
+          (fun q -> streaming_matches_parallel corpus q 2)
+          bibtex_queries;
+        let corpus = log_corpus [ 20; 10; 5 ] in
+        List.iter (fun q -> streaming_matches_parallel corpus q 3) log_queries);
+    QCheck_alcotest.to_alcotest streaming_qcheck;
+    Alcotest.test_case "cache hit replays per-file blocks" `Quick (fun () ->
+        let corpus = log_corpus [ 15; 10 ] in
+        let q =
+          Odb.Query_parser.parse_exn
+            {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+        in
+        let cache = Exec.Rcache.create () in
+        Exec.Pool.with_pool ~jobs:2 (fun pool ->
+            let r1, blocks1 = run_streaming_collect ~cache ~pool corpus q in
+            let o1 = or_fail r1 in
+            Alcotest.(check bool) "first run not cached" false
+              o1.Exec.Driver.from_cache;
+            let r2, blocks2 = run_streaming_collect ~cache ~pool corpus q in
+            let o2 = or_fail r2 in
+            Alcotest.(check bool) "second run cached" true
+              o2.Exec.Driver.from_cache;
+            Alcotest.(check bool) "same rows" true
+              (rows_equal o1.Exec.Driver.rows o2.Exec.Driver.rows);
+            Alcotest.(check bool) "same blocks replayed" true
+              (blocks1 = blocks2)));
+    Alcotest.test_case "deadline expiry fails the request, not the pool"
+      `Quick (fun () ->
+        let corpus = log_corpus [ 200 ] in
+        let q =
+          Odb.Query_parser.parse_exn {|SELECT e FROM Entries e|}
+        in
+        Exec.Pool.with_pool ~jobs:1 (fun pool ->
+            (match
+               run_streaming_collect ~timeout_ms:0.0001
+                 ~fail_policy:Exec.Driver.Fail_fast ~pool corpus q
+             with
+            | (Ok _, _) -> Alcotest.fail "expected a timeout"
+            | (Error e, _) ->
+                Alcotest.(check bool)
+                  ("timeout surfaced: " ^ e)
+                  true
+                  (Astring.String.is_infix ~affix:"timed out" e));
+            (* the pool survives and serves the next request *)
+            let r, _ = run_streaming_collect ~pool corpus q in
+            let o = or_fail r in
+            Alcotest.(check bool) "pool still works" true
+              (List.length o.Exec.Driver.rows > 0)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* the daemon over a live socket                                       *)
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "oqfserve-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* a disk catalog of two log files, the daemon's corpus *)
+let setup_catalog dir =
+  let log1 =
+    Workload.Log_gen.generate { (Workload.Log_gen.with_size 20) with seed = 41 }
+  in
+  let log2 =
+    Workload.Log_gen.generate { (Workload.Log_gen.with_size 12) with seed = 42 }
+  in
+  write_file (Filename.concat dir "a.log") log1;
+  write_file (Filename.concat dir "b.log") log2;
+  let cat = or_fail (Oqf_catalog.Catalog.init (Filename.concat dir "cat")) in
+  let (_ : Oqf_catalog.Catalog.entry) =
+    or_fail
+      (Oqf_catalog.Catalog.add cat ~schema:"log" (Filename.concat dir "a.log"))
+  in
+  let (_ : Oqf_catalog.Catalog.entry) =
+    or_fail
+      (Oqf_catalog.Catalog.add cat ~schema:"log" (Filename.concat dir "b.log"))
+  in
+  cat
+
+let with_server ?(max_active = 4) ?(max_queue = 8) ?(jobs = 2) f =
+  let dir = fresh_dir () in
+  let (_ : Oqf_catalog.Catalog.t) = setup_catalog dir in
+  let config =
+    {
+      (Serve.Server.default_config
+         ~catalog_dir:(Filename.concat dir "cat")
+         ~socket_path:(Filename.concat dir "oqf.sock"))
+      with
+      Serve.Server.max_active;
+      max_queue;
+      jobs;
+    }
+  in
+  let server = or_fail (Serve.Server.start config) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.request_shutdown server;
+      Serve.Server.wait server)
+    (fun () -> f config dir)
+
+let connect config =
+  or_fail (Serve.Client.connect ~wait_ms:2000. config.Serve.Server.socket_path)
+
+let query_text = {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+
+let query_req ?timeout_ms ?fail_policy ?(force = false) text =
+  Serve.Protocol.Query
+    { schema = "log"; text; timeout_ms; fail_policy; force }
+
+let collect_rows events =
+  List.filter_map
+    (function
+      | Serve.Protocol.Row { file; values; _ } -> Some (file, values)
+      | _ -> None)
+    events
+
+let terminal_of conn req = or_fail (Serve.Client.stream conn req ~on_event:ignore)
+
+let server_tests =
+  [
+    Alcotest.test_case "ping, query, cached repeat over the socket" `Quick
+      (fun () ->
+        with_server (fun config _dir ->
+            let c = connect config in
+            (match terminal_of c Serve.Protocol.Ping with
+            | Serve.Protocol.Pong _ -> ()
+            | _ -> Alcotest.fail "expected pong");
+            let events = or_fail (Serve.Client.request c (query_req query_text)) in
+            let rows = collect_rows events in
+            (match List.rev events with
+            | Serve.Protocol.Done { cached; rows = n; _ } :: _ ->
+                Alcotest.(check bool) "first run not cached" false cached;
+                Alcotest.(check int) "row count" (List.length rows) n
+            | _ -> Alcotest.fail "expected done");
+            (* repeat hits the daemon's result cache, byte-identical *)
+            let events' =
+              or_fail (Serve.Client.request c (query_req query_text))
+            in
+            (match List.rev events' with
+            | Serve.Protocol.Done { cached; _ } :: _ ->
+                Alcotest.(check bool) "repeat cached" true cached
+            | _ -> Alcotest.fail "expected done");
+            Alcotest.(check bool) "same rows from cache" true
+              (collect_rows events' = rows);
+            Serve.Client.close c));
+    Alcotest.test_case "diagnostics for a bad query; connection survives"
+      `Quick (fun () ->
+        with_server (fun config _dir ->
+            let c = connect config in
+            (match terminal_of c (query_req "SELECT FROM nonsense") with
+            | Serve.Protocol.Diagnostics { diagnostics; _ } ->
+                Alcotest.(check bool) "has OQF000" true
+                  (List.exists
+                     (fun d ->
+                       match Serve.Jsonx.member "code" d with
+                       | Some (Serve.Jsonx.Str "OQF000") -> true
+                       | _ -> false)
+                     diagnostics)
+            | _ -> Alcotest.fail "expected diagnostics");
+            (match terminal_of c Serve.Protocol.Ping with
+            | Serve.Protocol.Pong _ -> ()
+            | _ -> Alcotest.fail "connection should survive diagnostics");
+            Serve.Client.close c));
+    Alcotest.test_case "oversized request line; connection survives" `Quick
+      (fun () ->
+        with_server (fun config _dir ->
+            let c = connect config in
+            let fd =
+              Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+            in
+            Unix.connect fd (Unix.ADDR_UNIX config.Serve.Server.socket_path);
+            let big = String.make (Serve.Protocol.max_line + 100) 'y' ^ "\n" in
+            ignore (Unix.write_substring fd big 0 (String.length big));
+            let ping = {|{"id":1,"op":"ping"}|} ^ "\n" in
+            ignore (Unix.write_substring fd ping 0 (String.length ping));
+            let reader = Serve.Protocol.reader fd in
+            (match Serve.Protocol.read_line reader with
+            | `Line l -> (
+                match Serve.Protocol.parse_response l with
+                | Ok (Serve.Protocol.Failed { message; _ }) ->
+                    Alcotest.(check bool) ("names the bound: " ^ message) true
+                      (Astring.String.is_infix ~affix:"exceeds" message)
+                | _ -> Alcotest.fail "expected error event")
+            | _ -> Alcotest.fail "expected a response");
+            (match Serve.Protocol.read_line reader with
+            | `Line l -> (
+                match Serve.Protocol.parse_response l with
+                | Ok (Serve.Protocol.Pong _) -> ()
+                | _ -> Alcotest.fail "expected pong after oversize")
+            | _ -> Alcotest.fail "connection should survive oversize");
+            Unix.close fd;
+            Serve.Client.close c));
+    Alcotest.test_case "concurrent clients get byte-identical rows" `Quick
+      (fun () ->
+        with_server ~max_active:8 ~max_queue:16 (fun config _dir ->
+            let reference =
+              let c = connect config in
+              let events =
+                or_fail (Serve.Client.request c (query_req query_text))
+              in
+              Serve.Client.close c;
+              collect_rows events
+            in
+            Alcotest.(check bool) "reference non-empty" true (reference <> []);
+            let results = Array.make 8 [] in
+            let threads =
+              List.init 8 (fun i ->
+                  Thread.create
+                    (fun () ->
+                      let c = connect config in
+                      let events =
+                        or_fail
+                          (Serve.Client.request c (query_req query_text))
+                      in
+                      results.(i) <- collect_rows events;
+                      Serve.Client.close c)
+                    ())
+            in
+            List.iter Thread.join threads;
+            Array.iteri
+              (fun i rows ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "client %d matches" i)
+                  true (rows = reference))
+              results));
+    Alcotest.test_case "stale catalog entries refresh per request" `Quick
+      (fun () ->
+        with_server (fun config dir ->
+            let c = connect config in
+            let count_all () =
+              match
+                terminal_of c
+                  (query_req {|SELECT e FROM Entries e|})
+              with
+              | Serve.Protocol.Done { rows; _ } -> rows
+              | _ -> Alcotest.fail "expected done"
+            in
+            let before = count_all () in
+            (* regrow a.log with the same seed and a larger size: the
+               generator appends byte-for-byte, so this is the paper's
+               growing-log scenario *)
+            write_file
+              (Filename.concat dir "a.log")
+              (Workload.Log_gen.generate
+                 { (Workload.Log_gen.with_size 40) with seed = 41 });
+            let after = count_all () in
+            Alcotest.(check bool)
+              (Printf.sprintf "grew %d -> %d without an explicit refresh"
+                 before after)
+              true (after > before);
+            Serve.Client.close c));
+    Alcotest.test_case "daemon survives injected transient faults" `Quick
+      (fun () ->
+        with_server (fun config _dir ->
+            Stdx.Fault.set (Some (or_fail (Stdx.Fault.parse "transient:0.05,seed:42")));
+            Fun.protect
+              ~finally:(fun () -> Stdx.Fault.set None)
+              (fun () ->
+                let c = connect config in
+                for _ = 1 to 10 do
+                  match
+                    terminal_of c
+                      (query_req ~fail_policy:Exec.Driver.Degrade query_text)
+                  with
+                  | Serve.Protocol.Done _ -> ()
+                  | Serve.Protocol.Failed { message; _ } ->
+                      Alcotest.failf "request failed under faults: %s" message
+                  | _ -> Alcotest.fail "expected done"
+                done;
+                (match terminal_of c Serve.Protocol.Ping with
+                | Serve.Protocol.Pong _ -> ()
+                | _ -> Alcotest.fail "connection dropped under faults");
+                Serve.Client.close c)));
+    Alcotest.test_case "shutdown op drains and closes" `Quick (fun () ->
+        with_server (fun config _dir ->
+            let c = connect config in
+            (match terminal_of c Serve.Protocol.Shutdown with
+            | Serve.Protocol.Bye _ -> ()
+            | _ -> Alcotest.fail "expected bye");
+            Serve.Client.close c));
+  ]
+
+let suites =
+  [
+    ("serve.jsonx", jsonx_tests);
+    ("serve.protocol", protocol_tests);
+    ("serve.admission", admission_tests);
+    ("serve.streaming", streaming_tests);
+    ("serve.server", server_tests);
+  ]
