@@ -157,6 +157,56 @@ let install_trace = function
 let dump_metrics_if requested =
   if requested then Format.printf "%a" Obs.Metrics.dump ()
 
+(* --- query-log plumbing -------------------------------------------- *)
+
+let qlog_arg =
+  let doc =
+    "Append one ndjson record per executed query (normalized query, \
+     workload, trace id, latency, rows, cache hit, shard count, \
+     degradation events) to $(docv) — the durable query log, rotated by \
+     size.  $(b,oqf stats) aggregates it."
+  in
+  let env = Cmd.Env.info "OQF_QLOG" ~doc:"Default for $(b,--qlog)." in
+  Arg.(value & opt (some string) None & info [ "qlog" ] ~docv:"FILE" ~doc ~env)
+
+let workload_arg =
+  let doc =
+    "Workload label stamped on qlog records and per-workload metrics \
+     (defaults to the schema name)."
+  in
+  Arg.(value & opt string "" & info [ "workload" ] ~docv:"LABEL" ~doc)
+
+let slow_query_arg =
+  let doc =
+    "Queries at or above $(docv) milliseconds are additionally appended \
+     to the slow-query log ($(b,QLOG.slow)) and counted in \
+     $(b,qlog.slow)."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "slow-query-ms" ] ~docv:"MS" ~doc)
+
+(* Torn down via [at_exit], like the trace sink: the tail record is
+   flushed and fsynced even when a later error path exits 1. *)
+let install_qlog ?slow_ms path =
+  match path with
+  | None -> ()
+  | Some path -> (
+      match Obs.Qlog.open_log ?slow_ms ~io_hook:Stdx.Fault.hit path with
+      | Error e ->
+          or_die (Error (Printf.sprintf "cannot open qlog %s: %s" path e))
+      | Ok log ->
+          Obs.Qlog.install (Some log);
+          at_exit (fun () ->
+              Obs.Qlog.install None;
+              Obs.Qlog.close log))
+
+(* A fresh per-invocation correlation context, minted only when a qlog
+   is installed so the no-telemetry path stays allocation-free. *)
+let fresh_qctx ~workload () =
+  match Obs.Qlog.installed () with
+  | None -> None
+  | Some _ -> Some { Obs.Qlog.trace_id = Obs.Qlog.gen_trace_id (); workload }
+
 (* --- generate ------------------------------------------------------ *)
 
 let generate_cmd =
@@ -263,9 +313,11 @@ let query_cmd =
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
   let run schema file names q_text no_optimize load baseline explain force
-      jobs fail_policy faults trace metrics =
+      jobs fail_policy faults trace metrics qlog workload slow_ms =
     install_trace trace;
     install_faults faults;
+    install_qlog ?slow_ms qlog;
+    let qctx = fresh_qctx ~workload () in
     let fail_policy = resolve_fail_policy fail_policy in
     let jobs = resolve_jobs jobs in
     let view = or_die (view_of_schema schema) in
@@ -329,7 +381,7 @@ let query_cmd =
         let out =
           or_die
             (Exec.Driver.run_parallel ~optimize:(not no_optimize) ~force ~jobs
-               ~fail_policy corpus q)
+               ~fail_policy ?qctx corpus q)
         in
         report_degraded out.Exec.Driver.degraded;
         match out.Exec.Driver.per_file with
@@ -345,7 +397,8 @@ let query_cmd =
       end
       else begin
         match
-          Oqf.Execute.run ~optimize:(not no_optimize) ~explain ~force src q
+          Oqf.Execute.run ~optimize:(not no_optimize) ~explain ~force ?qctx
+            src q
         with
         | Ok r -> print_outcome r
         | Error e -> begin
@@ -385,7 +438,8 @@ let query_cmd =
     Term.(
       const run $ schema_arg $ file_arg $ index_names_arg $ query_arg
       $ no_optimize $ load $ baseline $ analyze $ force_arg $ jobs_arg
-      $ fail_policy_arg $ faults_arg $ trace_arg $ metrics_arg)
+      $ fail_policy_arg $ faults_arg $ trace_arg $ metrics_arg $ qlog_arg
+      $ workload_arg $ slow_query_arg)
 
 (* --- explain ------------------------------------------------------- *)
 
@@ -625,6 +679,72 @@ let catalog_status_cmd =
        ~doc:"Fingerprint every source and report freshness per entry.")
     Term.(const run $ catalog_dir_arg)
 
+let catalog_stats_cmd =
+  let run dir fmt =
+    let fmt = resolve_format fmt in
+    let cat = open_catalog dir in
+    let entries = Oqf_catalog.Catalog.entries cat in
+    match fmt with
+    | `Json ->
+        let entry_json (e : Oqf_catalog.Catalog.entry) =
+          Obs.Jsonx.Obj
+            [
+              ("source", Obs.Jsonx.Str e.source);
+              ("schema", Obs.Jsonx.Str e.schema);
+              ("length", Obs.Jsonx.Num (float_of_int e.length));
+              ( "names",
+                Obs.Jsonx.Arr
+                  (List.map
+                     (fun (name, regions, mps) ->
+                       Obs.Jsonx.Obj
+                         [
+                           ("name", Obs.Jsonx.Str name);
+                           ("regions", Obs.Jsonx.Num (float_of_int regions));
+                           ( "match_points",
+                             Obs.Jsonx.Num (float_of_int mps) );
+                         ])
+                     e.stats) );
+            ]
+        in
+        print_endline
+          (Obs.Jsonx.to_string
+             (Obs.Jsonx.Obj
+                [ ("entries", Obs.Jsonx.Arr (List.map entry_json entries)) ]))
+    | `Text -> begin
+        match entries with
+        | [] -> print_endline "catalog is empty"
+        | entries ->
+            let t_regions = ref 0 and t_mps = ref 0 in
+            List.iter
+              (fun (e : Oqf_catalog.Catalog.entry) ->
+                Printf.printf "%s (schema %s, %dB)\n" e.source e.schema
+                  e.length;
+                (match e.stats with
+                | [] ->
+                    print_endline
+                      "  (no stats recorded; re-run catalog refresh to \
+                       collect them)"
+                | stats ->
+                    List.iter
+                      (fun (name, regions, mps) ->
+                        t_regions := !t_regions + regions;
+                        t_mps := !t_mps + mps;
+                        Printf.printf "  %-16s %8d regions %10d match points\n"
+                          name regions mps)
+                      stats))
+              entries;
+            Printf.printf "-- %d entries: regions=%d match-points=%d\n"
+              (List.length entries) !t_regions !t_mps
+      end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Report per-name region and match-point counts recorded in the \
+          manifest at build time.  Entries indexed before the counts \
+          existed show none until their next refresh or rebuild.")
+    Term.(const run $ catalog_dir_arg $ format_arg)
+
 let catalog_query_cmd =
   let query =
     let doc = "The query, run against every catalogued file of the schema." in
@@ -770,8 +890,8 @@ let catalog_cmd =
           multi-file query.")
     [
       catalog_init_cmd; catalog_add_cmd; catalog_refresh_cmd;
-      catalog_status_cmd; catalog_query_cmd; catalog_audit_cmd;
-      catalog_repair_cmd;
+      catalog_status_cmd; catalog_stats_cmd; catalog_query_cmd;
+      catalog_audit_cmd; catalog_repair_cmd;
     ]
 
 (* --- batch --------------------------------------------------------- *)
@@ -818,9 +938,10 @@ let batch_cmd =
     go 1 []
   in
   let run schema queries_file data catalog_dir force jobs fail_policy faults
-      trace metrics =
+      trace metrics qlog workload slow_ms =
     install_trace trace;
     install_faults faults;
+    install_qlog ?slow_ms qlog;
     let fail_policy = resolve_fail_policy fail_policy in
     let jobs = resolve_jobs jobs in
     let queries = read_queries queries_file in
@@ -843,7 +964,7 @@ let batch_cmd =
     in
     let cache = Exec.Rcache.create () in
     let results =
-      Exec.Driver.run_batch ~force ~jobs ~cache ~fail_policy corpus
+      Exec.Driver.run_batch ~force ~jobs ~cache ~fail_policy ~workload corpus
         (List.map snd queries)
     in
     let failed =
@@ -881,7 +1002,8 @@ let batch_cmd =
           fingerprint-keyed result cache.")
     Term.(
       const run $ schema_arg $ queries_file $ data $ catalog_dir $ force_arg
-      $ jobs_arg $ fail_policy_arg $ faults_arg $ trace_arg $ metrics_arg)
+      $ jobs_arg $ fail_policy_arg $ faults_arg $ trace_arg $ metrics_arg
+      $ qlog_arg $ workload_arg $ slow_query_arg)
 
 (* --- check --------------------------------------------------------- *)
 
@@ -1116,8 +1238,9 @@ let serve_cmd =
     Arg.(value & opt float 2000. & info [ "drain-ms" ] ~docv:"MS" ~doc)
   in
   let run catalog_dir socket http_port jobs max_active max_queue timeout
-      fail_policy drain faults metrics =
+      fail_policy drain faults metrics qlog slow_ms =
     install_faults faults;
+    install_qlog ?slow_ms qlog;
     let jobs = resolve_jobs jobs in
     let fail_policy = resolve_fail_policy fail_policy in
     let config =
@@ -1148,7 +1271,7 @@ let serve_cmd =
     Term.(
       const run $ catalog_dir_arg $ socket_arg $ http_port $ jobs_arg
       $ max_active $ max_queue $ timeout $ fail_policy_arg $ drain
-      $ faults_arg $ metrics_arg)
+      $ faults_arg $ metrics_arg $ qlog_arg $ slow_query_arg)
 
 let client_cmd =
   let op_arg =
@@ -1185,7 +1308,8 @@ let client_cmd =
       & opt (some string) None
       & info [ "fail-policy" ] ~docv:"POLICY" ~doc)
   in
-  let run socket op text schema timeout fail_policy force connect_wait =
+  let run socket op text schema timeout fail_policy force connect_wait
+      workload =
     let conn = or_die (Serve.Client.connect ~wait_ms:connect_wait socket) in
     let query_req () =
       let schema =
@@ -1207,6 +1331,7 @@ let client_cmd =
             (fun p -> or_die (Exec.Driver.fail_policy_of_string p))
             fail_policy;
         force;
+        workload;
       }
     in
     let req =
@@ -1238,7 +1363,7 @@ let client_cmd =
             (if cached then " (cached)" else "")
       | Serve.Protocol.Diagnostics { diagnostics; _ } ->
           List.iter
-            (fun d -> print_endline (Serve.Jsonx.to_string d))
+            (fun d -> print_endline (Obs.Jsonx.to_string d))
             diagnostics;
           failed := true
       | Serve.Protocol.Overloaded { active; queued; _ } ->
@@ -1250,7 +1375,7 @@ let client_cmd =
           failed := true
       | Serve.Protocol.Pong _ -> print_endline "pong"
       | Serve.Protocol.Stats_reply { payload; _ } ->
-          print_endline (Serve.Jsonx.to_string payload)
+          print_endline (Obs.Jsonx.to_string payload)
       | Serve.Protocol.Bye _ -> print_endline "bye"
     in
     (match Serve.Client.stream conn req ~on_event with
@@ -1268,7 +1393,92 @@ let client_cmd =
           or region expression, read its metrics, or ask it to shut down.")
     Term.(
       const run $ socket_arg $ op_arg $ text_arg $ schema_opt $ timeout
-      $ fail_policy_opt $ force_arg $ connect_wait)
+      $ fail_policy_opt $ force_arg $ connect_wait $ workload_arg)
+
+(* --- stats: aggregate a query log ---------------------------------- *)
+
+let stats_cmd =
+  let files_arg =
+    let doc =
+      "Query log file(s) to aggregate — pass the current segment and any \
+       rotated $(b,.1)/$(b,.2)… siblings together for full history."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"QLOG" ~doc)
+  in
+  let top_arg =
+    let doc = "How many queries in each top-N list." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run files top format slow_ms =
+    let format = resolve_format format in
+    let stats = or_die (Obs.Qstats.of_files ~top ?slow_ms files) in
+    match format with
+    | `Text -> Format.printf "%a" Obs.Qstats.pp stats
+    | `Json -> print_endline (Obs.Jsonx.to_string (Obs.Qstats.to_json stats))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Aggregate a query log ($(b,--qlog)) into per-workload \
+          p50/p95/p99 latency, cache-hit and degradation trends, and the \
+          top-N queries by frequency and total latency — the replay \
+          input for index advice.")
+    Term.(const run $ files_arg $ top_arg $ format_arg $ slow_query_arg)
+
+(* --- metrics: exposition from a process or a live daemon ----------- *)
+
+let metrics_cmd =
+  let dump =
+    let run () = print_string (Obs.Expo.render ()) in
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:
+           "Print this process's metrics registry in Prometheus text \
+            exposition format (the same rendering the serve daemon's \
+            $(b,/metrics) endpoint returns).")
+      Term.(const run $ const ())
+  in
+  let scrape =
+    let port_arg =
+      let doc = "HTTP port of the daemon ($(b,oqf serve --http) PORT)." in
+      Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+    in
+    let validate_arg =
+      let doc =
+        "Validate the exposition syntax instead of printing it; exits 1 \
+         on the first malformed line."
+      in
+      Arg.(value & flag & info [ "validate" ] ~doc)
+    in
+    let run port validate =
+      match or_die (Serve.Client.http_get ~port "/metrics") with
+      | 200, body ->
+          if validate then begin
+            or_die (Obs.Expo.validate body);
+            Printf.printf "metrics: %d lines, exposition syntax ok\n"
+              (List.length
+                 (List.filter
+                    (fun l -> String.trim l <> "")
+                    (String.split_on_char '\n' body)))
+          end
+          else print_string body
+      | code, body ->
+          or_die
+            (Error (Printf.sprintf "GET /metrics: HTTP %d: %s" code body))
+    in
+    Cmd.v
+      (Cmd.info "scrape"
+         ~doc:
+           "Fetch $(b,/metrics) from a live $(b,oqf serve --http) daemon \
+            and print it, or $(b,--validate) its exposition syntax (the \
+            CI serve-suite gate).")
+      Term.(const run $ port_arg $ validate_arg)
+  in
+  Cmd.group
+    (Cmd.info "metrics"
+       ~doc:"Prometheus-format metrics: dump this process's registry or \
+             scrape a live daemon.")
+    [ dump; scrape ]
 
 let () =
   let info =
@@ -1280,7 +1490,7 @@ let () =
       [
         generate_cmd; index_cmd; query_cmd; explain_cmd; check_cmd;
         advise_cmd; schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd; batch_cmd;
-        serve_cmd; client_cmd;
+        serve_cmd; client_cmd; stats_cmd; metrics_cmd;
       ]
   in
   (* [~catch:false] so engine exceptions become one-line errors with

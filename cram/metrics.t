@@ -1,0 +1,107 @@
+Telemetry end to end: aggregate a query log with `oqf stats`, expose
+the live registry as Prometheus text, and correlate a daemon query's
+reply, qlog record and slow-log entry through one trace id.
+
+A hand-written query log with known latencies (integral, so every
+aggregate prints deterministically):
+
+  $ cat > replay.qlog <<'EOF'
+  > {"ts":1,"trace":"q1","workload":"dashboard","schema":"log","kind":"query","query":"SELECT e.Service FROM Entries e","ms":10,"rows":4,"cached":false,"shards":2,"outcome":"ok"}
+  > {"ts":2,"trace":"q2","workload":"dashboard","schema":"log","kind":"query","query":"SELECT e.Service FROM Entries e","ms":30,"rows":4,"cached":true,"shards":2,"outcome":"ok"}
+  > {"ts":3,"trace":"q3","workload":"dashboard","schema":"log","kind":"query","query":"SELECT e.Level FROM Entries e","ms":50,"rows":9,"cached":false,"shards":2,"outcome":"degraded","events":[{"action":"naive-fallback","detail":"a.log"}],"retries":2,"faults":1}
+  > {"ts":4,"trace":"q4","workload":"audit","schema":"log","kind":"query","query":"SELECT e.Ts FROM Entries e","ms":200,"rows":1,"cached":false,"shards":0,"outcome":"error","error":"boom"}
+  > torn final line from a crash
+  > EOF
+
+The text report: per-workload latency distribution, top queries,
+resilience trends, with the torn line skipped and counted:
+
+  $ ../bin/oqf_cli.exe stats replay.qlog
+  qlog: 4 records (1 skipped) from 1 file
+  
+  workloads:
+    workload            count   errors degraded     slow   p50(ms)   p95(ms)   p99(ms)  cache%
+    audit                   1        1        0        0    200.00    200.00    200.00    0.0%
+    dashboard               3        0        1        0     30.00     50.00     50.00   33.3%
+  
+  top queries by frequency:
+          2x  SELECT e.Service FROM Entries e
+          1x  SELECT e.Level FROM Entries e
+          1x  SELECT e.Ts FROM Entries e
+  
+  top queries by total latency:
+     200.0ms  SELECT e.Ts FROM Entries e
+      50.0ms  SELECT e.Level FROM Entries e
+      40.0ms  SELECT e.Service FROM Entries e
+  
+  resilience: 2 retries, 1 injected faults observed
+
+The JSON shape downstream tooling consumes:
+
+  $ ../bin/oqf_cli.exe stats replay.qlog --top 1 --format json
+  {"records":4,"skipped":1,"files":["replay.qlog"],"workloads":[{"workload":"audit","count":1,"errors":1,"degraded":0,"cached":0,"slow":0,"retries":0,"faults":0,"p50_ms":200,"p95_ms":200,"p99_ms":200,"max_ms":200,"total_ms":200},{"workload":"dashboard","count":3,"errors":0,"degraded":1,"cached":1,"slow":0,"retries":2,"faults":1,"p50_ms":30,"p95_ms":50,"p99_ms":50,"max_ms":50,"total_ms":90}],"top_by_count":[{"query":"SELECT e.Service FROM Entries e","workload":"dashboard","count":2,"total_ms":40,"max_ms":30,"cached":1}],"top_by_total_ms":[{"query":"SELECT e.Ts FROM Entries e","workload":"audit","count":1,"total_ms":200,"max_ms":200,"cached":0}]}
+
+A slow threshold recomputes the slow counts at replay time:
+
+  $ ../bin/oqf_cli.exe stats replay.qlog --slow-query-ms 40 --format json | grep -o '"slow":[0-9]*' | sort
+  "slow":1
+  "slow":1
+
+Now the live side.  Build a small catalog and start a daemon with a
+query log, a zero slow threshold (everything is slow) and an HTTP
+facade for scraping:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 8 --seed 5 -o app.log
+  wrote 829 bytes to app.log
+  $ ../bin/oqf_cli.exe catalog init cat
+  initialized empty catalog in cat
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log app.log
+  added app.log (schema log): 5 region names indexed
+
+Build-time statistics were recorded in the manifest:
+
+  $ ../bin/oqf_cli.exe catalog stats -c cat
+  app.log (schema log, 829B)
+    Entry                   8 regions        136 match points
+    Level                   8 regions          8 match points
+    Message                 8 regions         48 match points
+    Service                 8 regions          8 match points
+    Timestamp               8 regions         48 match points
+  -- 1 entries: regions=40 match-points=248
+
+  $ ../bin/oqf_cli.exe serve -c cat --socket oqf.sock --http 7177 \
+  >   --qlog daemon.qlog --slow-query-ms 0 > server.log 2>&1 &
+
+  $ ../bin/oqf_cli.exe client query 'SELECT e.Level FROM Entries e WHERE e.Service = "db"' \
+  >   -s log --workload dashboard --socket oqf.sock
+  app.log: INFO
+  -- 1 rows
+
+The daemon wrote one qlog record for it, and the same trace id is in
+the slow log — one id correlates the reply, the record and the tail:
+
+  $ grep -c '"workload":"dashboard"' daemon.qlog
+  1
+  $ trace=$(grep -o '"trace":"[^"]*"' daemon.qlog | head -1)
+  $ grep -c "$trace" daemon.qlog.slow
+  1
+
+Scrape the live registry over HTTP; the page is structurally valid
+Prometheus text exposition:
+
+  $ ../bin/oqf_cli.exe metrics scrape --port 7177 --validate | sed -E 's/[0-9]+ lines/N lines/'
+  metrics: N lines, exposition syntax ok
+
+  $ ../bin/oqf_cli.exe client shutdown --socket oqf.sock
+  bye
+  $ wait
+
+`oqf metrics dump` renders its own process's registry in the same
+format; a fresh process holds just the statically-registered series,
+among them the query log's health counters:
+
+  $ ../bin/oqf_cli.exe metrics dump | grep -E '^# TYPE oqf_qlog' | sort
+  # TYPE oqf_qlog_dropped gauge
+  # TYPE oqf_qlog_records gauge
+  # TYPE oqf_qlog_rotations gauge
+  # TYPE oqf_qlog_slow gauge

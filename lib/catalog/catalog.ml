@@ -22,6 +22,10 @@ type entry = {
   digest : string;  (* hex MD5 of the source contents at build time *)
   version : int;    (* index format version the entry was written with *)
   index_file : string;  (* relative to the catalog directory *)
+  stats : (string * int * int) list;
+      (* per region name: (name, region count, match-point count),
+         captured at build time; [] for entries written before the
+         field existed *)
 }
 
 type t = {
@@ -55,8 +59,12 @@ let entry_to_lines e =
     "digest " ^ e.digest;
     "version " ^ string_of_int e.version;
     "file " ^ e.index_file;
-    "end";
   ]
+  @ List.map
+      (fun (name, regions, mps) ->
+        Printf.sprintf "rstat %s %d %d" name regions mps)
+      e.stats
+  @ [ "end" ]
 
 (* Crash-safe: the new image is written to a temp file, forced to disk
    with fsync, and renamed over the old manifest.  A crash at any point
@@ -110,6 +118,27 @@ let parse_manifest path lines =
     match rest with
     | "end" :: rest -> begin
         let get name = List.find_map (field name) (List.rev fields) in
+        (* optional per-name statistics; absent in manifests written
+           before the field existed, and skipped (not fatal) when
+           malformed so older/newer builds can read each other *)
+        let stats =
+          List.filter_map
+            (fun line ->
+              match field "rstat" line with
+              | None -> None
+              | Some rest -> begin
+                  match String.split_on_char ' ' rest with
+                  | [ name; regions; mps ] -> begin
+                      match
+                        (int_of_string_opt regions, int_of_string_opt mps)
+                      with
+                      | Some r, Some m -> Some (name, r, m)
+                      | _ -> None
+                    end
+                  | _ -> None
+                end)
+            (List.rev fields)
+        in
         match
           ( get "source", get "schema", get "index", get "length",
             get "digest", get "version", get "file" )
@@ -130,6 +159,7 @@ let parse_manifest path lines =
                      digest;
                      version;
                      index_file;
+                     stats;
                    }
                   :: acc)
                   rest
@@ -299,6 +329,25 @@ let pp_staleness ppf = function
 
 (* ---------------- building and refreshing ---------------- *)
 
+(* Per-name region and match-point counts, recorded in the manifest at
+   build time so [oqf catalog stats] answers without loading any index.
+   A match point is a word start inside a region's span — the unit pat
+   expressions match at — so the counts say how much searchable content
+   each region name covers, not just how many regions it has. *)
+let instance_stats instance =
+  let starts = Pat.Tokenizer.word_starts (Pat.Instance.text instance) in
+  let cmp = (compare : int -> int -> int) in
+  let points (r : Pat.Region.t) =
+    Stdx.Sorted_array.lower_bound ~cmp starts r.stop
+    - Stdx.Sorted_array.lower_bound ~cmp starts r.start
+  in
+  List.map
+    (fun name ->
+      let rs = Pat.Instance.find instance name in
+      let mps = Pat.Region_set.fold (fun acc r -> acc + points r) 0 rs in
+      (name, Pat.Region_set.cardinal rs, mps))
+    (Pat.Instance.names instance)
+
 let store_entry t ~source ~schema ~index_names ~text ~index_file instance =
   Pat.Index_store.save ~path:(Filename.concat t.dir index_file) instance;
   let e =
@@ -310,6 +359,7 @@ let store_entry t ~source ~schema ~index_names ~text ~index_file instance =
       digest = fingerprint text;
       version = Pat.Index_store.format_version;
       index_file;
+      stats = instance_stats instance;
     }
   in
   t.entries <-

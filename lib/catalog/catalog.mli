@@ -32,6 +32,12 @@ type entry = {
   digest : string;  (** hex MD5 of the source at the last (re)build *)
   version : int;  (** index format version the entry was written with *)
   index_file : string;  (** index path relative to the catalog directory *)
+  stats : (string * int * int) list;
+      (** per region name: [(name, region count, match-point count)],
+          captured when the index was (re)built.  A match point is a
+          word start inside a region's span.  Empty for entries
+          written by versions that predate the field — manifests with
+          and without it read each other cleanly. *)
 }
 
 type t

@@ -41,6 +41,86 @@ let default_jobs () =
     end
   | None -> 1
 
+(* --- query-log integration ---------------------------------------- *)
+
+let counter_value name =
+  match Obs.Metrics.find_counter name with
+  | Some c -> Obs.Metrics.value c
+  | None -> 0
+
+let schema_of_corpus corpus =
+  match Oqf.Corpus.sources corpus with
+  | (_, src) :: _ ->
+      Option.value
+        (Oqf_catalog.Schemas.name_of_view src.Oqf.Execute.view)
+        ~default:""
+  | [] -> ""
+
+(* Whole-query latency under the workload label, interned per
+   workload.  Execute.run's query.latency_ms{workload} is per *file*;
+   this histogram is per driven query — the series `oqf stats` over a
+   qlog of the same traffic reproduces. *)
+let exec_query_ms =
+  let table : (string, Obs.Metrics.histogram) Hashtbl.t = Hashtbl.create 8 in
+  let lock = Mutex.create () in
+  fun workload ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match Hashtbl.find_opt table workload with
+        | Some h -> h
+        | None ->
+            let h =
+              Obs.Metrics.histogram
+                (Obs.Label.render "exec.query_ms" [ ("workload", workload) ])
+            in
+            Hashtbl.replace table workload h;
+            h)
+
+(* One qlog record per driven query (the per-file Execute.run calls
+   underneath deliberately get no qctx, so they stay silent).  The
+   retry/fault figures are process-global counter deltas around the
+   run — exact when requests are sequential, attribution-approximate
+   under concurrency, which is fine for trend aggregation. *)
+let with_qlog ?qctx ~kind corpus q run =
+  match (qctx, Obs.Qlog.installed ()) with
+  | Some (ctx : Obs.Qlog.ctx), Some log ->
+      let t0 = Obs.Trace.now_ms () in
+      let retries0 = counter_value "retry.attempts" in
+      let faults0 = counter_value "fault.injected" in
+      let result = run () in
+      let latency_ms = Obs.Trace.now_ms () -. t0 in
+      let schema = schema_of_corpus corpus in
+      let retries = counter_value "retry.attempts" - retries0 in
+      let faults = counter_value "fault.injected" - faults0 in
+      let record ~rows ~cached ~shards ~outcome ?error ~events () =
+        Obs.Qlog.append log
+          (Obs.Qlog.make ~ctx ~workload_default:schema ~schema ~kind
+             ~query:(Odb.Query.to_string q) ~latency_ms ~rows ~cached ~shards
+             ~outcome ?error ~events ~retries ~faults ())
+      in
+      (match result with
+      | Ok (o : outcome) ->
+          record ~rows:(List.length o.rows) ~cached:o.from_cache
+            ~shards:(List.length o.per_shard)
+            ~outcome:(if o.degraded = [] then "ok" else "degraded")
+            ~events:
+              (List.map
+                 (fun (d : Oqf.Degrade.t) ->
+                   (Oqf.Degrade.action_to_string d.Oqf.Degrade.action,
+                    d.Oqf.Degrade.file))
+                 o.degraded)
+            ()
+      | Error e ->
+          record ~rows:0 ~cached:false ~shards:0 ~outcome:"error" ~error:e
+            ~events:[] ());
+      let workload = if ctx.workload <> "" then ctx.workload else schema in
+      if workload <> "" then
+        Obs.Metrics.observe (exec_query_ms workload) latency_ms;
+      result
+  | _ -> run ()
+
 let cached_outcome payload =
   {
     rows = payload;
@@ -138,7 +218,8 @@ let resolve ~fail_policy q results =
     Ok (List.rev !rows, List.rev !per_file, List.rev !degraded)
   with Abort e -> Error e
 
-let run_one ?optimize ?force ?cache ?(fail_policy = Fail_fast) corpus q =
+let run_one ?optimize ?force ?cache ?(fail_policy = Fail_fast) ?qctx corpus q =
+  with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
   match fail_policy with
   | Fail_fast -> begin
       with_cache cache corpus q @@ fun () ->
@@ -221,11 +302,12 @@ let eval_shard ?optimize ?force ~stop_at_first q
   (report, result)
 
 let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms
-    ?(fail_policy = Fail_fast) corpus q =
+    ?(fail_policy = Fail_fast) ?qctx corpus q =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     Error (Printf.sprintf "jobs must be at least 1 (got %d)" jobs)
   else
+    with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
     with_cache cache corpus q @@ fun () ->
     let sources = Oqf.Corpus.sources corpus in
     let position =
@@ -345,7 +427,8 @@ let rec emit_blocks on_rows = function
       emit_blocks on_rows rest
 
 let run_streaming ?optimize ?force ?(lazy_phase1 = true) ?cache ?timeout_ms
-    ?(fail_policy = Fail_fast) ~pool ~on_rows corpus q =
+    ?(fail_policy = Fail_fast) ?qctx ~pool ~on_rows corpus q =
+  with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
   let key =
     match cache with
     | None -> None
@@ -461,7 +544,8 @@ let run_streaming ?optimize ?force ?(lazy_phase1 = true) ?cache ?timeout_ms
          Ok outcome
        with Abort e -> Error e)
 
-let run_batch ?optimize ?force ?jobs ?cache ?fail_policy corpus queries =
+let run_batch ?optimize ?force ?jobs ?cache ?fail_policy ?(workload = "")
+    corpus queries =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     List.map
@@ -490,7 +574,18 @@ let run_batch ?optimize ?force ?jobs ?cache ?fail_policy corpus queries =
           let h =
             Pool.submit pool (fun () ->
                 Option.iter (fun first -> ignore (Pool.await first)) first;
-                run_one ?optimize ?force ?cache ?fail_policy corpus q)
+                let qctx =
+                  (* one trace id per batched query, minted at task start *)
+                  match Obs.Qlog.installed () with
+                  | Some _ ->
+                      Some
+                        {
+                          Obs.Qlog.trace_id = Obs.Qlog.gen_trace_id ();
+                          workload;
+                        }
+                  | None -> None
+                in
+                run_one ?optimize ?force ?cache ?fail_policy ?qctx corpus q)
           in
           (match (key, first) with
           | Some k, None -> Hashtbl.replace seen k h

@@ -72,6 +72,7 @@ val run_parallel :
   ?cache:Rcache.t ->
   ?timeout_ms:float ->
   ?fail_policy:fail_policy ->
+  ?qctx:Obs.Qlog.ctx ->
   Oqf.Corpus.t ->
   Odb.Query.t ->
   (outcome, string) result
@@ -93,13 +94,24 @@ val run_one :
   ?force:bool ->
   ?cache:Rcache.t ->
   ?fail_policy:fail_policy ->
+  ?qctx:Obs.Qlog.ctx ->
   Oqf.Corpus.t ->
   Odb.Query.t ->
   (outcome, string) result
 (** Sequential {!Oqf.Corpus.run} behind the same cache protocol —
     the per-task body of {!run_batch}.  [fail_policy] as in
     {!run_parallel} (minus the shard-retry rung — there are no
-    shards). *)
+    shards).
+
+    [qctx] (here and on every driver entry point): when present and a
+    query log is installed ({!Obs.Qlog.install}), the run appends
+    exactly one qlog record — whole-query latency, row count, cache
+    hit, shard count, outcome, and the degradation/retry/fault events
+    observed during the run — under [qctx]'s trace id, and observes
+    the whole-query latency in the [exec.query_ms{workload}]
+    histogram.  The per-file {!Oqf.Execute.run} calls underneath never
+    receive a [qctx], so a driven query logs once, not once per
+    file. *)
 
 val run_streaming :
   ?optimize:bool ->
@@ -108,6 +120,7 @@ val run_streaming :
   ?cache:Rcache.t ->
   ?timeout_ms:float ->
   ?fail_policy:fail_policy ->
+  ?qctx:Obs.Qlog.ctx ->
   pool:Pool.t ->
   on_rows:(file:string -> Odb.Query_eval.row list -> unit) ->
   Oqf.Corpus.t ->
@@ -139,6 +152,7 @@ val run_batch :
   ?jobs:int ->
   ?cache:Rcache.t ->
   ?fail_policy:fail_policy ->
+  ?workload:string ->
   Oqf.Corpus.t ->
   Odb.Query.t list ->
   (Odb.Query.t * (outcome, string) result) list
@@ -147,6 +161,8 @@ val run_batch :
     returning results in input order.  With [cache], a query repeated
     within the batch waits for its first occurrence before probing, so
     duplicates hit deterministically rather than racing the original's
-    insert. *)
+    insert.  When a query log is installed, each batched query gets
+    its own freshly minted trace id and one qlog record labelled
+    [workload]. *)
 
 val pp_shard_report : Format.formatter -> shard_report -> unit

@@ -1,0 +1,156 @@
+let prom_name base =
+  let s = Label.sanitize_key base in
+  "oqf_" ^ String.map (fun c -> if c = '.' then '_' else c) s
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      Printf.sprintf "{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s=\"%s\"" (Label.sanitize_key k)
+                  (Label.escape_value v))
+              labels))
+
+let fnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+(* Group a list of (full registered name, payload) by prom family name
+   so the # TYPE comment appears once per family. *)
+let group_by_family items =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, payload) ->
+      let base, labels = Label.parse name in
+      let fam = prom_name base in
+      (match Hashtbl.find_opt tbl fam with
+      | None ->
+          order := fam :: !order;
+          Hashtbl.add tbl fam [ (labels, payload) ]
+      | Some prev -> Hashtbl.replace tbl fam ((labels, payload) :: prev)))
+    items;
+  List.rev_map (fun fam -> (fam, List.rev (Hashtbl.find tbl fam))) !order
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (fam, series) ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" fam);
+      List.iter
+        (fun (labels, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" fam (render_labels labels) v))
+        series)
+    (group_by_family (Metrics.counters ()));
+  List.iter
+    (fun (fam, series) ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" fam);
+      List.iter
+        (fun (labels, (s : Metrics.summary)) ->
+          let q quant v =
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" fam
+                 (render_labels (labels @ [ ("quantile", quant) ]))
+                 (fnum v))
+          in
+          q "0.5" s.Metrics.p50;
+          q "0.95" s.Metrics.p95;
+          q "0.99" s.Metrics.p99;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" fam (render_labels labels)
+               (fnum s.Metrics.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" fam (render_labels labels)
+               s.Metrics.count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_max%s %s\n" fam (render_labels labels)
+               (fnum s.Metrics.max)))
+        series)
+    (group_by_family (Metrics.histograms ()));
+  Buffer.contents buf
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | _ -> false
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let validate_line line =
+  let n = String.length line in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if n = 0 then Ok ()
+  else if line.[0] = '#' then Ok ()
+  else begin
+    (* name *)
+    if not (is_name_start line.[0]) then fail "bad metric name start"
+    else begin
+      let i = ref 1 in
+      while !i < n && is_name_char line.[!i] do incr i done;
+      (* optional label block *)
+      let labels_ok =
+        if !i < n && line.[!i] = '{' then begin
+          incr i;
+          let ok = ref true in
+          let done_ = ref false in
+          while (not !done_) && !ok && !i < n do
+            if line.[!i] = '}' then begin
+              incr i;
+              done_ := true
+            end
+            else begin
+              (* key *)
+              if not (is_name_start line.[!i]) then ok := false
+              else begin
+                while !i < n && is_name_char line.[!i] do incr i done;
+                if !i + 1 >= n || line.[!i] <> '=' || line.[!i + 1] <> '"'
+                then ok := false
+                else begin
+                  i := !i + 2;
+                  let closed = ref false in
+                  while (not !closed) && !i < n do
+                    if line.[!i] = '\\' then i := !i + 2
+                    else if line.[!i] = '"' then begin
+                      closed := true;
+                      incr i
+                    end
+                    else incr i
+                  done;
+                  if not !closed then ok := false
+                  else if !i < n && line.[!i] = ',' then incr i
+                  else if !i < n && line.[!i] = '}' then ()
+                  else ok := false
+                end
+              end
+            end
+          done;
+          !ok && !done_
+        end
+        else true
+      in
+      if not labels_ok then fail "malformed label block"
+      else if !i >= n || line.[!i] <> ' ' then fail "missing value separator"
+      else begin
+        let v = String.sub line (!i + 1) (n - !i - 1) in
+        match float_of_string_opt (String.trim v) with
+        | Some _ -> Ok ()
+        | None -> fail "unparseable value %S" v
+      end
+    end
+  end
+
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  let rec go ln = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match validate_line line with
+        | Ok () -> go (ln + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s: %s" ln e line))
+  in
+  go 1 lines

@@ -1,0 +1,22 @@
+(** Prometheus text exposition of the {!Metrics} registry.
+
+    The registry interns labelled metrics by their canonical rendered
+    name ([query.latency_ms{workload="bibtex"}]); exposition splits
+    that name back apart with {!Label.parse}, maps dots to underscores
+    (Prometheus metric names admit [[a-zA-Z0-9_:]] only) and prefixes
+    everything with [oqf_].  Counters are exposed as gauges (several
+    registry counters are levels, e.g. [serve.active], so the
+    monotonic [counter] contract would be a lie); histograms as
+    summaries — [quantile="0.5"/"0.95"/"0.99"] series plus [_sum],
+    [_count] and a non-standard [_max] gauge. *)
+
+val render : unit -> string
+(** The full registry in exposition text format (one trailing
+    newline), families sorted by name, [# TYPE] comment per family. *)
+
+val validate : string -> (unit, string) result
+(** Structural check of an exposition page: every line is a comment or
+    [name{labels} value] with a well-formed name, quoted/escaped label
+    values and a float value.  [Error] names the first offending line.
+    Used by tests and [oqf metrics scrape --validate] so CI can gate
+    the live daemon's output without a real Prometheus parser. *)

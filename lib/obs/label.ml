@@ -1,0 +1,124 @@
+let max_value_len = 128
+
+let sanitize s =
+  if s = "" then "_"
+  else begin
+    let n = min (String.length s) max_value_len in
+    String.init n (fun i ->
+        match s.[i] with c when Char.code c < 0x20 -> '_' | c -> c)
+  end
+
+let is_key_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' -> true
+  | _ -> false
+
+let sanitize_key s =
+  if s = "" then "_"
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let last_sub = ref false in
+    String.iter
+      (fun c ->
+        if is_key_char c then begin
+          Buffer.add_char buf c;
+          last_sub := false
+        end
+        else if not !last_sub then begin
+          Buffer.add_char buf '_';
+          last_sub := true
+        end)
+      s;
+    Buffer.contents buf
+  end
+
+let escape_value s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      let labels =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (List.map (fun (k, v) -> (sanitize_key k, sanitize v)) labels)
+      in
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_value v))
+              labels))
+
+(* Parse one label pair at [i] (just past '{' or ','), returning the
+   pair and the index just past it.  Values are either "..." with
+   exposition escapes, or (legacy) raw up to the next ',' or '}'. *)
+let parse name =
+  let n = String.length name in
+  match String.index_opt name '{' with
+  | None -> (name, [])
+  | Some lb when n > 0 && name.[n - 1] = '}' -> begin
+      let base = String.sub name 0 lb in
+      let exception Malformed in
+      let pairs = ref [] in
+      let rec pair i =
+        (* key *)
+        let rec key_end j =
+          if j >= n then raise Malformed
+          else if name.[j] = '=' then j
+          else key_end (j + 1)
+        in
+        let eq = key_end i in
+        let key = String.sub name i (eq - i) in
+        if key = "" then raise Malformed;
+        let vstart = eq + 1 in
+        if vstart < n && name.[vstart] = '"' then begin
+          (* quoted, with escapes *)
+          let buf = Buffer.create 16 in
+          let rec go j =
+            if j >= n then raise Malformed
+            else
+              match name.[j] with
+              | '"' -> j + 1
+              | '\\' when j + 1 < n ->
+                  (match name.[j + 1] with
+                  | 'n' -> Buffer.add_char buf '\n'
+                  | c -> Buffer.add_char buf c);
+                  go (j + 2)
+              | c ->
+                  Buffer.add_char buf c;
+                  go (j + 1)
+          in
+          let after = go (vstart + 1) in
+          pairs := (key, Buffer.contents buf) :: !pairs;
+          next after
+        end
+        else begin
+          (* legacy unquoted: runs to ',' or the closing '}' *)
+          let rec val_end j =
+            if j >= n - 1 then n - 1
+            else if name.[j] = ',' then j
+            else val_end (j + 1)
+          in
+          let ve = val_end vstart in
+          pairs := (key, String.sub name vstart (ve - vstart)) :: !pairs;
+          next ve
+        end
+      and next j =
+        if j = n - 1 then ()
+        else if j < n && name.[j] = ',' then pair (j + 1)
+        else raise Malformed
+      in
+      match if lb + 1 = n - 1 then () else pair (lb + 1) with
+      | () -> (base, List.rev !pairs)
+      | exception Malformed -> (name, [])
+    end
+  | Some _ -> (name, [])

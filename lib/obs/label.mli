@@ -1,0 +1,43 @@
+(** Metric and workload label hygiene.
+
+    Label values arrive from the outside world — workload names on the
+    CLI, schema names in requests — and end up embedded in textual
+    formats with structural characters of their own: the metric
+    registry's canonical [name{key="value"}] names, the Prometheus
+    exposition format, and the query-log's JSON lines.  This module is
+    the single definition of how a hostile value (embedded quotes,
+    commas, newlines, control bytes) is neutralised, so every sink
+    renders the same value the same way and every parser can round-trip
+    it. *)
+
+val sanitize : string -> string
+(** Canonical form of a label {e value}: control characters (including
+    newlines and tabs) become ['_'], and the result is truncated to 128
+    bytes.  Quotes, commas and backslashes are kept — escaping them is
+    the renderer's job, not the value's.  The empty string sanitizes to
+    ["_"] so a label never vanishes. *)
+
+val sanitize_key : string -> string
+(** Canonical form of a label {e key} or metric name fragment: runs of
+    characters outside [[A-Za-z0-9_.]] collapse to ['_'].  Keys are
+    identifiers, so unlike values they lose punctuation entirely. *)
+
+val escape_value : string -> string
+(** Escape a (sanitized) value for embedding between double quotes in
+    the canonical name and Prometheus exposition: backslash, double
+    quote and newline gain a backslash — the exposition-format escape
+    set. *)
+
+val render : string -> (string * string) list -> string
+(** [render name labels] is the canonical registered-metric name:
+    [name] when [labels] is empty, else [name] followed by the sorted
+    [{key="value",...}] block (quotes balanced per pair), with keys
+    sanitized, values sanitized and escaped.  Equal
+    label sets render equally, so the rendered name is a stable
+    interning key for {!Metrics}. *)
+
+val parse : string -> string * (string * string) list
+(** Split a registered-metric name back into base name and labels.
+    Accepts both the quoted canonical form produced by {!render} and
+    the legacy unquoted [name{key=value}] form; a name with no (or
+    malformed) label block parses as itself with no labels. *)

@@ -1,0 +1,275 @@
+type workload = {
+  name : string;
+  count : int;
+  errors : int;
+  degraded : int;
+  cached : int;
+  slow : int;
+  retries : int;
+  faults : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+  total_ms : float;
+}
+
+type query = {
+  text : string;
+  workload : string;
+  count : int;
+  total_ms : float;
+  max_ms : float;
+  cached : int;
+}
+
+type t = {
+  records : int;
+  skipped : int;
+  files : string list;
+  workloads : workload list;
+  by_count : query list;
+  by_total_ms : query list;
+}
+
+(* nearest-rank percentile over a sorted array *)
+let rank sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+type wl_acc = {
+  mutable w_count : int;
+  mutable w_errors : int;
+  mutable w_degraded : int;
+  mutable w_cached : int;
+  mutable w_slow : int;
+  mutable w_retries : int;
+  mutable w_faults : int;
+  mutable w_lat : float list;
+}
+
+type q_acc = {
+  mutable q_count : int;
+  mutable q_total : float;
+  mutable q_max : float;
+  mutable q_cached : int;
+  mutable q_wl : string;
+}
+
+let of_files ?(top = 10) ?slow_ms files =
+  let wls : (string, wl_acc) Hashtbl.t = Hashtbl.create 8 in
+  let qs : (string, q_acc) Hashtbl.t = Hashtbl.create 64 in
+  let records = ref 0 in
+  let skipped = ref 0 in
+  let consume () (r : Qlog.record) =
+    incr records;
+    let wl =
+      match Hashtbl.find_opt wls r.Qlog.workload with
+      | Some a -> a
+      | None ->
+          let a =
+            {
+              w_count = 0;
+              w_errors = 0;
+              w_degraded = 0;
+              w_cached = 0;
+              w_slow = 0;
+              w_retries = 0;
+              w_faults = 0;
+              w_lat = [];
+            }
+          in
+          Hashtbl.add wls r.Qlog.workload a;
+          a
+    in
+    wl.w_count <- wl.w_count + 1;
+    if r.Qlog.outcome = "error" then wl.w_errors <- wl.w_errors + 1;
+    if r.Qlog.outcome = "degraded" then wl.w_degraded <- wl.w_degraded + 1;
+    if r.Qlog.cached then wl.w_cached <- wl.w_cached + 1;
+    (match slow_ms with
+    | Some thresh when r.Qlog.latency_ms >= thresh -> wl.w_slow <- wl.w_slow + 1
+    | _ -> ());
+    wl.w_retries <- wl.w_retries + r.Qlog.retries;
+    wl.w_faults <- wl.w_faults + r.Qlog.faults;
+    wl.w_lat <- r.Qlog.latency_ms :: wl.w_lat;
+    let qa =
+      match Hashtbl.find_opt qs r.Qlog.query with
+      | Some a -> a
+      | None ->
+          let a =
+            { q_count = 0; q_total = 0.; q_max = 0.; q_cached = 0; q_wl = r.Qlog.workload }
+          in
+          Hashtbl.add qs r.Qlog.query a;
+          a
+    in
+    qa.q_count <- qa.q_count + 1;
+    qa.q_total <- qa.q_total +. r.Qlog.latency_ms;
+    if r.Qlog.latency_ms > qa.q_max then qa.q_max <- r.Qlog.latency_ms;
+    if r.Qlog.cached then qa.q_cached <- qa.q_cached + 1
+  in
+  let rec load = function
+    | [] -> Ok ()
+    | f :: rest -> (
+        match Qlog.fold f ~init:() ~f:consume with
+        | Ok ((), sk) ->
+            skipped := !skipped + sk;
+            load rest
+        | Error e -> Error (Printf.sprintf "%s: %s" f e))
+  in
+  match load files with
+  | Error e -> Error e
+  | Ok () ->
+      let workloads =
+        Hashtbl.fold
+          (fun name a acc ->
+            let sorted = Array.of_list a.w_lat in
+            Array.sort compare sorted;
+            {
+              name;
+              count = a.w_count;
+              errors = a.w_errors;
+              degraded = a.w_degraded;
+              cached = a.w_cached;
+              slow = a.w_slow;
+              retries = a.w_retries;
+              faults = a.w_faults;
+              p50 = rank sorted 0.50;
+              p95 = rank sorted 0.95;
+              p99 = rank sorted 0.99;
+              max = (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1));
+              total_ms = Array.fold_left ( +. ) 0. sorted;
+            }
+            :: acc)
+          wls []
+        |> List.sort (fun a b -> String.compare a.name b.name)
+      in
+      let queries =
+        Hashtbl.fold
+          (fun text a acc ->
+            {
+              text;
+              workload = a.q_wl;
+              count = a.q_count;
+              total_ms = a.q_total;
+              max_ms = a.q_max;
+              cached = a.q_cached;
+            }
+            :: acc)
+          qs []
+      in
+      let take n l =
+        let rec go n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: r -> x :: go (n - 1) r
+        in
+        go n l
+      in
+      let by_count =
+        List.sort
+          (fun a b ->
+            match compare b.count a.count with
+            | 0 -> String.compare a.text b.text
+            | c -> c)
+          queries
+        |> take top
+      in
+      let by_total_ms =
+        List.sort
+          (fun a b ->
+            match compare b.total_ms a.total_ms with
+            | 0 -> String.compare a.text b.text
+            | c -> c)
+          queries
+        |> take top
+      in
+      Ok
+        {
+          records = !records;
+          skipped = !skipped;
+          files;
+          workloads;
+          by_count;
+          by_total_ms;
+        }
+
+let to_json t =
+  let open Jsonx in
+  let query_j (q : query) =
+    Obj
+      [
+        ("query", Str q.text);
+        ("workload", Str q.workload);
+        ("count", Num (float_of_int q.count));
+        ("total_ms", Num q.total_ms);
+        ("max_ms", Num q.max_ms);
+        ("cached", Num (float_of_int q.cached));
+      ]
+  in
+  Obj
+    [
+      ("records", Num (float_of_int t.records));
+      ("skipped", Num (float_of_int t.skipped));
+      ("files", Arr (List.map (fun f -> Str f) t.files));
+      ( "workloads",
+        Arr
+          (List.map
+             (fun (w : workload) ->
+               Obj
+                 [
+                   ("workload", Str w.name);
+                   ("count", Num (float_of_int w.count));
+                   ("errors", Num (float_of_int w.errors));
+                   ("degraded", Num (float_of_int w.degraded));
+                   ("cached", Num (float_of_int w.cached));
+                   ("slow", Num (float_of_int w.slow));
+                   ("retries", Num (float_of_int w.retries));
+                   ("faults", Num (float_of_int w.faults));
+                   ("p50_ms", Num w.p50);
+                   ("p95_ms", Num w.p95);
+                   ("p99_ms", Num w.p99);
+                   ("max_ms", Num w.max);
+                   ("total_ms", Num w.total_ms);
+                 ])
+             t.workloads) );
+      ("top_by_count", Arr (List.map query_j t.by_count));
+      ("top_by_total_ms", Arr (List.map query_j t.by_total_ms));
+    ]
+
+let pp ppf t =
+  let hit_rate c n = if n = 0 then 0. else 100. *. float_of_int c /. float_of_int n in
+  Format.fprintf ppf "qlog: %d records (%d skipped) from %d file%s@."
+    t.records t.skipped (List.length t.files)
+    (if List.length t.files = 1 then "" else "s");
+  Format.fprintf ppf "@.workloads:@.";
+  Format.fprintf ppf "  %-16s %8s %8s %8s %8s %9s %9s %9s %7s@." "workload"
+    "count" "errors" "degraded" "slow" "p50(ms)" "p95(ms)" "p99(ms)" "cache%";
+  List.iter
+    (fun (w : workload) ->
+      Format.fprintf ppf "  %-16s %8d %8d %8d %8d %9.2f %9.2f %9.2f %6.1f%%@."
+        w.name w.count w.errors w.degraded w.slow w.p50 w.p95 w.p99
+        (hit_rate w.cached w.count))
+    t.workloads;
+  let top title sel l =
+    Format.fprintf ppf "@.%s:@." title;
+    List.iter
+      (fun (q : query) ->
+        Format.fprintf ppf "  %8s  %s@." (sel q)
+          (if String.length q.text > 72 then String.sub q.text 0 69 ^ "..."
+           else q.text))
+      l
+  in
+  top "top queries by frequency"
+    (fun q -> Printf.sprintf "%dx" q.count)
+    t.by_count;
+  top "top queries by total latency"
+    (fun q -> Printf.sprintf "%.1fms" q.total_ms)
+    t.by_total_ms;
+  let retries = List.fold_left (fun a (w : workload) -> a + w.retries) 0 t.workloads in
+  let faults = List.fold_left (fun a (w : workload) -> a + w.faults) 0 t.workloads in
+  if retries > 0 || faults > 0 then
+    Format.fprintf ppf "@.resilience: %d retries, %d injected faults observed@."
+      retries faults

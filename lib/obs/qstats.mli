@@ -1,0 +1,55 @@
+(** Workload aggregation over a query log — the replay input for the
+    future cost-based [oqf advise].
+
+    [oqf stats] folds one or more qlog files (current segment plus
+    rotated ones) into the per-workload latency distribution, the
+    top-N queries by frequency and by total latency, and cache-hit /
+    degradation / fault trends.  Percentiles are nearest-rank over the
+    full recorded population, so they are directly comparable with the
+    live daemon's [/metrics] histogram quantiles for the same
+    workload. *)
+
+type workload = {
+  name : string;
+  count : int;
+  errors : int;
+  degraded : int;
+  cached : int;
+  slow : int;
+  retries : int;
+  faults : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+  total_ms : float;
+}
+
+type query = {
+  text : string;  (** normalized query text *)
+  workload : string;  (** the (single or dominant) workload label *)
+  count : int;
+  total_ms : float;
+  max_ms : float;
+  cached : int;
+}
+
+type t = {
+  records : int;
+  skipped : int;  (** unparseable lines across all inputs *)
+  files : string list;
+  workloads : workload list;  (** sorted by name *)
+  by_count : query list;  (** top-N, most frequent first *)
+  by_total_ms : query list;  (** top-N, most total latency first *)
+}
+
+val of_files : ?top:int -> ?slow_ms:float -> string list -> (t, string) result
+(** Aggregate the given qlog files (in order).  [top] bounds both
+    top-N lists (default 10).  [slow_ms] recomputes the slow count at
+    a threshold of your choosing; when absent, records are counted
+    slow only if the producing process flagged them (not recorded in
+    the line format, so 0 without a threshold).  [Error] if any file
+    is unreadable. *)
+
+val to_json : t -> Jsonx.t
+val pp : Format.formatter -> t -> unit

@@ -78,20 +78,24 @@ let labelled_histograms =
         | None ->
             let h suffix =
               Obs.Metrics.histogram
-                (Printf.sprintf "query.%s{workload=%s}" suffix workload)
+                (Obs.Label.render ("query." ^ suffix) [ ("workload", workload) ])
             in
             let hs = (h "latency_ms", h "answers", h "candidates") in
             Hashtbl.replace table workload hs;
             hs)
 
-let observe_query ~view ~latency_ms ~answers ~candidates =
+let observe_query ?workload ~view ~latency_ms ~answers ~candidates () =
   let obs (lat_h, ans_h, cand_h) =
     Obs.Metrics.observe lat_h latency_ms;
     Obs.Metrics.observe ans_h (float_of_int answers);
     Obs.Metrics.observe cand_h (float_of_int candidates)
   in
   obs (query_latency_ms, query_answers, query_candidates);
-  match Oqf_catalog.Schemas.name_of_view view with
+  match
+    match workload with
+    | Some w when w <> "" -> Some w
+    | _ -> Oqf_catalog.Schemas.name_of_view view
+  with
   | Some workload -> obs (labelled_histograms workload)
   | None -> ()
 
@@ -264,19 +268,43 @@ let materialize_region src ~symbol (r : Pat.Region.t) =
   end
 
 let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
-    ?(force = false) ?(lazy_phase1 = false) src (q : Odb.Query.t) =
+    ?(force = false) ?(lazy_phase1 = false) ?qctx src (q : Odb.Query.t) =
   let before = Stdx.Stats.snapshot () in
   let t0 = Obs.Trace.now_ms () in
   let root =
     if Obs.Trace.enabled () then Obs.Trace.begin_span "query.run"
     else Obs.Trace.null
   in
+  let schema_name =
+    Option.value (Oqf_catalog.Schemas.name_of_view src.view) ~default:""
+  in
+  let qlog_finish latency_ms result =
+    (* Only executions handed an explicit correlation context log here:
+       the driver logs one record per driven query itself, so its
+       per-file calls must not produce a second record each. *)
+    match (qctx, Obs.Qlog.installed ()) with
+    | Some ctx, Some log ->
+        let record ~rows ~outcome ?error () =
+          Obs.Qlog.append log
+            (Obs.Qlog.make ~ctx ~workload_default:schema_name
+               ~schema:schema_name ~kind:"query"
+               ~query:(Odb.Query.to_string q) ~latency_ms ~rows ~cached:false
+               ~shards:0 ~outcome ?error ())
+        in
+        (match result with
+        | Ok o -> record ~rows:o.answers_count ~outcome:"ok" ()
+        | Error e -> record ~rows:0 ~outcome:"error" ~error:e ())
+    | _ -> ()
+  in
   let finish result =
     let latency_ms = Obs.Trace.now_ms () -. t0 in
+    qlog_finish latency_ms result;
     (match result with
     | Ok o ->
-        observe_query ~view:src.view ~latency_ms ~answers:o.answers_count
-          ~candidates:o.candidates_count;
+        observe_query
+          ?workload:(Option.map (fun (c : Obs.Qlog.ctx) -> c.workload) qctx)
+          ~view:src.view ~latency_ms ~answers:o.answers_count
+          ~candidates:o.candidates_count ();
         if Obs.Trace.enabled () then
           Obs.Trace.end_span root
             ~attrs:

@@ -68,6 +68,7 @@ val run :
   ?explain:bool ->
   ?force:bool ->
   ?lazy_phase1:bool ->
+  ?qctx:Obs.Qlog.ctx ->
   source ->
   Odb.Query.t ->
   (outcome, string) result
@@ -93,7 +94,14 @@ val run :
     [query.candidates] registry histograms; when a trace sink is
     installed the phases (i)–(iv) appear as spans ([query.compile],
     [query.analyze], [query.phase1], [query.join_assist],
-    [query.phase2]) under a [query.run] root. *)
+    [query.phase2]) under a [query.run] root.
+
+    [qctx] is the query-log correlation context: when present {e and}
+    a log is installed ({!Obs.Qlog.install}), the run appends one qlog
+    record carrying [qctx]'s trace id and workload label.  Callers
+    that drive many per-file runs for one logical query (the
+    {!Exec.Driver}) log at their own level and leave [qctx] unset
+    here. *)
 
 val run_baseline :
   Fschema.View.t ->

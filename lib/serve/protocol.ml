@@ -6,6 +6,7 @@ type query_req = {
   timeout_ms : float option;
   fail_policy : Exec.Driver.fail_policy option;
   force : bool;
+  workload : string;
 }
 
 type request =
@@ -23,50 +24,64 @@ type response =
       rows : int;
       cached : bool;
       degraded : (string * string * string) list;
+      trace : string;  (** the request's trace id; [""] when unknown *)
     }
-  | Diagnostics of { id : int; diagnostics : Jsonx.t list }
+  | Diagnostics of { id : int; diagnostics : Obs.Jsonx.t list }
   | Overloaded of { id : int; active : int; queued : int }
   | Failed of { id : int; message : string }
   | Pong of { id : int }
-  | Stats_reply of { id : int; payload : Jsonx.t }
+  | Stats_reply of { id : int; payload : Obs.Jsonx.t }
   | Bye of { id : int }
 
 (* --- requests ------------------------------------------------------ *)
 
 let parse_request line =
-  match Jsonx.parse line with
+  match Obs.Jsonx.parse line with
   | Error e -> Error (0, e)
   | Ok json -> (
       let id =
-        match Option.bind (Jsonx.member "id" json) Jsonx.num with
+        match Option.bind (Obs.Jsonx.member "id" json) Obs.Jsonx.num with
         | Some f -> int_of_float f
         | None -> 0
       in
       let fail id fmt = Printf.ksprintf (fun m -> Error (id, m)) fmt in
       let query_req ~text_key =
         match
-          ( Option.bind (Jsonx.member "schema" json) Jsonx.str,
-            Option.bind (Jsonx.member text_key json) Jsonx.str )
+          ( Option.bind (Obs.Jsonx.member "schema" json) Obs.Jsonx.str,
+            Option.bind (Obs.Jsonx.member text_key json) Obs.Jsonx.str )
         with
         | None, _ -> fail id "missing string member \"schema\""
         | _, None -> fail id "missing string member %S" text_key
         | Some schema, Some text -> (
             let timeout_ms =
-              Option.bind (Jsonx.member "timeout_ms" json) Jsonx.num
+              Option.bind (Obs.Jsonx.member "timeout_ms" json) Obs.Jsonx.num
             in
             let force =
               Option.value ~default:false
-                (Option.bind (Jsonx.member "force" json) Jsonx.bool)
+                (Option.bind (Obs.Jsonx.member "force" json) Obs.Jsonx.bool)
             in
-            match Option.bind (Jsonx.member "fail_policy" json) Jsonx.str with
-            | None -> Ok { schema; text; timeout_ms; fail_policy = None; force }
+            let workload =
+              Option.value ~default:""
+                (Option.bind (Obs.Jsonx.member "workload" json) Obs.Jsonx.str)
+            in
+            match Option.bind (Obs.Jsonx.member "fail_policy" json) Obs.Jsonx.str with
+            | None ->
+                Ok { schema; text; timeout_ms; fail_policy = None; force; workload }
             | Some p -> (
                 match Exec.Driver.fail_policy_of_string p with
                 | Ok fp ->
-                    Ok { schema; text; timeout_ms; fail_policy = Some fp; force }
+                    Ok
+                      {
+                        schema;
+                        text;
+                        timeout_ms;
+                        fail_policy = Some fp;
+                        force;
+                        workload;
+                      }
                 | Error e -> fail id "%s" e))
       in
-      match Option.bind (Jsonx.member "op" json) Jsonx.str with
+      match Option.bind (Obs.Jsonx.member "op" json) Obs.Jsonx.str with
       | None -> fail id "missing string member \"op\""
       | Some "ping" -> Ok (id, Ping)
       | Some "stats" -> Ok (id, Stats)
@@ -82,21 +97,22 @@ let parse_request line =
       | Some op -> fail id "unknown op %S" op)
 
 let render_request id req =
-  let base op = [ ("id", Jsonx.Num (float_of_int id)); ("op", Jsonx.Str op) ] in
+  let base op = [ ("id", Obs.Jsonx.Num (float_of_int id)); ("op", Obs.Jsonx.Str op) ] in
   let query op text_key (q : query_req) =
     base op
-    @ [ ("schema", Jsonx.Str q.schema); (text_key, Jsonx.Str q.text) ]
+    @ [ ("schema", Obs.Jsonx.Str q.schema); (text_key, Obs.Jsonx.Str q.text) ]
     @ (match q.timeout_ms with
-      | Some t -> [ ("timeout_ms", Jsonx.Num t) ]
+      | Some t -> [ ("timeout_ms", Obs.Jsonx.Num t) ]
       | None -> [])
     @ (match q.fail_policy with
       | Some fp ->
-          [ ("fail_policy", Jsonx.Str (Exec.Driver.fail_policy_to_string fp)) ]
+          [ ("fail_policy", Obs.Jsonx.Str (Exec.Driver.fail_policy_to_string fp)) ]
       | None -> [])
-    @ if q.force then [ ("force", Jsonx.Bool true) ] else []
+    @ (if q.force then [ ("force", Obs.Jsonx.Bool true) ] else [])
+    @ if q.workload <> "" then [ ("workload", Obs.Jsonx.Str q.workload) ] else []
   in
-  Jsonx.to_string
-    (Jsonx.Obj
+  Obs.Jsonx.to_string
+    (Obs.Jsonx.Obj
        (match req with
        | Ping -> base "ping"
        | Stats -> base "stats"
@@ -108,81 +124,82 @@ let render_request id req =
 
 let render_response resp =
   let obj id ev rest =
-    Jsonx.Obj
-      (("id", Jsonx.Num (float_of_int id)) :: ("ev", Jsonx.Str ev) :: rest)
+    Obs.Jsonx.Obj
+      (("id", Obs.Jsonx.Num (float_of_int id)) :: ("ev", Obs.Jsonx.Str ev) :: rest)
   in
-  Jsonx.to_string
+  Obs.Jsonx.to_string
     (match resp with
     | Row { id; file; values } ->
         obj id "row"
           [
-            ("file", Jsonx.Str file);
-            ("values", Jsonx.Arr (List.map (fun v -> Jsonx.Str v) values));
+            ("file", Obs.Jsonx.Str file);
+            ("values", Obs.Jsonx.Arr (List.map (fun v -> Obs.Jsonx.Str v) values));
           ]
     | Region { id; file; start; stop } ->
         obj id "region"
           [
-            ("file", Jsonx.Str file);
-            ("start", Jsonx.Num (float_of_int start));
-            ("stop", Jsonx.Num (float_of_int stop));
+            ("file", Obs.Jsonx.Str file);
+            ("start", Obs.Jsonx.Num (float_of_int start));
+            ("stop", Obs.Jsonx.Num (float_of_int stop));
           ]
-    | Done { id; rows; cached; degraded } ->
+    | Done { id; rows; cached; degraded; trace } ->
         obj id "done"
           [
-            ("rows", Jsonx.Num (float_of_int rows));
-            ("cached", Jsonx.Bool cached);
+            ("rows", Obs.Jsonx.Num (float_of_int rows));
+            ("cached", Obs.Jsonx.Bool cached);
+            ("trace", Obs.Jsonx.Str trace);
             ( "degraded",
-              Jsonx.Arr
+              Obs.Jsonx.Arr
                 (List.map
                    (fun (file, action, detail) ->
-                     Jsonx.Obj
+                     Obs.Jsonx.Obj
                        [
-                         ("file", Jsonx.Str file);
-                         ("action", Jsonx.Str action);
-                         ("detail", Jsonx.Str detail);
+                         ("file", Obs.Jsonx.Str file);
+                         ("action", Obs.Jsonx.Str action);
+                         ("detail", Obs.Jsonx.Str detail);
                        ])
                    degraded) );
           ]
     | Diagnostics { id; diagnostics } ->
-        obj id "diagnostics" [ ("diagnostics", Jsonx.Arr diagnostics) ]
+        obj id "diagnostics" [ ("diagnostics", Obs.Jsonx.Arr diagnostics) ]
     | Overloaded { id; active; queued } ->
         obj id "overloaded"
           [
-            ("active", Jsonx.Num (float_of_int active));
-            ("queued", Jsonx.Num (float_of_int queued));
+            ("active", Obs.Jsonx.Num (float_of_int active));
+            ("queued", Obs.Jsonx.Num (float_of_int queued));
           ]
-    | Failed { id; message } -> obj id "error" [ ("message", Jsonx.Str message) ]
+    | Failed { id; message } -> obj id "error" [ ("message", Obs.Jsonx.Str message) ]
     | Pong { id } -> obj id "pong" []
     | Stats_reply { id; payload } -> obj id "stats" [ ("payload", payload) ]
     | Bye { id } -> obj id "bye" [])
 
 let parse_response line =
-  match Jsonx.parse line with
+  match Obs.Jsonx.parse line with
   | Error e -> Error e
   | Ok json -> (
       let id =
-        match Option.bind (Jsonx.member "id" json) Jsonx.num with
+        match Option.bind (Obs.Jsonx.member "id" json) Obs.Jsonx.num with
         | Some f -> int_of_float f
         | None -> 0
       in
       let str_member k =
-        match Option.bind (Jsonx.member k json) Jsonx.str with
+        match Option.bind (Obs.Jsonx.member k json) Obs.Jsonx.str with
         | Some s -> Ok s
         | None -> Error (Printf.sprintf "missing string member %S" k)
       in
       let int_member k =
-        match Option.bind (Jsonx.member k json) Jsonx.num with
+        match Option.bind (Obs.Jsonx.member k json) Obs.Jsonx.num with
         | Some f -> Ok (int_of_float f)
         | None -> Error (Printf.sprintf "missing number member %S" k)
       in
       let ( let* ) = Result.bind in
-      match Option.bind (Jsonx.member "ev" json) Jsonx.str with
+      match Option.bind (Obs.Jsonx.member "ev" json) Obs.Jsonx.str with
       | None -> Error "missing string member \"ev\""
       | Some "row" ->
           let* file = str_member "file" in
           let values =
-            match Jsonx.member "values" json with
-            | Some (Jsonx.Arr vs) -> List.filter_map Jsonx.str vs
+            match Obs.Jsonx.member "values" json with
+            | Some (Obs.Jsonx.Arr vs) -> List.filter_map Obs.Jsonx.str vs
             | _ -> []
           in
           Ok (Row { id; file; values })
@@ -195,28 +212,32 @@ let parse_response line =
           let* rows = int_member "rows" in
           let cached =
             Option.value ~default:false
-              (Option.bind (Jsonx.member "cached" json) Jsonx.bool)
+              (Option.bind (Obs.Jsonx.member "cached" json) Obs.Jsonx.bool)
           in
           let degraded =
-            match Jsonx.member "degraded" json with
-            | Some (Jsonx.Arr ds) ->
+            match Obs.Jsonx.member "degraded" json with
+            | Some (Obs.Jsonx.Arr ds) ->
                 List.filter_map
                   (fun d ->
                     match
-                      ( Option.bind (Jsonx.member "file" d) Jsonx.str,
-                        Option.bind (Jsonx.member "action" d) Jsonx.str,
-                        Option.bind (Jsonx.member "detail" d) Jsonx.str )
+                      ( Option.bind (Obs.Jsonx.member "file" d) Obs.Jsonx.str,
+                        Option.bind (Obs.Jsonx.member "action" d) Obs.Jsonx.str,
+                        Option.bind (Obs.Jsonx.member "detail" d) Obs.Jsonx.str )
                     with
                     | Some f, Some a, Some det -> Some (f, a, det)
                     | _ -> None)
                   ds
             | _ -> []
           in
-          Ok (Done { id; rows; cached; degraded })
+          let trace =
+            Option.value ~default:""
+              (Option.bind (Obs.Jsonx.member "trace" json) Obs.Jsonx.str)
+          in
+          Ok (Done { id; rows; cached; degraded; trace })
       | Some "diagnostics" ->
           let diagnostics =
-            match Jsonx.member "diagnostics" json with
-            | Some (Jsonx.Arr ds) -> ds
+            match Obs.Jsonx.member "diagnostics" json with
+            | Some (Obs.Jsonx.Arr ds) -> ds
             | _ -> []
           in
           Ok (Diagnostics { id; diagnostics })
@@ -230,7 +251,7 @@ let parse_response line =
       | Some "pong" -> Ok (Pong { id })
       | Some "stats" ->
           let payload =
-            Option.value ~default:Jsonx.Null (Jsonx.member "payload" json)
+            Option.value ~default:Obs.Jsonx.Null (Obs.Jsonx.member "payload" json)
           in
           Ok (Stats_reply { id; payload })
       | Some "bye" -> Ok (Bye { id })

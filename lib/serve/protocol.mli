@@ -22,7 +22,7 @@
     {v
     {"id":2,"ev":"row","file":"a.bib","values":["..."]}
     {"id":3,"ev":"region","file":"a.bib","start":10,"stop":42}
-    {"id":2,"ev":"done","rows":7,"cached":false,"degraded":[...]}
+    {"id":2,"ev":"done","rows":7,"cached":false,"trace":"c1-r2","degraded":[...]}
     {"id":2,"ev":"diagnostics","diagnostics":[{...OQF codes...}]}
     {"id":2,"ev":"overloaded","active":8,"queued":16}
     {"id":2,"ev":"error","message":"..."}
@@ -45,6 +45,9 @@ type query_req = {
   timeout_ms : float option;
   fail_policy : Exec.Driver.fail_policy option;  (** [None]: server default *)
   force : bool;  (** execute despite error-severity analysis findings *)
+  workload : string;
+      (** optional client-chosen workload label for the daemon's query
+          log and per-workload metrics; [""] defaults to the schema *)
 }
 
 type request =
@@ -63,12 +66,17 @@ type response =
       cached : bool;
       degraded : (string * string * string) list;
           (** (file, action, detail) per {!Oqf.Degrade} entry *)
+      trace : string;
+          (** the trace id the daemon assigned this request — the same
+              id its spans, qlog record and slow-query entry carry, so
+              a client can quote it when reporting a slow query.  [""]
+              from daemons predating the field. *)
     }
-  | Diagnostics of { id : int; diagnostics : Jsonx.t list }
+  | Diagnostics of { id : int; diagnostics : Obs.Jsonx.t list }
   | Overloaded of { id : int; active : int; queued : int }
   | Failed of { id : int; message : string }
   | Pong of { id : int }
-  | Stats_reply of { id : int; payload : Jsonx.t }
+  | Stats_reply of { id : int; payload : Obs.Jsonx.t }
   | Bye of { id : int }
 
 val parse_request : string -> (int * request, int * string) result

@@ -126,9 +126,9 @@ let corpus_for t schema =
 let diagnostics_payload ds =
   List.map
     (fun d ->
-      match Jsonx.parse (Analysis.Diagnostic.to_json d) with
+      match Obs.Jsonx.parse (Analysis.Diagnostic.to_json d) with
       | Ok j -> j
-      | Error _ -> Jsonx.Str (Analysis.Diagnostic.to_string d))
+      | Error _ -> Obs.Jsonx.Str (Analysis.Diagnostic.to_string d))
     ds
 
 let parse_diagnostic pp e =
@@ -143,7 +143,15 @@ let degraded_triples ds =
       (d.file, Oqf.Degrade.action_to_string d.action, d.detail))
     ds
 
-let handle_query t fd id (q : Protocol.query_req) =
+(* The request's correlation context: the daemon-assigned trace id
+   (one per request, [c<conn>-r<id>] on the socket, [h<conn>-r<id>] on
+   the HTTP facade) plus the client's workload label.  The same id is
+   attached to the request span, the qlog record, the slow-query entry
+   and the terminal [done] event — one grep correlates all four. *)
+let qctx ~trace (q : Protocol.query_req) =
+  { Obs.Qlog.trace_id = trace; workload = q.workload }
+
+let handle_query t fd id ~trace (q : Protocol.query_req) =
   let timeout_ms =
     match q.timeout_ms with
     | Some _ as s -> s
@@ -194,7 +202,8 @@ let handle_query t fd id (q : Protocol.query_req) =
             in
             match
               Exec.Driver.run_streaming ~force:q.force ~cache:t.rcache
-                ?timeout_ms ~fail_policy ~pool:t.pool ~on_rows corpus query
+                ?timeout_ms ~fail_policy ~qctx:(qctx ~trace q) ~pool:t.pool
+                ~on_rows corpus query
             with
             | Ok outcome ->
                 send fd
@@ -205,14 +214,27 @@ let handle_query t fd id (q : Protocol.query_req) =
                        cached = outcome.Exec.Driver.from_cache;
                        degraded =
                          degraded_triples outcome.Exec.Driver.degraded;
+                       trace;
                      })
             | Error e -> send fd (Protocol.Failed { id; message = e })))
 
-let handle_rexpr t fd id (q : Protocol.query_req) =
+let handle_rexpr t fd id ~trace (q : Protocol.query_req) =
   let timeout_ms =
     match q.timeout_ms with
     | Some _ as s -> s
     | None -> t.config.default_timeout_ms
+  in
+  (* rexpr bypasses the driver, so it logs its own qlog record *)
+  let t0 = Obs.Trace.now_ms () in
+  let qlog ~rows ~outcome ?error () =
+    match Obs.Qlog.installed () with
+    | None -> ()
+    | Some log ->
+        Obs.Qlog.append log
+          (Obs.Qlog.make ~ctx:(qctx ~trace q) ~workload_default:q.schema
+             ~schema:q.schema ~kind:"rexpr" ~query:q.text
+             ~latency_ms:(Obs.Trace.now_ms () -. t0)
+             ~rows ~cached:false ~shards:0 ~outcome ?error ())
   in
   match corpus_for t q.schema with
   | Error e -> send fd (Protocol.Failed { id; message = e })
@@ -253,52 +275,51 @@ let handle_rexpr t fd id (q : Protocol.query_req) =
               (Oqf.Corpus.sources corpus)
           with
           | () ->
+              qlog ~rows:!count ~outcome:"ok" ();
               send fd
                 (Protocol.Done
-                   { id; rows = !count; cached = false; degraded = [] })
+                   { id; rows = !count; cached = false; degraded = []; trace })
           | exception Timed_out ->
-              send fd
-                (Protocol.Failed
-                   {
-                     id;
-                     message =
-                       Printf.sprintf "request timed out after %g ms"
-                         (Option.value ~default:0. timeout_ms);
-                   })
+              let message =
+                Printf.sprintf "request timed out after %g ms"
+                  (Option.value ~default:0. timeout_ms)
+              in
+              qlog ~rows:!count ~outcome:"error" ~error:message ();
+              send fd (Protocol.Failed { id; message })
           | exception Ralg.Eval.Unknown_region name ->
-              send fd
-                (Protocol.Failed
-                   { id; message = "unknown region name " ^ name })))
+              let message = "unknown region name " ^ name in
+              qlog ~rows:!count ~outcome:"error" ~error:message ();
+              send fd (Protocol.Failed { id; message })))
 
 let stats_payload () =
   let counters = Obs.Metrics.counters () in
   let histograms = Obs.Metrics.histograms () in
-  Jsonx.Obj
+  Obs.Jsonx.Obj
     [
       ( "counters",
-        Jsonx.Obj
+        Obs.Jsonx.Obj
           (List.map
-             (fun (n, v) -> (n, Jsonx.Num (float_of_int v)))
+             (fun (n, v) -> (n, Obs.Jsonx.Num (float_of_int v)))
              counters) );
       ( "histograms",
-        Jsonx.Obj
+        Obs.Jsonx.Obj
           (List.map
              (fun (n, (s : Obs.Metrics.summary)) ->
                ( n,
-                 Jsonx.Obj
+                 Obs.Jsonx.Obj
                    [
-                     ("count", Jsonx.Num (float_of_int s.count));
-                     ("p50", Jsonx.Num s.p50);
-                     ("p95", Jsonx.Num s.p95);
-                     ("p99", Jsonx.Num s.p99);
-                     ("max", Jsonx.Num s.max);
+                     ("count", Obs.Jsonx.Num (float_of_int s.count));
+                     ("p50", Obs.Jsonx.Num s.p50);
+                     ("p95", Obs.Jsonx.Num s.p95);
+                     ("p99", Obs.Jsonx.Num s.p99);
+                     ("max", Obs.Jsonx.Num s.max);
                    ] ))
              histograms) );
     ]
 
 (* Run [body] under an admission slot, observing request latency; the
    caller streams its own response events. *)
-let admitted t fd id body =
+let admitted t fd id ~trace body =
   match Admission.acquire t.adm with
   | `Overloaded (active, queued) ->
       send fd (Protocol.Overloaded { id; active; queued })
@@ -312,10 +333,13 @@ let admitted t fd id body =
         (fun () ->
           Obs.Metrics.incr requests_c;
           let t0 = Obs.Trace.now_ms () in
-          Obs.Trace.with_span "serve.request" body;
+          Obs.Trace.with_span "serve.request"
+            ~attrs:(fun () -> [ ("trace_id", Obs.Trace.Str trace) ])
+            body;
           Obs.Metrics.observe latency_h (Obs.Trace.now_ms () -. t0))
 
-let handle_request t fd id req =
+let handle_request t fd ~conn id req =
+  let trace = Printf.sprintf "%s-r%d" conn id in
   match req with
   | Protocol.Ping ->
       send fd (Protocol.Pong { id });
@@ -327,10 +351,10 @@ let handle_request t fd id req =
       send fd (Protocol.Bye { id });
       `Shutdown
   | Protocol.Query q ->
-      admitted t fd id (fun () -> handle_query t fd id q);
+      admitted t fd id ~trace (fun () -> handle_query t fd id ~trace q);
       `Continue
   | Protocol.Rexpr q ->
-      admitted t fd id (fun () -> handle_rexpr t fd id q);
+      admitted t fd id ~trace (fun () -> handle_rexpr t fd id ~trace q);
       `Continue
 
 (* --- connection loops ---------------------------------------------- *)
@@ -341,7 +365,8 @@ let initiate_shutdown t =
     Admission.close t.adm
   end
 
-let serve_connection t fd =
+let serve_connection t ~conn fd =
+  let conn = Printf.sprintf "c%d" conn in
   let reader = Protocol.reader fd in
   let rec loop () =
     if Atomic.get t.shutting_down then ()
@@ -365,7 +390,7 @@ let serve_connection t fd =
               send fd (Protocol.Failed { id; message });
               loop ()
           | Ok (id, req) -> (
-              match handle_request t fd id req with
+              match handle_request t fd ~conn id req with
               | `Continue -> loop ()
               | `Shutdown -> initiate_shutdown t))
   in
@@ -458,10 +483,13 @@ let http_respond fd status content_type body =
   in
   go 0
 
-let serve_http_connection t fd =
+let serve_http_connection t ~conn fd =
   match read_http_request fd with
   | None -> http_respond fd "400 Bad Request" "text/plain" "bad request\n"
   | Some ("GET", "/health", _) -> http_respond fd "200 OK" "text/plain" "ok\n"
+  | Some ("GET", "/metrics", _) ->
+      (* Prometheus text exposition of the whole registry *)
+      http_respond fd "200 OK" "text/plain; version=0.0.4" (Obs.Expo.render ())
   | Some ("POST", _, body) -> (
       match Protocol.parse_request (String.trim body) with
       | Error (_, msg) ->
@@ -492,10 +520,11 @@ let serve_http_connection t fd =
                       Obs.Metrics.incr requests_c;
                       let t0 = Obs.Trace.now_ms () in
                       http_respond fd "200 OK" "application/x-ndjson" "";
+                      let trace = Printf.sprintf "h%d-r%d" conn id in
                       (try
                          match req with
-                         | Protocol.Query q -> handle_query t fd id q
-                         | Protocol.Rexpr q -> handle_rexpr t fd id q
+                         | Protocol.Query q -> handle_query t fd id ~trace q
+                         | Protocol.Rexpr q -> handle_rexpr t fd id ~trace q
                          | Protocol.Ping -> send fd (Protocol.Pong { id })
                          | Protocol.Stats ->
                              send fd
@@ -545,7 +574,7 @@ let accept_loop t listen_fd handler =
                   (fun () ->
                     Fun.protect
                       ~finally:(fun () -> unregister_conn t cid)
-                      (fun () -> handler t fd))
+                      (fun () -> handler t ~conn:cid fd))
                   ()
               in
               with_lock t.conns_lock (fun () ->

@@ -422,6 +422,56 @@ let catalog_tests =
         Alcotest.(check bool)
           "cache saw hits" true
           (s.Oqf_catalog.Instance_cache.hits > 0));
+    Alcotest.test_case "per-name stats persist through the manifest" `Quick
+      (fun () ->
+        let _, log_path, cat = setup_catalog 20 in
+        let stats_of c =
+          match Oqf_catalog.Catalog.find c log_path with
+          | Some e -> e.Oqf_catalog.Catalog.stats
+          | None -> Alcotest.fail "entry vanished"
+        in
+        let stats = stats_of cat in
+        Alcotest.(check (list string))
+          "one stat line per indexed name"
+          (List.sort compare log_keep)
+          (List.sort compare (List.map (fun (n, _, _) -> n) stats));
+        (* counts agree with the live instance *)
+        let inst = or_fail (Oqf_catalog.Catalog.load cat log_path) in
+        List.iter
+          (fun (name, regions, mps) ->
+            Alcotest.(check int) (name ^ " region count")
+              (Pat.Region_set.cardinal (Pat.Instance.find inst name))
+              regions;
+            Alcotest.(check bool) (name ^ " match points plausible") true
+              (mps >= 0 && (regions = 0 || mps > 0)))
+          stats;
+        (* ... and survive a close/reopen round-trip untouched *)
+        let reopened =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        Alcotest.(check bool) "reopen preserves stats" true
+          (stats = stats_of reopened));
+    Alcotest.test_case "manifests without rstat lines still open" `Quick
+      (fun () ->
+        let _, log_path, cat = setup_catalog 6 in
+        (* strip the stat lines, as a manifest from an older build *)
+        let manifest =
+          Filename.concat (Oqf_catalog.Catalog.dir cat) "CATALOG"
+        in
+        let stripped =
+          read_file manifest |> String.split_on_char '\n'
+          |> List.filter (fun l ->
+                 not (String.starts_with ~prefix:"rstat " l))
+          |> String.concat "\n"
+        in
+        write_file manifest stripped;
+        let reopened = or_fail (Oqf_catalog.Catalog.open_dir
+                                  (Oqf_catalog.Catalog.dir cat)) in
+        match Oqf_catalog.Catalog.find reopened log_path with
+        | Some e ->
+            Alcotest.(check (list string)) "entry intact, stats empty" []
+              (List.map (fun (n, _, _) -> n) e.Oqf_catalog.Catalog.stats)
+        | None -> Alcotest.fail "legacy entry was dropped");
     Alcotest.test_case "adding the same source twice fails" `Quick (fun () ->
         let _, log_path, cat = setup_catalog 4 in
         match Oqf_catalog.Catalog.add cat ~schema:"log" log_path with

@@ -543,7 +543,7 @@ let workload_labelled_histograms () =
   let names = List.map fst (Obs.Metrics.histograms ()) in
   Alcotest.(check bool)
     "labelled latency histogram registered" true
-    (List.mem "query.latency_ms{workload=bibtex}" names);
+    (List.mem {|query.latency_ms{workload="bibtex"}|} names);
   Alcotest.(check bool)
     "unlabelled alias still recorded" true
     (List.mem "query.latency_ms" names)

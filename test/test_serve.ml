@@ -8,7 +8,7 @@ let or_fail = function Ok x -> x | Error e -> Alcotest.fail e
 (* jsonx                                                               *)
 
 let jsonx_tests =
-  let module J = Serve.Jsonx in
+  let module J = Obs.Jsonx in
   [
     Alcotest.test_case "print/parse round-trip" `Quick (fun () ->
         let v =
@@ -76,6 +76,7 @@ let protocol_tests =
                timeout_ms = Some 250.;
                fail_policy = Some Exec.Driver.Degrade;
                force = true;
+               workload = "errors-dashboard";
              });
         roundtrip_request 5
           (P.Rexpr
@@ -85,6 +86,7 @@ let protocol_tests =
                timeout_ms = None;
                fail_policy = None;
                force = false;
+               workload = "";
              }));
     Alcotest.test_case "response codec round-trips" `Quick (fun () ->
         roundtrip_response (P.Pong { id = 1 });
@@ -99,6 +101,7 @@ let protocol_tests =
                rows = 7;
                cached = true;
                degraded = [ ("c.log", "naive-fallback", "injected fault") ];
+               trace = "c1-r2";
              });
         roundtrip_response (P.Overloaded { id = 5; active = 8; queued = 16 });
         roundtrip_response (P.Failed { id = 6; message = "boom \"quoted\"" }));
@@ -427,7 +430,7 @@ let setup_catalog dir =
   in
   cat
 
-let with_server ?(max_active = 4) ?(max_queue = 8) ?(jobs = 2) f =
+let with_server ?(max_active = 4) ?(max_queue = 8) ?(jobs = 2) ?http_port f =
   let dir = fresh_dir () in
   let (_ : Oqf_catalog.Catalog.t) = setup_catalog dir in
   let config =
@@ -439,6 +442,7 @@ let with_server ?(max_active = 4) ?(max_queue = 8) ?(jobs = 2) f =
       Serve.Server.max_active;
       max_queue;
       jobs;
+      http_port;
     }
   in
   let server = or_fail (Serve.Server.start config) in
@@ -453,9 +457,9 @@ let connect config =
 
 let query_text = {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
 
-let query_req ?timeout_ms ?fail_policy ?(force = false) text =
+let query_req ?timeout_ms ?fail_policy ?(force = false) ?(workload = "") text =
   Serve.Protocol.Query
-    { schema = "log"; text; timeout_ms; fail_policy; force }
+    { schema = "log"; text; timeout_ms; fail_policy; force; workload }
 
 let collect_rows events =
   List.filter_map
@@ -502,8 +506,8 @@ let server_tests =
                 Alcotest.(check bool) "has OQF000" true
                   (List.exists
                      (fun d ->
-                       match Serve.Jsonx.member "code" d with
-                       | Some (Serve.Jsonx.Str "OQF000") -> true
+                       match Obs.Jsonx.member "code" d with
+                       | Some (Obs.Jsonx.Str "OQF000") -> true
                        | _ -> false)
                      diagnostics)
             | _ -> Alcotest.fail "expected diagnostics");
@@ -630,6 +634,128 @@ let server_tests =
             Serve.Client.close c));
   ]
 
+(* ---------------- telemetry: /metrics, qlog, trace ids ---------------- *)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> port
+      | _ -> assert false)
+
+let done_trace events =
+  match
+    List.find_opt
+      (function Serve.Protocol.Done _ -> true | _ -> false)
+      events
+  with
+  | Some (Serve.Protocol.Done { trace; _ }) -> trace
+  | _ -> Alcotest.fail "no done event"
+
+let telemetry_tests =
+  [
+    Alcotest.test_case "/metrics serves a valid exposition page" `Quick
+      (fun () ->
+        with_server ~http_port:(free_port ()) (fun config _dir ->
+            let port = Option.get config.Serve.Server.http_port in
+            (* one real request so the serve series are non-empty *)
+            let c = connect config in
+            ignore (or_fail (Serve.Client.request c (query_req query_text)));
+            Serve.Client.close c;
+            let status, body =
+              or_fail (Serve.Client.http_get ~port "/metrics")
+            in
+            Alcotest.(check int) "200" 200 status;
+            (match Obs.Expo.validate body with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail ("invalid exposition: " ^ e));
+            List.iter
+              (fun needle ->
+                Alcotest.(check bool) ("page has " ^ needle) true
+                  (Astring.String.is_infix ~affix:needle body))
+              [
+                "oqf_serve_requests"; "oqf_serve_request_latency_ms";
+                "# TYPE";
+              ]));
+    Alcotest.test_case
+      "one trace id correlates the reply, the qlog and the slow log" `Quick
+      (fun () ->
+        let qpath = Filename.concat (fresh_dir ()) "daemon.qlog" in
+        (* slow threshold 0: every record also lands in the slow log *)
+        let log = or_fail (Obs.Qlog.open_log ~slow_ms:0.0 qpath) in
+        let span_path = qpath ^ ".spans" in
+        let span_oc = open_out span_path in
+        Obs.Trace.set_sink (Some (Obs.Sink.jsonl span_oc));
+        Obs.Qlog.install (Some log);
+        let the_trace = ref "" in
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Qlog.install None;
+            Obs.Trace.set_sink None;
+            close_out_noerr span_oc;
+            Obs.Qlog.close log)
+          (fun () ->
+            with_server (fun config _dir ->
+                let c = connect config in
+                let events =
+                  or_fail
+                    (Serve.Client.request c
+                       (query_req ~workload:"errors-dashboard" query_text))
+                in
+                Serve.Client.close c;
+                let trace = done_trace events in
+                the_trace := trace;
+                Alcotest.(check bool) "reply carries a trace id" true
+                  (trace <> "");
+                (* the daemon wrote the qlog record before answering,
+                   so it is durable and visible already *)
+                let records, _ =
+                  or_fail
+                    (Obs.Qlog.fold qpath ~init:[] ~f:(fun acc r -> r :: acc))
+                in
+                let r =
+                  match
+                    List.find_opt
+                      (fun r -> r.Obs.Qlog.trace_id = trace)
+                      records
+                  with
+                  | Some r -> r
+                  | None -> Alcotest.fail "no qlog record with the reply's id"
+                in
+                Alcotest.(check string)
+                  "workload label" "errors-dashboard" r.Obs.Qlog.workload;
+                Alcotest.(check string) "outcome" "ok" r.outcome;
+                let slow_traces, _ =
+                  or_fail
+                    (Obs.Qlog.fold (Obs.Qlog.slow_path log) ~init:[]
+                       ~f:(fun acc r -> r.Obs.Qlog.trace_id :: acc))
+                in
+                Alcotest.(check bool) "slow log shares the id" true
+                  (List.mem trace slow_traces));
+            (* the span stream tagged serve.request with the same id *)
+            Obs.Trace.set_sink None;
+            flush span_oc;
+            let spans =
+              let ic = open_in span_path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () ->
+                  let rec go acc =
+                    match input_line ic with
+                    | l -> go (acc ^ l ^ "\n")
+                    | exception End_of_file -> acc
+                  in
+                  go "")
+            in
+            Alcotest.(check bool) "serve.request span present" true
+              (Astring.String.is_infix ~affix:"serve.request" spans);
+            Alcotest.(check bool) "span attrs carry the same id" true
+              (Astring.String.is_infix ~affix:!the_trace spans)));
+  ]
+
 let suites =
   [
     ("serve.jsonx", jsonx_tests);
@@ -637,4 +763,5 @@ let suites =
     ("serve.admission", admission_tests);
     ("serve.streaming", streaming_tests);
     ("serve.server", server_tests);
+    ("serve.telemetry", telemetry_tests);
   ]
