@@ -916,6 +916,169 @@ let o2 () =
     (if overhead_pct <= 5.0 then "PASS" else "FAIL")
 
 (* ------------------------------------------------------------------ *)
+(* CB1 — the cost-based planner vs the rule-based default, and the
+   advisor's predicted savings vs measured deltas.  The cost planner
+   picks among semantics-equivalent candidates (the Prop 3.5 closure),
+   so on these workloads it can only lose by planning overhead (the
+   per-run statistics sweep and plan enumeration) or a bad estimate;
+   the acceptance gate is cost-mode workload total <= rules-mode total
+   x 1.05.  The advisor then replays the measured workload under a
+   root-only index, and its top recommendation's predicted saving is
+   compared against the delta actually measured after building the
+   recommended index — EXPERIMENTS CB1 requires agreement within 2x. *)
+
+let cb1_log_queries =
+  [
+    {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|};
+    {|SELECT e.Level FROM Entries e WHERE e.Service = "db"|};
+    {|SELECT e.Message FROM Entries e WHERE e.Level = "WARN"|};
+    {|SELECT e FROM Entries e WHERE e.Level = "FATAL"|};
+  ]
+
+let cb1_bibtex_queries =
+  [
+    {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|};
+    {|SELECT r.Key FROM References r WHERE r.Year = "1982"|};
+    {|SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"|};
+  ]
+
+let cb1 () =
+  heading "CB1"
+    "cost-based planning vs rules (gate <= 5%); advisor predicted vs measured";
+  let files =
+    List.init 8 (fun i ->
+        ( Printf.sprintf "node%d.log" i,
+          Pat.Text.of_string
+            (Workload.Log_gen.generate
+               { (Workload.Log_gen.with_size 1200) with seed = 130 + i }) ))
+  in
+  let log_corpus =
+    or_die (Oqf.Corpus.make_full Fschema.Log_schema.view files)
+  in
+  let jobs = min 4 (Domain.recommended_domain_count ()) in
+  let bib = bibtex_source 400 in
+  let rules_total = ref 0.0 and cost_total = ref 0.0 in
+  let short qt = if String.length qt <= 44 then qt else String.sub qt 0 44 in
+  say "%-44s | %9s | %9s | %7s@." "query" "rules ms" "cost ms" "delta";
+  let bench_pair label run =
+    let rows_rules, ms_rules =
+      time_ms ~repeat:5 (fun () -> run Oqf_cost.Planner.Rules)
+    in
+    let rows_cost, ms_cost =
+      time_ms ~repeat:5 (fun () -> run Oqf_cost.Planner.Cost_based)
+    in
+    (* both modes pick from rewrite-equivalent plans only *)
+    assert (rows_rules = rows_cost);
+    rules_total := !rules_total +. ms_rules;
+    cost_total := !cost_total +. ms_cost;
+    say "%-44s | %9.3f | %9.3f | %+6.1f%%@." label ms_rules ms_cost
+      ((ms_cost -. ms_rules) /. ms_rules *. 100.0)
+  in
+  List.iter
+    (fun qt ->
+      let q = Odb.Query_parser.parse_exn qt in
+      bench_pair (short qt) (fun mode ->
+          (or_die (Exec.Driver.run_parallel ~jobs ~plan_mode:mode log_corpus q))
+            .Exec.Driver.rows))
+    cb1_log_queries;
+  List.iter
+    (fun qt ->
+      let q = Odb.Query_parser.parse_exn qt in
+      bench_pair (short qt) (fun mode ->
+          (or_die (Oqf.Execute.run ~plan_mode:mode bib q)).Oqf.Execute.rows))
+    cb1_bibtex_queries;
+  let overhead_pct = (!cost_total -. !rules_total) /. !rules_total *. 100.0 in
+  record "CB1_rules_ms" !rules_total;
+  record "CB1_cost_ms" !cost_total;
+  record "CB1_overhead_pct" overhead_pct;
+  say "workload totals: rules %.2f ms, cost %.2f ms (%+.1f%%)@." !rules_total
+    !cost_total overhead_pct;
+  say "CB1 planner check: %s@."
+    (if overhead_pct <= 5.0 then "PASS" else "FAIL");
+  (* --- advisor: predicted vs measured ----------------------------- *)
+  let dir = fresh_dir () in
+  let view = Fschema.Log_schema.view in
+  let corpus_text =
+    Workload.Log_gen.generate
+      { (Workload.Log_gen.with_size 3000) with seed = 131 }
+  in
+  let log_path = Filename.concat dir "cb1.log" in
+  write_file log_path corpus_text;
+  let catdir = Filename.concat dir "cat" in
+  let cat = or_die (Oqf_catalog.Catalog.init catdir) in
+  ignore (or_die (Oqf_catalog.Catalog.add cat ~schema:"log" log_path));
+  let stats = Oqf_cost.Stats.of_entries (Oqf_catalog.Catalog.entries cat) in
+  let text = Pat.Text.of_string corpus_text in
+  (* nothing indexed: every replayed query answers from a whole-file
+     parse, the advisor's worst case and the one §7 opens with *)
+  let base_index = [] in
+  let timed src qt =
+    let q = Odb.Query_parser.parse_exn qt in
+    snd (time_ms ~repeat:5 (fun () -> or_die (Oqf.Execute.run src q)))
+  in
+  let src_base = or_die (Oqf.Execute.make_source view text ~index:base_index) in
+  let base_ms = List.map (fun qt -> (qt, timed src_base qt)) cb1_log_queries in
+  let items =
+    List.map
+      (fun (qt, ms) ->
+        {
+          Oqf_cost.Advise.query = qt;
+          schema = "log";
+          workload = "bench";
+          count = 1;
+          total_ms = ms;
+        })
+      base_ms
+  in
+  let compile ~index ~schema:_ q_text =
+    match Odb.Query_parser.parse q_text with
+    | Error e -> Error (Format.asprintf "%a" Odb.Query_parser.pp_error e)
+    | Ok q -> (
+        match Oqf.Compile.compile (Oqf.Compile.env view ~index) q with
+        | Error e -> Error e
+        | Ok plan ->
+            Ok
+              (List.map
+                 (fun (vp : Oqf.Plan.var_plan) ->
+                   match vp.Oqf.Plan.candidates with
+                   | Oqf.Plan.All -> `Scan
+                   | Oqf.Plan.Empty -> `Empty
+                   | Oqf.Plan.Expr e -> `Index (e, vp.Oqf.Plan.covered))
+                 plan.Oqf.Plan.var_plans))
+  in
+  let recs = Oqf_cost.Advise.advise ~stats ~compile ~index:base_index items in
+  let top =
+    match
+      List.filter (fun r -> r.Oqf_cost.Advise.action = `Add) recs
+    with
+    | r :: _ -> r
+    | [] -> failwith "advisor returned no addition on an uncovered workload"
+  in
+  say "top recommendation: add %s — %s@." top.Oqf_cost.Advise.name
+    top.Oqf_cost.Advise.detail;
+  let src_plus =
+    or_die
+      (Oqf.Execute.make_source view text
+         ~index:(top.Oqf_cost.Advise.name :: base_index))
+  in
+  let plus_total =
+    List.fold_left (fun acc (qt, _) -> acc +. timed src_plus qt) 0.0 base_ms
+  in
+  let base_total = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 base_ms in
+  let measured = Float.max 0.001 (base_total -. plus_total) in
+  let predicted = top.Oqf_cost.Advise.predicted_ms in
+  let ratio = predicted /. measured in
+  record "CB1_advise_predicted_ms" predicted;
+  record "CB1_advise_measured_ms" measured;
+  record "CB1_advise_ratio" ratio;
+  say "workload un-indexed: %.2f ms; after adding %s: %.2f ms@." base_total
+    top.Oqf_cost.Advise.name plus_total;
+  say "predicted saving %.2f ms, measured %.2f ms (ratio %.2fx)@." predicted
+    measured ratio;
+  say "CB1 advisor check: %s@."
+    (if ratio >= 0.5 && ratio <= 2.0 then "PASS (within 2x)" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
 
 let bechamel_tests () =
@@ -1227,6 +1390,10 @@ let () =
     o2 ();
     emit_json ~only_prefix:"O2_" "BENCH_obs2.json"
   end
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "cb1" then begin
+    cb1 ();
+    emit_json ~only_prefix:"CB1_" "BENCH_cost.json"
+  end
   else begin
     e1 ();
     e2 ();
@@ -1243,8 +1410,10 @@ let () =
     r1 ();
     s1 ();
     o2 ();
+    cb1 ();
     run_bechamel ();
     emit_json ~only_prefix:"C1_" "BENCH_catalog.json";
+    emit_json ~only_prefix:"CB1_" "BENCH_cost.json";
     emit_json ~only_prefix:"O1_" "BENCH_obs.json";
     emit_json ~only_prefix:"O2_" "BENCH_obs2.json";
     emit_json ~only_prefix:"P1_" "BENCH_parallel.json";

@@ -113,6 +113,16 @@ let resolve_format = function
       or_die
         (Error (Printf.sprintf "unknown format %s (expected text or json)" f))
 
+let plan_arg =
+  let doc =
+    "Planner: $(b,rules) applies the paper's Prop 3.5 rewrites (default); \
+     $(b,cost) enumerates rewrite-equivalent plans and picks the cheapest \
+     under the catalog statistics' cardinality estimates."
+  in
+  Arg.(value & opt string "rules" & info [ "plan" ] ~docv:"MODE" ~doc)
+
+let resolve_plan_mode s = or_die (Oqf_cost.Planner.mode_of_string s)
+
 let resolve_cost_threshold = function
   | None -> None
   | Some s -> begin
@@ -313,12 +323,13 @@ let query_cmd =
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
   let run schema file names q_text no_optimize load baseline explain force
-      jobs fail_policy faults trace metrics qlog workload slow_ms =
+      jobs fail_policy plan faults trace metrics qlog workload slow_ms =
     install_trace trace;
     install_faults faults;
     install_qlog ?slow_ms qlog;
     let qctx = fresh_qctx ~workload () in
     let fail_policy = resolve_fail_policy fail_policy in
+    let plan_mode = resolve_plan_mode plan in
     let jobs = resolve_jobs jobs in
     let view = or_die (view_of_schema schema) in
     let loaded_instance =
@@ -381,7 +392,7 @@ let query_cmd =
         let out =
           or_die
             (Exec.Driver.run_parallel ~optimize:(not no_optimize) ~force ~jobs
-               ~fail_policy ?qctx corpus q)
+               ~fail_policy ~plan_mode ?qctx corpus q)
         in
         report_degraded out.Exec.Driver.degraded;
         match out.Exec.Driver.per_file with
@@ -397,8 +408,8 @@ let query_cmd =
       end
       else begin
         match
-          Oqf.Execute.run ~optimize:(not no_optimize) ~explain ~force ?qctx
-            src q
+          Oqf.Execute.run ~optimize:(not no_optimize) ~explain ~force
+            ~plan_mode ?qctx src q
         with
         | Ok r -> print_outcome r
         | Error e -> begin
@@ -438,8 +449,8 @@ let query_cmd =
     Term.(
       const run $ schema_arg $ file_arg $ index_names_arg $ query_arg
       $ no_optimize $ load $ baseline $ analyze $ force_arg $ jobs_arg
-      $ fail_policy_arg $ faults_arg $ trace_arg $ metrics_arg $ qlog_arg
-      $ workload_arg $ slow_query_arg)
+      $ fail_policy_arg $ plan_arg $ faults_arg $ trace_arg $ metrics_arg
+      $ qlog_arg $ workload_arg $ slow_query_arg)
 
 (* --- explain ------------------------------------------------------- *)
 
@@ -680,6 +691,11 @@ let catalog_status_cmd =
     Term.(const run $ catalog_dir_arg)
 
 let catalog_stats_cmd =
+  (* both renderings sort per-name stats by region name, so the output
+     is deterministic whatever order the manifest happens to hold *)
+  let sorted_stats (e : Oqf_catalog.Catalog.entry) =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) e.stats
+  in
   let run dir fmt =
     let fmt = resolve_format fmt in
     let cat = open_catalog dir in
@@ -696,14 +712,28 @@ let catalog_stats_cmd =
                 Obs.Jsonx.Arr
                   (List.map
                      (fun (name, regions, mps) ->
-                       Obs.Jsonx.Obj
+                       let base =
                          [
                            ("name", Obs.Jsonx.Str name);
                            ("regions", Obs.Jsonx.Num (float_of_int regions));
                            ( "match_points",
                              Obs.Jsonx.Num (float_of_int mps) );
-                         ])
-                     e.stats) );
+                         ]
+                       in
+                       let depths =
+                         match List.assoc_opt name e.depths with
+                         | None | Some [||] -> []
+                         | Some hist ->
+                             [
+                               ( "depths",
+                                 Obs.Jsonx.Arr
+                                   (Array.to_list hist
+                                   |> List.map (fun c ->
+                                          Obs.Jsonx.Num (float_of_int c))) );
+                             ]
+                       in
+                       Obs.Jsonx.Obj (base @ depths))
+                     (sorted_stats e)) );
             ]
         in
         print_endline
@@ -719,7 +749,7 @@ let catalog_stats_cmd =
               (fun (e : Oqf_catalog.Catalog.entry) ->
                 Printf.printf "%s (schema %s, %dB)\n" e.source e.schema
                   e.length;
-                (match e.stats with
+                (match sorted_stats e with
                 | [] ->
                     print_endline
                       "  (no stats recorded; re-run catalog refresh to \
@@ -761,9 +791,11 @@ let catalog_query_cmd =
     in
     Arg.(value & flag & info [ "shards" ] ~doc)
   in
-  let run dir schema q_text no_refresh jobs shards fail_policy faults metrics =
+  let run dir schema q_text no_refresh jobs shards fail_policy plan faults
+      metrics =
     install_faults faults;
     let fail_policy = resolve_fail_policy fail_policy in
+    let plan_mode = resolve_plan_mode plan in
     let jobs = resolve_jobs jobs in
     let cat = open_catalog dir in
     if not no_refresh then refresh_catalog cat ~fail_policy;
@@ -777,7 +809,9 @@ let catalog_query_cmd =
     (* the parallel driver merges in corpus order, so the output is
        byte-identical whatever the jobs count — CI runs this at
        OQF_JOBS=4 against the same expectations *)
-    let r = or_die (Exec.Driver.run_parallel ~jobs ~fail_policy corpus q) in
+    let r =
+      or_die (Exec.Driver.run_parallel ~jobs ~fail_policy ~plan_mode corpus q)
+    in
     report_degraded (lost @ r.Exec.Driver.degraded);
     if shards then
       List.iter
@@ -803,7 +837,7 @@ let catalog_query_cmd =
           off the persisted indices (refreshing stale ones first).")
     Term.(
       const run $ catalog_dir_arg $ schema_arg $ query $ no_refresh $ jobs_arg
-      $ shards $ fail_policy_arg $ faults_arg $ metrics_arg)
+      $ shards $ fail_policy_arg $ plan_arg $ faults_arg $ metrics_arg)
 
 let catalog_repair_cmd =
   let run dir fmt =
@@ -937,12 +971,13 @@ let batch_cmd =
     in
     go 1 []
   in
-  let run schema queries_file data catalog_dir force jobs fail_policy faults
-      trace metrics qlog workload slow_ms =
+  let run schema queries_file data catalog_dir force jobs fail_policy plan
+      faults trace metrics qlog workload slow_ms =
     install_trace trace;
     install_faults faults;
     install_qlog ?slow_ms qlog;
     let fail_policy = resolve_fail_policy fail_policy in
+    let plan_mode = resolve_plan_mode plan in
     let jobs = resolve_jobs jobs in
     let queries = read_queries queries_file in
     if queries = [] then or_die (Error (queries_file ^ ": no queries"));
@@ -964,8 +999,8 @@ let batch_cmd =
     in
     let cache = Exec.Rcache.create () in
     let results =
-      Exec.Driver.run_batch ~force ~jobs ~cache ~fail_policy ~workload corpus
-        (List.map snd queries)
+      Exec.Driver.run_batch ~force ~jobs ~cache ~fail_policy ~plan_mode
+        ~workload corpus (List.map snd queries)
     in
     let failed =
       List.fold_left2
@@ -1002,8 +1037,8 @@ let batch_cmd =
           fingerprint-keyed result cache.")
     Term.(
       const run $ schema_arg $ queries_file $ data $ catalog_dir $ force_arg
-      $ jobs_arg $ fail_policy_arg $ faults_arg $ trace_arg $ metrics_arg
-      $ qlog_arg $ workload_arg $ slow_query_arg)
+      $ jobs_arg $ fail_policy_arg $ plan_arg $ faults_arg $ trace_arg
+      $ metrics_arg $ qlog_arg $ workload_arg $ slow_query_arg)
 
 (* --- check --------------------------------------------------------- *)
 
@@ -1085,15 +1120,26 @@ let check_cmd =
     in
     Arg.(value & opt (some file) None & info [ "declared-rig" ] ~docv:"FILE" ~doc)
   in
-  let run schema names queries_files exprs fmt threshold declared_rig
+  let run schema names queries_files exprs fmt threshold plan declared_rig
       pos_queries =
     let fmt = resolve_format fmt in
     let threshold = resolve_cost_threshold threshold in
+    let plan_mode = resolve_plan_mode plan in
     let view = or_die (view_of_schema schema) in
     let index = resolve_index view (split_names names) in
     let env = Oqf.Compile.env view ~index in
     let query_rig =
       Ralg.Rig.partial env.Oqf.Compile.full_rig ~keep:index
+    in
+    (* OQF006 prices expressions with the same model the chosen planner
+       uses, so check and execution never disagree about what is
+       expensive.  Static analysis has no file at hand, so cost mode
+       prices against uniform assumed statistics. *)
+    let cost =
+      match plan_mode with
+      | Oqf_cost.Planner.Rules -> None
+      | Oqf_cost.Planner.Cost_based ->
+          Some (Oqf_cost.Model.legacy (Oqf_cost.Stats.uniform ()))
     in
     let parse_failure pp e =
       [
@@ -1105,14 +1151,16 @@ let check_cmd =
       match Odb.Query_parser.parse text with
       | Error e -> parse_failure Odb.Query_parser.pp_error e
       | Ok q ->
-          (Oqf.Check.query ~text ?cost_threshold:threshold env ~query_rig q)
+          (Oqf.Check.query ~text ?cost ?cost_threshold:threshold env
+             ~query_rig q)
             .Oqf.Check.diagnostics
     in
     let check_expr text =
       match Ralg.Expr_parser.parse text with
       | Error e -> parse_failure Ralg.Expr_parser.pp_error e
       | Ok e ->
-          Analysis.Expr_check.check ~text ?cost_threshold:threshold query_rig e
+          Analysis.Expr_check.check ~text ?cost ?cost_threshold:threshold
+            query_rig e
     in
     let file_items =
       List.concat_map
@@ -1170,39 +1218,207 @@ let check_cmd =
           when any error-severity diagnostic is found.")
     Term.(
       const run $ schema_arg $ index_names_arg $ queries_files $ exprs
-      $ format_arg $ cost_threshold $ declared_rig $ pos_queries)
+      $ format_arg $ cost_threshold $ plan_arg $ declared_rig $ pos_queries)
 
 (* --- advise -------------------------------------------------------- *)
 
 let advise_cmd =
-  let queries =
-    let doc = "Queries of the workload." in
-    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc)
-  in
-  let run schema queries =
-    let view = or_die (view_of_schema schema) in
-    let module Sset = Set.Make (String) in
-    let names =
-      List.fold_left
-        (fun acc q_text ->
-          let q =
-            match Odb.Query_parser.parse q_text with
-            | Ok q -> q
-            | Error e ->
-                or_die
-                  (Error (Format.asprintf "%a" Odb.Query_parser.pp_error e))
-          in
-          let names = or_die (Oqf.Advisor.required_indices view q) in
-          Sset.union acc (Sset.of_list names))
-        Sset.empty queries
+  let schema =
+    let doc =
+      "Structuring schema: bibtex, log, sgml or mbox.  Required with \
+       positional queries; with $(b,--qlog) it restricts the replay to \
+       that schema's queries (each record carries its own schema)."
     in
-    Printf.printf "index these region names for exact evaluation:\n  %s\n"
-      (String.concat ", " (Sset.elements names))
+    Arg.(value & opt (some string) None & info [ "s"; "schema" ] ~doc)
+  in
+  let queries =
+    let doc = "Queries of the workload (compute a sufficient index set)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let qlogs =
+    let doc =
+      "Replay the query log in $(docv) against the cost model and \
+       recommend index changes with predicted latency savings.  \
+       Repeatable (pass rotated segments in order)."
+    in
+    Arg.(value & opt_all file [] & info [ "qlog" ] ~docv:"FILE" ~doc)
+  in
+  let catalog_dir =
+    let doc =
+      "Price the replay with this catalog's recorded statistics \
+       (cardinalities, match-point densities, depth histograms); without \
+       it, uniform statistics are assumed."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "c"; "catalog" ] ~docv:"DIR" ~doc)
+  in
+  let top =
+    let doc = "Show at most $(docv) recommendations." in
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  (* compile-for-replay: how would each variable of [q_text] be
+     answered under [index]?  Injected into the advisor so lib/cost
+     needs no dependency on the query compiler. *)
+  let replay_compile ~index ~schema q_text =
+    match view_of_schema schema with
+    | Error e -> Error e
+    | Ok view -> (
+        match Odb.Query_parser.parse q_text with
+        | Error e -> Error (Format.asprintf "%a" Odb.Query_parser.pp_error e)
+        | Ok q -> (
+            match Oqf.Compile.compile (Oqf.Compile.env view ~index) q with
+            | Error e -> Error e
+            | Ok plan ->
+                Ok
+                  (List.map
+                     (fun (vp : Oqf.Plan.var_plan) ->
+                       match vp.Oqf.Plan.candidates with
+                       | Oqf.Plan.All -> `Scan
+                       | Oqf.Plan.Empty -> `Empty
+                       | Oqf.Plan.Expr e -> `Index (e, vp.Oqf.Plan.covered))
+                     plan.Oqf.Plan.var_plans)))
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  let run schema names queries qlogs catalog_dir top fmt =
+    let fmt = resolve_format fmt in
+    match (queries, qlogs) with
+    | [], [] -> or_die (Error "need QUERY arguments or --qlog FILE")
+    | _ :: _, _ :: _ ->
+        or_die (Error "positional queries and --qlog are exclusive")
+    | (_ :: _ as queries), [] ->
+        (* sufficient-index mode (§7): which names make every query of
+           the workload exactly answerable from the index *)
+        let schema =
+          match schema with
+          | Some s -> s
+          | None -> or_die (Error "positional queries require --schema")
+        in
+        let view = or_die (view_of_schema schema) in
+        let module Sset = Set.Make (String) in
+        let names =
+          List.fold_left
+            (fun acc q_text ->
+              let q =
+                match Odb.Query_parser.parse q_text with
+                | Ok q -> q
+                | Error e ->
+                    or_die
+                      (Error (Format.asprintf "%a" Odb.Query_parser.pp_error e))
+              in
+              let names = or_die (Oqf.Advisor.required_indices view q) in
+              Sset.union acc (Sset.of_list names))
+            Sset.empty queries
+        in
+        Printf.printf "index these region names for exact evaluation:\n  %s\n"
+          (String.concat ", " (Sset.elements names))
+    | [], qlogs ->
+        (* workload-replay mode: cost-model what the log actually ran *)
+        let stats =
+          match catalog_dir with
+          | None -> Oqf_cost.Stats.uniform ()
+          | Some dir ->
+              let cat = open_catalog dir in
+              Oqf_cost.Stats.of_entries (Oqf_catalog.Catalog.entries cat)
+        in
+        let agg = or_die (Obs.Qstats.of_files ~top:1000 qlogs) in
+        let items =
+          let module SM = Map.Make (String) in
+          let add m (q : Obs.Qstats.query) =
+            if SM.mem q.Obs.Qstats.text m then m
+            else
+              SM.add q.Obs.Qstats.text
+                {
+                  Oqf_cost.Advise.query = q.Obs.Qstats.text;
+                  schema = q.Obs.Qstats.schema;
+                  workload = q.Obs.Qstats.workload;
+                  count = q.Obs.Qstats.count;
+                  total_ms = q.Obs.Qstats.total_ms;
+                }
+                m
+          in
+          let m =
+            List.fold_left add (SM.empty : Oqf_cost.Advise.item SM.t)
+              (agg.Obs.Qstats.by_count @ agg.Obs.Qstats.by_total_ms)
+          in
+          let all = List.map snd (SM.bindings m) in
+          match schema with
+          | None -> all
+          | Some s ->
+              List.filter (fun (i : Oqf_cost.Advise.item) -> i.schema = s) all
+        in
+        let schemas =
+          List.filter_map
+            (fun (i : Oqf_cost.Advise.item) ->
+              if i.schema = "" then None else Some i.schema)
+            items
+          |> List.sort_uniq compare
+        in
+        let indexable =
+          List.concat_map
+            (fun s ->
+              match view_of_schema s with
+              | Ok view -> Fschema.Grammar.indexable view.Fschema.View.grammar
+              | Error _ -> [])
+            schemas
+          |> List.sort_uniq compare
+        in
+        let index =
+          match split_names names with Some ns -> ns | None -> indexable
+        in
+        let recs =
+          take top
+            (Oqf_cost.Advise.advise ~stats ~compile:replay_compile ~index
+               ~indexable items)
+        in
+        let action_str = function `Add -> "add" | `Drop -> "drop" in
+        (match fmt with
+        | `Json ->
+            let rec_json (r : Oqf_cost.Advise.recommendation) =
+              Obs.Jsonx.Obj
+                [
+                  ("action", Obs.Jsonx.Str (action_str r.action));
+                  ("name", Obs.Jsonx.Str r.name);
+                  ("predicted_ms", Obs.Jsonx.Num r.predicted_ms);
+                  ("queries", Obs.Jsonx.Num (float_of_int r.queries));
+                  ("detail", Obs.Jsonx.Str r.detail);
+                ]
+            in
+            print_endline
+              (Obs.Jsonx.to_string
+                 (Obs.Jsonx.Obj
+                    [
+                      ("replayed", Obs.Jsonx.Num (float_of_int (List.length items)));
+                      ("records", Obs.Jsonx.Num (float_of_int agg.Obs.Qstats.records));
+                      ( "recommendations",
+                        Obs.Jsonx.Arr (List.map rec_json recs) );
+                    ]))
+        | `Text ->
+            Printf.printf "replayed %d distinct queries from %d qlog records\n"
+              (List.length items) agg.Obs.Qstats.records;
+            if recs = [] then
+              print_endline
+                "no index changes recommended: the workload is served as \
+                 well as the candidate set allows"
+            else
+              List.iter
+                (fun (r : Oqf_cost.Advise.recommendation) ->
+                  Printf.printf "%s %s: %s\n" (action_str r.action) r.name
+                    r.detail)
+                recs)
   in
   Cmd.v
     (Cmd.info "advise"
-       ~doc:"Compute a sufficient index set for a query workload (§7).")
-    Term.(const run $ schema_arg $ queries)
+       ~doc:
+         "Compute a sufficient index set for a query workload (§7), or \
+          replay a query log against the cost model and recommend index \
+          changes with predicted savings.")
+    Term.(
+      const run $ schema $ index_names_arg $ queries $ qlogs $ catalog_dir
+      $ top $ format_arg)
 
 (* --- serve / client ------------------------------------------------ *)
 

@@ -1,0 +1,95 @@
+The cost-based planner and the workload-driven index advisor, end to
+end on a small deterministic corpus.
+
+  $ ../bin/oqf_cli.exe generate -k log -n 12 --seed 11 -o cost.log
+  wrote 1206 bytes to cost.log
+
+Both planner modes answer identically — every candidate the cost mode
+may pick is set-equivalent by construction — and cost mode is selected
+per query with --plan:
+
+  $ ../bin/oqf_cli.exe query -s log cost.log 'SELECT e.Level FROM Entries e WHERE e.Service = "db"' --plan rules
+  INFO
+  WARN
+  -- 2 rows (3 candidates, exact plan); scanned=12B parsed=0B index_ops=10 cmps=354 lookups=2 objs=0 regions=195
+
+  $ ../bin/oqf_cli.exe query -s log cost.log 'SELECT e.Level FROM Entries e WHERE e.Service = "db"' --plan cost
+  INFO
+  WARN
+  -- 2 rows (3 candidates, exact plan); scanned=12B parsed=0B index_ops=10 cmps=354 lookups=2 objs=0 regions=195
+
+  $ ../bin/oqf_cli.exe query -s log cost.log 'SELECT e.Level FROM Entries e' --plan greedy
+  oqf: unknown plan mode "greedy" (expected rules|cost)
+  [1]
+
+EXPLAIN ANALYZE in cost mode shows which candidate won per node and
+the estimated rows next to the actuals:
+
+  $ ../bin/oqf_cli.exe query -s log cost.log 'SELECT e.Level FROM Entries e WHERE e.Service = "db"' --plan cost --explain 2>/dev/null | sed -n '/cost plan:/,/analyze:/p'
+  cost plan:
+    e: rules (considered 2, est cost 154.0, est rows 1)
+    <select>: rules (considered 2, est cost 279.2, est rows 1)
+  analyze:
+
+  $ ../bin/oqf_cli.exe query -s log cost.log 'SELECT e.Level FROM Entries e WHERE e.Service = "db"' --plan cost --explain 2>/dev/null | grep -m1 'est-rows'
+      >  [out=3 est-rows=1 self: ops=1 cmps=34 | subtree: ops=2 cmps=46 | est weighted=154.0]
+
+The catalog records build-time statistics, including nesting-depth
+histograms, and renders them deterministically sorted:
+
+  $ ../bin/oqf_cli.exe catalog init cat
+  initialized empty catalog in cat
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log cost.log
+  added cost.log (schema log): 5 region names indexed
+  $ ../bin/oqf_cli.exe catalog stats -c cat --format json
+  {"entries":[{"source":"cost.log","schema":"log","length":1206,"names":[{"name":"Entry","regions":12,"match_points":204,"depths":[12]},{"name":"Level","regions":12,"match_points":12,"depths":[0,12]},{"name":"Message","regions":12,"match_points":72,"depths":[0,12]},{"name":"Service","regions":12,"match_points":12,"depths":[0,12]},{"name":"Timestamp","regions":12,"match_points":72,"depths":[0,12]}]}]}
+
+oqf check prices OQF006 with the same model the planner uses, so the
+two can never disagree about what is expensive; only the scalar
+changes between modes, never the verdict structure:
+
+  $ ../bin/oqf_cli.exe check -s log --expr 'Entry >d sigma["db"](Service)' --cost-threshold 10 --plan cost
+  == Entry >d sigma["db"](Service)
+    warning[OQF006] estimated evaluation cost 23948 exceeds threshold 10 and the expression uses 1 direct-inclusion operator(s) -- simple=0 direct=1 set=0 sel=1 weighted=23948.1
+    hint[OQF003] direct inclusion is weakenable (Prop 3.5a); the optimizer applies this rewrite -- Entry >d Service => Entry > Service (at 0..5)
+  -- errors=0 warnings=1 hints=1
+
+The advisor replays an aggregated query log against the cost model.  A
+hand-written log with known latencies (the shape oqf --qlog appends):
+
+  $ cat > replay.qlog <<'EOF'
+  > {"ts":1,"trace":"q1","workload":"dash","schema":"log","kind":"query","query":"SELECT e.Level FROM Entries e WHERE e.Service = \"db\"","ms":40,"rows":2,"cached":false,"shards":0,"outcome":"ok"}
+  > {"ts":2,"trace":"q2","workload":"dash","schema":"log","kind":"query","query":"SELECT e.Level FROM Entries e WHERE e.Service = \"db\"","ms":60,"rows":2,"cached":false,"shards":0,"outcome":"ok"}
+  > {"ts":3,"trace":"q3","workload":"audit","schema":"log","kind":"query","query":"SELECT e.Message FROM Entries e WHERE e.Level = \"ERROR\"","ms":25,"rows":1,"cached":false,"shards":0,"outcome":"ok"}
+  > EOF
+
+With only the root indexed, both replayed queries run uncovered; the
+advisor prices the alternatives off the catalog statistics and ranks
+the additions by predicted saving:
+
+  $ ../bin/oqf_cli.exe advise --qlog replay.qlog -c cat --index Entry
+  replayed 2 distinct queries from 3 qlog records
+  add Service: indexing Service speeds up 1 query (predicted 78.48ms saved over the replayed workload)
+  add Level: indexing Level speeds up 1 query (predicted 19.62ms saved over the replayed workload)
+
+Indexed names the workload never reads are offered as drops:
+
+  $ ../bin/oqf_cli.exe advise --qlog replay.qlog -c cat | sed 's/ — /: /'
+  replayed 2 distinct queries from 3 qlog records
+  drop Message: no replayed query reads Message: dropping it saves index maintenance at no latency cost
+  drop Timestamp: no replayed query reads Timestamp: dropping it saves index maintenance at no latency cost
+
+The JSON shape downstream tooling consumes:
+
+  $ ../bin/oqf_cli.exe advise --qlog replay.qlog -c cat --index Entry --top 1 --format json
+  {"replayed":2,"records":3,"recommendations":[{"action":"add","name":"Service","predicted_ms":78.4837517922,"queries":1,"detail":"indexing Service speeds up 1 query (predicted 78.48ms saved over the replayed workload)"}]}
+
+The classic positional mode (sufficient index set, §7) is unchanged:
+
+  $ ../bin/oqf_cli.exe advise -s log 'SELECT e.Level FROM Entries e WHERE e.Service = "db"'
+  index these region names for exact evaluation:
+    Entry, Service
+
+  $ ../bin/oqf_cli.exe advise
+  oqf: need QUERY arguments or --qlog FILE
+  [1]

@@ -34,8 +34,8 @@ untouched; the elapsed figures are normalized here because they vary
 run to run):
 
   $ ../bin/oqf_cli.exe catalog query -c cat -s log --jobs 2 --shards 'SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"' 2>&1 >/dev/null | sed 's/[0-9.]* ms/_ ms/'
-  shard 0: 1 files, 1 KB, _ ms
-  shard 1: 1 files, 1 KB, _ ms
+  shard 0: 1 files, 2 KB, _ ms
+  shard 1: 1 files, 2 KB, _ ms
 
 Single-file queries accept --jobs too:
 

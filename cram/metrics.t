@@ -39,7 +39,7 @@ resilience trends, with the torn line skipped and counted:
 The JSON shape downstream tooling consumes:
 
   $ ../bin/oqf_cli.exe stats replay.qlog --top 1 --format json
-  {"records":4,"skipped":1,"files":["replay.qlog"],"workloads":[{"workload":"audit","count":1,"errors":1,"degraded":0,"cached":0,"slow":0,"retries":0,"faults":0,"p50_ms":200,"p95_ms":200,"p99_ms":200,"max_ms":200,"total_ms":200},{"workload":"dashboard","count":3,"errors":0,"degraded":1,"cached":1,"slow":0,"retries":2,"faults":1,"p50_ms":30,"p95_ms":50,"p99_ms":50,"max_ms":50,"total_ms":90}],"top_by_count":[{"query":"SELECT e.Service FROM Entries e","workload":"dashboard","count":2,"total_ms":40,"max_ms":30,"cached":1}],"top_by_total_ms":[{"query":"SELECT e.Ts FROM Entries e","workload":"audit","count":1,"total_ms":200,"max_ms":200,"cached":0}]}
+  {"records":4,"skipped":1,"files":["replay.qlog"],"workloads":[{"workload":"audit","count":1,"errors":1,"degraded":0,"cached":0,"slow":0,"retries":0,"faults":0,"p50_ms":200,"p95_ms":200,"p99_ms":200,"max_ms":200,"total_ms":200},{"workload":"dashboard","count":3,"errors":0,"degraded":1,"cached":1,"slow":0,"retries":2,"faults":1,"p50_ms":30,"p95_ms":50,"p99_ms":50,"max_ms":50,"total_ms":90}],"top_by_count":[{"query":"SELECT e.Service FROM Entries e","workload":"dashboard","schema":"log","count":2,"total_ms":40,"max_ms":30,"cached":1}],"top_by_total_ms":[{"query":"SELECT e.Ts FROM Entries e","workload":"audit","schema":"log","count":1,"total_ms":200,"max_ms":200,"cached":0}]}
 
 A slow threshold recomputes the slow counts at replay time:
 

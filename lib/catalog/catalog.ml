@@ -26,6 +26,11 @@ type entry = {
       (* per region name: (name, region count, match-point count),
          captured at build time; [] for entries written before the
          field existed *)
+  depths : (string * int array) list;
+      (* per region name: histogram of nesting depths (index d counts
+         the regions lying under exactly d enclosing indexed regions;
+         the last bucket absorbs deeper nesting), captured at build
+         time; [] for entries written before the field existed *)
 }
 
 type t = {
@@ -64,6 +69,12 @@ let entry_to_lines e =
       (fun (name, regions, mps) ->
         Printf.sprintf "rstat %s %d %d" name regions mps)
       e.stats
+  @ List.map
+      (fun (name, hist) ->
+        Printf.sprintf "rdepth %s %s" name
+          (String.concat " "
+             (List.map string_of_int (Array.to_list hist))))
+      e.depths
   @ [ "end" ]
 
 (* Crash-safe: the new image is written to a temp file, forced to disk
@@ -139,6 +150,32 @@ let parse_manifest path lines =
                 end)
             (List.rev fields)
         in
+        (* optional per-name nesting-depth histograms, same
+           compatibility contract as rstat *)
+        let depths =
+          List.filter_map
+            (fun line ->
+              match field "rdepth" line with
+              | None -> None
+              | Some rest -> begin
+                  match String.split_on_char ' ' rest with
+                  | name :: (_ :: _ as counts) -> begin
+                      match
+                        List.map int_of_string_opt counts
+                        |> List.fold_left
+                             (fun acc c ->
+                               match (acc, c) with
+                               | Some acc, Some c -> Some (c :: acc)
+                               | _ -> None)
+                             (Some [])
+                      with
+                      | Some rev -> Some (name, Array.of_list (List.rev rev))
+                      | None -> None
+                    end
+                  | _ -> None
+                end)
+            (List.rev fields)
+        in
         match
           ( get "source", get "schema", get "index", get "length",
             get "digest", get "version", get "file" )
@@ -160,6 +197,7 @@ let parse_manifest path lines =
                      version;
                      index_file;
                      stats;
+                     depths;
                    }
                   :: acc)
                   rest
@@ -348,6 +386,48 @@ let instance_stats instance =
       (name, Pat.Region_set.cardinal rs, mps))
     (Pat.Instance.names instance)
 
+(* Per-name nesting-depth histograms: how many regions of each name lie
+   under 0, 1, 2, … enclosing indexed regions.  The cost model uses the
+   overlap of these histograms to estimate how often a direct-inclusion
+   probe can succeed at all.  One stack sweep over the universe — region
+   order is start ascending, stop descending, so every enclosing region
+   is visited before the regions it contains. *)
+let depth_buckets = 8
+
+let instance_depths instance =
+  let module RM = Map.Make (Pat.Region) in
+  let depth_of = ref RM.empty in
+  let stack = ref [] in
+  Pat.Region_set.iter
+    (fun r ->
+      let rec unwind = function
+        | top :: rest when not (Pat.Region.includes top r) -> unwind rest
+        | s -> s
+      in
+      stack := unwind !stack;
+      let d = min (List.length !stack) (depth_buckets - 1) in
+      depth_of := RM.add r d !depth_of;
+      stack := r :: !stack)
+    (Pat.Instance.universe instance);
+  List.map
+    (fun name ->
+      let hist = Array.make depth_buckets 0 in
+      Pat.Region_set.iter
+        (fun r ->
+          match RM.find_opt r !depth_of with
+          | Some d ->
+              (* a region's own span sits on the stack when we look it
+                 up during the sweep, so universe depth already counts
+                 only the strictly enclosing spans *)
+              hist.(d) <- hist.(d) + 1
+          | None -> ())
+        (Pat.Instance.find instance name);
+      (* trim trailing empty buckets so flat instances stay compact *)
+      let last = ref 0 in
+      Array.iteri (fun i c -> if c > 0 then last := i) hist;
+      (name, Array.sub hist 0 (!last + 1)))
+    (Pat.Instance.names instance)
+
 let store_entry t ~source ~schema ~index_names ~text ~index_file instance =
   Pat.Index_store.save ~path:(Filename.concat t.dir index_file) instance;
   let e =
@@ -360,6 +440,7 @@ let store_entry t ~source ~schema ~index_names ~text ~index_file instance =
       version = Pat.Index_store.format_version;
       index_file;
       stats = instance_stats instance;
+      depths = instance_depths instance;
     }
   in
   t.entries <-

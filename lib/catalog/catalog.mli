@@ -38,6 +38,13 @@ type entry = {
           word start inside a region's span.  Empty for entries
           written by versions that predate the field — manifests with
           and without it read each other cleanly. *)
+  depths : (string * int array) list;
+      (** per region name: histogram of nesting depths — index [d]
+          counts the regions of that name lying under exactly [d]
+          strictly-enclosing indexed regions (the last bucket absorbs
+          deeper nesting).  Captured at (re)build time; empty for
+          entries written before the field existed, with the same
+          compatibility contract as [stats]. *)
 }
 
 type t

@@ -1,0 +1,130 @@
+type item = {
+  query : string;
+  schema : string;
+  workload : string;
+  count : int;
+  total_ms : float;
+}
+
+type var_access = [ `Index of Ralg.Expr.t * bool | `Scan | `Empty ]
+
+type compile =
+  index:string list -> schema:string -> string -> (var_access list, string) result
+
+type recommendation = {
+  action : [ `Add | `Drop ];
+  name : string;
+  predicted_ms : float;
+  queries : int;
+  detail : string;
+}
+
+(* Model cost of answering one query under one index set: each
+   variable either runs its region expression (index work + phase-2
+   materialization of the candidates) or falls back to a whole-file
+   parse. *)
+let query_cost ~stats ~compile ~index item =
+  match compile ~index ~schema:item.schema item.query with
+  | Error _ -> None
+  | Ok accesses ->
+      Some
+        (List.fold_left
+           (fun acc -> function
+             | `Empty -> acc
+             | `Scan -> acc +. Model.scan_cost stats
+             | `Index (e, covered) ->
+                 let est = Model.estimate stats e in
+                 let phase2 =
+                   if covered then
+                     Model.materialize_cost stats ~rows:est.Model.rows
+                   else Model.refilter_cost stats e ~rows:est.Model.rows
+                 in
+                 acc +. est.Model.cost +. phase2)
+           0.0 accesses)
+  | exception _ -> None
+
+let names_used ~compile ~index ~indexable item =
+  (* which indexable names does this query's best-case compilation
+     mention?  Compile against everything it could ever use. *)
+  let all = List.sort_uniq compare (index @ indexable) in
+  match compile ~index:all ~schema:item.schema item.query with
+  | Ok accesses ->
+      List.concat_map
+        (function `Index (e, _) -> Ralg.Expr.names e | `Scan | `Empty -> [])
+        accesses
+  | Error _ | (exception _) -> []
+
+let advise ~stats ~compile ~index ?indexable items =
+  let indexable =
+    match indexable with
+    | Some ns -> ns
+    | None -> List.sort_uniq compare (Stats.names stats @ index)
+  in
+  let base =
+    List.filter_map
+      (fun it ->
+        match query_cost ~stats ~compile ~index it with
+        | Some c when c > 0.0 -> Some (it, c)
+        | _ -> None)
+      items
+  in
+  let additions =
+    List.filter_map
+      (fun name ->
+        if List.mem name index then None
+        else
+          let index' = List.sort_uniq compare (name :: index) in
+          let saved_ms, affected =
+            List.fold_left
+              (fun (ms, n) (it, cur) ->
+                match query_cost ~stats ~compile ~index:index' it with
+                | Some c when c < cur ->
+                    (ms +. (it.total_ms *. (1.0 -. (c /. cur))), n + 1)
+                | _ -> (ms, n))
+              (0.0, 0) base
+          in
+          if affected = 0 || saved_ms <= 0.0 then None
+          else
+            Some
+              {
+                action = `Add;
+                name;
+                predicted_ms = saved_ms;
+                queries = affected;
+                detail =
+                  Printf.sprintf
+                    "indexing %s speeds up %d quer%s (predicted %.2fms saved \
+                     over the replayed workload)"
+                    name affected
+                    (if affected = 1 then "y" else "ies")
+                    saved_ms;
+              })
+      indexable
+  in
+  let used =
+    List.concat_map (fun (it, _) -> names_used ~compile ~index ~indexable it) base
+    |> List.sort_uniq compare
+  in
+  let drops =
+    List.filter_map
+      (fun name ->
+        if List.mem name used then None
+        else
+          Some
+            {
+              action = `Drop;
+              name;
+              predicted_ms = 0.0;
+              queries = 0;
+              detail =
+                Printf.sprintf
+                  "no replayed query reads %s — dropping it saves index \
+                   maintenance at no latency cost"
+                  name;
+            })
+      index
+  in
+  List.sort
+    (fun a b -> Float.compare b.predicted_ms a.predicted_ms)
+    additions
+  @ drops

@@ -1,0 +1,57 @@
+(** Workload-driven index advisor.
+
+    Replays an aggregated query log ({!Obs.Qstats} output) against the
+    cost model twice per candidate change — once under the current
+    index set, once under the changed one — and recommends the index
+    additions whose predicted latency saving is largest, plus drops of
+    indexed names the workload never benefits from.
+
+    The advisor never loads an index or touches source files: query
+    compilation is injected (a callback the CLI builds from
+    [Oqf.Compile]) and data statistics come from the catalog manifest,
+    so advice over a large corpus costs milliseconds. *)
+
+type item = {
+  query : string;  (** query text to replay *)
+  schema : string;  (** schema the query ran against *)
+  workload : string;
+  count : int;  (** observed executions *)
+  total_ms : float;  (** observed total latency *)
+}
+
+type var_access =
+  [ `Index of Ralg.Expr.t * bool
+    (** answered from the index via this region expression; the flag
+        is coverage — [true] when the expression computes the answer
+        exactly (§6.3), [false] when it is a candidate superset whose
+        survivors must be parsed and re-filtered (§6.2) *)
+  | `Scan  (** no usable index — whole-file parse *)
+  | `Empty  (** statically empty *) ]
+
+type compile = index:string list -> schema:string -> string -> (var_access list, string) result
+(** [compile ~index ~schema q] compiles query text [q] against the
+    given indexed-name set, returning how each query variable would be
+    answered, or [Error] for unparseable/incompatible queries (the
+    advisor skips those). *)
+
+type recommendation = {
+  action : [ `Add | `Drop ];
+  name : string;  (** region name to index or drop *)
+  predicted_ms : float;
+      (** predicted workload latency saving ([`Add]); 0 for [`Drop] —
+          dropping saves index maintenance, not query latency *)
+  queries : int;  (** distinct workload queries affected *)
+  detail : string;  (** one-line human rationale *)
+}
+
+val advise :
+  stats:Stats.t ->
+  compile:compile ->
+  index:string list ->
+  ?indexable:string list ->
+  item list ->
+  recommendation list
+(** [index] is the currently-indexed name set; [indexable] the full
+    candidate set (defaults to the names with recorded statistics plus
+    [index]).  Additions come first, sorted by predicted saving
+    descending; then drops of names no replayed query uses. *)

@@ -218,12 +218,13 @@ let resolve ~fail_policy q results =
     Ok (List.rev !rows, List.rev !per_file, List.rev !degraded)
   with Abort e -> Error e
 
-let run_one ?optimize ?force ?cache ?(fail_policy = Fail_fast) ?qctx corpus q =
+let run_one ?optimize ?force ?plan_mode ?cache ?(fail_policy = Fail_fast) ?qctx
+    corpus q =
   with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
   match fail_policy with
   | Fail_fast -> begin
       with_cache cache corpus q @@ fun () ->
-      match Oqf.Corpus.run ?optimize ?force corpus q with
+      match Oqf.Corpus.run ?optimize ?force ?plan_mode corpus q with
       | Error _ as e -> e
       | Ok r ->
           Ok
@@ -242,7 +243,7 @@ let run_one ?optimize ?force ?cache ?(fail_policy = Fail_fast) ?qctx corpus q =
       let results =
         List.map
           (fun (name, src) ->
-            (name, src, Oqf.Execute.run ?optimize ?force src q))
+            (name, src, Oqf.Execute.run ?optimize ?force ?plan_mode src q))
           (Oqf.Corpus.sources corpus)
       in
       match resolve ~fail_policy q results with
@@ -265,14 +266,14 @@ let run_one ?optimize ?force ?cache ?(fail_policy = Fail_fast) ?qctx corpus q =
    the sequential executor; otherwise every file gets its own result
    so the policies can recover per file.  The [pool.task] fault site
    fires here, inside the retryable task body. *)
-let eval_shard ?optimize ?force ~stop_at_first q
+let eval_shard ?optimize ?force ?plan_mode ~stop_at_first q
     (shard : (string * Oqf.Execute.source) Shard.t) =
   Stdx.Fault.hit "pool.task";
   let t0 = Obs.Trace.now_ms () in
   let rec go acc = function
     | [] -> List.rev acc
     | (name, src) :: rest -> begin
-        match Oqf.Execute.run ?optimize ?force src q with
+        match Oqf.Execute.run ?optimize ?force ?plan_mode src q with
         | Error e ->
             let acc = (name, Error e) :: acc in
             if stop_at_first then List.rev acc else go acc rest
@@ -301,7 +302,7 @@ let eval_shard ?optimize ?force ~stop_at_first q
   in
   (report, result)
 
-let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms
+let run_parallel ?optimize ?force ?plan_mode ?jobs ?cache ?timeout_ms
     ?(fail_policy = Fail_fast) ?qctx corpus q =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
@@ -316,7 +317,7 @@ let run_parallel ?optimize ?force ?jobs ?cache ?timeout_ms
       fun name -> try Hashtbl.find tbl name with Not_found -> max_int
     in
     let stop_at_first = fail_policy = Fail_fast in
-    let eval s = eval_shard ?optimize ?force ~stop_at_first q s in
+    let eval s = eval_shard ?optimize ?force ?plan_mode ~stop_at_first q s in
     let shards = Shard.of_corpus ~shards:jobs corpus in
     let before = Stdx.Stats.snapshot () in
     let shard_results =
@@ -426,7 +427,8 @@ let rec emit_blocks on_rows = function
       on_rows ~file file_rows;
       emit_blocks on_rows rest
 
-let run_streaming ?optimize ?force ?(lazy_phase1 = true) ?cache ?timeout_ms
+let run_streaming ?optimize ?force ?plan_mode ?(lazy_phase1 = true) ?cache
+    ?timeout_ms
     ?(fail_policy = Fail_fast) ?qctx ~pool ~on_rows corpus q =
   with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
   let key =
@@ -453,7 +455,7 @@ let run_streaming ?optimize ?force ?(lazy_phase1 = true) ?cache ?timeout_ms
             let task () =
               Stdx.Retry.io ~site:"pool.task" (fun () ->
                   Stdx.Fault.hit "pool.task";
-                  Oqf.Execute.run ?optimize ?force ~lazy_phase1 src q)
+                  Oqf.Execute.run ?optimize ?force ?plan_mode ~lazy_phase1 src q)
             in
             (name, src, Pool.submit ?timeout_ms pool task))
           sources
@@ -544,8 +546,8 @@ let run_streaming ?optimize ?force ?(lazy_phase1 = true) ?cache ?timeout_ms
          Ok outcome
        with Abort e -> Error e)
 
-let run_batch ?optimize ?force ?jobs ?cache ?fail_policy ?(workload = "")
-    corpus queries =
+let run_batch ?optimize ?force ?plan_mode ?jobs ?cache ?fail_policy
+    ?(workload = "") corpus queries =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     List.map
@@ -585,7 +587,8 @@ let run_batch ?optimize ?force ?jobs ?cache ?fail_policy ?(workload = "")
                         }
                   | None -> None
                 in
-                run_one ?optimize ?force ?cache ?fail_policy ?qctx corpus q)
+                run_one ?optimize ?force ?plan_mode ?cache ?fail_policy ?qctx
+                  corpus q)
           in
           (match (key, first) with
           | Some k, None -> Hashtbl.replace seen k h

@@ -68,6 +68,7 @@ val default_jobs : unit -> int
 val run_parallel :
   ?optimize:bool ->
   ?force:bool ->
+  ?plan_mode:Oqf_cost.Planner.mode ->
   ?jobs:int ->
   ?cache:Rcache.t ->
   ?timeout_ms:float ->
@@ -79,8 +80,9 @@ val run_parallel :
 (** [jobs] defaults to {!default_jobs}; the pool gets
     [min jobs (number of non-empty shards)] workers.  [timeout_ms]
     bounds each shard task (expiry fails the query with a timeout
-    message).  [force] reaches {!Oqf.Execute.run}: execute despite
-    error-severity static-analysis findings.  With [cache], a hit skips evaluation entirely and a
+    message).  [force] and [plan_mode] reach {!Oqf.Execute.run}:
+    execute despite error-severity static-analysis findings / select
+    the rule-based or cost-based planner.  With [cache], a hit skips evaluation entirely and a
     successful non-degraded run populates the cache.  [fail_policy]
     (default {!Fail_fast}) decides what a failure does; under
     [Fail_fast] errors name the failing file — deterministically the
@@ -92,6 +94,7 @@ val run_parallel :
 val run_one :
   ?optimize:bool ->
   ?force:bool ->
+  ?plan_mode:Oqf_cost.Planner.mode ->
   ?cache:Rcache.t ->
   ?fail_policy:fail_policy ->
   ?qctx:Obs.Qlog.ctx ->
@@ -116,6 +119,7 @@ val run_one :
 val run_streaming :
   ?optimize:bool ->
   ?force:bool ->
+  ?plan_mode:Oqf_cost.Planner.mode ->
   ?lazy_phase1:bool ->
   ?cache:Rcache.t ->
   ?timeout_ms:float ->
@@ -149,6 +153,7 @@ val run_streaming :
 val run_batch :
   ?optimize:bool ->
   ?force:bool ->
+  ?plan_mode:Oqf_cost.Planner.mode ->
   ?jobs:int ->
   ?cache:Rcache.t ->
   ?fail_policy:fail_policy ->

@@ -36,8 +36,14 @@ let by_weight ~shards ~weight items =
   (* re-number densely so shard ids are stable under empty-bin removal *)
   List.mapi (fun i s -> { s with id = i }) !out
 
+(* Cost-informed balance: a file's query work scales with its bytes
+   (phase-2 parsing) plus its indexed-region population (phase-1 index
+   operations), so heavily-indexed small files no longer read as
+   feather-weight.  The factor prices one indexed region at roughly
+   the cost of scanning a few words. *)
 let source_weight (src : Oqf.Execute.source) =
   Pat.Text.length src.Oqf.Execute.text
+  + (16 * Pat.Instance.total_regions src.Oqf.Execute.instance)
 
 let of_corpus ~shards corpus =
   by_weight ~shards

@@ -22,7 +22,9 @@ val by_weight : shards:int -> weight:('a -> int) -> 'a list -> 'a t list
     [Invalid_argument] when [shards < 1]. *)
 
 val source_weight : Oqf.Execute.source -> int
-(** The balance measure of one corpus member: its indexed-text bytes. *)
+(** The balance measure of one corpus member: its indexed-text bytes
+    plus a per-indexed-region surcharge, so a small but densely indexed
+    file weighs what its phase-1 work suggests. *)
 
 val of_corpus :
   shards:int -> Oqf.Corpus.t -> (string * Oqf.Execute.source) t list

@@ -26,10 +26,13 @@ type record = {
   events : (string * string) list;
   retries : int;
   faults : int;
+  candidates : int;
+  est_cost : float;
 }
 
 let make ~(ctx : ctx) ~workload_default ~schema ~kind ~query ~latency_ms ~rows ~cached
-    ~shards ~outcome ?error ?(events = []) ?(retries = 0) ?(faults = 0) () =
+    ~shards ~outcome ?error ?(events = []) ?(retries = 0) ?(faults = 0)
+    ?(candidates = 0) ?(est_cost = 0.) () =
   let workload =
     if ctx.workload <> "" then ctx.workload else workload_default
   in
@@ -49,6 +52,8 @@ let make ~(ctx : ctx) ~workload_default ~schema ~kind ~query ~latency_ms ~rows ~
     events;
     retries;
     faults;
+    candidates;
+    est_cost;
   }
 
 let record_to_json r =
@@ -86,6 +91,18 @@ let record_to_json r =
   in
   let base = if r.retries > 0 then base @ [ ("retries", Num (float_of_int r.retries)) ] else base in
   let base = if r.faults > 0 then base @ [ ("faults", Num (float_of_int r.faults)) ] else base in
+  (* cost-model feedback: phase-1 candidate cardinality actually seen
+     and the planner's estimated cost — the advisor's calibration
+     signal.  Omitted at zero, so logs written before the fields
+     existed and rules-mode logs read back identically. *)
+  let base =
+    if r.candidates > 0 then
+      base @ [ ("candidates", Num (float_of_int r.candidates)) ]
+    else base
+  in
+  let base =
+    if r.est_cost > 0. then base @ [ ("est_cost", Num r.est_cost) ] else base
+  in
   Obj base
 
 let record_of_json j =
@@ -122,6 +139,8 @@ let record_of_json j =
             | _ -> []);
           retries = num_i "retries" 0;
           faults = num_i "faults" 0;
+          candidates = num_i "candidates" 0;
+          est_cost = num_f "est_cost" 0.;
         }
   | _ -> None
 

@@ -46,6 +46,12 @@ type record = {
       (** recovery events: [(action, detail)] per degraded file *)
   retries : int;  (** retry attempts observed during the run *)
   faults : int;  (** injected faults observed during the run *)
+  candidates : int;
+      (** phase-1 candidate regions actually evaluated (0 = not
+          recorded) — the cost model's actual-cardinality feedback *)
+  est_cost : float;
+      (** the planner's estimated cost for the executed plan (0 = not
+          recorded; only the cost-based planner fills it) *)
 }
 
 val make :
@@ -63,6 +69,8 @@ val make :
   ?events:(string * string) list ->
   ?retries:int ->
   ?faults:int ->
+  ?candidates:int ->
+  ?est_cost:float ->
   unit ->
   record
 (** Build a record stamped with the current wall clock.  The workload

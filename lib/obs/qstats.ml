@@ -17,6 +17,7 @@ type workload = {
 type query = {
   text : string;
   workload : string;
+  schema : string;
   count : int;
   total_ms : float;
   max_ms : float;
@@ -52,6 +53,7 @@ type wl_acc = {
 }
 
 type q_acc = {
+  mutable q_schema : string;
   mutable q_count : int;
   mutable q_total : float;
   mutable q_max : float;
@@ -100,7 +102,14 @@ let of_files ?(top = 10) ?slow_ms files =
       | Some a -> a
       | None ->
           let a =
-            { q_count = 0; q_total = 0.; q_max = 0.; q_cached = 0; q_wl = r.Qlog.workload }
+            {
+              q_schema = r.Qlog.schema;
+              q_count = 0;
+              q_total = 0.;
+              q_max = 0.;
+              q_cached = 0;
+              q_wl = r.Qlog.workload;
+            }
           in
           Hashtbl.add qs r.Qlog.query a;
           a
@@ -152,6 +161,7 @@ let of_files ?(top = 10) ?slow_ms files =
             {
               text;
               workload = a.q_wl;
+              schema = a.q_schema;
               count = a.q_count;
               total_ms = a.q_total;
               max_ms = a.q_max;
@@ -203,6 +213,7 @@ let to_json t =
       [
         ("query", Str q.text);
         ("workload", Str q.workload);
+        ("schema", Str q.schema);
         ("count", Num (float_of_int q.count));
         ("total_ms", Num q.total_ms);
         ("max_ms", Num q.max_ms);

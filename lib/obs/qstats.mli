@@ -28,6 +28,9 @@ type workload = {
 type query = {
   text : string;  (** normalized query text *)
   workload : string;  (** the (single or dominant) workload label *)
+  schema : string;
+      (** the schema the query ran against (first observed record's) —
+          what the cost-based advisor replays the query with *)
   count : int;
   total_ms : float;
   max_ms : float;

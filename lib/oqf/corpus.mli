@@ -61,6 +61,12 @@ type outcome = {
 }
 
 val run :
-  ?optimize:bool -> ?force:bool -> t -> Odb.Query.t -> (outcome, string) result
-(** [force] is passed to {!Execute.run}: execute despite
-    error-severity static-analysis findings. *)
+  ?optimize:bool ->
+  ?force:bool ->
+  ?plan_mode:Oqf_cost.Planner.mode ->
+  t ->
+  Odb.Query.t ->
+  (outcome, string) result
+(** [force] and [plan_mode] are passed to {!Execute.run}: execute
+    despite error-severity static-analysis findings / select the
+    rule-based or cost-based planner. *)

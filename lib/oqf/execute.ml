@@ -51,6 +51,9 @@ type outcome = {
   stats : Stdx.Stats.t;
   rewrites : Ralg.Optimizer.rewrite list;
   annotations : (string * Ralg.Annot.t) list;
+  plan_mode : Oqf_cost.Planner.mode;
+  decisions : (string * Oqf_cost.Planner.decision) list;
+  est_cost : float;
 }
 
 let query_latency_ms = Obs.Metrics.histogram "query.latency_ms"
@@ -268,8 +271,12 @@ let materialize_region src ~symbol (r : Pat.Region.t) =
   end
 
 let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
-    ?(force = false) ?(lazy_phase1 = false) ?qctx src (q : Odb.Query.t) =
+    ?(force = false) ?(lazy_phase1 = false)
+    ?(plan_mode = Oqf_cost.Planner.Rules) ?qctx src (q : Odb.Query.t) =
   let before = Stdx.Stats.snapshot () in
+  (* per-name statistics for the cost-based planner, built once per
+     run and only when that mode is on *)
+  let cost_stats = lazy (Oqf_cost.Stats.of_instance src.instance) in
   let t0 = Obs.Trace.now_ms () in
   let root =
     if Obs.Trace.enabled () then Obs.Trace.begin_span "query.run"
@@ -284,15 +291,17 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
        per-file calls must not produce a second record each. *)
     match (qctx, Obs.Qlog.installed ()) with
     | Some ctx, Some log ->
-        let record ~rows ~outcome ?error () =
+        let record ~rows ~outcome ?error ?candidates ?est_cost () =
           Obs.Qlog.append log
             (Obs.Qlog.make ~ctx ~workload_default:schema_name
                ~schema:schema_name ~kind:"query"
                ~query:(Odb.Query.to_string q) ~latency_ms ~rows ~cached:false
-               ~shards:0 ~outcome ?error ())
+               ~shards:0 ~outcome ?error ?candidates ?est_cost ())
         in
         (match result with
-        | Ok o -> record ~rows:o.answers_count ~outcome:"ok" ()
+        | Ok o ->
+            record ~rows:o.answers_count ~outcome:"ok"
+              ~candidates:o.candidates_count ~est_cost:o.est_cost ()
         | Error e -> record ~rows:0 ~outcome:"error" ~error:e ())
     | _ -> ()
   in
@@ -326,22 +335,40 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
   | Ok plan ->
       let diagnostics =
         Obs.Trace.with_span "query.analyze" @@ fun () ->
-        Check.plan_diagnostics ~text:(Odb.Query.to_string q)
-          ~cost:(Ralg.Cost.of_instance src.instance)
-          src.env ~query_rig:src.query_rig plan
+        (* in cost mode the checker prices expressions with the same
+           model the planner minimizes, so OQF006 and plan selection
+           can never disagree about a query's estimated cost *)
+        let cost =
+          match plan_mode with
+          | Oqf_cost.Planner.Rules -> Ralg.Cost.of_instance src.instance
+          | Oqf_cost.Planner.Cost_based ->
+              Oqf_cost.Model.legacy (Lazy.force cost_stats)
+        in
+        Check.plan_diagnostics ~text:(Odb.Query.to_string q) ~cost src.env
+          ~query_rig:src.query_rig plan
       in
       if (not force) && Analysis.Diagnostic.has_errors diagnostics then
         Error (Check.refusal diagnostics)
       else begin
       let rewrites = ref [] in
       let annots = ref [] in
-      let maybe_optimize e =
-        if optimize then begin
-          let e', rws = Ralg.Optimizer.optimize_logged src.query_rig e in
-          rewrites := !rewrites @ rws;
-          e'
-        end
-        else e
+      let decisions = ref [] in
+      let maybe_optimize ~label e =
+        if not optimize then e
+        else
+          match plan_mode with
+          | Oqf_cost.Planner.Rules ->
+              let e', rws = Ralg.Optimizer.optimize_logged src.query_rig e in
+              rewrites := !rewrites @ rws;
+              e'
+          | Oqf_cost.Planner.Cost_based ->
+              let d =
+                Oqf_cost.Planner.choose ~stats:(Lazy.force cost_stats)
+                  ~rig:src.query_rig e
+              in
+              rewrites := !rewrites @ d.Oqf_cost.Planner.rewrites;
+              decisions := (label, d) :: !decisions;
+              d.Oqf_cost.Planner.chosen
       in
       let eval_candidates label e =
         if explain then begin
@@ -373,7 +400,7 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
                       None
                     end
                     else begin
-                      let e = maybe_optimize e in
+                      let e = maybe_optimize ~label:vp.Plan.var e in
                       evaluated := (vp.Plan.var, e) :: !evaluated;
                       Some e
                     end
@@ -424,7 +451,7 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
           if plan.Plan.exact && all_projections then begin
             match plan.Plan.select_plans with
             | [ Plan.Project_regions e ] ->
-                let e = maybe_optimize e in
+                let e = maybe_optimize ~label:"<select>" e in
                 evaluated := ("<select>", e) :: !evaluated;
                 let regions = eval_candidates "<select>" e in
                 List.sort_uniq (List.compare Odb.Value.compare)
@@ -506,6 +533,13 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
             stats = Stdx.Stats.diff ~before ~after;
             rewrites = !rewrites;
             annotations = List.rev !annots;
+            plan_mode;
+            decisions = List.rev !decisions;
+            est_cost =
+              List.fold_left
+                (fun acc (_, (d : Oqf_cost.Planner.decision)) ->
+                  acc +. d.est.Oqf_cost.Model.cost)
+                0.0 !decisions;
           }
       with Fail e -> Error e
     end

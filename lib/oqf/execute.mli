@@ -60,6 +60,14 @@ type outcome = {
   annotations : (string * Ralg.Annot.t) list;
       (** with [~explain:true], the per-node actual-cost tree for each
           evaluated expression, keyed like [evaluated]; [[]] otherwise *)
+  plan_mode : Oqf_cost.Planner.mode;
+      (** which planner picked the evaluated expressions *)
+  decisions : (string * Oqf_cost.Planner.decision) list;
+      (** in cost mode, the plan selection per evaluated expression
+          (keyed like [evaluated]); [[]] in rules mode *)
+  est_cost : float;
+      (** summed estimated cost of the chosen plans (0 in rules mode);
+          recorded in the qlog for estimate-vs-actual calibration *)
 }
 
 val run :
@@ -68,6 +76,7 @@ val run :
   ?explain:bool ->
   ?force:bool ->
   ?lazy_phase1:bool ->
+  ?plan_mode:Oqf_cost.Planner.mode ->
   ?qctx:Obs.Qlog.ctx ->
   source ->
   Odb.Query.t ->
@@ -75,6 +84,10 @@ val run :
 (** [optimize] defaults to [true]; pass [false] to execute the naive
     translation (benchmark E1).  [join_assist] defaults to [true]; pass
     [false] to skip the §5.2 join refinement (benchmark E6).
+    [plan_mode] (default [Rules]) selects the optimizer: [Rules] is
+    the paper's Prop 3.5 rewrite system; [Cost_based] enumerates the
+    rewrite-equivalent plans and picks by {!Oqf_cost.Model} estimate —
+    byte-identical rows either way, only the work differs.
     [explain] (default [false]) evaluates phase 1 through
     {!Ralg.Eval.eval_shared_annotated} and fills [annotations] — the
     EXPLAIN ANALYZE path.  [lazy_phase1] (default [false]) evaluates

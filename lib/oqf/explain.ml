@@ -1,5 +1,17 @@
 let pp ?(show_times = false) ~source ppf (o : Execute.outcome) =
   let estimate = Ralg.Cost.of_instance source.Execute.instance in
+  (* cost mode prices with the statistics model and shows estimated
+     rows beside each node's actuals; rules mode keeps the PR 2 output
+     byte-identical (the obs cram pins it) *)
+  let cost_based = o.Execute.plan_mode = Oqf_cost.Planner.Cost_based in
+  let estimate, est_rows =
+    if cost_based then begin
+      let stats = Oqf_cost.Stats.of_instance source.Execute.instance in
+      ( (fun e -> Oqf_cost.Model.legacy stats e),
+        Some (fun e -> Oqf_cost.Model.rows stats e) )
+    end
+    else (estimate, None)
+  in
   Format.fprintf ppf "%a@." Plan.pp o.Execute.plan;
   (* before [rewrites:] — the obs cram slices the output from that
      line on, and must stay byte-identical *)
@@ -19,6 +31,17 @@ let pp ?(show_times = false) ~source ppf (o : Execute.outcome) =
           Format.fprintf ppf "  %s: %s@." rw.Ralg.Optimizer.rule
             rw.Ralg.Optimizer.detail)
         rws);
+  (match o.Execute.decisions with
+  | [] -> if cost_based then Format.fprintf ppf "cost plan: (no choices)@."
+  | ds ->
+      Format.fprintf ppf "cost plan:@.";
+      List.iter
+        (fun (label, (d : Oqf_cost.Planner.decision)) ->
+          Format.fprintf ppf
+            "  %s: %s (considered %d, est cost %.1f, est rows %.0f)@." label
+            d.tag d.considered d.est.Oqf_cost.Model.cost
+            d.est.Oqf_cost.Model.rows)
+        ds);
   (match o.Execute.annotations with
   | [] -> ()
   | annots ->
@@ -27,7 +50,11 @@ let pp ?(show_times = false) ~source ppf (o : Execute.outcome) =
         (fun (label, annot) ->
           Format.fprintf ppf "  %s: %s@." label
             (Ralg.Expr.to_string annot.Ralg.Annot.expr);
-          let body = Format.asprintf "%a" (Ralg.Annot.pp ~estimate ~show_times) annot in
+          let body =
+            Format.asprintf "%a"
+              (Ralg.Annot.pp ~estimate ?est_rows ~show_times)
+              annot
+          in
           String.split_on_char '\n' body
           |> List.iter (fun line ->
                  if line <> "" then Format.fprintf ppf "    %s@." line))

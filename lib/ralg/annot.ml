@@ -18,11 +18,15 @@ let total_cmps = total (fun n -> n.self_cmps)
 let total_lookups = total (fun n -> n.self_lookups)
 let node_count = total (fun _ -> 1)
 
-let pp ?estimate ?(show_times = false) ppf root =
+let pp ?estimate ?est_rows ?(show_times = false) ppf root =
   let rec go indent n =
-    Format.fprintf ppf "%s%s%s  [out=%d self: ops=%d cmps=%d" indent n.label
+    Format.fprintf ppf "%s%s%s  [out=%d" indent n.label
       (if n.cached then " (shared)" else "")
-      n.out_card n.self_ops n.self_cmps;
+      n.out_card;
+    (match est_rows with
+    | Some est -> Format.fprintf ppf " est-rows=%.0f" (est n.expr)
+    | None -> ());
+    Format.fprintf ppf " self: ops=%d cmps=%d" n.self_ops n.self_cmps;
     if n.self_lookups > 0 then Format.fprintf ppf " lookups=%d" n.self_lookups;
     if n.children <> [] then
       Format.fprintf ppf " | subtree: ops=%d cmps=%d" (total_ops n)

@@ -34,12 +34,16 @@ val node_count : t -> int
 
 val pp :
   ?estimate:(Expr.t -> Cost.t) ->
+  ?est_rows:(Expr.t -> float) ->
   ?show_times:bool ->
   Format.formatter ->
   t ->
   unit
 (** Indented tree: one line per operator with actual out-cardinality
     and self/subtree work, and — when [estimate] is given — the static
-    {!Cost} estimate of the subtree next to the actuals.  [show_times]
-    (default [false]) appends wall-clock durations; leave it off for
-    deterministic transcripts. *)
+    {!Cost} estimate of the subtree next to the actuals.  [est_rows]
+    additionally prints an estimated result cardinality beside each
+    node's actual [out=] count (the cost-based planner's
+    estimated-vs-actual display).  [show_times] (default [false])
+    appends wall-clock durations; leave it off for deterministic
+    transcripts. *)

@@ -3,4 +3,4 @@ let () =
     (Test_obs.suites @ Test_stdx.suites @ Test_pat.suites @ Test_ralg.suites
    @ Test_odb.suites @ Test_fschema.suites @ Test_analysis.suites
    @ Test_oqf.suites @ Test_catalog.suites @ Test_exec.suites
-   @ Test_serve.suites)
+   @ Test_serve.suites @ Test_cost.suites)
