@@ -1375,6 +1375,166 @@ let s1 () =
      rejections, 0 hangs@."
     served rejected
 
+(* ------------------------------------------------------------------ *)
+(* CT1 — containment-aware caching on an overlapping batch workload,
+   plus the cross-query static pass.  The workload has the shape a
+   dashboard produces: a broad sweep per class of interest, then
+   narrowing refinements whose WHERE conjuncts are supersets of an
+   earlier query's.  With containment off (exact keys only — the
+   pre-containment cache) every distinct query text evaluates; with it
+   on, each refinement is answered by filtering the cached superset's
+   rows (byte-identical per DESIGN §14).  Gates: >= 20% fewer
+   evaluated queries at identical per-query rows, and the
+   [oqf check --queries] cross-query pass under 100 ms on the
+   examples-corpus query files. *)
+
+let ct1_queries =
+  [
+    {|SELECT e FROM Entries e|};
+    {|SELECT e FROM Entries e WHERE e.Level = "ERROR"|};
+    {|SELECT e FROM Entries e WHERE e.Level = "ERROR" AND e.Service = "db"|};
+    {|SELECT e FROM Entries e WHERE e.Level = "WARN"|};
+    {|SELECT e FROM Entries e WHERE e.Service = "auth"|};
+    {|SELECT e FROM Entries e WHERE e.Level = "FATAL"|};
+    {|SELECT e FROM Entries e WHERE e.Service = "auth" AND e.Level = "INFO"|};
+    (* projected select: outside the containment contract, exact-only *)
+    {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|};
+    {|SELECT e FROM Entries e WHERE e.Message CONTAINS "timeout"|};
+  ]
+
+(* mirrors examples/queries/*.queries (read from disk when run from
+   the workspace root, so drift is caught by the cram/CI lint) *)
+let ct1_example_queries =
+  [
+    ( Fschema.Bibtex_schema.view,
+      "examples/queries/bibtex.queries",
+      [
+        {|SELECT r.Key FROM References r|};
+        {|SELECT r.Key FROM References r WHERE r.Year STARTS WITH "19"|};
+        {|SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"|};
+        {|SELECT r.Title FROM References r WHERE r.Key = "Ref0001"|};
+      ] );
+    ( Fschema.Log_schema.view,
+      "examples/queries/log.queries",
+      [
+        {|SELECT e FROM Entries e|};
+        {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|};
+        {|SELECT e.Pid FROM Entries e WHERE e.Service = "auth"|};
+      ] );
+  ]
+
+let ct1_read_queries path fallback =
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let rec loop acc =
+      match input_line ic with
+      | line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then loop acc
+          else loop (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    loop []
+  end
+  else fallback
+
+let ct1 () =
+  heading "CT1"
+    "containment-aware batch caching (gate: >= 20% fewer evaluations)";
+  let files =
+    List.init 6 (fun i ->
+        ( Printf.sprintf "node%d.log" i,
+          Pat.Text.of_string
+            (Workload.Log_gen.generate
+               { (Workload.Log_gen.with_size 800) with seed = 310 + i }) ))
+  in
+  let corpus = or_die (Oqf.Corpus.make_full Fschema.Log_schema.view files) in
+  let queries = List.map Odb.Query_parser.parse_exn ct1_queries in
+  let run_workload ~containment =
+    let cache = Exec.Rcache.create ~containment () in
+    let results, ms =
+      time_ms ~repeat:1 (fun () ->
+          Exec.Driver.run_batch ~jobs:1 ~cache corpus queries)
+    in
+    let rows =
+      List.map
+        (fun (q, r) ->
+          match r with
+          | Ok o -> (Odb.Query.to_string q, o.Exec.Driver.rows)
+          | Error e -> failwith e)
+        results
+    in
+    let s = Exec.Rcache.stats cache in
+    (* a containment-served probe counts an exact miss first, so the
+       queries actually evaluated are the misses nothing absorbed *)
+    let evaluated = s.Exec.Rcache.misses - s.Exec.Rcache.containment_hits in
+    (rows, evaluated, s.Exec.Rcache.containment_hits, ms)
+  in
+  let base_rows, base_eval, _, base_ms = run_workload ~containment:false in
+  let cont_rows, cont_eval, cont_hits, cont_ms =
+    run_workload ~containment:true
+  in
+  (* the gate is meaningless unless both runs answer identically *)
+  assert (base_rows = cont_rows);
+  let reduction_pct =
+    float_of_int (base_eval - cont_eval) /. float_of_int base_eval *. 100.0
+  in
+  record "CT1_baseline_evaluated" (float_of_int base_eval);
+  record "CT1_containment_evaluated" (float_of_int cont_eval);
+  record "CT1_containment_hits" (float_of_int cont_hits);
+  record "CT1_reduction_pct" reduction_pct;
+  say "batch of %d queries: baseline evaluated %d (%.2f ms); containment \
+       evaluated %d, served %d by filtering (%.2f ms)@."
+    (List.length queries) base_eval base_ms cont_eval cont_hits cont_ms;
+  say "CT1 evaluation-reduction check: %s (%.0f%%, gate >= 20%%)@."
+    (if reduction_pct >= 20.0 then "PASS" else "FAIL")
+    reduction_pct;
+  (* --- cross-query static pass on the examples corpus -------------- *)
+  let batches =
+    List.map
+      (fun (view, path, fallback) ->
+        let texts = ct1_read_queries path fallback in
+        let index = Fschema.Grammar.indexable view.Fschema.View.grammar in
+        let env = Oqf.Compile.env view ~index in
+        let query_rig =
+          Ralg.Rig.partial env.Oqf.Compile.full_rig ~keep:index
+        in
+        (env, query_rig, texts))
+      ct1_example_queries
+  in
+  let check_all () =
+    List.fold_left
+      (fun acc (env, query_rig, texts) ->
+        let labelled =
+          List.mapi
+            (fun i t -> (Printf.sprintf "query %d" (i + 1), t))
+            texts
+        in
+        let per_query =
+          List.concat_map
+            (fun (_, t) ->
+              (Oqf.Check.query ~text:t env ~query_rig
+                 (Odb.Query_parser.parse_exn t))
+                .Oqf.Check.diagnostics)
+            labelled
+        in
+        let cross =
+          Oqf.Check.cross_query
+            (List.map
+               (fun (l, t) -> (l, Odb.Query_parser.parse_exn t))
+               labelled)
+        in
+        acc + List.length per_query + List.length cross)
+      0 batches
+  in
+  let (_ : int), check_ms = time_ms ~repeat:5 check_all in
+  record "CT1_check_ms" check_ms;
+  say "cross-query static pass over the examples corpus: %.2f ms@." check_ms;
+  say "CT1 check-latency check: %s (gate < 100 ms)@."
+    (if check_ms < 100.0 then "PASS" else "FAIL")
+
 let () =
   say "Reproduction benches for 'Optimizing Queries on Files' (SIGMOD 1994)@.";
   (* `main.exe r1` runs just the robustness bench — the CI gate *)
@@ -1394,6 +1554,10 @@ let () =
     cb1 ();
     emit_json ~only_prefix:"CB1_" "BENCH_cost.json"
   end
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "ct1" then begin
+    ct1 ();
+    emit_json ~only_prefix:"CT1_" "BENCH_contain.json"
+  end
   else begin
     e1 ();
     e2 ();
@@ -1411,9 +1575,11 @@ let () =
     s1 ();
     o2 ();
     cb1 ();
+    ct1 ();
     run_bechamel ();
     emit_json ~only_prefix:"C1_" "BENCH_catalog.json";
     emit_json ~only_prefix:"CB1_" "BENCH_cost.json";
+    emit_json ~only_prefix:"CT1_" "BENCH_contain.json";
     emit_json ~only_prefix:"O1_" "BENCH_obs.json";
     emit_json ~only_prefix:"O2_" "BENCH_obs2.json";
     emit_json ~only_prefix:"P1_" "BENCH_parallel.json";

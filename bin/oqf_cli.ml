@@ -115,13 +115,27 @@ let resolve_format = function
 
 let plan_arg =
   let doc =
-    "Planner: $(b,rules) applies the paper's Prop 3.5 rewrites (default); \
-     $(b,cost) enumerates rewrite-equivalent plans and picks the cheapest \
-     under the catalog statistics' cardinality estimates."
+    "Planner: $(b,cost) enumerates rewrite-equivalent plans and picks the \
+     cheapest under the catalog statistics' cardinality estimates \
+     (default); $(b,rules) applies only the paper's Prop 3.5 rewrites."
   in
-  Arg.(value & opt string "rules" & info [ "plan" ] ~docv:"MODE" ~doc)
+  Arg.(value & opt string "cost" & info [ "plan" ] ~docv:"MODE" ~doc)
 
 let resolve_plan_mode s = or_die (Oqf_cost.Planner.mode_of_string s)
+
+let minimize_arg =
+  let on =
+    Arg.info [ "minimize" ]
+      ~doc:
+        "Containment-based query minimization: drop provably-redundant \
+         conjuncts and subsumed union arms before planning.  On by default \
+         under $(b,--plan cost)."
+  in
+  let off =
+    Arg.info [ "no-minimize" ]
+      ~doc:"Disable containment-based query minimization."
+  in
+  Arg.(value & vflag None [ (Some true, on); (Some false, off) ])
 
 let resolve_cost_threshold = function
   | None -> None
@@ -322,8 +336,8 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run schema file names q_text no_optimize load baseline explain force
-      jobs fail_policy plan faults trace metrics qlog workload slow_ms =
+  let run schema file names q_text no_optimize minimize load baseline explain
+      force jobs fail_policy plan faults trace metrics qlog workload slow_ms =
     install_trace trace;
     install_faults faults;
     install_qlog ?slow_ms qlog;
@@ -391,8 +405,8 @@ let query_cmd =
         let corpus = Oqf.Corpus.of_sources [ (file, src) ] in
         let out =
           or_die
-            (Exec.Driver.run_parallel ~optimize:(not no_optimize) ~force ~jobs
-               ~fail_policy ~plan_mode ?qctx corpus q)
+            (Exec.Driver.run_parallel ~optimize:(not no_optimize) ?minimize
+               ~force ~jobs ~fail_policy ~plan_mode ?qctx corpus q)
         in
         report_degraded out.Exec.Driver.degraded;
         match out.Exec.Driver.per_file with
@@ -408,8 +422,8 @@ let query_cmd =
       end
       else begin
         match
-          Oqf.Execute.run ~optimize:(not no_optimize) ~explain ~force
-            ~plan_mode ?qctx src q
+          Oqf.Execute.run ~optimize:(not no_optimize) ?minimize ~explain
+            ~force ~plan_mode ?qctx src q
         with
         | Ok r -> print_outcome r
         | Error e -> begin
@@ -448,7 +462,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query against a file.")
     Term.(
       const run $ schema_arg $ file_arg $ index_names_arg $ query_arg
-      $ no_optimize $ load $ baseline $ analyze $ force_arg $ jobs_arg
+      $ no_optimize $ minimize_arg $ load $ baseline $ analyze $ force_arg
+      $ jobs_arg
       $ fail_policy_arg $ plan_arg $ faults_arg $ trace_arg $ metrics_arg
       $ qlog_arg $ workload_arg $ slow_query_arg)
 
@@ -971,8 +986,8 @@ let batch_cmd =
     in
     go 1 []
   in
-  let run schema queries_file data catalog_dir force jobs fail_policy plan
-      faults trace metrics qlog workload slow_ms =
+  let run schema queries_file data catalog_dir force minimize jobs
+      fail_policy plan faults trace metrics qlog workload slow_ms =
     install_trace trace;
     install_faults faults;
     install_qlog ?slow_ms qlog;
@@ -999,8 +1014,8 @@ let batch_cmd =
     in
     let cache = Exec.Rcache.create () in
     let results =
-      Exec.Driver.run_batch ~force ~jobs ~cache ~fail_policy ~plan_mode
-        ~workload corpus (List.map snd queries)
+      Exec.Driver.run_batch ~force ?minimize ~jobs ~cache ~fail_policy
+        ~plan_mode ~workload corpus (List.map snd queries)
     in
     let failed =
       List.fold_left2
@@ -1037,8 +1052,8 @@ let batch_cmd =
           fingerprint-keyed result cache.")
     Term.(
       const run $ schema_arg $ queries_file $ data $ catalog_dir $ force_arg
-      $ jobs_arg $ fail_policy_arg $ plan_arg $ faults_arg $ trace_arg
-      $ metrics_arg $ qlog_arg $ workload_arg $ slow_query_arg)
+      $ minimize_arg $ jobs_arg $ fail_policy_arg $ plan_arg $ faults_arg
+      $ trace_arg $ metrics_arg $ qlog_arg $ workload_arg $ slow_query_arg)
 
 (* --- check --------------------------------------------------------- *)
 
@@ -1120,9 +1135,46 @@ let check_cmd =
     in
     Arg.(value & opt (some file) None & info [ "declared-rig" ] ~docv:"FILE" ~doc)
   in
+  let list_codes =
+    let doc =
+      "Print the full diagnostic code table (code, severity, one-line \
+       meaning) in the selected $(b,--format) and exit."
+    in
+    Arg.(value & flag & info [ "list-codes" ] ~doc)
+  in
+  let schema_opt =
+    let doc = "Structuring schema: bibtex, log, sgml or mbox." in
+    Arg.(value & opt (some string) None & info [ "s"; "schema" ] ~doc)
+  in
   let run schema names queries_files exprs fmt threshold plan declared_rig
-      pos_queries =
+      list_codes pos_queries =
     let fmt = resolve_format fmt in
+    if list_codes then begin
+      (* one rendering path with the checkers: each row is a Diagnostic,
+         so the JSON shape matches what --format json emits for real
+         findings *)
+      let rows =
+        List.map
+          (fun (code, severity, descr) ->
+            Analysis.Diagnostic.make ~code ~severity descr)
+          Analysis.Diagnostic.registry
+      in
+      (match fmt with
+      | `Json -> print_endline (Analysis.Diagnostic.list_to_json rows)
+      | `Text ->
+          List.iter
+            (fun (code, severity, descr) ->
+              Printf.printf "%s  %-7s  %s\n" code
+                (Analysis.Diagnostic.severity_to_string severity)
+                descr)
+            Analysis.Diagnostic.registry);
+      exit 0
+    end;
+    let schema =
+      match schema with
+      | Some s -> s
+      | None -> or_die (Error "a schema is required: pass -s bibtex|log|sgml|mbox")
+    in
     let threshold = resolve_cost_threshold threshold in
     let plan_mode = resolve_plan_mode plan in
     let view = or_die (view_of_schema schema) in
@@ -1162,17 +1214,40 @@ let check_cmd =
           Analysis.Expr_check.check ~text ?cost ?cost_threshold:threshold
             query_rig e
     in
-    let file_items =
+    let file_entries =
       List.concat_map
         (fun path ->
           List.map
-            (fun (n, line) ->
-              (Printf.sprintf "%s:%d: %s" path n line, check_query line))
+            (fun (n, line) -> (Printf.sprintf "%s:%d: %s" path n line, line))
             (read_check_lines path))
         queries_files
     in
-    let query_items = List.map (fun q -> (q, check_query q)) pos_queries in
+    let query_entries = List.map (fun q -> (q, q)) pos_queries in
+    let file_items =
+      List.map (fun (label, line) -> (label, check_query line)) file_entries
+    in
+    let query_items =
+      List.map (fun (label, q) -> (label, check_query q)) query_entries
+    in
     let expr_items = List.map (fun e -> (e, check_expr e)) exprs in
+    (* cross-query pass: two or more parseable queries in one
+       invocation are analyzed as a batch for OQF304 subsumption *)
+    let cross_items =
+      let parsed =
+        List.filter_map
+          (fun (label, text) ->
+            match Odb.Query_parser.parse text with
+            | Ok q -> Some (label, q)
+            | Error _ -> None)
+          (file_entries @ query_entries)
+      in
+      if List.length parsed < 2 then []
+      else begin
+        match Oqf.Check.cross_query parsed with
+        | [] -> []
+        | ds -> [ ("cross-query analysis", ds) ]
+      end
+    in
     (* schema-level checks run when no query/expression inputs are
        given, and whenever a declared RIG asks for the comparison *)
     let schema_items =
@@ -1188,7 +1263,9 @@ let check_cmd =
       end
       else []
     in
-    let items = file_items @ query_items @ expr_items @ schema_items in
+    let items =
+      file_items @ query_items @ expr_items @ cross_items @ schema_items
+    in
     let all = List.concat_map snd items in
     (match fmt with
     | `Json -> print_endline (Analysis.Diagnostic.list_to_json all)
@@ -1214,11 +1291,14 @@ let check_cmd =
          "Statically analyze queries, region expressions and structuring \
           schemas against the RIG: trivial emptiness (OQF001), unknown \
           names (OQF002), optimizer rewrites (OQF003/4), unreachable pairs \
-          (OQF005), cost (OQF006) and schema checks (OQF101-103).  Exits 1 \
-          when any error-severity diagnostic is found.")
+          (OQF005), cost (OQF006), containment findings (OQF301-305, with \
+          a cross-query subsumption pass over batches) and schema checks \
+          (OQF101-103).  $(b,--list-codes) prints the full code table.  \
+          Exits 1 when any error-severity diagnostic is found.")
     Term.(
-      const run $ schema_arg $ index_names_arg $ queries_files $ exprs
-      $ format_arg $ cost_threshold $ plan_arg $ declared_rig $ pos_queries)
+      const run $ schema_opt $ index_names_arg $ queries_files $ exprs
+      $ format_arg $ cost_threshold $ plan_arg $ declared_rig $ list_codes
+      $ pos_queries)
 
 (* --- advise -------------------------------------------------------- *)
 

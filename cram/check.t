@@ -36,14 +36,15 @@ OQF005: a dead union arm — the whole is satisfiable, the arm is not:
   $ ../bin/oqf_cli.exe check -s bibtex --expr '(Reference >d Name) | (Reference > Authors)'
   == (Reference >d Name) | (Reference > Authors)
     warning[OQF005] subexpression Reference >d Name can only be empty on instances conforming to the RIG -- (Reference, Name) is not a RIG edge (at 1..10)
-  -- errors=0 warnings=1 hints=0
+    hint[OQF305] minimizable: a provably-equivalent smaller expression exists (applied by the planner under --minimize) -- Reference >d Name | Reference > Authors => Reference > Authors
+  -- errors=0 warnings=1 hints=1
 
 OQF006: estimated cost above threshold while direct-inclusion
 operators remain:
 
   $ ../bin/oqf_cli.exe check -s bibtex --cost-threshold 100 --expr 'Reference >d Authors'
   == Reference >d Authors
-    warning[OQF006] estimated evaluation cost 21932 exceeds threshold 100 and the expression uses 1 direct-inclusion operator(s) -- simple=0 direct=1 set=0 sel=0 weighted=21931.6
+    warning[OQF006] estimated evaluation cost 22952 exceeds threshold 100 and the expression uses 1 direct-inclusion operator(s) -- simple=0 direct=1 set=0 sel=0 weighted=22951.5
     hint[OQF003] direct inclusion is weakenable (Prop 3.5a); the optimizer applies this rewrite -- Reference >d Authors => Reference > Authors (at 0..9)
   -- errors=0 warnings=1 hints=1
 
@@ -117,7 +118,7 @@ alongside the plan:
   [1]
 
   $ ../bin/oqf_cli.exe query -s bibtex refs.bib --force 'SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"' 2>/dev/null
-  -- 0 rows (0 candidates, exact plan); scanned=0B parsed=0B index_ops=0 cmps=0 lookups=0 objs=0 regions=0
+  -- 0 rows (0 candidates, exact plan); scanned=0B parsed=0B index_ops=17 cmps=959 lookups=0 objs=0 regions=959
 
   $ ../bin/oqf_cli.exe query -s bibtex refs.bib --force --explain 'SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"' 2>/dev/null | sed -n '/^diagnostics:/,/^rewrites:/p'
   diagnostics:
@@ -177,3 +178,80 @@ bad values exit 1 with a one-line message on stderr:
   $ ../bin/oqf_cli.exe batch -s bibtex --data refs.bib --jobs 0 one.queries
   oqf: jobs must be at least 1 (got 0)
   [1]
+
+The OQF3xx family: containment and subsumption findings from the
+lib/analysis Contain decision procedure.  The procedure is sound — a
+finding is a proof over all RIG-conforming instances; when it cannot
+decide it stays silent (no false positives by construction).
+
+OQF301: a union arm contained in a sibling contributes nothing.
+OQF302: an intersection operand implied by another is a tautological
+conjunct.  OQF303: a difference that provably removes everything.
+Each rides with the OQF305 hint naming the smaller equivalent the
+planner's minimizer applies:
+
+  $ ../bin/oqf_cli.exe check -s bibtex --expr '(Reference > Authors) | Reference'
+  == (Reference > Authors) | Reference
+    warning[OQF301] subsumed subexpression: union arm Reference > Authors contributes nothing on any conforming instance -- Reference > Authors is contained in Reference (at 13..20)
+    hint[OQF305] minimizable: a provably-equivalent smaller expression exists (applied by the planner under --minimize) -- Reference > Authors | Reference => Reference
+  -- errors=0 warnings=1 hints=1
+
+  $ ../bin/oqf_cli.exe check -s bibtex --expr '(Reference > Authors) & Reference'
+  == (Reference > Authors) & Reference
+    warning[OQF302] tautological conjunct: intersecting with Reference cannot change the result -- Reference > Authors is contained in Reference (at 1..10)
+    hint[OQF305] minimizable: a provably-equivalent smaller expression exists (applied by the planner under --minimize) -- Reference > Authors & Reference => Reference > Authors
+  -- errors=0 warnings=1 hints=1
+
+  $ ../bin/oqf_cli.exe check -s bibtex --expr 'sigma["Chang"](Last_Name) - word["Chang"](Last_Name)'
+  == sigma["Chang"](Last_Name) - word["Chang"](Last_Name)
+    warning[OQF303] empty by containment: every region of sigma["Chang"](Last_Name) is removed by word["Chang"](Last_Name), so the difference is empty on every conforming instance -- sigma["Chang"](Last_Name) is contained in word["Chang"](Last_Name) (at 15..24)
+  -- errors=0 warnings=1 hints=0
+
+OQF304: two or more queries checked together are analyzed as a batch;
+a query whose rows are recoverable by filtering another's result is
+flagged (the later of two mutually-subsuming duplicates, so one
+representative stays clean):
+
+  $ ../bin/oqf_cli.exe check -s bibtex \
+  >   'SELECT r FROM References r' \
+  >   'SELECT r FROM References r WHERE r.Year = "1982"'
+  == SELECT r FROM References r
+    ok
+  == SELECT r FROM References r WHERE r.Year = "1982"
+    hint[OQF003] r: direct inclusion is weakenable (Prop 3.5a); the optimizer applies this rewrite -- Year >d Year_value => Year > Year_value (at 35..39)
+    hint[OQF003] r: direct inclusion is weakenable (Prop 3.5a); the optimizer applies this rewrite -- Reference >d Year => Reference > Year
+    hint[OQF004] r: inclusion chain is shortenable (Prop 3.5b); the optimizer applies this rewrite -- Reference > Year > Year_value => Reference > Year_value
+  == cross-query analysis
+    warning[OQF304] SELECT r FROM References r WHERE r.Year = "1982": query is subsumed by another query of the batch: its rows can be recovered by filtering that query's result -- superset: SELECT r FROM References r
+  -- errors=0 warnings=1 hints=3
+
+The minimizer is live in the execution path: under the cost planner
+(the default) a subsumed union arm is dropped before plan enumeration,
+visible as a minimize rewrite in the EXPLAIN log, and the whole-query
+answer is unchanged:
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --explain \
+  >   'SELECT r.Key FROM References r WHERE r.Year = "1982" OR r.Year STARTS WITH "19"' 2>/dev/null \
+  >   | grep -E '^  minimize' | head -1
+    minimize: Reference >d Year >d sigma["1982"](Year_value) | Reference >d Year >d prefix["19"](Year_value) => Reference >d Year >d prefix["19"](Year_value)
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib \
+  >   'SELECT r.Key FROM References r WHERE r.Year = "1982" OR r.Year STARTS WITH "19"' 2>/dev/null | head -2
+  Ref0000
+  Ref0001
+
+  $ ../bin/oqf_cli.exe query -s bibtex refs.bib --no-minimize \
+  >   'SELECT r.Key FROM References r WHERE r.Year = "1982" OR r.Year STARTS WITH "19"' 2>/dev/null | head -2
+  Ref0000
+  Ref0001
+
+Every stable code, its severity and its one-line summary, from the
+single registry the checkers emit from (--format json is the pinned
+machine form; see test/fixtures/oqf_codes.golden.json):
+
+  $ ../bin/oqf_cli.exe check --list-codes | grep 'OQF30'
+  OQF301  warning  subsumed subexpression: a union arm is contained in another
+  OQF302  warning  tautological conjunct: an intersection operand is implied by another
+  OQF303  warning  empty by containment: a difference provably removes everything
+  OQF304  warning  batch query subsumed by another query of the same batch
+  OQF305  hint     minimizable expression: a provably-equivalent smaller form exists

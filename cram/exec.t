@@ -77,7 +77,7 @@ fingerprint):
   == SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"
   b.log: cache
   -- 1 rows (cached)
-  -- result cache: hits=1 misses=2 evictions=0 entries=2
+  -- result cache: hits=1 misses=2 evictions=0 containment=0 entries=2
 
 Cache keys carry the corpus fingerprint.  The source grows, the batch
 refreshes the catalog, and the same query file now answers against
@@ -90,7 +90,7 @@ fingerprint:
   $ ../bin/oqf_cli.exe batch -s log -c cat --jobs 2 queries.txt 2>/dev/null | tail -3
   b.log: cache
   -- 3 rows (cached)
-  -- result cache: hits=1 misses=2 evictions=0 entries=2
+  -- result cache: hits=1 misses=2 evictions=0 containment=0 entries=2
 
 Bad inputs fail loudly:
 

@@ -16,24 +16,26 @@ estimates.  The analyzed totals agree with the stats line:
     weaken-direct: Authors >d Name => Authors > Name
     weaken-direct: Name >d Last_Name => Name > Last_Name
     shorten: Authors > Name > Last_Name => Authors > Last_Name
+  cost plan:
+    r: rules (considered 2, est cost 175.2, est rows 2)
   analyze:
     r: Reference > Authors > sigma["Chang"](Last_Name)
-      >  [out=3 self: ops=1 cmps=12 | subtree: ops=3 cmps=40 | est weighted=131.7]
-        Reference  [out=4 self: ops=0 cmps=0 | est weighted=0.0]
-        >  [out=3 self: ops=1 cmps=12 | subtree: ops=2 cmps=28 | est weighted=119.7]
-          Authors  [out=4 self: ops=0 cmps=0 | est weighted=0.0]
-          sigma["Chang"]  [out=3 self: ops=1 cmps=16 lookups=1 | subtree: ops=1 cmps=16 | est weighted=108.5]
-            Last_Name  [out=16 self: ops=0 cmps=0 | est weighted=0.0]
+      >  [out=3 est-rows=2 self: ops=1 cmps=12 | subtree: ops=3 cmps=40 | est weighted=175.2]
+        Reference  [out=4 est-rows=4 self: ops=0 cmps=0 | est weighted=10.8]
+        >  [out=3 est-rows=2 self: ops=1 cmps=12 | subtree: ops=2 cmps=28 | est weighted=153.3]
+          Authors  [out=4 est-rows=4 self: ops=0 cmps=0 | est weighted=10.8]
+          sigma["Chang"]  [out=3 est-rows=2 self: ops=1 cmps=16 lookups=1 | subtree: ops=1 cmps=16 | est weighted=131.3]
+            Last_Name  [out=16 est-rows=16 self: ops=0 cmps=0 | est weighted=22.8]
     analyzed totals: ops=3 cmps=40 lookups=1
   candidates: 3  answers: 3
-  stats: scanned=0B parsed=1557B index_ops=3 cmps=40 lookups=1 objs=3 regions=9
+  stats: scanned=0B parsed=1557B index_ops=20 cmps=999 lookups=1 objs=3 regions=968
 
 --metrics dumps the registry (counters sorted by name) after the run:
 
   $ ../bin/oqf_cli.exe query -s bibtex refs.bib --metrics \
   >   'SELECT r.Key FROM References r' 2>/dev/null \
   >   | grep -E 'engine.index_ops|optimizer.weaken'
-  engine.index_ops = 1
+  engine.index_ops = 18
   optimizer.weaken_direct = 1
 
   $ ../bin/oqf_cli.exe query -s bibtex refs.bib --metrics \

@@ -155,4 +155,9 @@ let registry =
     ("OQF201", Warning, "catalogued index is stale (source appended/changed)");
     ("OQF202", Warning, "orphan index file not referenced by the manifest");
     ("OQF203", Error, "catalog entry unusable (missing or unreadable file)");
+    ("OQF301", Warning, "subsumed subexpression: a union arm is contained in another");
+    ("OQF302", Warning, "tautological conjunct: an intersection operand is implied by another");
+    ("OQF303", Warning, "empty by containment: a difference provably removes everything");
+    ("OQF304", Warning, "batch query subsumed by another query of the same batch");
+    ("OQF305", Hint, "minimizable expression: a provably-equivalent smaller form exists");
   ]

@@ -83,4 +83,8 @@ val list_to_json : t list -> string
 
 val registry : (string * severity * string) list
 (** Every stable code with its default severity and a one-line
-    description — the table DESIGN §9 documents. *)
+    description — the table DESIGN §9 documents and
+    [oqf check --list-codes] prints.  The OQF3xx family is the
+    containment analysis ({!Contain}): 301 subsumed union arm, 302
+    redundant conjunct, 303 empty-by-containment difference, 304
+    cross-query batch subsumption, 305 minimizable expression. *)

@@ -128,6 +128,89 @@ let check ?text ?cost ?(cost_threshold = default_cost_threshold) rig e =
     in
     List.map rewrite_diag rws
   in
+  let containment =
+    (* OQF301/302/303 walk the Setop nodes with the containment engine;
+       arms Prop 3.3 already proves empty are OQF005's business, so the
+       rules below skip them to keep each finding single-voiced. *)
+    let nontrivial e = not (Ralg.Trivial.check rig e) in
+    let span_of_expr sub =
+      match Expr.names sub with n :: _ -> span_of n | [] -> None
+    in
+    let rec walk e acc =
+      let acc =
+        match e with
+        | Expr.Setop (Expr.Union, a, b) when nontrivial a && nontrivial b ->
+            let arm sub sup =
+              Diagnostic.make ?span:(span_of_expr sub)
+                ~detail:
+                  (Printf.sprintf "%s is contained in %s" (Expr.to_string sub)
+                     (Expr.to_string sup))
+                ~code:"OQF301" ~severity:Diagnostic.Warning
+                (Printf.sprintf
+                   "subsumed subexpression: union arm %s contributes nothing \
+                    on any conforming instance"
+                   (Expr.to_string sub))
+              :: acc
+            in
+            if Contain.leq rig a b = Contain.Contained then arm a b
+            else if Contain.leq rig b a = Contain.Contained then arm b a
+            else acc
+        | Expr.Setop (Expr.Inter, a, b) when nontrivial a && nontrivial b ->
+            let conjunct redundant stronger =
+              Diagnostic.make ?span:(span_of_expr redundant)
+                ~detail:
+                  (Printf.sprintf "%s is contained in %s"
+                     (Expr.to_string stronger) (Expr.to_string redundant))
+                ~code:"OQF302" ~severity:Diagnostic.Warning
+                (Printf.sprintf
+                   "tautological conjunct: intersecting with %s cannot change \
+                    the result"
+                   (Expr.to_string redundant))
+              :: acc
+            in
+            if Contain.leq rig a b = Contain.Contained then conjunct b a
+            else if Contain.leq rig b a = Contain.Contained then conjunct a b
+            else acc
+        | Expr.Setop (Expr.Diff, a, b)
+          when nontrivial a && Contain.leq rig a b = Contain.Contained ->
+            Diagnostic.make ?span:(span_of_expr a)
+              ~detail:
+                (Printf.sprintf "%s is contained in %s" (Expr.to_string a)
+                   (Expr.to_string b))
+              ~code:"OQF303" ~severity:Diagnostic.Warning
+              (Printf.sprintf
+                 "empty by containment: every region of %s is removed by %s, \
+                  so the difference is empty on every conforming instance"
+                 (Expr.to_string a) (Expr.to_string b))
+            :: acc
+        | _ -> acc
+      in
+      match e with
+      | Expr.Name _ -> acc
+      | Expr.Select (_, e1) | Expr.Innermost e1 | Expr.Outermost e1 ->
+          walk e1 acc
+      | Expr.Setop (_, a, b)
+      | Expr.Chain (a, _, b)
+      | Expr.Chain_strict (a, _, b)
+      | Expr.At_depth (_, a, b) ->
+          walk b (walk a acc)
+    in
+    let minimizable =
+      let e' = Contain.minimize rig e in
+      if Expr.equal e' e then []
+      else
+        [
+          Diagnostic.make
+            ~detail:
+              (Printf.sprintf "%s => %s" (Expr.to_string e)
+                 (Expr.to_string e'))
+            ~code:"OQF305" ~severity:Diagnostic.Hint
+            "minimizable: a provably-equivalent smaller expression exists \
+             (applied by the planner under --minimize)";
+        ]
+    in
+    List.rev (walk e []) @ minimizable
+  in
   let cost_diag =
     let estimate =
       match cost with Some f -> f | None -> fun e -> Ralg.Cost.estimate e
@@ -145,4 +228,4 @@ let check ?text ?cost ?(cost_threshold = default_cost_threshold) rig e =
       ]
     else []
   in
-  Diagnostic.sort (unknown @ triviality @ rewrites @ cost_diag)
+  Diagnostic.sort (unknown @ triviality @ rewrites @ containment @ cost_diag)

@@ -16,7 +16,22 @@
     - OQF006 ({e warning}): the cost estimate exceeds the threshold and
       the expression still carries direct-inclusion operators after
       optimization would run — the expensive case Bille–Gørtz-style
-      tree inclusion work warns about. *)
+      tree inclusion work warns about.
+
+    The OQF3xx containment family (backed by {!Contain}) is emitted
+    here too, for a single expression:
+
+    - OQF301 ({e warning}): a union arm is provably contained in its
+      sibling — it contributes nothing on any conforming instance;
+    - OQF302 ({e warning}): an intersection operand is implied by the
+      other side — intersecting with it cannot change the result;
+    - OQF303 ({e warning}): a difference [a − b] with [a ⊑ b] — empty
+      on every conforming instance, but not by Prop 3.3 alone;
+    - OQF305 ({e hint}): {!Contain.minimize} found a smaller provably
+      equivalent expression, printed in the detail as [orig => small].
+
+    (OQF304, cross-query batch subsumption, lives in {!Oqf.Check}
+    because it needs the whole [--queries] batch.) *)
 
 val trivial_subexprs : Ralg.Rig.t -> Ralg.Expr.t -> Ralg.Expr.t list
 (** The {e maximal} trivially-empty subexpressions: every returned

@@ -27,6 +27,7 @@ type outcome = {
   per_shard : shard_report list;
   stats : Stdx.Stats.t;
   from_cache : bool;
+  cache_superset : string option;
   degraded : Oqf.Degrade.t list;
 }
 
@@ -106,11 +107,14 @@ let with_qlog ?qctx ~kind corpus q run =
             ~shards:(List.length o.per_shard)
             ~outcome:(if o.degraded = [] then "ok" else "degraded")
             ~events:
-              (List.map
-                 (fun (d : Oqf.Degrade.t) ->
-                   (Oqf.Degrade.action_to_string d.Oqf.Degrade.action,
-                    d.Oqf.Degrade.file))
-                 o.degraded)
+              ((match o.cache_superset with
+               | Some superset -> [ ("rcache.containment", superset) ]
+               | None -> [])
+              @ List.map
+                  (fun (d : Oqf.Degrade.t) ->
+                    (Oqf.Degrade.action_to_string d.Oqf.Degrade.action,
+                     d.Oqf.Degrade.file))
+                  o.degraded)
             ()
       | Error e ->
           record ~rows:0 ~cached:false ~shards:0 ~outcome:"error" ~error:e
@@ -121,13 +125,14 @@ let with_qlog ?qctx ~kind corpus q run =
       result
   | _ -> run ()
 
-let cached_outcome payload =
+let cached_outcome ?superset payload =
   {
     rows = payload;
     per_file = [];
     per_shard = [];
     stats = Stdx.Stats.create ();
     from_cache = true;
+    cache_superset = superset;
     degraded = [];
   }
 
@@ -143,11 +148,20 @@ let with_cache cache corpus q run =
       (match Rcache.find cache key with
       | Some payload -> Ok (cached_outcome payload)
       | None -> begin
-          match run () with
-          | Error _ as e -> e
-          | Ok outcome ->
-              if outcome.degraded = [] then Rcache.add cache key outcome.rows;
-              Ok outcome
+          match Rcache.find_contained cache key with
+          | Some (payload, superset) ->
+              (* a resident superset answered by filtering; populate the
+                 exact key so the next occurrence hits directly *)
+              Rcache.add cache key payload;
+              Ok (cached_outcome ~superset payload)
+          | None -> begin
+              match run () with
+              | Error _ as e -> e
+              | Ok outcome ->
+                  if outcome.degraded = [] then
+                    Rcache.add cache key outcome.rows;
+                  Ok outcome
+            end
         end)
 
 (* Turn corpus-ordered per-file results into an outcome body according
@@ -218,13 +232,13 @@ let resolve ~fail_policy q results =
     Ok (List.rev !rows, List.rev !per_file, List.rev !degraded)
   with Abort e -> Error e
 
-let run_one ?optimize ?force ?plan_mode ?cache ?(fail_policy = Fail_fast) ?qctx
-    corpus q =
+let run_one ?optimize ?minimize ?force ?plan_mode ?cache
+    ?(fail_policy = Fail_fast) ?qctx corpus q =
   with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
   match fail_policy with
   | Fail_fast -> begin
       with_cache cache corpus q @@ fun () ->
-      match Oqf.Corpus.run ?optimize ?force ?plan_mode corpus q with
+      match Oqf.Corpus.run ?optimize ?minimize ?force ?plan_mode corpus q with
       | Error _ as e -> e
       | Ok r ->
           Ok
@@ -234,6 +248,7 @@ let run_one ?optimize ?force ?plan_mode ?cache ?(fail_policy = Fail_fast) ?qctx
               per_shard = [];
               stats = r.Oqf.Corpus.stats;
               from_cache = false;
+              cache_superset = None;
               degraded = [];
             }
     end
@@ -243,7 +258,7 @@ let run_one ?optimize ?force ?plan_mode ?cache ?(fail_policy = Fail_fast) ?qctx
       let results =
         List.map
           (fun (name, src) ->
-            (name, src, Oqf.Execute.run ?optimize ?force ?plan_mode src q))
+            (name, src, Oqf.Execute.run ?optimize ?minimize ?force ?plan_mode src q))
           (Oqf.Corpus.sources corpus)
       in
       match resolve ~fail_policy q results with
@@ -257,6 +272,7 @@ let run_one ?optimize ?force ?plan_mode ?cache ?(fail_policy = Fail_fast) ?qctx
               per_shard = [];
               stats = Stdx.Stats.diff ~before ~after;
               from_cache = false;
+              cache_superset = None;
               degraded;
             }
     end
@@ -266,14 +282,14 @@ let run_one ?optimize ?force ?plan_mode ?cache ?(fail_policy = Fail_fast) ?qctx
    the sequential executor; otherwise every file gets its own result
    so the policies can recover per file.  The [pool.task] fault site
    fires here, inside the retryable task body. *)
-let eval_shard ?optimize ?force ?plan_mode ~stop_at_first q
+let eval_shard ?optimize ?minimize ?force ?plan_mode ~stop_at_first q
     (shard : (string * Oqf.Execute.source) Shard.t) =
   Stdx.Fault.hit "pool.task";
   let t0 = Obs.Trace.now_ms () in
   let rec go acc = function
     | [] -> List.rev acc
     | (name, src) :: rest -> begin
-        match Oqf.Execute.run ?optimize ?force ?plan_mode src q with
+        match Oqf.Execute.run ?optimize ?minimize ?force ?plan_mode src q with
         | Error e ->
             let acc = (name, Error e) :: acc in
             if stop_at_first then List.rev acc else go acc rest
@@ -302,8 +318,8 @@ let eval_shard ?optimize ?force ?plan_mode ~stop_at_first q
   in
   (report, result)
 
-let run_parallel ?optimize ?force ?plan_mode ?jobs ?cache ?timeout_ms
-    ?(fail_policy = Fail_fast) ?qctx corpus q =
+let run_parallel ?optimize ?minimize ?force ?plan_mode ?jobs ?cache
+    ?timeout_ms ?(fail_policy = Fail_fast) ?qctx corpus q =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     Error (Printf.sprintf "jobs must be at least 1 (got %d)" jobs)
@@ -317,7 +333,9 @@ let run_parallel ?optimize ?force ?plan_mode ?jobs ?cache ?timeout_ms
       fun name -> try Hashtbl.find tbl name with Not_found -> max_int
     in
     let stop_at_first = fail_policy = Fail_fast in
-    let eval s = eval_shard ?optimize ?force ?plan_mode ~stop_at_first q s in
+    let eval s =
+      eval_shard ?optimize ?minimize ?force ?plan_mode ~stop_at_first q s
+    in
     let shards = Shard.of_corpus ~shards:jobs corpus in
     let before = Stdx.Stats.snapshot () in
     let shard_results =
@@ -408,6 +426,7 @@ let run_parallel ?optimize ?force ?plan_mode ?jobs ?cache ?timeout_ms
                 per_shard;
                 stats = Stdx.Stats.diff ~before ~after;
                 from_cache = false;
+                cache_superset = None;
                 degraded = List.rev !degraded_shards @ degraded;
               }
       end
@@ -427,8 +446,8 @@ let rec emit_blocks on_rows = function
       on_rows ~file file_rows;
       emit_blocks on_rows rest
 
-let run_streaming ?optimize ?force ?plan_mode ?(lazy_phase1 = true) ?cache
-    ?timeout_ms
+let run_streaming ?optimize ?minimize ?force ?plan_mode ?(lazy_phase1 = true)
+    ?cache ?timeout_ms
     ?(fail_policy = Fail_fast) ?qctx ~pool ~on_rows corpus q =
   with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
   let key =
@@ -441,6 +460,19 @@ let run_streaming ?optimize ?force ?plan_mode ?(lazy_phase1 = true) ?cache
   | Some payload ->
       emit_blocks on_rows payload;
       Ok (cached_outcome payload)
+  | None ->
+  match
+    Option.bind key (fun (c, k) ->
+        Option.map
+          (fun served -> (c, k, served))
+          (Rcache.find_contained c k))
+  with
+  | Some (c, k, (payload, superset)) ->
+      (* same per-file block replay as an exact hit, plus the exact-key
+         population so the next occurrence short-circuits *)
+      Rcache.add c k payload;
+      emit_blocks on_rows payload;
+      Ok (cached_outcome ~superset payload)
   | None ->
       let before = Stdx.Stats.snapshot () in
       let sources = Oqf.Corpus.sources corpus in
@@ -455,7 +487,8 @@ let run_streaming ?optimize ?force ?plan_mode ?(lazy_phase1 = true) ?cache
             let task () =
               Stdx.Retry.io ~site:"pool.task" (fun () ->
                   Stdx.Fault.hit "pool.task";
-                  Oqf.Execute.run ?optimize ?force ?plan_mode ~lazy_phase1 src q)
+                  Oqf.Execute.run ?optimize ?minimize ?force ?plan_mode
+                    ~lazy_phase1 src q)
             in
             (name, src, Pool.submit ?timeout_ms pool task))
           sources
@@ -536,6 +569,7 @@ let run_streaming ?optimize ?force ?plan_mode ?(lazy_phase1 = true) ?cache
              per_shard = [];
              stats = Stdx.Stats.diff ~before ~after;
              from_cache = false;
+             cache_superset = None;
              degraded = List.rev !degraded;
            }
          in
@@ -546,7 +580,7 @@ let run_streaming ?optimize ?force ?plan_mode ?(lazy_phase1 = true) ?cache
          Ok outcome
        with Abort e -> Error e)
 
-let run_batch ?optimize ?force ?plan_mode ?jobs ?cache ?fail_policy
+let run_batch ?optimize ?minimize ?force ?plan_mode ?jobs ?cache ?fail_policy
     ?(workload = "") corpus queries =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
@@ -587,8 +621,8 @@ let run_batch ?optimize ?force ?plan_mode ?jobs ?cache ?fail_policy
                         }
                   | None -> None
                 in
-                run_one ?optimize ?force ?plan_mode ?cache ?fail_policy ?qctx
-                  corpus q)
+                run_one ?optimize ?minimize ?force ?plan_mode ?cache
+                  ?fail_policy ?qctx corpus q)
           in
           (match (key, first) with
           | Some k, None -> Hashtbl.replace seen k h

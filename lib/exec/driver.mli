@@ -55,6 +55,11 @@ type outcome = {
           include neighbouring shards' work; this field diffs around
           the whole fan-out and stays exact. *)
   from_cache : bool;
+  cache_superset : string option;
+      (** [Some q] when the result was served by filtering the cached
+          rows of superset query [q] (canonical text) instead of an
+          exact cache entry or a fresh evaluation; the qlog record
+          carries it as an [rcache.containment] event *)
   degraded : Oqf.Degrade.t list;
       (** every recovery action taken, in corpus order (shard-level
           retries first); [[]] for a clean run.  A degraded outcome is
@@ -67,6 +72,7 @@ val default_jobs : unit -> int
 
 val run_parallel :
   ?optimize:bool ->
+  ?minimize:bool ->
   ?force:bool ->
   ?plan_mode:Oqf_cost.Planner.mode ->
   ?jobs:int ->
@@ -82,8 +88,11 @@ val run_parallel :
     bounds each shard task (expiry fails the query with a timeout
     message).  [force] and [plan_mode] reach {!Oqf.Execute.run}:
     execute despite error-severity static-analysis findings / select
-    the rule-based or cost-based planner.  With [cache], a hit skips evaluation entirely and a
-    successful non-degraded run populates the cache.  [fail_policy]
+    the rule-based or cost-based planner.  With [cache], a hit skips evaluation entirely, a resident
+    {e superset} entry answers by filtering its rows
+    ({!Rcache.find_contained} — byte-identical, recorded in
+    [cache_superset]), and a successful non-degraded run populates the
+    cache.  [fail_policy]
     (default {!Fail_fast}) decides what a failure does; under
     [Fail_fast] errors name the failing file — deterministically the
     earliest one in corpus order.  A query-level defect (validation
@@ -93,6 +102,7 @@ val run_parallel :
 
 val run_one :
   ?optimize:bool ->
+  ?minimize:bool ->
   ?force:bool ->
   ?plan_mode:Oqf_cost.Planner.mode ->
   ?cache:Rcache.t ->
@@ -118,6 +128,7 @@ val run_one :
 
 val run_streaming :
   ?optimize:bool ->
+  ?minimize:bool ->
   ?force:bool ->
   ?plan_mode:Oqf_cost.Planner.mode ->
   ?lazy_phase1:bool ->
@@ -152,6 +163,7 @@ val run_streaming :
 
 val run_batch :
   ?optimize:bool ->
+  ?minimize:bool ->
   ?force:bool ->
   ?plan_mode:Oqf_cost.Planner.mode ->
   ?jobs:int ->

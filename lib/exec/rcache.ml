@@ -1,38 +1,48 @@
 let cache_hits = Obs.Metrics.counter "exec.rcache.hits"
 let cache_misses = Obs.Metrics.counter "exec.rcache.misses"
 let cache_evictions = Obs.Metrics.counter "exec.rcache.evictions"
+let cache_containment_hits = Obs.Metrics.counter "exec.rcache.containment_hits"
 
 type payload = (string * Odb.Query_eval.row) list
 
-type entry = { payload : payload; mutable stamp : int }
+type entry = {
+  payload : payload;
+  query : Odb.Query.t;
+  fingerprint : string;
+  mutable stamp : int;
+}
 
 type t = {
   capacity : int;
+  containment : bool;
   table : (string, entry) Hashtbl.t;
   lock : Mutex.t;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable containment_hits : int;
 }
 
-type key = string
+type key = { skey : string; query : Odb.Query.t; fingerprint : string }
 
-let create ?(capacity = 128) () =
+let create ?(capacity = 128) ?(containment = true) () =
   if capacity < 1 then invalid_arg "Exec.Rcache.create: capacity must be at least 1";
   {
     capacity;
+    containment;
     table = Hashtbl.create 32;
     lock = Mutex.create ();
     clock = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
+    containment_hits = 0;
   }
 
 let key ~query ~fingerprint =
   (* the canonical rendering normalizes whitespace and parenthesization *)
-  Odb.Query.to_string query ^ "\x00" ^ fingerprint
+  { skey = Odb.Query.to_string query ^ "\x00" ^ fingerprint; query; fingerprint }
 
 let fingerprint corpus =
   let buf = Buffer.create 256 in
@@ -58,7 +68,7 @@ let tick t =
 
 let find t key =
   locked t @@ fun () ->
-  match Hashtbl.find_opt t.table key with
+  match Hashtbl.find_opt t.table key.skey with
   | Some e ->
       e.stamp <- tick t;
       t.hits <- t.hits + 1;
@@ -70,6 +80,46 @@ let find t key =
       Obs.Metrics.incr cache_misses;
       if Obs.Trace.enabled () then Obs.Trace.instant "rcache.miss";
       None
+
+let find_contained t key =
+  if not t.containment then None
+  else begin
+    locked t @@ fun () ->
+    (* every same-corpus entry whose query subsumes this one can serve
+       it; prefer the smallest superset payload (least filtering work)
+       and break ties on the key for determinism *)
+    let best =
+      Hashtbl.fold
+        (fun skey (e : entry) acc ->
+          if skey = key.skey || e.fingerprint <> key.fingerprint then acc
+          else begin
+            match Oqf.Subsume.subsumes key.query ~by:e.query with
+            | None -> acc
+            | Some residual -> begin
+                let size = List.length e.payload in
+                match acc with
+                | Some (_, _, best_size, best_skey)
+                  when best_size < size
+                       || (best_size = size && best_skey <= skey) ->
+                    acc
+                | _ -> Some (e, residual, size, skey)
+              end
+          end)
+        t.table None
+    in
+    match best with
+    | None -> None
+    | Some (e, residual, _, _) ->
+        e.stamp <- tick t;
+        t.containment_hits <- t.containment_hits + 1;
+        Obs.Metrics.incr cache_containment_hits;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant "rcache.containment_hit"
+            ~attrs:[ ("superset", Obs.Trace.Str (Odb.Query.to_string e.query)) ];
+        Some
+          ( Oqf.Subsume.filter_rows key.query ~residual e.payload,
+            Odb.Query.to_string e.query )
+  end
 
 let evict_lru t =
   let victim =
@@ -89,11 +139,23 @@ let evict_lru t =
 
 let add t key payload =
   locked t @@ fun () ->
-  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
-    evict_lru t;
-  Hashtbl.replace t.table key { payload; stamp = tick t }
+  if not (Hashtbl.mem t.table key.skey) && Hashtbl.length t.table >= t.capacity
+  then evict_lru t;
+  Hashtbl.replace t.table key.skey
+    {
+      payload;
+      query = key.query;
+      fingerprint = key.fingerprint;
+      stamp = tick t;
+    }
 
-type stats = { hits : int; misses : int; evictions : int; entries : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  containment_hits : int;
+  entries : int;
+}
 
 let stats t =
   locked t @@ fun () ->
@@ -101,9 +163,10 @@ let stats t =
     hits = t.hits;
     misses = t.misses;
     evictions = t.evictions;
+    containment_hits = t.containment_hits;
     entries = Hashtbl.length t.table;
   }
 
 let pp_stats ppf s =
-  Format.fprintf ppf "hits=%d misses=%d evictions=%d entries=%d" s.hits s.misses
-    s.evictions s.entries
+  Format.fprintf ppf "hits=%d misses=%d evictions=%d containment=%d entries=%d"
+    s.hits s.misses s.evictions s.containment_hits s.entries

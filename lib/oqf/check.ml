@@ -125,6 +125,40 @@ let query ?text ?cost ?cost_threshold env ~query_rig q =
           plan_diagnostics ?text ?cost ?cost_threshold env ~query_rig plan;
       }
 
+(* ---------------- cross-query analysis ---------------- *)
+
+let cross_query queries =
+  let arr = Array.of_list queries in
+  let n = Array.length arr in
+  let subsumed_by i j =
+    let _, qi = arr.(i) and _, qj = arr.(j) in
+    Subsume.subsumes qi ~by:qj <> None
+  in
+  let diags = ref [] in
+  for i = n - 1 downto 0 do
+    (* report the first superset; when two queries subsume each other
+       (duplicates up to conjunct order) only the later one is
+       flagged, so at least one copy stays unannotated *)
+    let found = ref false in
+    for j = 0 to n - 1 do
+      if
+        (not !found) && i <> j
+        && subsumed_by i j
+        && (j < i || not (subsumed_by j i))
+      then begin
+        found := true;
+        let label_i, _ = arr.(i) and label_j, _ = arr.(j) in
+        diags :=
+          D.make ~subject:label_i ~code:"OQF304" ~severity:D.Warning
+            ~detail:(Printf.sprintf "superset: %s" label_j)
+            "query is subsumed by another query of the batch: its rows can \
+             be recovered by filtering that query's result"
+          :: !diags
+      end
+    done
+  done;
+  D.sort !diags
+
 let refusal diags =
   let errs = D.errors diags in
   let n = List.length errs in

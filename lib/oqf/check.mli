@@ -48,6 +48,15 @@ val query :
 (** Compile then {!plan_diagnostics}.  A compile failure becomes one
     diagnostic: OQF002 for an unknown class, OQF000 otherwise. *)
 
+val cross_query :
+  (string * Odb.Query.t) list -> Analysis.Diagnostic.t list
+(** The batch-level pass behind [oqf check --queries]: one OQF304
+    warning per query whose answer {!Subsume.subsumes} proves
+    recoverable from another query of the same batch (the labels —
+    e.g. ["query 3"] — become diagnostic subjects, the superset query
+    the detail).  Mutually-subsuming duplicates flag only the later
+    occurrence, so one representative always stays clean. *)
+
 val refusal : Analysis.Diagnostic.t list -> string
 (** The error message {!Execute.run} returns when error-severity
     diagnostics block an unforced run: a summary line plus one

@@ -62,6 +62,7 @@ type outcome = {
 
 val run :
   ?optimize:bool ->
+  ?minimize:bool ->
   ?force:bool ->
   ?plan_mode:Oqf_cost.Planner.mode ->
   t ->

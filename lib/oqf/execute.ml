@@ -270,9 +270,14 @@ let materialize_region src ~symbol (r : Pat.Region.t) =
     res
   end
 
-let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
+let run ?(optimize = true) ?minimize ?(join_assist = true) ?(explain = false)
     ?(force = false) ?(lazy_phase1 = false)
     ?(plan_mode = Oqf_cost.Planner.Rules) ?qctx src (q : Odb.Query.t) =
+  let minimize =
+    match minimize with
+    | Some m -> m
+    | None -> plan_mode = Oqf_cost.Planner.Cost_based
+  in
   let before = Stdx.Stats.snapshot () in
   (* per-name statistics for the cost-based planner, built once per
      run and only when that mode is on *)
@@ -354,6 +359,27 @@ let run ?(optimize = true) ?(join_assist = true) ?(explain = false)
       let annots = ref [] in
       let decisions = ref [] in
       let maybe_optimize ~label e =
+        (* containment-based minimization runs before planning: dropped
+           conjuncts never reach the plan enumerator, and the rewrite
+           log records the substitution like any other rule *)
+        let e =
+          if not minimize then e
+          else begin
+            let e' = Analysis.Contain.minimize src.query_rig e in
+            if not (Ralg.Expr.equal e' e) then
+              rewrites :=
+                !rewrites
+                @ [
+                    {
+                      Ralg.Optimizer.rule = "minimize";
+                      detail =
+                        Printf.sprintf "%s => %s" (Ralg.Expr.to_string e)
+                          (Ralg.Expr.to_string e');
+                    };
+                  ];
+            e'
+          end
+        in
         if not optimize then e
         else
           match plan_mode with

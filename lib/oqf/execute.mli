@@ -72,6 +72,7 @@ type outcome = {
 
 val run :
   ?optimize:bool ->
+  ?minimize:bool ->
   ?join_assist:bool ->
   ?explain:bool ->
   ?force:bool ->
@@ -82,7 +83,12 @@ val run :
   Odb.Query.t ->
   (outcome, string) result
 (** [optimize] defaults to [true]; pass [false] to execute the naive
-    translation (benchmark E1).  [join_assist] defaults to [true]; pass
+    translation (benchmark E1).  [minimize] runs
+    {!Analysis.Contain.minimize} on every candidate expression before
+    planning, dropping provably-redundant conjuncts and subsumed union
+    arms; it defaults to on under [Cost_based] and off under [Rules],
+    and logs its substitutions as ["minimize"] rewrites.
+    [join_assist] defaults to [true]; pass
     [false] to skip the §5.2 join refinement (benchmark E6).
     [plan_mode] (default [Rules]) selects the optimizer: [Rules] is
     the paper's Prop 3.5 rewrite system; [Cost_based] enumerates the

@@ -1,0 +1,67 @@
+module Q = Odb.Query
+
+let rec conjunct_list p acc =
+  match p with
+  | Q.True -> acc
+  | Q.And (a, b) -> conjunct_list a (conjunct_list b acc)
+  | p -> p :: acc
+
+let conjuncts p = conjunct_list p []
+
+let rec remove_one x = function
+  | [] -> None
+  | y :: rest when y = x -> Some rest
+  | y :: rest -> Option.map (fun r -> y :: r) (remove_one x rest)
+
+(* [big] minus [small] as multisets; None when some element of [small]
+   has no match left in [big]. *)
+let multiset_residual ~of_:big ~minus:small =
+  List.fold_left
+    (fun acc c -> match acc with None -> None | Some rest -> remove_one c rest)
+    (Some big) small
+
+(* The variables whose whole object is a SELECT item, with the row
+   column that carries it. *)
+let bare_columns (q : Q.t) =
+  List.concat
+    (List.mapi
+       (fun i (rp : Q.rooted_path) ->
+         if rp.Q.path = [] then [ (rp.Q.var, i) ] else [])
+       q.Q.select)
+
+let rec row_decidable bare = function
+  | Q.True -> true
+  | Q.Eq_const (rp, _) | Q.Contains (rp, _) | Q.Starts_with (rp, _) ->
+      List.mem_assoc rp.Q.var bare
+  | Q.Eq_paths _ -> false
+  | Q.And (a, b) | Q.Or (a, b) -> row_decidable bare a && row_decidable bare b
+  | Q.Not p -> row_decidable bare p
+
+let rebuild = function
+  | [] -> Q.True
+  | c :: rest -> List.fold_left (fun acc x -> Q.And (acc, x)) c rest
+
+let subsumes (q : Q.t) ~by =
+  if q.Q.select = by.Q.select && q.Q.from_ = by.Q.from_ then begin
+    match
+      multiset_residual ~of_:(conjuncts q.Q.where) ~minus:(conjuncts by.Q.where)
+    with
+    | None -> None
+    | Some residual ->
+        let bare = bare_columns q in
+        if List.for_all (row_decidable bare) residual then
+          Some (rebuild residual)
+        else None
+  end
+  else None
+
+let filter_rows (q : Q.t) ~residual tagged =
+  if residual = Q.True then tagged
+  else begin
+    let bare = bare_columns q in
+    List.filter
+      (fun (_file, row) ->
+        let bindings = List.map (fun (v, i) -> (v, List.nth row i)) bare in
+        Odb.Query_eval.matches bindings residual)
+      tagged
+  end

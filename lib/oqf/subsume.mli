@@ -1,0 +1,44 @@
+(** Query-level subsumption: answering one query by filtering another
+    query's cached result.
+
+    [subsumes q ~by] decides whether [q]'s answer can be recovered
+    {e exactly} from [by]'s answer on {e every} database: same SELECT
+    items (rows have the same shape), same FROM bindings (the same
+    binding space is enumerated), and [by]'s WHERE conjuncts are a
+    sub-multiset of [q]'s — so [q] only filters further.  The leftover
+    conjuncts (the {e residual}) must then be {e row-decidable}:
+
+    - every rooted path in the residual starts at a variable the query
+      SELECTs bare (empty path), so the row itself carries the value
+      the predicate navigates into;
+    - no [Eq_paths] atom — row values are {!Odb.Value.normalize}d and
+      the conservative contract here only trusts the existential
+      string atoms ([=] with a constant, [CONTAINS], [STARTS WITH]),
+      which are invariant under set dedup/reordering.
+
+    Under those conditions, {!filter_rows} applied to [by]'s result is
+    byte-identical to evaluating [q] from scratch: per file the rows of
+    [q] are exactly the rows of [by] whose values satisfy the residual,
+    and filtering preserves the sorted-dedup row order
+    {!Odb.Query_eval.eval} produces.  This is the proof obligation the
+    containment-aware result cache ({!Exec.Rcache}) and the batch
+    runner rely on; DESIGN §14 spells it out and the property suite
+    cross-checks filtered against fresh results. *)
+
+val conjuncts : Odb.Query.pred -> Odb.Query.pred list
+(** Flatten nested [And]s, dropping [True]. *)
+
+val subsumes : Odb.Query.t -> by:Odb.Query.t -> Odb.Query.pred option
+(** [Some residual] when [q ⊑ by] with a row-decidable residual
+    ([True] when the queries are equivalent up to conjunct order —
+    serve the superset unfiltered); [None] otherwise. *)
+
+val filter_rows :
+  Odb.Query.t ->
+  residual:Odb.Query.pred ->
+  (string * Odb.Query_eval.row) list ->
+  (string * Odb.Query_eval.row) list
+(** Keep the tagged rows whose values satisfy the residual, binding
+    each bare-SELECTed variable to its row column.  With the residual
+    returned by {!subsumes}, the result is exactly what evaluating the
+    subsumed query would produce. *)

@@ -450,6 +450,72 @@ let rcache_fingerprint_partitions_keys () =
         (Exec.Rcache.find cache (rkey t "fp-before") <> None))
     texts
 
+(* ------------------------------------------------------------------ *)
+(* Containment layer: Oqf.Subsume + Rcache.find_contained              *)
+
+let parse_q = Odb.Query_parser.parse_exn
+
+let subsume_residual_detection () =
+  let broad = parse_q {|SELECT e FROM Entries e|} in
+  let narrow = parse_q {|SELECT e FROM Entries e WHERE e.Level = "ERROR"|} in
+  (match Oqf.Subsume.subsumes narrow ~by:broad with
+  | Some _ -> ()
+  | None -> Alcotest.fail "conjunct-superset subsumption not detected");
+  Alcotest.(check bool) "the superset is not subsumed by the subset" true
+    (Oqf.Subsume.subsumes broad ~by:narrow = None);
+  (* a projected (non-bare) select cannot decide the residual per row,
+     so the conservative contract refuses it *)
+  let broad_proj = parse_q {|SELECT e.Service FROM Entries e|} in
+  let narrow_proj =
+    parse_q {|SELECT e.Service FROM Entries e WHERE e.Level = "ERROR"|}
+  in
+  Alcotest.(check bool) "row-undecidable residual refused" true
+    (Oqf.Subsume.subsumes narrow_proj ~by:broad_proj = None);
+  Alcotest.(check bool) "differing select lists never subsume" true
+    (Oqf.Subsume.subsumes narrow ~by:broad_proj = None)
+
+let rcache_containment_serves_subset () =
+  let corpus = log_corpus [ 25; 15 ] in
+  let broad = parse_q {|SELECT e FROM Entries e|} in
+  let narrow = parse_q {|SELECT e FROM Entries e WHERE e.Level = "ERROR"|} in
+  (* the reference: a fresh, cache-free evaluation of the narrow query *)
+  let fresh = or_fail (Exec.Driver.run_one corpus narrow) in
+  let cache = Exec.Rcache.create () in
+  ignore (or_fail (Exec.Driver.run_one ~cache corpus broad));
+  let served = or_fail (Exec.Driver.run_one ~cache corpus narrow) in
+  Alcotest.(check bool) "subset served from cache" true
+    served.Exec.Driver.from_cache;
+  (match served.Exec.Driver.cache_superset with
+  | Some s ->
+      Alcotest.(check string) "names the superset query"
+        (Odb.Query.to_string broad) s
+  | None -> Alcotest.fail "containment hit must name its superset");
+  Alcotest.check rows_t "filtered rows byte-identical to a fresh run"
+    fresh.Exec.Driver.rows served.Exec.Driver.rows;
+  Alcotest.(check int) "containment hit counted" 1
+    (Exec.Rcache.stats cache).Exec.Rcache.containment_hits;
+  (* serving by containment populates the exact key, so the same probe
+     now hits directly, with no superset attribution *)
+  let again = or_fail (Exec.Driver.run_one ~cache corpus narrow) in
+  Alcotest.(check bool) "exact hit on repeat" true
+    again.Exec.Driver.from_cache;
+  Alcotest.(check bool) "no superset attribution on an exact hit" true
+    (again.Exec.Driver.cache_superset = None);
+  Alcotest.(check int) "no second containment hit" 1
+    (Exec.Rcache.stats cache).Exec.Rcache.containment_hits
+
+let rcache_containment_disabled () =
+  let corpus = log_corpus [ 10 ] in
+  let broad = parse_q {|SELECT e FROM Entries e|} in
+  let narrow = parse_q {|SELECT e FROM Entries e WHERE e.Level = "ERROR"|} in
+  let cache = Exec.Rcache.create ~containment:false () in
+  ignore (or_fail (Exec.Driver.run_one ~cache corpus broad));
+  let r = or_fail (Exec.Driver.run_one ~cache corpus narrow) in
+  Alcotest.(check bool) "no containment serving when disabled" false
+    r.Exec.Driver.from_cache;
+  Alcotest.(check int) "no containment hits" 0
+    (Exec.Rcache.stats cache).Exec.Rcache.containment_hits
+
 let temp_dir () =
   let path = Filename.temp_file "oqf_exec_test" "" in
   Sys.remove path;
@@ -827,6 +893,12 @@ let suites =
           rcache_fingerprint_partitions_keys;
         Alcotest.test_case "invalidated by catalog refresh" `Quick
           rcache_invalidated_by_catalog_refresh;
+        Alcotest.test_case "subsumption residual detection" `Quick
+          subsume_residual_detection;
+        Alcotest.test_case "containment serves a subset byte-identically"
+          `Quick rcache_containment_serves_subset;
+        Alcotest.test_case "containment layer can be disabled" `Quick
+          rcache_containment_disabled;
       ] );
     ( "exec.batch",
       [
