@@ -594,20 +594,24 @@ let open_catalog dir =
     (Oqf_catalog.Catalog.recovery_warnings cat);
   cat
 
-(* Under fail-fast a refresh failure fails the command; under the
-   recovery policies it becomes a warning — load-time self-healing and
-   the driver's recovery ladder still get their chance per file. *)
+(* Refresh every entry; [refresh_all] keeps going past failures, so
+   the healthy entries are up to date either way.  Under fail-fast the
+   collected failures then fail the command; under the recovery
+   policies they become warnings — load-time self-healing and the
+   driver's recovery ladder still get their chance per file. *)
 let refresh_catalog cat ~fail_policy =
-  match fail_policy with
-  | Exec.Driver.Fail_fast ->
-      ignore (or_die (Oqf_catalog.Catalog.refresh_all cat))
-  | Exec.Driver.Partial | Exec.Driver.Degrade ->
-      List.iter
-        (fun (e : Oqf_catalog.Catalog.entry) ->
-          match Oqf_catalog.Catalog.refresh cat e.source with
-          | Ok _ -> ()
-          | Error msg -> Format.eprintf "oqf: warning: %s@." msg)
-        (Oqf_catalog.Catalog.entries cat)
+  let failures =
+    List.filter_map
+      (fun (_, r) -> match r with Ok _ -> None | Error msg -> Some msg)
+      (Oqf_catalog.Catalog.refresh_all cat)
+  in
+  match (fail_policy, failures) with
+  | _, [] -> ()
+  | Exec.Driver.Fail_fast, msgs ->
+      List.iter (fun msg -> Format.eprintf "oqf: %s@." msg) msgs;
+      exit 1
+  | (Exec.Driver.Partial | Exec.Driver.Degrade), msgs ->
+      List.iter (fun msg -> Format.eprintf "oqf: warning: %s@." msg) msgs
 
 (* The corpus plus the files already lost before execution started
    (index dead and unhealable): failure under fail-fast, Excluded
@@ -663,19 +667,20 @@ let catalog_refresh_cmd =
     | Some source ->
         report (source, or_die (Oqf_catalog.Catalog.refresh cat source))
     | None ->
-        (* keep going past a failing entry; the others still refresh *)
+        (* refresh_all keeps going past a failing entry; the others
+           still refresh, and every failure is reported *)
         let failed =
           List.fold_left
-            (fun failed (e : Oqf_catalog.Catalog.entry) ->
-              match Oqf_catalog.Catalog.refresh cat e.source with
+            (fun failed (source, outcome) ->
+              match outcome with
               | Ok outcome ->
-                  report (e.source, outcome);
+                  report (source, outcome);
                   failed
               | Error msg ->
                   Format.eprintf "%s@." msg;
                   true)
             false
-            (Oqf_catalog.Catalog.entries cat)
+            (Oqf_catalog.Catalog.refresh_all cat)
         in
         if failed then exit 1
   in
@@ -868,6 +873,9 @@ let catalog_repair_cmd =
             | Oqf_catalog.Catalog.Quarantined reason -> ("quarantined", reason)
             | Oqf_catalog.Catalog.Removed_orphan ->
                 ("removed-orphan", "unreferenced index file")
+            | Oqf_catalog.Catalog.Collapsed_generation g ->
+                ( "collapsed-generation",
+                  Printf.sprintf "stray generation %d" g )
           in
           Printf.sprintf {|{"file":"%s","action":"%s","detail":"%s"}|}
             (Oqf.Degrade.json_escape file)
@@ -885,13 +893,18 @@ let catalog_repair_cmd =
                   Oqf_catalog.Catalog.pp_repair_action a)
               actions;
             let count p = List.length (List.filter (fun (_, a) -> p a) actions) in
-            Printf.printf "-- healed=%d quarantined=%d orphans-removed=%d\n"
+            Printf.printf
+              "-- healed=%d quarantined=%d orphans-removed=%d \
+               generations-collapsed=%d\n"
               (count (function Oqf_catalog.Catalog.Healed _ -> true | _ -> false))
               (count (function
                 | Oqf_catalog.Catalog.Quarantined _ -> true
                 | _ -> false))
               (count (function
                 | Oqf_catalog.Catalog.Removed_orphan -> true
+                | _ -> false))
+              (count (function
+                | Oqf_catalog.Catalog.Collapsed_generation _ -> true
                 | _ -> false))
       end
   in
@@ -1533,8 +1546,23 @@ let serve_cmd =
     let doc = "Shutdown grace for in-flight requests (milliseconds)." in
     Arg.(value & opt float 2000. & info [ "drain-ms" ] ~docv:"MS" ~doc)
   in
+  let watch =
+    let doc =
+      "Ingest source changes continuously: a background watcher polls \
+       every catalogued source and commits refreshed generations while \
+       requests keep streaming from their pinned snapshots."
+    in
+    Arg.(value & flag & info [ "watch" ] ~doc)
+  in
+  let watch_interval =
+    let doc = "Watcher poll interval in milliseconds (with $(b,--watch))." in
+    Arg.(
+      value
+      & opt float 500.
+      & info [ "watch-interval-ms" ] ~docv:"MS" ~doc)
+  in
   let run catalog_dir socket http_port jobs max_active max_queue timeout
-      fail_policy drain faults metrics qlog slow_ms =
+      fail_policy drain watch watch_interval faults metrics qlog slow_ms =
     install_faults faults;
     install_qlog ?slow_ms qlog;
     let jobs = resolve_jobs jobs in
@@ -1550,6 +1578,8 @@ let serve_cmd =
         default_timeout_ms = timeout;
         default_fail_policy = fail_policy;
         drain_ms = drain;
+        watch;
+        watch_interval_ms = watch_interval;
       }
     in
     or_die (Serve.Server.run config);
@@ -1562,12 +1592,82 @@ let serve_cmd =
           caches warm, admit concurrent clients onto a shared worker pool \
           and stream each file's answer rows while later files are still \
           scanning.  Speaks newline-delimited JSON over a Unix-domain \
-          socket (and optionally HTTP).  SIGINT/SIGTERM drain in-flight \
-          requests before exiting.")
+          socket (and optionally HTTP).  With $(b,--watch) a background \
+          watcher ingests source changes continuously; queries always \
+          read a pinned catalog generation.  SIGINT/SIGTERM drain \
+          in-flight requests before exiting.")
     Term.(
       const run $ catalog_dir_arg $ socket_arg $ http_port $ jobs_arg
-      $ max_active $ max_queue $ timeout $ fail_policy_arg $ drain
-      $ faults_arg $ metrics_arg $ qlog_arg $ slow_query_arg)
+      $ max_active $ max_queue $ timeout $ fail_policy_arg $ drain $ watch
+      $ watch_interval $ faults_arg $ metrics_arg $ qlog_arg
+      $ slow_query_arg)
+
+let watch_cmd =
+  let interval =
+    let doc = "Poll interval in milliseconds." in
+    Arg.(value & opt float 500. & info [ "interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let scans =
+    let doc =
+      "Run $(docv) synchronous scan passes and exit instead of watching \
+       until interrupted (deterministic; for scripting and tests)."
+    in
+    Arg.(value & opt (some int) None & info [ "scans" ] ~docv:"N" ~doc)
+  in
+  let run dir interval scans faults metrics qlog slow_ms =
+    install_faults faults;
+    install_qlog ?slow_ms qlog;
+    let cat = open_catalog dir in
+    let print_event = function
+      | Oqf_catalog.Watch.Refreshed (src, outcome) ->
+          Format.printf "%s: %a@." src Oqf_catalog.Catalog.pp_refresh outcome
+      | Oqf_catalog.Watch.Failed (src, msg) ->
+          Format.printf "%s: failed: %s@." src msg
+      | Oqf_catalog.Watch.Skipped src ->
+          Format.printf "%s: skipped (breaker open)@." src
+    in
+    (match scans with
+    | Some n ->
+        for i = 1 to n do
+          let r = Oqf_catalog.Watch.scan ~on_event:print_event cat in
+          Format.printf
+            "-- scan %d: scanned=%d refreshed=%d failed=%d skipped=%d \
+             retired=%d generation=%d@."
+            i r.Oqf_catalog.Watch.scanned r.refreshed r.failed r.skipped
+            (List.length r.retired) r.generation
+        done
+    | None ->
+        let w =
+          Oqf_catalog.Watch.start ~interval_ms:interval ~on_event:print_event
+            cat
+        in
+        Printf.printf "oqf watch: polling %s every %gms (Ctrl-C to stop)\n%!"
+          dir interval;
+        let stop = Atomic.make false in
+        let on_signal _ = Atomic.set stop true in
+        (try
+           Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+           Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+         with Invalid_argument _ -> ());
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.1
+        done;
+        Oqf_catalog.Watch.stop w;
+        Printf.printf "oqf watch: stopped at generation %d\n%!"
+          (Oqf_catalog.Catalog.generation cat));
+    dump_metrics_if metrics
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Watch every catalogued source for changes and ingest them \
+          continuously: each poll refreshes the entries whose files \
+          changed (committing a new catalog generation) and retires \
+          generations no query pins any more.  $(b,--scans) runs a fixed \
+          number of synchronous passes instead of polling forever.")
+    Term.(
+      const run $ catalog_dir_arg $ interval $ scans $ faults_arg
+      $ metrics_arg $ qlog_arg $ slow_query_arg)
 
 let client_cmd =
   let op_arg =
@@ -1786,7 +1886,7 @@ let () =
       [
         generate_cmd; index_cmd; query_cmd; explain_cmd; check_cmd;
         advise_cmd; schema_cmd; rexpr_cmd; tree_cmd; catalog_cmd; batch_cmd;
-        serve_cmd; client_cmd; stats_cmd; metrics_cmd;
+        serve_cmd; watch_cmd; client_cmd; stats_cmd; metrics_cmd;
       ]
   in
   (* [~catch:false] so engine exceptions become one-line errors with

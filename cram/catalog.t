@@ -45,6 +45,6 @@ refresh falls back to a full rebuild:
   $ sed 's/auth/AUTH/' app.log > app.tmp && mv app.tmp app.log
   $ ../bin/oqf_cli.exe catalog status -c cat
   log       5 names     2046B  changed
-    app.log -> indices/app-117275758d73.idx
+    app.log -> indices/app-117275758d73-g2.idx
   $ ../bin/oqf_cli.exe catalog refresh -c cat
   app.log: rebuilt (contents changed)

@@ -61,7 +61,8 @@ orphan nothing references.  Offline repair sweeps that debris:
 
   $ ../bin/oqf_cli.exe catalog repair -c cat
   indices/late-f347b4811d21.idx: removed orphan index file
-  -- healed=0 quarantined=0 orphans-removed=1
+  generations/MANIFEST.g3: collapsed stray generation 3
+  -- healed=0 quarantined=0 orphans-removed=1 generations-collapsed=1
 
   $ ../bin/oqf_cli.exe catalog repair -c cat
   catalog is healthy; nothing to repair
@@ -83,21 +84,24 @@ degradation recorded because no answer was lost:
 
 Offline repair handles the same damage without running a query, and
 drops an entry whose source file is gone (its data is unreachable from
-anywhere), sweeping the index it leaves behind:
+anywhere).  The heal above landed in a fresh generation (every
+mutation does), so the entry's current index file is re-captured
+first:
 
+  $ idx=$(ls cat/indices | grep '^app' | head -1)
   $ head -c 100 idx.bak > "cat/indices/$idx"
   $ rm web.log
   $ ../bin/oqf_cli.exe catalog repair -c cat
-  app.log: healed (cat/indices/app-117275758d73.idx: corrupt index file (checksum mismatch))
+  app.log: healed (cat/indices/app-117275758d73-g3.idx: corrupt index file (checksum mismatch))
   web.log: quarantined (source file is missing; entry dropped)
-  indices/web-4a84c7c23d3b.idx: removed orphan index file
-  -- healed=1 quarantined=1 orphans-removed=1
+  -- healed=1 quarantined=1 orphans-removed=0 generations-collapsed=0
 
 The same report is available as JSON for tooling:
 
+  $ idx=$(ls cat/indices | grep '^app' | head -1)
   $ head -c 100 idx.bak > "cat/indices/$idx"
   $ ../bin/oqf_cli.exe catalog repair -c cat --format json
-  [{"file":"app.log","action":"healed","detail":"cat/indices/app-117275758d73.idx: corrupt index file (checksum mismatch)"}]
+  [{"file":"app.log","action":"healed","detail":"cat/indices/app-117275758d73-g4.idx: corrupt index file (checksum mismatch)"}]
 
 Rebuild the two-file corpus for the degradation demos:
 

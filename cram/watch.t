@@ -1,0 +1,46 @@
+Live corpora: oqf watch polls every catalogued source, ingests what
+changed as a fresh immutable generation, and retires the generations
+nothing pins any more.  --scans N runs synchronous passes, so this
+file replays deterministically.
+
+Fixtures — one catalogued log file that is about to grow:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 8 --seed 11 -o app.log
+  wrote 808 bytes to app.log
+  $ ../bin/oqf_cli.exe catalog init cat
+  initialized empty catalog in cat
+  $ ../bin/oqf_cli.exe catalog add -c cat -s log app.log
+  added app.log (schema log): 5 region names indexed
+
+A scan over a quiet corpus refreshes nothing:
+
+  $ ../bin/oqf_cli.exe watch -c cat --scans 1
+  -- scan 1: scanned=1 refreshed=0 failed=0 skipped=0 retired=0 generation=1
+
+Append whole entries (the log schema is append-only, so the watcher
+extends the index incrementally instead of rebuilding), then scan
+again — the ingest commits generation 2 and the superseded image is
+retired behind it:
+
+  $ ../bin/oqf_cli.exe generate -k log -n 12 --seed 11 -o app.log
+  wrote 1206 bytes to app.log
+  $ ../bin/oqf_cli.exe watch -c cat --scans 2
+  app.log: extended incrementally (+398 bytes)
+  -- scan 1: scanned=1 refreshed=1 failed=0 skipped=0 retired=0 generation=2
+  -- scan 2: scanned=1 refreshed=0 failed=0 skipped=0 retired=0 generation=2
+
+The committed generation is immediately queryable, and the catalog
+directory holds exactly one manifest image — the live one:
+
+  $ ../bin/oqf_cli.exe catalog query -c cat -s log --no-refresh 'SELECT e.Level FROM Entries e' | tail -1
+  -- instance cache: hits=0 misses=1 evictions=0
+  $ ls cat/generations
+  MANIFEST.g2
+
+A source that disappears mid-watch fails its refresh without stopping
+the scan; the failure is reported per entry and the pass completes:
+
+  $ rm app.log
+  $ ../bin/oqf_cli.exe watch -c cat --scans 1
+  app.log: failed: app.log: source file is missing
+  -- scan 1: scanned=1 refreshed=0 failed=1 skipped=0 retired=0 generation=2

@@ -1,18 +1,34 @@
 (* A catalog is a directory:
 
-     <dir>/CATALOG          the manifest (text, one block per entry)
-     <dir>/indices/*.idx    persisted instances (Pat.Index_store)
+     <dir>/CATALOG                 the current manifest (text, one block
+                                   per entry, generation-stamped)
+     <dir>/GEN                     generation pointer ("oqf-gen N")
+     <dir>/generations/MANIFEST.gN immutable image of generation N
+     <dir>/indices/*.idx           persisted instances (Pat.Index_store)
 
    The manifest records, per source file: the schema name, the indexed
    region names, a content fingerprint (MD5 + length) of the source as
    of the last build, the index format version, and the index file
    name.  Refresh fingerprints the source and rebuilds only what is
    new or stale; appended-to sources of append-only schemas are
-   maintained incrementally. *)
+   maintained incrementally.
+
+   Every committed mutation produces a new, monotonically numbered
+   generation: index files written by rebuilds and extensions carry the
+   generation in their name and are never overwritten, so a reader that
+   pinned generation G (see {!pin}) keeps reading exactly G's bytes
+   while the writer commits G+1..G+k.  Unreferenced generations are
+   retired by {!retire_unreferenced}, which is safe to kill at any
+   point: deletion candidates come only from retired generation
+   manifests, and any file still referenced by the current entries or a
+   surviving generation manifest is spared. *)
 
 let manifest_name = "CATALOG"
 let manifest_magic = "oqf-catalog 1"
 let indices_subdir = "indices"
+let generations_subdir = "generations"
+let gen_pointer_name = "GEN"
+let gen_magic = "oqf-gen"
 
 type entry = {
   source : string;
@@ -33,9 +49,17 @@ type entry = {
          time; [] for entries written before the field existed *)
 }
 
+(* Concurrency contract: one writer, N readers.  [entries] and
+   [generation] are read and replaced together under [gen_lock]; the
+   writer never mutates a published entry list in place, it installs a
+   fresh one at commit.  [pins] maps generation -> refcount and is
+   touched only under [gen_lock]. *)
 type t = {
   dir : string;
   mutable entries : entry list;  (* in add order *)
+  mutable generation : int;
+  gen_lock : Mutex.t;
+  pins : (int, int) Hashtbl.t;
   cache : Instance_cache.t;
   mutable warnings : string list;  (* torn-manifest recovery notes *)
 }
@@ -44,10 +68,15 @@ let dir t = t.dir
 let entries t = t.entries
 let cache t = t.cache
 let recovery_warnings t = t.warnings
+let generation t = t.generation
 
 let catalog_healed = Obs.Metrics.counter "catalog.healed"
 let catalog_quarantined = Obs.Metrics.counter "catalog.quarantined"
 let catalog_recovered = Obs.Metrics.counter "catalog.recovered"
+let catalog_generation = Obs.Metrics.counter "catalog.generation"
+let catalog_commits = Obs.Metrics.counter "catalog.commits"
+let catalog_retired = Obs.Metrics.counter "catalog.retired"
+let snapshot_pinned = Obs.Metrics.counter "snapshot.pinned"
 let find t source = List.find_opt (fun e -> e.source = source) t.entries
 
 let default_budget = 64 * 1024 * 1024
@@ -77,30 +106,89 @@ let entry_to_lines e =
       e.depths
   @ [ "end" ]
 
+let manifest_image ~generation entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (manifest_magic ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "generation %d\n" generation);
+  List.iter
+    (fun e ->
+      List.iter
+        (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        (entry_to_lines e))
+    entries;
+  Buffer.contents buf
+
 (* Crash-safe: the new image is written to a temp file, forced to disk
-   with fsync, and renamed over the old manifest.  A crash at any point
-   leaves either the old manifest or the new one — never a torn mix. *)
-let save_manifest t =
-  let path = Filename.concat t.dir manifest_name in
-  Stdx.Retry.io ~site:"catalog.write" @@ fun () ->
+   with fsync, and renamed over the old file.  A crash at any point
+   leaves either the old file or the new one — never a torn mix. *)
+let write_atomic ~site path content =
+  Stdx.Retry.io ~site @@ fun () ->
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc (manifest_magic ^ "\n");
-      List.iter
-        (fun e ->
-          List.iter
-            (fun line -> output_string oc (line ^ "\n"))
-            (entry_to_lines e))
-        t.entries;
+      output_string oc content;
       flush oc;
       Unix.fsync (Unix.descr_of_out_channel oc));
   (* the crash window the rename protects: tmp is durable, the swap has
      not happened yet *)
-  Stdx.Fault.hit "catalog.write";
+  Stdx.Fault.hit site;
   Sys.rename tmp path
+
+let manifest_path dir = Filename.concat dir manifest_name
+let gen_pointer_path dir = Filename.concat dir gen_pointer_name
+let generations_dir dir = Filename.concat dir generations_subdir
+
+let gen_manifest_rel g =
+  Filename.concat generations_subdir (Printf.sprintf "MANIFEST.g%d" g)
+
+let gen_manifest_path t g = Filename.concat t.dir (gen_manifest_rel g)
+
+let ensure_layout dir =
+  List.iter
+    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    [ Filename.concat dir indices_subdir; generations_dir dir ]
+
+let write_pointer dir g =
+  write_atomic ~site:"gen.commit" (gen_pointer_path dir)
+    (Printf.sprintf "%s %d\n" gen_magic g)
+
+(* The pointer is advisory — the CATALOG manifest remains the single
+   source of truth for content; the pointer only guards generation
+   numbering monotonicity across a crash between the manifest swap and
+   the pointer move.  Reading it takes no retry site: any damage is
+   salvaged at open. *)
+let read_pointer dir =
+  let path = gen_pointer_path dir in
+  if not (Sys.file_exists path) then `Missing
+  else begin
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> input_line ic)
+    with
+    | exception _ -> `Damaged
+    | line -> begin
+        match String.split_on_char ' ' (String.trim line) with
+        | [ magic; g ] when magic = gen_magic -> begin
+            match int_of_string_opt g with
+            | Some g when g >= 0 -> `Gen g
+            | _ -> `Damaged
+          end
+        | _ -> `Damaged
+      end
+  end
+
+(* Rewrite the current manifest and pointer at the current generation —
+   recovery's path (no generation bump, no new immutable image). *)
+let write_current t =
+  let image = manifest_image ~generation:t.generation t.entries in
+  write_atomic ~site:"catalog.write" (manifest_path t.dir) image;
+  write_pointer t.dir t.generation
 
 let field name line =
   let prefix = name ^ " " in
@@ -118,11 +206,19 @@ let field name line =
    line on, reporting why.  Only a wrong magic line is a hard error —
    that is not our file. *)
 let parse_manifest path lines =
-  let salvage acc reason = Ok (List.rev acc, Some reason) in
+  let generation = ref None in
+  let salvage acc reason = Ok (List.rev acc, !generation, Some reason) in
   let rec entries acc = function
-    | [] -> Ok (List.rev acc, None)
+    | [] -> Ok (List.rev acc, !generation, None)
     | "entry" :: rest -> block [] rest acc
     | "" :: rest -> entries acc rest
+    | line :: rest when field "generation" line <> None -> begin
+        match Option.bind (field "generation" line) int_of_string_opt with
+        | Some g when g >= 0 ->
+            generation := Some g;
+            entries acc rest
+        | _ -> salvage acc "malformed generation line"
+      end
     | line :: _ ->
         salvage acc (Printf.sprintf "unexpected manifest line %S" line)
   and block fields rest acc =
@@ -228,55 +324,261 @@ let read_lines path =
       in
       go [])
 
+(* ---------------- generations: listing and retirement ---------------- *)
+
+let list_generations t =
+  match Sys.readdir (generations_dir t.dir) with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             let prefix = "MANIFEST.g" in
+             if String.length f > String.length prefix
+                && String.sub f 0 (String.length prefix) = prefix
+             then
+               int_of_string_opt
+                 (String.sub f (String.length prefix)
+                    (String.length f - String.length prefix))
+             else None)
+      |> List.sort compare
+
+(* The index files a generation's immutable manifest references; [] for
+   an unreadable image (its files then fall to the orphan sweep of
+   [repair] rather than being deleted on someone else's say-so). *)
+let files_of_generation t g =
+  let path = gen_manifest_path t g in
+  match parse_manifest path (read_lines path) with
+  | exception _ -> []
+  | Error _ -> []
+  | Ok (entries, _, _) -> List.map (fun e -> e.index_file) entries
+
+let pinned_generations t =
+  Mutex.lock t.gen_lock;
+  let pins = Hashtbl.fold (fun g n acc -> (g, n) :: acc) t.pins [] in
+  Mutex.unlock t.gen_lock;
+  List.sort compare pins
+
+(* Retire every generation older than the current one that no snapshot
+   pins: delete the index files only it references, then its manifest.
+   Crash-safe by construction — deletion candidates come only from the
+   retired manifest's own file list, and anything referenced by the
+   current entries or by a manifest that survives this pass is spared.
+   A kill at any point leaves extra files, never missing ones; the next
+   pass (or [repair]) finishes the job.  Safe against concurrent pins:
+   a reader can only pin the current generation, and [dead] excludes
+   it, so no generation in [dead] can gain a pin mid-pass. *)
+let retire_unreferenced t =
+  Mutex.lock t.gen_lock;
+  let current = t.generation in
+  let pinned = Hashtbl.fold (fun g _ acc -> g :: acc) t.pins [] in
+  Mutex.unlock t.gen_lock;
+  let gens = list_generations t in
+  let dead =
+    List.filter (fun g -> g < current && not (List.mem g pinned)) gens
+  in
+  if dead = [] then []
+  else begin
+    let kept = List.filter (fun g -> not (List.mem g dead)) gens in
+    let referenced =
+      List.map (fun e -> e.index_file) t.entries
+      @ List.concat_map (files_of_generation t) kept
+    in
+    let removed = ref [] in
+    List.iter
+      (fun g ->
+        try
+          Stdx.Fault.hit "gen.retire";
+          List.iter
+            (fun rel ->
+              if not (List.mem rel referenced) then begin
+                match Sys.remove (Filename.concat t.dir rel) with
+                | () -> removed := rel :: !removed
+                | exception Sys_error _ -> ()
+              end)
+            (files_of_generation t g);
+          (try Sys.remove (gen_manifest_path t g) with Sys_error _ -> ());
+          removed := gen_manifest_rel g :: !removed;
+          Obs.Metrics.incr catalog_retired;
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant "gen.retire"
+              ~attrs:[ ("generation", Obs.Trace.Int g) ]
+        with
+        | Stdx.Fault.Injected _ | Sys_error _ ->
+            (* a faulted retirement is not an error: the generation
+               stays on disk and the next pass picks it up *)
+            ())
+      dead;
+    List.rev !removed
+  end
+
+(* Commit a new entry list as the next generation:
+
+     1. write generations/MANIFEST.g<next>   (durable immutable image)
+     2. rename it over CATALOG               (the authoritative swap)
+     3. move the GEN pointer
+
+   [gen.commit] fires in the 1->2 and 2->3 crash windows (the
+   [catalog.write] site keeps guarding step 2 as it always has).  A
+   crash after 1 leaves a stray future image repair collapses; a crash
+   after 2 leaves a stale pointer open_dir salvages.  Only after all
+   three does the new state become visible to readers — installed
+   atomically under [gen_lock] so a concurrent [pin] sees either the
+   old generation with the old entries or the new with the new. *)
+let commit t entries' =
+  Obs.Trace.with_span "gen.commit"
+    ~attrs:(fun () -> [ ("generation", Obs.Trace.Int (t.generation + 1)) ])
+  @@ fun () ->
+  ensure_layout t.dir;
+  let next = t.generation + 1 in
+  let image = manifest_image ~generation:next entries' in
+  write_atomic ~site:"gen.commit" (gen_manifest_path t next) image;
+  write_atomic ~site:"catalog.write" (manifest_path t.dir) image;
+  write_pointer t.dir next;
+  Mutex.lock t.gen_lock;
+  t.entries <- entries';
+  t.generation <- next;
+  Mutex.unlock t.gen_lock;
+  Obs.Metrics.set catalog_generation next;
+  Obs.Metrics.incr catalog_commits;
+  ignore (retire_unreferenced t : string list)
+
 (* ---------------- opening ---------------- *)
 
+let make ~dir ~entries ~generation ~budget_bytes =
+  {
+    dir;
+    entries;
+    generation;
+    gen_lock = Mutex.create ();
+    pins = Hashtbl.create 8;
+    cache = Instance_cache.create ~budget_bytes;
+    warnings = [];
+  }
+
 let init dir =
-  if Sys.file_exists (Filename.concat dir manifest_name) then
+  if Sys.file_exists (manifest_path dir) then
     Error (dir ^ " already holds a catalog")
   else begin
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     if not (Sys.is_directory dir) then Error (dir ^ " is not a directory")
     else begin
-      let t =
-        {
-          dir;
-          entries = [];
-          cache = Instance_cache.create ~budget_bytes:default_budget;
-          warnings = [];
-        }
-      in
-      let indices = Filename.concat dir indices_subdir in
-      if not (Sys.file_exists indices) then Sys.mkdir indices 0o755;
-      save_manifest t;
+      let t = make ~dir ~entries:[] ~generation:0 ~budget_bytes:default_budget in
+      ensure_layout dir;
+      let image = manifest_image ~generation:0 [] in
+      write_atomic ~site:"gen.commit" (gen_manifest_path t 0) image;
+      write_atomic ~site:"catalog.write" (manifest_path dir) image;
+      write_pointer dir 0;
       Ok t
     end
   end
 
 let open_dir ?(budget_bytes = default_budget) dir =
-  let path = Filename.concat dir manifest_name in
+  let path = manifest_path dir in
   if not (Sys.file_exists path) then
     Error (dir ^ " holds no catalog (run catalog init first)")
   else begin
     match parse_manifest path (read_lines path) with
     | Error e -> Error e
-    | Ok (entries, recovered) ->
-        let t =
-          { dir; entries; cache = Instance_cache.create ~budget_bytes; warnings = [] }
+    | Ok (entries, mgen, recovered) ->
+        let has_gen_line = mgen <> None in
+        let mgen = Option.value mgen ~default:0 in
+        let t = make ~dir ~entries ~generation:mgen ~budget_bytes in
+        let warn w = t.warnings <- t.warnings @ [ w ] in
+        (* the pointer only guards numbering monotonicity; the manifest
+           stays authoritative for content.  Disagreement means a crash
+           landed between the manifest swap and the pointer move (or
+           the pointer was damaged) — adopt the higher number and
+           rewrite the pointer. *)
+        let pointer_damage =
+          match read_pointer dir with
+          | `Gen g when g = t.generation -> None
+          | `Gen g when g > t.generation ->
+              t.generation <- g;
+              Some
+                (Printf.sprintf
+                   "generation pointer ahead of manifest (%d > %d); adopted \
+                    %d as the numbering floor"
+                   g mgen g)
+          | `Gen g ->
+              Some
+                (Printf.sprintf "stale generation pointer (%d, manifest at %d)"
+                   g t.generation)
+          | `Missing when (not has_gen_line) && t.generation = 0 ->
+              None (* legacy pre-generation catalog: silent upgrade *)
+          | `Missing -> Some "generation pointer missing"
+          | `Damaged -> Some "generation pointer unreadable"
         in
         (match recovered with
-        | None -> ()
+        | None -> begin
+            match pointer_damage with
+            | None -> ()
+            | Some reason ->
+                Obs.Metrics.incr catalog_recovered;
+                warn (Printf.sprintf "%s; rewrote it" reason);
+                write_pointer dir t.generation
+          end
         | Some reason ->
             Obs.Metrics.incr catalog_recovered;
-            t.warnings <-
-              [
-                Printf.sprintf
-                  "recovered torn manifest (%s); kept %d entries and rewrote it"
-                  reason (List.length entries);
-              ];
+            warn
+              (Printf.sprintf
+                 "recovered torn manifest (%s); kept %d entries and rewrote it"
+                 reason (List.length entries));
+            (match pointer_damage with
+            | None -> ()
+            | Some reason ->
+                Obs.Metrics.incr catalog_recovered;
+                warn (Printf.sprintf "%s; rewrote it" reason));
             (* persist the recovered image so the next open is clean *)
-            save_manifest t);
+            write_current t);
+        Obs.Metrics.set catalog_generation t.generation;
         Ok t
   end
+
+(* ---------------- snapshots ---------------- *)
+
+type snapshot = { s_gen : int; s_entries : entry list; s_cat : t }
+
+let total_pins t = Hashtbl.fold (fun _ n acc -> acc + n) t.pins 0
+
+let pin t =
+  Mutex.lock t.gen_lock;
+  let g = t.generation and entries = t.entries in
+  Hashtbl.replace t.pins g
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins g));
+  let total = total_pins t in
+  Mutex.unlock t.gen_lock;
+  Obs.Metrics.set snapshot_pinned total;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant "snapshot.pin"
+      ~attrs:[ ("generation", Obs.Trace.Int g) ];
+  { s_gen = g; s_entries = entries; s_cat = t }
+
+let release s =
+  let t = s.s_cat in
+  Mutex.lock t.gen_lock;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.pins s.s_gen) in
+  if n <= 1 then Hashtbl.remove t.pins s.s_gen
+  else Hashtbl.replace t.pins s.s_gen (n - 1);
+  let total = total_pins t in
+  let behind = s.s_gen < t.generation in
+  Mutex.unlock t.gen_lock;
+  Obs.Metrics.set snapshot_pinned total;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant "snapshot.release"
+      ~attrs:[ ("generation", Obs.Trace.Int s.s_gen) ];
+  (* dropping the last pin of a superseded generation is what makes it
+     retirable — collect eagerly rather than waiting for a commit *)
+  if behind && n <= 1 then ignore (retire_unreferenced t : string list)
+
+let with_snapshot t f =
+  let s = pin t in
+  Fun.protect ~finally:(fun () -> release s) (fun () -> f s)
+
+let snapshot_generation s = s.s_gen
+let snapshot_entries s = s.s_entries
+
+let snapshot_find s source =
+  List.find_opt (fun e -> e.source = source) s.s_entries
 
 (* ---------------- fingerprints and staleness ---------------- *)
 
@@ -298,7 +600,10 @@ let index_path t e = Filename.concat t.dir e.index_file
 
 let orphan_index_files t =
   let dir = Filename.concat t.dir indices_subdir in
-  let referenced = List.map (fun e -> e.index_file) t.entries in
+  let referenced =
+    List.map (fun e -> e.index_file) t.entries
+    @ List.concat_map (files_of_generation t) (list_generations t)
+  in
   match Sys.readdir dir with
   | exception Sys_error _ -> []
   | files ->
@@ -443,22 +748,31 @@ let store_entry t ~source ~schema ~index_names ~text ~index_file instance =
       depths = instance_depths instance;
     }
   in
-  t.entries <-
-    (match find t source with
+  let entries' =
+    match find t source with
     | None -> t.entries @ [ e ]
-    | Some _ ->
-        List.map (fun old -> if old.source = source then e else old) t.entries);
-  Instance_cache.add t.cache source instance;
-  save_manifest t;
+    | Some old ->
+        if old.index_file <> index_file then
+          Instance_cache.remove t.cache old.index_file;
+        List.map (fun o -> if o.source = source then e else o) t.entries
+  in
+  Instance_cache.add t.cache e.index_file instance;
+  commit t entries';
   e
 
 let build_instance view text ~index_names =
   Fschema.View.index_file view text ~keep:index_names
 
-let index_file_for source =
+(* Index files are immutable once a generation references them, so a
+   rebuild or extension writes under a generation-suffixed name instead
+   of overwriting the file a pinned snapshot may still be reading.  The
+   first build of a source keeps the plain name (nothing can reference
+   it yet). *)
+let index_file_for ?gen source =
   let stem = Filename.remove_extension (Filename.basename source) in
   let tag = String.sub (Digest.to_hex (Digest.string source)) 0 12 in
-  Filename.concat indices_subdir (Printf.sprintf "%s-%s.idx" stem tag)
+  let suffix = match gen with None | Some 0 -> "" | Some g -> Printf.sprintf "-g%d" g in
+  Filename.concat indices_subdir (Printf.sprintf "%s-%s%s.idx" stem tag suffix)
 
 let add t ~schema ?index source =
   match Schemas.find_result schema with
@@ -492,9 +806,18 @@ let add t ~schema ?index source =
             match build_instance view text ~index_names with
             | Error e -> Error (source ^ ": " ^ e)
             | Ok instance ->
+                let index_file =
+                  let plain = index_file_for source in
+                  (* a leftover file under the plain name (dropped and
+                     re-added source) may still be pinned by an old
+                     generation — never overwrite it *)
+                  if Sys.file_exists (Filename.concat t.dir plain) then
+                    index_file_for ~gen:(t.generation + 1) source
+                  else plain
+                in
                 Ok
                   (store_entry t ~source ~schema ~index_names ~text
-                     ~index_file:(index_file_for source) instance)
+                     ~index_file instance)
           end
     end
 
@@ -514,7 +837,8 @@ let rebuild_instance t e =
           | Ok instance ->
               let (_ : entry) =
                 store_entry t ~source:e.source ~schema:e.schema
-                  ~index_names:e.index_names ~text ~index_file:e.index_file
+                  ~index_names:e.index_names ~text
+                  ~index_file:(index_file_for ~gen:(t.generation + 1) e.source)
                   instance
               in
               Ok instance
@@ -525,12 +849,12 @@ let rebuild_instance t e =
    rebuilt from its source while serving the request.  Only when the
    source is gone too is there genuinely no path to the data. *)
 let load_persisted t e =
-  match Instance_cache.find t.cache e.source with
+  match Instance_cache.find t.cache e.index_file with
   | Some instance -> Ok instance
   | None -> begin
       match Pat.Index_store.load_result ~path:(index_path t e) with
       | Ok instance ->
-          Instance_cache.add t.cache e.source instance;
+          Instance_cache.add t.cache e.index_file instance;
           Ok instance
       | Error err -> begin
           let msg = Pat.Index_store.error_message err in
@@ -550,6 +874,32 @@ let load_persisted t e =
                 Ok instance
             | Error heal_msg -> Error (msg ^ "; heal failed: " ^ heal_msg)
           end
+        end
+    end
+
+(* A snapshot load never heals or commits: a pinned generation's bytes
+   are immutable, and rebuilding from a since-changed source could not
+   reproduce them anyway.  The cache is keyed by index file name —
+   unique per generation — so snapshot and current loads share it
+   without aliasing. *)
+let snapshot_load s source =
+  match snapshot_find s source with
+  | None ->
+      Error
+        (Printf.sprintf "%s is not in snapshot generation %d" source s.s_gen)
+  | Some e -> begin
+      let t = s.s_cat in
+      match Instance_cache.find t.cache e.index_file with
+      | Some instance -> Ok instance
+      | None -> begin
+          match
+            Pat.Index_store.load_result
+              ~path:(Filename.concat t.dir e.index_file)
+          with
+          | Ok instance ->
+              Instance_cache.add t.cache e.index_file instance;
+              Ok instance
+          | Error err -> Error (Pat.Index_store.error_message err)
         end
     end
 
@@ -580,7 +930,8 @@ let extend t e ~old_len ~verify_rig =
           let (_ : entry) =
             store_entry t ~source:e.source ~schema:e.schema
               ~index_names:e.index_names ~text:new_text
-              ~index_file:e.index_file instance
+              ~index_file:(index_file_for ~gen:(t.generation + 1) e.source)
+              instance
           in
           Ok (Extended { added_bytes })
       | Error why ->
@@ -608,16 +959,11 @@ let refresh ?(verify_rig = false) t source =
       | Appended { old_len; _ } -> extend t e ~old_len ~verify_rig
     end
 
+(* Per-entry results: one corrupt source must not block refresh of the
+   healthy ones, so every entry is attempted and reports its own
+   outcome. *)
 let refresh_all ?verify_rig t =
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | e :: rest -> begin
-        match refresh ?verify_rig t e.source with
-        | Error msg -> Error msg
-        | Ok r -> go ((e.source, r) :: acc) rest
-      end
-  in
-  go [] t.entries
+  List.map (fun e -> (e.source, refresh ?verify_rig t e.source)) t.entries
 
 (* ---------------- serving instances ---------------- *)
 
@@ -643,12 +989,51 @@ type repair_action =
   | Healed of string
   | Quarantined of string
   | Removed_orphan
+  | Collapsed_generation of int
 
 let drop_entry t e =
-  t.entries <- List.filter (fun o -> o.source <> e.source) t.entries;
-  Instance_cache.remove t.cache e.source;
-  save_manifest t;
+  let entries' = List.filter (fun o -> o.source <> e.source) t.entries in
+  Instance_cache.remove t.cache e.index_file;
+  commit t entries';
   Obs.Metrics.incr catalog_quarantined
+
+(* Collapse every generation image other than the current one — the
+   offline complement of {!retire_unreferenced} that also handles
+   {e future} strays (a crash between writing MANIFEST.g<next> and
+   swapping CATALOG leaves next's image and index files with no
+   committed generation referencing them). *)
+let collapse_stray_generations t =
+  let current = t.generation in
+  let pinned = pinned_generations t |> List.map fst in
+  let gens = list_generations t in
+  let strays =
+    List.filter (fun g -> g <> current && not (List.mem g pinned)) gens
+  in
+  if strays = [] then []
+  else begin
+    let kept = List.filter (fun g -> not (List.mem g strays)) gens in
+    let referenced =
+      List.map (fun e -> e.index_file) t.entries
+      @ List.concat_map (files_of_generation t) kept
+    in
+    List.concat_map
+      (fun g ->
+        let removed =
+          List.filter_map
+            (fun rel ->
+              if List.mem rel referenced then None
+              else begin
+                match Sys.remove (Filename.concat t.dir rel) with
+                | () -> Some (rel, Removed_orphan)
+                | exception Sys_error _ -> None
+              end)
+            (files_of_generation t g)
+        in
+        (try Sys.remove (gen_manifest_path t g) with Sys_error _ -> ());
+        Obs.Metrics.incr catalog_retired;
+        removed @ [ (gen_manifest_rel g, Collapsed_generation g) ])
+      strays
+  end
 
 let repair t =
   let actions = ref [] in
@@ -672,8 +1057,9 @@ let repair t =
       | Index_missing -> heal_or_quarantine "index file missing"
       | Index_unreadable reason -> heal_or_quarantine reason)
     t.entries;
-  (* sweep index files nothing references any more, including those
-     orphaned by the quarantines above *)
+  (* collapse stray generation images (crashed commits, unreaped
+     retirees), then sweep index files nothing references any more *)
+  List.iter (fun (key, a) -> note key a) (collapse_stray_generations t);
   List.iter
     (fun rel ->
       (try Sys.remove (Filename.concat t.dir rel) with Sys_error _ -> ());
@@ -685,3 +1071,5 @@ let pp_repair_action ppf = function
   | Healed reason -> Format.fprintf ppf "healed (%s)" reason
   | Quarantined reason -> Format.fprintf ppf "quarantined (%s)" reason
   | Removed_orphan -> Format.pp_print_string ppf "removed orphan index file"
+  | Collapsed_generation g ->
+      Format.fprintf ppf "collapsed stray generation %d" g

@@ -6,9 +6,13 @@
     files to persisted indices:
 
     {v
-    <dir>/CATALOG        manifest: schema, indexed names, fingerprint,
-                         format version and index file per source
-    <dir>/indices/*.idx  persisted instances (Pat.Index_store)
+    <dir>/CATALOG                 current manifest: generation stamp,
+                                  then schema, indexed names,
+                                  fingerprint, format version and index
+                                  file per source
+    <dir>/GEN                     generation pointer ("oqf-gen N")
+    <dir>/generations/MANIFEST.gN immutable image of generation N
+    <dir>/indices/*.idx           persisted instances (Pat.Index_store)
     v}
 
     {b Staleness rules.}  An entry is fresh when its source file still
@@ -21,8 +25,25 @@
     truncated source, missing/corrupt/outdated index — is rebuilt from
     scratch.
 
+    {b Generations and snapshot isolation.}  Every committed mutation
+    (add, refresh, heal, quarantine) produces a new, monotonically
+    numbered generation: the manifest is stamped, an immutable image is
+    kept under [generations/], and rebuilt or extended indices are
+    written under fresh generation-suffixed names — never over a file
+    an older generation references.  A reader calls {!pin} to hold the
+    generation it started on (refcounted); {!snapshot_load} then reads
+    exactly that generation's bytes no matter how many commits land
+    concurrently.  Unpinned superseded generations are retired by
+    {!retire_unreferenced} (run after every commit and on the last
+    {!release} of an old generation); retirement is crash-safe — a kill
+    at any point leaves extra files, never missing ones — and
+    {!repair} collapses whatever strays a crash left behind.  The
+    concurrency contract is one writer plus any number of pinned
+    readers.
+
     Loaded instances are served through a bounded LRU
-    {!Instance_cache}, so repeated queries do not reload from disk. *)
+    {!Instance_cache} keyed by index file name (unique per
+    generation), so repeated queries do not reload from disk. *)
 
 type entry = {
   source : string;  (** path of the source file *)
@@ -50,8 +71,8 @@ type entry = {
 type t
 
 val init : string -> (t, string) result
-(** Create an empty catalog in a directory (created if missing).
-    Fails if the directory already holds one. *)
+(** Create an empty catalog in a directory (created if missing), at
+    generation 0.  Fails if the directory already holds one. *)
 
 val open_dir : ?budget_bytes:int -> string -> (t, string) result
 (** Open an existing catalog.  [budget_bytes] bounds the instance
@@ -60,10 +81,15 @@ val open_dir : ?budget_bytes:int -> string -> (t, string) result
     Opening is crash-tolerant: a torn or partially damaged manifest
     (possible on filesystems without atomic rename, or after
     hand-editing) keeps its complete leading entries, drops the
-    damaged tail, and is immediately rewritten in repaired form; the
-    incident is reported through {!recovery_warnings} and the
-    [catalog.recovered] metric.  Only a file that is not a catalog
-    manifest at all fails to open. *)
+    damaged tail, and is immediately rewritten in repaired form; a
+    missing, damaged, or disagreeing generation pointer is rewritten
+    from the manifest (adopting the higher number as the numbering
+    floor when the pointer is ahead — the signature of a crash between
+    the manifest swap and the pointer move).  Every incident is
+    reported through {!recovery_warnings} and the [catalog.recovered]
+    metric.  A manifest without a generation stamp (written before
+    generations existed) opens silently at generation 0.  Only a file
+    that is not a catalog manifest at all fails to open. *)
 
 val recovery_warnings : t -> string list
 (** Human-readable notes about damage repaired while opening
@@ -74,11 +100,70 @@ val entries : t -> entry list
 val find : t -> string -> entry option
 val cache : t -> Instance_cache.t
 
+val generation : t -> int
+(** The current committed generation number (0 for a fresh or legacy
+    catalog). *)
+
 val add :
   t -> schema:string -> ?index:string list -> string -> (entry, string) result
-(** Index a source file and record it.  [index] defaults to every
-    indexable non-terminal of the schema; names outside the grammar are
-    rejected.  Fails if the source is already catalogued. *)
+(** Index a source file and record it, committing a new generation.
+    [index] defaults to every indexable non-terminal of the schema;
+    names outside the grammar are rejected.  Fails if the source is
+    already catalogued. *)
+
+(** {2 Snapshots}
+
+    A snapshot is a refcounted pin on the generation current at
+    {!pin} time: its entry list is immutable, and the index files it
+    references are never overwritten or deleted while the pin is
+    held.  The [snapshot.pinned] gauge tracks the total number of
+    outstanding pins. *)
+
+type snapshot
+
+val pin : t -> snapshot
+(** Pin the current generation.  Must be balanced by {!release}. *)
+
+val release : snapshot -> unit
+(** Drop one pin.  Releasing the last pin of a superseded generation
+    triggers {!retire_unreferenced}.  Releasing more than once is a
+    refcounting bug (the excess release is ignored). *)
+
+val with_snapshot : t -> (snapshot -> 'a) -> 'a
+(** [with_snapshot t f] pins, runs [f], and releases (also on
+    exception). *)
+
+val snapshot_generation : snapshot -> int
+val snapshot_entries : snapshot -> entry list
+val snapshot_find : snapshot -> string -> entry option
+
+val snapshot_load : snapshot -> string -> (Pat.Instance.t, string) result
+(** The instance of a source as of the pinned generation, through the
+    shared LRU cache.  Unlike {!load} this never heals and never
+    commits: a pinned generation's bytes are immutable, and a rebuild
+    from a since-changed source could not reproduce them.  Fails if
+    the source is not in the snapshot or its index file is
+    unreadable. *)
+
+val pinned_generations : t -> (int * int) list
+(** Outstanding pins as [(generation, refcount)], sorted — the
+    observability view behind the [snapshot.pinned] gauge. *)
+
+val list_generations : t -> int list
+(** The generation numbers whose manifest images exist on disk,
+    sorted ascending.  After retirement only the current generation
+    (and any still-pinned ones) remain. *)
+
+val retire_unreferenced : t -> string list
+(** Delete every generation image older than the current one that no
+    snapshot pins, together with the index files only retired
+    generations reference; returns the catalog-relative paths removed.
+    Runs automatically after every commit and on the last {!release}
+    of an old generation; callable explicitly (the watcher does, per
+    scan).  Crash-safe: deletion candidates come only from retired
+    generation manifests, anything referenced by the current entries
+    or a surviving image is spared, and a kill mid-pass leaves only
+    extra files for the next pass (or {!repair}) to finish. *)
 
 type staleness =
   | Fresh
@@ -106,34 +191,37 @@ val status : t -> (entry * staleness) list
 val pp_staleness : Format.formatter -> staleness -> unit
 
 val orphan_index_files : t -> string list
-(** Files under [<dir>/indices] that no manifest entry references
-    (paths relative to the catalog directory, sorted) — debris from
-    crashed rebuilds or hand-deleted entries.  [oqf catalog audit]
-    reports them. *)
+(** Files under [<dir>/indices] that neither the current manifest nor
+    any surviving generation image references (paths relative to the
+    catalog directory, sorted) — debris from crashed rebuilds or
+    hand-deleted entries.  [oqf catalog audit] reports them. *)
 
 type refresh = Unchanged | Extended of { added_bytes : int } | Rebuilt of string
 
 val refresh : ?verify_rig:bool -> t -> string -> (refresh, string) result
 (** Bring one entry up to date, choosing incremental extension for
-    append-only growth and a full rebuild otherwise.  A failed
-    incremental attempt (tail does not parse, schema not append-only)
-    silently degrades to a rebuild — its reason says why.  With
-    [verify_rig] the extended instance is additionally checked against
-    the RIG of its indexed names (slow; meant for tests). *)
+    append-only growth and a full rebuild otherwise.  A change commits
+    a new generation.  A failed incremental attempt (tail does not
+    parse, schema not append-only) silently degrades to a rebuild —
+    its reason says why.  With [verify_rig] the extended instance is
+    additionally checked against the RIG of its indexed names (slow;
+    meant for tests). *)
 
 val refresh_all :
-  ?verify_rig:bool -> t -> ((string * refresh) list, string) result
-(** {!refresh} every entry, in catalogue order. *)
+  ?verify_rig:bool -> t -> (string * (refresh, string) result) list
+(** {!refresh} every entry, in catalogue order, continuing past
+    failures: each entry reports its own outcome, so one corrupt or
+    missing source cannot block refresh of the healthy ones. *)
 
 val load : t -> string -> (Pat.Instance.t, string) result
 (** The instance of a catalogued source, through the LRU cache.
 
     Self-healing: when the persisted index is missing, corrupt, or at
     an outdated format version but the source file still exists, the
-    index is transparently rebuilt from the source (and re-persisted)
-    while serving the request — counted by the [catalog.healed]
-    metric.  Loading fails only when the index is unusable {e and}
-    the source is gone. *)
+    index is transparently rebuilt from the source (and re-persisted
+    as a new generation) while serving the request — counted by the
+    [catalog.healed] metric.  Loading fails only when the index is
+    unusable {e and} the source is gone. *)
 
 type repair_action =
   | Healed of string  (** index rebuilt from the source (the reason) *)
@@ -141,13 +229,17 @@ type repair_action =
       (** entry dropped from the manifest: its source is gone or its
           rebuild failed (the reason) *)
   | Removed_orphan  (** unreferenced file under [indices/] deleted *)
+  | Collapsed_generation of int
+      (** stray generation image deleted: a crashed commit's future
+          image, or a superseded generation the reaper never got to *)
 
 val repair : t -> (string * repair_action) list
 (** Apply the self-healing logic offline to every entry: rebuild
     missing/corrupt indices, drop entries whose source is gone, then
-    sweep orphan index files.  Returns what was done, keyed by source
-    path (or index path for orphans), in catalogue order.  Entries
-    that are merely stale ([Changed]/[Appended]) are left for
+    collapse stray generation images and sweep orphan index files.
+    Returns what was done, keyed by source path (or catalog-relative
+    file path for orphans and collapsed images), in catalogue order.
+    Entries that are merely stale ([Changed]/[Appended]) are left for
     {!refresh}.  Persists the repaired manifest. *)
 
 val pp_repair_action : Format.formatter -> repair_action -> unit

@@ -1,6 +1,12 @@
 type entry = { instance : Pat.Instance.t; cost : int; mutable stamp : int }
 
+(* Internally locked: with watch-mode ingest, a background writer
+   domain inserts rebuilt instances while reader threads look up
+   pinned-snapshot instances concurrently.  The critical sections are
+   hashtable bookkeeping only — never index loading — so one mutex is
+   cheap. *)
 type t = {
+  lock : Mutex.t;
   budget : int;
   table : (string, entry) Hashtbl.t;
   mutable used : int;
@@ -9,6 +15,10 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Resident footprint estimate: the text bytes, one word per suffix-array
    slot, and three words per region (start, stop, array slot).  The point
@@ -21,6 +31,7 @@ let cost_of_instance instance =
 
 let create ~budget_bytes =
   {
+    lock = Mutex.create ();
     budget = max budget_bytes 0;
     table = Hashtbl.create 16;
     used = 0;
@@ -30,8 +41,8 @@ let create ~budget_bytes =
     evictions = 0;
   }
 
-let count t = Hashtbl.length t.table
-let used_bytes t = t.used
+let count t = with_lock t (fun () -> Hashtbl.length t.table)
+let used_bytes t = with_lock t (fun () -> t.used)
 let budget_bytes t = t.budget
 
 let tick t =
@@ -39,29 +50,38 @@ let tick t =
   t.clock
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some e ->
-      e.stamp <- tick t;
-      t.hits <- t.hits + 1;
+  let hit =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+            e.stamp <- tick t;
+            t.hits <- t.hits + 1;
+            Some e.instance
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  (match hit with
+  | Some _ ->
       Stdx.Stats.(incr cache_hits);
       if Obs.Trace.enabled () then
-        Obs.Trace.instant "cache.hit" ~attrs:[ ("key", Obs.Trace.Str key) ];
-      Some e.instance
+        Obs.Trace.instant "cache.hit" ~attrs:[ ("key", Obs.Trace.Str key) ]
   | None ->
-      t.misses <- t.misses + 1;
       Stdx.Stats.(incr cache_misses);
       if Obs.Trace.enabled () then
-        Obs.Trace.instant "cache.miss" ~attrs:[ ("key", Obs.Trace.Str key) ];
-      None
+        Obs.Trace.instant "cache.miss" ~attrs:[ ("key", Obs.Trace.Str key) ]);
+  hit
 
-let remove t key =
+let remove_locked t key =
   match Hashtbl.find_opt t.table key with
   | None -> ()
   | Some e ->
       Hashtbl.remove t.table key;
       t.used <- t.used - e.cost
 
-let evict_lru t =
+let remove t key = with_lock t (fun () -> remove_locked t key)
+
+let evict_lru_locked t =
   let victim =
     Hashtbl.fold
       (fun key e acc ->
@@ -71,30 +91,45 @@ let evict_lru t =
       t.table None
   in
   match victim with
-  | None -> false
+  | None -> None
   | Some (key, _) ->
-      remove t key;
+      remove_locked t key;
       t.evictions <- t.evictions + 1;
-      Stdx.Stats.(incr cache_evictions);
-      if Obs.Trace.enabled () then
-        Obs.Trace.instant "cache.evict" ~attrs:[ ("key", Obs.Trace.Str key) ];
-      true
+      Some key
 
 let add t key instance =
-  remove t key;
   let cost = cost_of_instance instance in
-  (* an instance larger than the whole budget is not cached at all *)
-  if cost <= t.budget then begin
-    while t.used + cost > t.budget && evict_lru t do
-      ()
-    done;
-    Hashtbl.replace t.table key { instance; cost; stamp = tick t };
-    t.used <- t.used + cost
-  end
+  let evicted =
+    with_lock t (fun () ->
+        remove_locked t key;
+        (* an instance larger than the whole budget is not cached at all *)
+        if cost > t.budget then []
+        else begin
+          let evicted = ref [] in
+          let continue = ref true in
+          while t.used + cost > t.budget && !continue do
+            match evict_lru_locked t with
+            | Some victim -> evicted := victim :: !evicted
+            | None -> continue := false
+          done;
+          Hashtbl.replace t.table key { instance; cost; stamp = tick t };
+          t.used <- t.used + cost;
+          List.rev !evicted
+        end)
+  in
+  List.iter
+    (fun victim ->
+      Stdx.Stats.(incr cache_evictions);
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "cache.evict"
+          ~attrs:[ ("key", Obs.Trace.Str victim) ])
+    evicted
 
 type stats = { hits : int; misses : int; evictions : int }
 
-let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let stats (t : t) =
+  with_lock t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions })
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "hits=%d misses=%d evictions=%d" s.hits s.misses

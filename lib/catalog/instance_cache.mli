@@ -6,7 +6,12 @@
     evicting the least recently used entry when the budget is exceeded.
     Hit/miss/eviction counts are kept per cache and mirrored into the
     ambient {!Stdx.Stats.global} counters, so query outcomes report
-    cache traffic alongside the paper's work quantities. *)
+    cache traffic alongside the paper's work quantities.
+
+    The cache is internally locked: watch-mode ingest inserts rebuilt
+    instances from a background domain while reader threads serve
+    pinned snapshots, so every operation is safe to call
+    concurrently. *)
 
 type t
 

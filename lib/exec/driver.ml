@@ -84,7 +84,7 @@ let exec_query_ms =
    retry/fault figures are process-global counter deltas around the
    run — exact when requests are sequential, attribution-approximate
    under concurrency, which is fine for trend aggregation. *)
-let with_qlog ?qctx ~kind corpus q run =
+let with_qlog ?qctx ?generation ~kind corpus q run =
   match (qctx, Obs.Qlog.installed ()) with
   | Some (ctx : Obs.Qlog.ctx), Some log ->
       let t0 = Obs.Trace.now_ms () in
@@ -99,7 +99,7 @@ let with_qlog ?qctx ~kind corpus q run =
         Obs.Qlog.append log
           (Obs.Qlog.make ~ctx ~workload_default:schema ~schema ~kind
              ~query:(Odb.Query.to_string q) ~latency_ms ~rows ~cached ~shards
-             ~outcome ?error ~events ~retries ~faults ())
+             ~outcome ?error ~events ~retries ~faults ?generation ())
       in
       (match result with
       | Ok (o : outcome) ->
@@ -233,8 +233,8 @@ let resolve ~fail_policy q results =
   with Abort e -> Error e
 
 let run_one ?optimize ?minimize ?force ?plan_mode ?cache
-    ?(fail_policy = Fail_fast) ?qctx corpus q =
-  with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
+    ?(fail_policy = Fail_fast) ?qctx ?generation corpus q =
+  with_qlog ?qctx ?generation ~kind:"query" corpus q @@ fun () ->
   match fail_policy with
   | Fail_fast -> begin
       with_cache cache corpus q @@ fun () ->
@@ -319,12 +319,12 @@ let eval_shard ?optimize ?minimize ?force ?plan_mode ~stop_at_first q
   (report, result)
 
 let run_parallel ?optimize ?minimize ?force ?plan_mode ?jobs ?cache
-    ?timeout_ms ?(fail_policy = Fail_fast) ?qctx corpus q =
+    ?timeout_ms ?(fail_policy = Fail_fast) ?qctx ?generation corpus q =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then
     Error (Printf.sprintf "jobs must be at least 1 (got %d)" jobs)
   else
-    with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
+    with_qlog ?qctx ?generation ~kind:"query" corpus q @@ fun () ->
     with_cache cache corpus q @@ fun () ->
     let sources = Oqf.Corpus.sources corpus in
     let position =
@@ -448,8 +448,8 @@ let rec emit_blocks on_rows = function
 
 let run_streaming ?optimize ?minimize ?force ?plan_mode ?(lazy_phase1 = true)
     ?cache ?timeout_ms
-    ?(fail_policy = Fail_fast) ?qctx ~pool ~on_rows corpus q =
-  with_qlog ?qctx ~kind:"query" corpus q @@ fun () ->
+    ?(fail_policy = Fail_fast) ?qctx ?generation ~pool ~on_rows corpus q =
+  with_qlog ?qctx ?generation ~kind:"query" corpus q @@ fun () ->
   let key =
     match cache with
     | None -> None

@@ -80,6 +80,7 @@ val run_parallel :
   ?timeout_ms:float ->
   ?fail_policy:fail_policy ->
   ?qctx:Obs.Qlog.ctx ->
+  ?generation:int ->
   Oqf.Corpus.t ->
   Odb.Query.t ->
   (outcome, string) result
@@ -108,6 +109,7 @@ val run_one :
   ?cache:Rcache.t ->
   ?fail_policy:fail_policy ->
   ?qctx:Obs.Qlog.ctx ->
+  ?generation:int ->
   Oqf.Corpus.t ->
   Odb.Query.t ->
   (outcome, string) result
@@ -124,7 +126,12 @@ val run_one :
     the whole-query latency in the [exec.query_ms{workload}]
     histogram.  The per-file {!Oqf.Execute.run} calls underneath never
     receive a [qctx], so a driven query logs once, not once per
-    file. *)
+    file.
+
+    [generation] (here and on the other qlog-writing entry points):
+    the catalog generation the corpus was pinned at, recorded in the
+    qlog record's [gen] field — omitted when absent (static
+    corpus). *)
 
 val run_streaming :
   ?optimize:bool ->
@@ -136,6 +143,7 @@ val run_streaming :
   ?timeout_ms:float ->
   ?fail_policy:fail_policy ->
   ?qctx:Obs.Qlog.ctx ->
+  ?generation:int ->
   pool:Pool.t ->
   on_rows:(file:string -> Odb.Query_eval.row list -> unit) ->
   Oqf.Corpus.t ->

@@ -28,11 +28,12 @@ type record = {
   faults : int;
   candidates : int;
   est_cost : float;
+  generation : int;
 }
 
 let make ~(ctx : ctx) ~workload_default ~schema ~kind ~query ~latency_ms ~rows ~cached
     ~shards ~outcome ?error ?(events = []) ?(retries = 0) ?(faults = 0)
-    ?(candidates = 0) ?(est_cost = 0.) () =
+    ?(candidates = 0) ?(est_cost = 0.) ?(generation = 0) () =
   let workload =
     if ctx.workload <> "" then ctx.workload else workload_default
   in
@@ -54,6 +55,7 @@ let make ~(ctx : ctx) ~workload_default ~schema ~kind ~query ~latency_ms ~rows ~
     faults;
     candidates;
     est_cost;
+    generation;
   }
 
 let record_to_json r =
@@ -103,6 +105,13 @@ let record_to_json r =
   let base =
     if r.est_cost > 0. then base @ [ ("est_cost", Num r.est_cost) ] else base
   in
+  (* the catalog generation the query read (watch-mode ingest); 0 =
+     unknown/static, omitted for compatibility both ways *)
+  let base =
+    if r.generation > 0 then
+      base @ [ ("gen", Num (float_of_int r.generation)) ]
+    else base
+  in
   Obj base
 
 let record_of_json j =
@@ -141,6 +150,7 @@ let record_of_json j =
           faults = num_i "faults" 0;
           candidates = num_i "candidates" 0;
           est_cost = num_f "est_cost" 0.;
+          generation = num_i "gen" 0;
         }
   | _ -> None
 

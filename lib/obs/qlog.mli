@@ -52,6 +52,9 @@ type record = {
   est_cost : float;
       (** the planner's estimated cost for the executed plan (0 = not
           recorded; only the cost-based planner fills it) *)
+  generation : int;
+      (** the catalog generation the query's pinned snapshot read
+          (0 = not recorded — static corpus or pre-generation log) *)
 }
 
 val make :
@@ -71,6 +74,7 @@ val make :
   ?faults:int ->
   ?candidates:int ->
   ?est_cost:float ->
+  ?generation:int ->
   unit ->
   record
 (** Build a record stamped with the current wall clock.  The workload

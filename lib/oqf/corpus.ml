@@ -65,6 +65,37 @@ let of_catalog_robust catalog ~schema =
       in
       Ok ({ sources = List.rev sources }, List.rev degraded)
 
+(* The snapshot analogue of [of_catalog_robust]: every load goes
+   through the pinned generation, read-only — no healing, no commits —
+   so the corpus is byte-identical to the generation the caller
+   pinned, no matter what the writer does meanwhile.  An unreadable
+   index (the snapshot outlived a crashed disk, say) excludes its file
+   with a degradation note. *)
+let of_snapshot snapshot ~schema =
+  match Oqf_catalog.Schemas.find_result schema with
+  | Error e -> Error e
+  | Ok view ->
+      let sources, degraded =
+        List.fold_left
+          (fun (srcs, degs) (e : Oqf_catalog.Catalog.entry) ->
+            if e.Oqf_catalog.Catalog.schema <> schema then (srcs, degs)
+            else begin
+              match Oqf_catalog.Catalog.snapshot_load snapshot e.source with
+              | Ok instance ->
+                  ( ( e.source,
+                      Execute.source_of_instance ~origin:Execute.Disk view
+                        instance )
+                    :: srcs,
+                    degs )
+              | Error msg ->
+                  ( srcs,
+                    Degrade.make ~file:e.source Degrade.Excluded msg :: degs )
+            end)
+          ([], [])
+          (Oqf_catalog.Catalog.snapshot_entries snapshot)
+      in
+      Ok ({ sources = List.rev sources }, List.rev degraded)
+
 let of_sources sources = { sources }
 let files t = List.map fst t.sources
 let source t name = List.assoc_opt name t.sources

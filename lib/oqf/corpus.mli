@@ -42,6 +42,19 @@ val of_catalog_robust :
     {!Degrade.Excluded} note instead of failing the whole corpus.
     Fails only for an unknown schema. *)
 
+val of_snapshot :
+  Oqf_catalog.Catalog.snapshot ->
+  schema:string ->
+  (t * Degrade.t list, string) result
+(** The corpus of a pinned catalog generation
+    ({!Oqf_catalog.Catalog.pin}): every load goes through
+    {!Oqf_catalog.Catalog.snapshot_load}, so the rows any query
+    computes over it are byte-identical to the pinned generation's
+    even while a writer commits newer ones.  Loads are read-only (no
+    healing); a file whose pinned index is unreadable is excluded
+    with a {!Degrade.Excluded} note.  Fails only for an unknown
+    schema. *)
+
 val of_sources : (string * Execute.source) list -> t
 (** Wrap already-built sources (e.g. a single file the CLI just
     indexed) without re-indexing anything. *)

@@ -10,6 +10,8 @@ type config = {
   default_timeout_ms : float option;
   default_fail_policy : Exec.Driver.fail_policy;
   drain_ms : float;
+  watch : bool;
+  watch_interval_ms : float;
 }
 
 let default_config ~catalog_dir ~socket_path =
@@ -23,14 +25,17 @@ let default_config ~catalog_dir ~socket_path =
     default_timeout_ms = None;
     default_fail_policy = Exec.Driver.Degrade;
     drain_ms = 2000.;
+    watch = false;
+    watch_interval_ms = 500.;
   }
 
 type t = {
   config : config;
   catalog : Catalog.t;
   catalog_lock : Mutex.t;
-  corpora : (string, string * Oqf.Corpus.t) Hashtbl.t;
-      (** per schema: (entry fingerprint when built, corpus) *)
+  corpora : (string, int * Oqf.Corpus.t) Hashtbl.t;
+      (** per schema: (generation it was built at, corpus) *)
+  mutable watcher : Oqf_catalog.Watch.t option;
   pool : Exec.Pool.t;
   rcache : Exec.Rcache.t;
   adm : Admission.t;
@@ -76,50 +81,64 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-(* --- per-request catalog staleness check --------------------------- *)
+(* --- per-request catalog snapshot ---------------------------------- *)
 
-(* Serve the corpus for [schema], stat-checking every entry of that
-   schema first and refreshing the ones that might have changed.  The
-   corpus is cached per schema and rebuilt only when the entry
-   fingerprints moved — so the steady state is one [stat] per entry
-   per request, no loading. *)
+(* Serve a pinned snapshot plus the corpus built from it.
+
+   Without [--watch], every request first stat-checks the entries of
+   its schema under the catalog lock and refreshes the ones that might
+   have changed (one [stat] per entry per request in the steady
+   state).  With [--watch] the background watcher does that instead
+   and the request skips straight to pinning.
+
+   Either way the request then pins the current generation and serves
+   a corpus built purely from that snapshot.  The pin is what closes
+   the old staleness race: a refresh committed by a later request (or
+   the watcher) produces a *new* generation whose index files are
+   distinct on disk, while this request keeps reading the byte-stable
+   files of the generation it pinned.  The corpus cache is keyed by
+   the generation it was built at, so concurrent requests on the same
+   generation share one corpus and a new generation rebuilds it once.
+
+   The caller must [Catalog.release] the returned snapshot when the
+   request is done streaming. *)
 let corpus_for t schema =
-  with_lock t.catalog_lock @@ fun () ->
-  let entries () =
-    List.filter
-      (fun (e : Catalog.entry) -> String.equal e.schema schema)
-      (Catalog.entries t.catalog)
+  let snap =
+    with_lock t.catalog_lock @@ fun () ->
+    if not t.config.watch then
+      List.iter
+        (fun (e : Catalog.entry) ->
+          if
+            String.equal e.schema schema
+            && Catalog.possibly_stale t.catalog e
+          then
+            match Catalog.refresh t.catalog e.source with
+            | Ok Catalog.Unchanged -> ()
+            | Ok _ -> Obs.Metrics.incr reloads_c
+            | Error _ ->
+                (* leave it; corpus building degrades or reports it *)
+                ())
+        (Catalog.entries t.catalog);
+    Catalog.pin t.catalog
   in
-  let reloaded = ref false in
-  List.iter
-    (fun (e : Catalog.entry) ->
-      if Catalog.possibly_stale t.catalog e then begin
-        match Catalog.refresh t.catalog e.source with
-        | Ok Catalog.Unchanged -> ()
-        | Ok _ ->
-            reloaded := true;
-            Obs.Metrics.incr reloads_c
-        | Error _ ->
-            (* leave it; corpus building degrades or reports it *)
-            reloaded := true
-      end)
-    (entries ());
-  let fingerprint =
-    String.concat ";"
-      (List.map
-         (fun (e : Catalog.entry) ->
-           Printf.sprintf "%s:%d:%s" e.source e.length e.digest)
-         (entries ()))
+  let gen = Catalog.snapshot_generation snap in
+  let cached =
+    with_lock t.catalog_lock @@ fun () ->
+    match Hashtbl.find_opt t.corpora schema with
+    | Some (g, corpus) when g = gen -> Some corpus
+    | _ -> None
   in
-  match Hashtbl.find_opt t.corpora schema with
-  | Some (fp, corpus) when String.equal fp fingerprint && not !reloaded ->
-      Ok corpus
-  | _ -> (
-      match Oqf.Corpus.of_catalog_robust t.catalog ~schema with
+  match cached with
+  | Some corpus -> Ok (snap, corpus)
+  | None -> (
+      match Oqf.Corpus.of_snapshot snap ~schema with
       | Ok (corpus, _notes) ->
-          Hashtbl.replace t.corpora schema (fingerprint, corpus);
-          Ok corpus
-      | Error e -> Error e)
+          with_lock t.catalog_lock (fun () ->
+              Hashtbl.replace t.corpora schema (gen, corpus));
+          Ok (snap, corpus)
+      | Error e ->
+          Catalog.release snap;
+          Error e)
 
 (* --- request handlers ---------------------------------------------- *)
 
@@ -162,7 +181,9 @@ let handle_query t fd id ~trace (q : Protocol.query_req) =
   in
   match corpus_for t q.schema with
   | Error e -> send fd (Protocol.Failed { id; message = e })
-  | Ok corpus -> (
+  | Ok (snap, corpus) -> (
+      Fun.protect ~finally:(fun () -> Catalog.release snap) @@ fun () ->
+      let generation = Catalog.snapshot_generation snap in
       match Odb.Query_parser.parse q.text with
       | Error e ->
           send fd
@@ -202,8 +223,8 @@ let handle_query t fd id ~trace (q : Protocol.query_req) =
             in
             match
               Exec.Driver.run_streaming ~force:q.force ~cache:t.rcache
-                ?timeout_ms ~fail_policy ~qctx:(qctx ~trace q) ~pool:t.pool
-                ~on_rows corpus query
+                ?timeout_ms ~fail_policy ~qctx:(qctx ~trace q) ~generation
+                ~pool:t.pool ~on_rows corpus query
             with
             | Ok outcome ->
                 send fd
@@ -226,19 +247,21 @@ let handle_rexpr t fd id ~trace (q : Protocol.query_req) =
   in
   (* rexpr bypasses the driver, so it logs its own qlog record *)
   let t0 = Obs.Trace.now_ms () in
-  let qlog ~rows ~outcome ?error () =
-    match Obs.Qlog.installed () with
-    | None -> ()
-    | Some log ->
-        Obs.Qlog.append log
-          (Obs.Qlog.make ~ctx:(qctx ~trace q) ~workload_default:q.schema
-             ~schema:q.schema ~kind:"rexpr" ~query:q.text
-             ~latency_ms:(Obs.Trace.now_ms () -. t0)
-             ~rows ~cached:false ~shards:0 ~outcome ?error ())
-  in
   match corpus_for t q.schema with
   | Error e -> send fd (Protocol.Failed { id; message = e })
-  | Ok corpus -> (
+  | Ok (snap, corpus) -> (
+      Fun.protect ~finally:(fun () -> Catalog.release snap) @@ fun () ->
+      let generation = Catalog.snapshot_generation snap in
+      let qlog ~rows ~outcome ?error () =
+        match Obs.Qlog.installed () with
+        | None -> ()
+        | Some log ->
+            Obs.Qlog.append log
+              (Obs.Qlog.make ~ctx:(qctx ~trace q) ~workload_default:q.schema
+                 ~schema:q.schema ~kind:"rexpr" ~query:q.text
+                 ~latency_ms:(Obs.Trace.now_ms () -. t0)
+                 ~rows ~cached:false ~shards:0 ~outcome ~generation ?error ())
+      in
       match Ralg.Expr_parser.parse q.text with
       | Error e ->
           send fd
@@ -639,6 +662,7 @@ let start config =
                   catalog;
                   catalog_lock = Mutex.create ();
                   corpora = Hashtbl.create 4;
+                  watcher = None;
                   pool =
                     Exec.Pool.create ~jobs:(max 1 config.jobs) ();
                   rcache = Exec.Rcache.create ();
@@ -670,6 +694,15 @@ let start config =
                 | None -> [])
               in
               t.accept_threads <- threads;
+              if config.watch then begin
+                t.watcher <-
+                  Some
+                    (Oqf_catalog.Watch.start
+                       ~interval_ms:config.watch_interval_ms
+                       ~lock:t.catalog_lock catalog);
+                Printf.printf "oqf serve: watching catalog (every %gms)\n%!"
+                  config.watch_interval_ms
+              end;
               Printf.printf "oqf serve: listening on %s\n%!"
                 config.socket_path;
               (match config.http_port with
@@ -711,6 +744,11 @@ let wait t =
           t.conns;
         Hashtbl.reset t.conns);
     List.iter Thread.join t.conn_threads;
+    (match t.watcher with
+    | Some w ->
+        Oqf_catalog.Watch.stop w;
+        t.watcher <- None
+    | None -> ());
     Exec.Pool.shutdown t.pool;
     (match Obs.Trace.sink () with Some s -> s.Obs.Trace.flush () | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());

@@ -11,7 +11,17 @@
       re-checked with the stat-only {!Oqf_catalog.Catalog.possibly_stale}
       and refreshed when it might have changed, so a daemon never
       serves a stale instance cache (the [serve.catalog_reloads]
-      counter says how often this fires);
+      counter says how often this fires).  With [watch] the background
+      watcher ({!Oqf_catalog.Watch}) does the refreshing instead and
+      requests skip the per-request stat pass entirely;
+    + {b snapshot pin} — the request pins the current catalog
+      generation ({!Oqf_catalog.Catalog.pin}) and evaluates purely
+      against that immutable snapshot, releasing the pin when its last
+      row has been streamed.  A refresh committed mid-request (by
+      another request or the watcher) lands in a {e new} generation
+      with distinct index files, so in-flight queries never observe a
+      half-refreshed corpus — each answer is consistent with exactly
+      one generation, recorded in its qlog record's [gen] field;
     + {b analysis gate} — the query is parsed and statically checked
       ({!Oqf.Check}); parse failures and error-severity findings
       answer a [diagnostics] event (same JSON shape as
@@ -46,11 +56,17 @@ type config = {
   default_fail_policy : Exec.Driver.fail_policy;
       (** applied when a request carries none *)
   drain_ms : float;  (** shutdown grace for in-flight requests *)
+  watch : bool;
+      (** run a background {!Oqf_catalog.Watch} ingesting source
+          changes continuously; requests skip the per-request
+          staleness pass *)
+  watch_interval_ms : float;  (** watcher poll interval *)
 }
 
 val default_config : catalog_dir:string -> socket_path:string -> config
 (** jobs 2, max_active 8, max_queue 16, no default timeout,
-    fail-policy degrade, drain 2000 ms, no HTTP. *)
+    fail-policy degrade, drain 2000 ms, no HTTP, no watcher
+    (500 ms interval when enabled). *)
 
 type t
 

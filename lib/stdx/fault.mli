@@ -3,8 +3,9 @@
     The robustness layer is only testable if failures can be provoked
     on demand and reproduced from a seed.  This module owns that:
     I/O-touching code declares named {e sites} ([catalog.read],
-    [catalog.write], [index.load], [index.write], [source.read],
-    [pool.task]) by calling {!hit} (and {!corrupting} where a payload
+    [catalog.write], [gen.commit], [gen.retire], [watch.scan],
+    [index.load], [index.write], [source.read], [pool.task]) by
+    calling {!hit} (and {!corrupting} where a payload
     can be damaged), and a fault {e config} — parsed from the
     [OQF_FAULTS] environment variable or the [--inject-faults] CLI
     flag — decides, via a splitmix64 stream, whether each visit

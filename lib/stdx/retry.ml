@@ -111,16 +111,27 @@ module Breaker = struct
   let failures : (string, int) Hashtbl.t = Hashtbl.create 16
   let opened = Obs.Metrics.counter "breaker.opened"
 
+  (* Per-key open/closed gauge for /metrics: a stuck-open breaker is
+     invisible in the [breaker.opened] running count alone.  Touched on
+     transitions only, so keys that never trip never mint a series. *)
+  let state_gauge key =
+    Obs.Metrics.counter (Obs.Label.render "breaker.state" [ ("source", key) ])
+
   let failure key =
     Mutex.lock lock;
     let n = (try Hashtbl.find failures key with Not_found -> 0) + 1 in
     Hashtbl.replace failures key n;
-    if n = threshold then Obs.Metrics.incr opened;
+    if n = threshold then begin
+      Obs.Metrics.incr opened;
+      Obs.Metrics.set (state_gauge key) 1
+    end;
     Mutex.unlock lock
 
   let success key =
     Mutex.lock lock;
+    let was = try Hashtbl.find failures key with Not_found -> 0 in
     Hashtbl.remove failures key;
+    if was >= threshold then Obs.Metrics.set (state_gauge key) 0;
     Mutex.unlock lock
 
   let state key =

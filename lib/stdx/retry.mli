@@ -54,7 +54,16 @@ module Breaker : sig
   type state = Closed | Open
 
   val failure : string -> unit
+  (** Record one failure; the [threshold]th consecutive one opens the
+      circuit, incrementing [breaker.opened] and setting the
+      [breaker.state{source="key"}] gauge to 1. *)
+
   val success : string -> unit
+  (** Reset the key's failure count; closing a previously open circuit
+      sets its [breaker.state{source="key"}] gauge back to 0.  The
+      gauge is touched on transitions only, so keys that never trip
+      never appear in /metrics. *)
+
   val state : string -> state
   val reset_all : unit -> unit
 end

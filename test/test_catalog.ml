@@ -503,12 +503,19 @@ let index_path cat source =
 (* damage an index file in a checksum-detectable way: flip one byte in
    the marshalled payload *)
 let bit_flip_index cat source =
-  let idx = index_path cat source in
+  let e = Option.get (Oqf_catalog.Catalog.find cat source) in
+  let idx =
+    Filename.concat (Oqf_catalog.Catalog.dir cat)
+      e.Oqf_catalog.Catalog.index_file
+  in
   let raw = Bytes.of_string (read_file idx) in
   let pos = Bytes.length raw - 7 in
   Bytes.set raw pos (Char.chr (Char.code (Bytes.get raw pos) lxor 0x01));
   write_file idx (Bytes.to_string raw);
-  Oqf_catalog.Instance_cache.remove (Oqf_catalog.Catalog.cache cat) source
+  (* the instance cache is keyed by index file *)
+  Oqf_catalog.Instance_cache.remove
+    (Oqf_catalog.Catalog.cache cat)
+    e.Oqf_catalog.Catalog.index_file
 
 let setup_two_file_catalog () =
   let dir = temp_dir () in
@@ -626,7 +633,11 @@ let robustness_tests =
         in
         Alcotest.(check int) "one quarantine" 1 (List.length quarantined);
         Alcotest.(check string) "the sourceless entry" a (fst (List.hd quarantined));
-        Alcotest.(check int) "its index swept as orphan" 1 (List.length orphans);
+        (* the drop commits a new generation whose inline retirement
+           already deleted the dead index, so the orphan sweep finds
+           nothing left to do *)
+        Alcotest.(check int) "no orphans left for the sweep" 0
+          (List.length orphans);
         (match Oqf_catalog.Catalog.entries cat with
         | [ e ] ->
             Alcotest.(check bool) "survivor is the other file" true
@@ -658,6 +669,270 @@ let robustness_tests =
         | _ -> Alcotest.fail "one exclusion note expected");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Generations, snapshots and the watcher                              *)
+
+let gen_pointer_file cat =
+  Filename.concat (Oqf_catalog.Catalog.dir cat) "GEN"
+
+let has_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false else String.sub hay i nn = needle || go (i + 1)
+  in
+  go 0
+
+let warned cat needle =
+  List.exists
+    (fun w -> has_substring w needle)
+    (Oqf_catalog.Catalog.recovery_warnings cat)
+
+(* Render answer rows to one comparable string: the property below is
+   literally "the pinned reader's bytes never change". *)
+let render_rows (rows : (string * Odb.Query_eval.row) list) =
+  String.concat "\n"
+    (List.map
+       (fun (file, row) ->
+         file ^ "|"
+         ^ String.concat "," (List.map Odb.Value.to_display_string row))
+       rows)
+
+let iso_query =
+  match
+    Odb.Query_parser.parse
+      "SELECT e.Service, e.Msg FROM Entries e WHERE e.Level = \"ERROR\""
+  with
+  | Ok q -> q
+  | Error _ -> assert false
+
+(* A reader pinned at generation G answers byte-identically while a
+   writer commits G+1..G+k, across 1..8 shards.  Each read evicts the
+   pinned index from the instance cache first, so it genuinely
+   re-reads the pinned generation's files from disk — proving the
+   writer's commits never touch them. *)
+let snapshot_isolation =
+  QCheck.Test.make ~count:12
+    ~name:"pinned snapshot is byte-stable under concurrent commits"
+    QCheck.(triple (int_range 4 24) (int_range 1 5) (int_range 1 8))
+    (fun (n, k, shards) ->
+      let dir = temp_dir () in
+      let files = Array.init 3 (fun i -> Filename.concat dir (Printf.sprintf "f%d.log" i)) in
+      let sizes = Array.init 3 (fun i -> n + i) in
+      Array.iteri (fun i f -> write_file f (log_text sizes.(i))) files;
+      let cat =
+        match Oqf_catalog.Catalog.init (Filename.concat dir "cat") with
+        | Ok c -> c
+        | Error e -> QCheck.Test.fail_reportf "init: %s" e
+      in
+      Array.iter
+        (fun f ->
+          match Oqf_catalog.Catalog.add cat ~schema:"log" f with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_reportf "add: %s" e)
+        files;
+      let snap = Oqf_catalog.Catalog.pin cat in
+      let g0 = Oqf_catalog.Catalog.snapshot_generation snap in
+      let read () =
+        List.iter
+          (fun (e : Oqf_catalog.Catalog.entry) ->
+            Oqf_catalog.Instance_cache.remove
+              (Oqf_catalog.Catalog.cache cat)
+              e.index_file)
+          (Oqf_catalog.Catalog.snapshot_entries snap);
+        let corpus, degraded =
+          match Oqf.Corpus.of_snapshot snap ~schema:"log" with
+          | Ok cd -> cd
+          | Error e -> QCheck.Test.fail_reportf "of_snapshot: %s" e
+        in
+        if degraded <> [] then
+          QCheck.Test.fail_reportf "pinned read degraded (%d files lost)"
+            (List.length degraded);
+        match Exec.Driver.run_parallel ~jobs:shards corpus iso_query with
+        | Ok out -> render_rows out.Exec.Driver.rows
+        | Error e -> QCheck.Test.fail_reportf "query: %s" e
+      in
+      let reference = read () in
+      for i = 1 to k do
+        (* writer: append whole entries to one source (Log_gen's prefix
+           property) and commit the refresh *)
+        let j = (i - 1) mod Array.length files in
+        sizes.(j) <- sizes.(j) + 2;
+        write_file files.(j) (log_text sizes.(j));
+        (match Oqf_catalog.Catalog.refresh cat files.(j) with
+        | Ok _ -> ()
+        | Error e -> QCheck.Test.fail_reportf "refresh %d: %s" i e);
+        let now = read () in
+        if now <> reference then
+          QCheck.Test.fail_reportf
+            "pinned rows changed after commit %d (gen %d -> %d)" i g0
+            (Oqf_catalog.Catalog.generation cat)
+      done;
+      if Oqf_catalog.Catalog.generation cat <> g0 + k then
+        QCheck.Test.fail_reportf "expected generation %d, got %d" (g0 + k)
+          (Oqf_catalog.Catalog.generation cat);
+      Oqf_catalog.Catalog.release snap;
+      (* with the pin gone the superseded generations are retired: only
+         the current generation's manifest image remains *)
+      (match Oqf_catalog.Catalog.list_generations cat with
+      | [ g ] when g = g0 + k -> ()
+      | gs ->
+          QCheck.Test.fail_reportf "expected only generation %d, got %d images"
+            (g0 + k) (List.length gs));
+      true)
+
+let generation_tests =
+  [
+    QCheck_alcotest.to_alcotest snapshot_isolation;
+    (* a crash between the CATALOG swap and the pointer move (the
+       second gen.commit site) leaves a stale pointer: the manifest
+       stays authoritative and the pointer is rewritten *)
+    Alcotest.test_case "stale pointer after mid-commit crash is salvaged"
+      `Quick (fun () ->
+        let _, _, _, cat = setup_two_file_catalog () in
+        let g = Oqf_catalog.Catalog.generation cat in
+        Alcotest.(check bool) "two adds advanced the generation" true (g >= 2);
+        write_file (gen_pointer_file cat) "oqf-gen 0\n";
+        let reopened =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        Alcotest.(check int) "manifest generation wins" g
+          (Oqf_catalog.Catalog.generation reopened);
+        Alcotest.(check bool) "stale pointer reported" true
+          (warned reopened "stale generation pointer");
+        Alcotest.(check string) "pointer rewritten"
+          (Printf.sprintf "oqf-gen %d\n" g)
+          (read_file (gen_pointer_file reopened));
+        let again =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        Alcotest.(check (list string))
+          "second open clean" []
+          (Oqf_catalog.Catalog.recovery_warnings again));
+    (* a crash after MANIFEST.g(N+1) but before the CATALOG swap (the
+       first gen.commit site) leaves the pointer behind a stray future
+       image; if the pointer moved too, it reads ahead of the manifest
+       and its number is adopted as the numbering floor *)
+    Alcotest.test_case "pointer ahead of manifest becomes the numbering floor"
+      `Quick (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        let g = Oqf_catalog.Catalog.generation cat in
+        write_file (gen_pointer_file cat) (Printf.sprintf "oqf-gen %d\n" (g + 5));
+        let reopened =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        Alcotest.(check int) "floor adopted" (g + 5)
+          (Oqf_catalog.Catalog.generation reopened);
+        Alcotest.(check bool) "adoption reported" true
+          (warned reopened "ahead of manifest");
+        (* the next commit numbers past the floor — no reuse *)
+        write_file a (log_text 12);
+        let (_ : Oqf_catalog.Catalog.refresh) =
+          or_fail (Oqf_catalog.Catalog.refresh reopened a)
+        in
+        Alcotest.(check int) "next commit goes past the floor" (g + 6)
+          (Oqf_catalog.Catalog.generation reopened));
+    Alcotest.test_case "damaged and missing pointers are rewritten" `Quick
+      (fun () ->
+        let _, _, _, cat = setup_two_file_catalog () in
+        let g = Oqf_catalog.Catalog.generation cat in
+        write_file (gen_pointer_file cat) "junk\xff\n";
+        let reopened =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        Alcotest.(check bool) "damage reported" true
+          (warned reopened "unreadable");
+        Alcotest.(check int) "generation kept" g
+          (Oqf_catalog.Catalog.generation reopened);
+        Sys.remove (gen_pointer_file cat);
+        let reopened =
+          or_fail (Oqf_catalog.Catalog.open_dir (Oqf_catalog.Catalog.dir cat))
+        in
+        Alcotest.(check bool) "absence reported" true
+          (warned reopened "missing");
+        Alcotest.(check string) "pointer rewritten"
+          (Printf.sprintf "oqf-gen %d\n" g)
+          (read_file (gen_pointer_file reopened)));
+    Alcotest.test_case "repair collapses a stray future generation" `Quick
+      (fun () ->
+        let _, _, _, cat = setup_two_file_catalog () in
+        let stray =
+          Filename.concat
+            (Filename.concat (Oqf_catalog.Catalog.dir cat) "generations")
+            "MANIFEST.g99"
+        in
+        write_file stray
+          (read_file
+             (Filename.concat (Oqf_catalog.Catalog.dir cat) "CATALOG"));
+        let actions = Oqf_catalog.Catalog.repair cat in
+        Alcotest.(check bool) "collapse reported" true
+          (List.exists
+             (fun (_, a) ->
+               a = Oqf_catalog.Catalog.Collapsed_generation 99)
+             actions);
+        Alcotest.(check bool) "stray image gone" false (Sys.file_exists stray));
+    Alcotest.test_case "refresh_all continues past failing entries" `Quick
+      (fun () ->
+        let _, a, b, cat = setup_two_file_catalog () in
+        Sys.remove a;
+        let results = Oqf_catalog.Catalog.refresh_all cat in
+        Alcotest.(check int) "both entries reported" 2 (List.length results);
+        (match List.assoc a results with
+        | Error e ->
+            Alcotest.(check bool) "failure names the cause" true
+              (has_substring e "source file is missing")
+        | Ok _ -> Alcotest.fail "missing source must fail its refresh");
+        match List.assoc b results with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "healthy entry must still refresh: %s" e);
+    Alcotest.test_case "watch scan ingests appends and retires behind itself"
+      `Quick (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        let g0 = Oqf_catalog.Catalog.generation cat in
+        let r = Oqf_catalog.Watch.scan cat in
+        Alcotest.(check int) "nothing stale: no refresh" 0
+          r.Oqf_catalog.Watch.refreshed;
+        write_file a (log_text 12);
+        let events = ref [] in
+        let r =
+          Oqf_catalog.Watch.scan ~on_event:(fun e -> events := e :: !events) cat
+        in
+        Alcotest.(check int) "one refresh" 1 r.Oqf_catalog.Watch.refreshed;
+        Alcotest.(check int) "generation advanced" (g0 + 1)
+          r.Oqf_catalog.Watch.generation;
+        (match !events with
+        | [ Oqf_catalog.Watch.Refreshed (src, _) ] ->
+            Alcotest.(check string) "event names the source" a src
+        | _ -> Alcotest.fail "expected one Refreshed event");
+        (* the refresh's own commit already retired the superseded
+           generation inline (nothing pinned it), so the scan's sweep
+           finds nothing left — either way only the current image
+           remains *)
+        Alcotest.(check (list int))
+          "only the current generation survives"
+          [ r.Oqf_catalog.Watch.generation ]
+          (Oqf_catalog.Catalog.list_generations cat);
+        let r = Oqf_catalog.Watch.scan cat in
+        Alcotest.(check int) "steady state: no refresh" 0
+          r.Oqf_catalog.Watch.refreshed);
+    Alcotest.test_case "background watcher ingests while running" `Quick
+      (fun () ->
+        let _, a, _, cat = setup_two_file_catalog () in
+        let g0 = Oqf_catalog.Catalog.generation cat in
+        let lock = Mutex.create () in
+        let w = Oqf_catalog.Watch.start ~interval_ms:10. ~lock cat in
+        write_file a (log_text 14);
+        let deadline = Unix.gettimeofday () +. 5. in
+        while
+          Oqf_catalog.Catalog.generation cat = g0
+          && Unix.gettimeofday () < deadline
+        do
+          Thread.delay 0.01
+        done;
+        Oqf_catalog.Watch.stop w;
+        Alcotest.(check bool) "watcher committed the append" true
+          (Oqf_catalog.Catalog.generation cat > g0));
+  ]
+
 let suites =
   [
     ("catalog.incremental", incremental_tests);
@@ -665,4 +940,5 @@ let suites =
     ("catalog.cache", cache_tests);
     ("catalog.catalog", catalog_tests);
     ("catalog.robustness", robustness_tests);
+    ("catalog.generations", generation_tests);
   ]

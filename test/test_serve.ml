@@ -430,6 +430,15 @@ let setup_catalog dir =
   in
   cat
 
+(* OQF_SERVE_WATCH=1 replays the whole suite against a daemon running
+   its background watcher (CI does this once under injected faults):
+   every test must behave identically whether staleness is caught by
+   the per-request pass or the watcher. *)
+let watch_mode =
+  match Sys.getenv_opt "OQF_SERVE_WATCH" with
+  | Some ("1" | "true") -> true
+  | _ -> false
+
 let with_server ?(max_active = 4) ?(max_queue = 8) ?(jobs = 2) ?http_port f =
   let dir = fresh_dir () in
   let (_ : Oqf_catalog.Catalog.t) = setup_catalog dir in
@@ -443,6 +452,8 @@ let with_server ?(max_active = 4) ?(max_queue = 8) ?(jobs = 2) ?http_port f =
       max_queue;
       jobs;
       http_port;
+      watch = watch_mode;
+      watch_interval_ms = 50.;
     }
   in
   let server = or_fail (Serve.Server.start config) in
@@ -597,7 +608,24 @@ let server_tests =
               (Filename.concat dir "a.log")
               (Workload.Log_gen.generate
                  { (Workload.Log_gen.with_size 40) with seed = 41 });
-            let after = count_all () in
+            (* per-request mode ingests on the very next request; the
+               background watcher is asynchronous, so give it a few
+               polling intervals before asserting *)
+            let after =
+              if not watch_mode then count_all ()
+              else begin
+                let deadline = Unix.gettimeofday () +. 5. in
+                let rec poll () =
+                  let n = count_all () in
+                  if n > before || Unix.gettimeofday () > deadline then n
+                  else begin
+                    Thread.delay 0.02;
+                    poll ()
+                  end
+                in
+                poll ()
+              end
+            in
             Alcotest.(check bool)
               (Printf.sprintf "grew %d -> %d without an explicit refresh"
                  before after)

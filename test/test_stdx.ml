@@ -492,6 +492,25 @@ let retry_tests =
             Stdx.Retry.Breaker.success key;
             Alcotest.(check bool) "success closes" true
               (Stdx.Retry.Breaker.state key = Stdx.Retry.Breaker.Closed)));
+    Alcotest.test_case "breaker transitions drive the breaker.state gauge"
+      `Quick (fun () ->
+        Stdx.Retry.Breaker.reset_all ();
+        Fun.protect ~finally:Stdx.Retry.Breaker.reset_all (fun () ->
+            let key = "t.gauge" in
+            let gauge =
+              Obs.Metrics.counter
+                (Obs.Label.render "breaker.state" [ ("source", key) ])
+            in
+            (* failures below the threshold never mint a 1 *)
+            for _ = 1 to Stdx.Retry.Breaker.threshold - 1 do
+              Stdx.Retry.Breaker.failure key
+            done;
+            Alcotest.(check int) "closed reads 0" 0 (Obs.Metrics.value gauge);
+            Stdx.Retry.Breaker.failure key;
+            Alcotest.(check int) "open reads 1" 1 (Obs.Metrics.value gauge);
+            Stdx.Retry.Breaker.success key;
+            Alcotest.(check int) "close resets to 0" 0
+              (Obs.Metrics.value gauge)));
   ]
 
 let suites =
